@@ -1,0 +1,60 @@
+//! E1 — Theorem 1.1 round complexity: weighted 2-ECSS in
+//! `O((D + √n) log² n)` rounds.
+//!
+//! Prints, for every topology and size, the charged CONGEST rounds next to
+//! the theorem's shape `(D + √n) · log² n`, and the ratio between the two
+//! (which should stay roughly constant as `n` grows if the shape is right).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kecss_bench::table::Table;
+use kecss_bench::workloads::{self, Topology};
+use kecss::two_ecss;
+use std::time::Duration;
+
+fn shape(n: usize, d: usize) -> f64 {
+    let n_f = n as f64;
+    (d as f64 + n_f.sqrt()) * n_f.log2().powi(2)
+}
+
+fn print_series() {
+    let mut table = Table::new(["topology", "n", "m", "D", "rounds", "(D+sqrt n)log^2 n", "ratio", "weight", "tap iters"]);
+    for topology in [Topology::Random, Topology::RingOfCliques, Topology::Torus] {
+        for n in [64usize, 128, 256, 512, 1024] {
+            let graph = workloads::weighted_instance(topology, n, 2, 100, 0xE1 + n as u64);
+            let d = workloads::report_diameter(&graph);
+            let mut rng = workloads::rng(0xE1_00 + n as u64);
+            let sol = two_ecss::solve(&graph, &mut rng).expect("instance is 2-edge-connected");
+            let s = shape(graph.n(), d);
+            table.push([
+                topology.label().to_string(),
+                graph.n().to_string(),
+                graph.m().to_string(),
+                d.to_string(),
+                sol.ledger.total().to_string(),
+                format!("{s:.0}"),
+                format!("{:.2}", sol.ledger.total() as f64 / s),
+                sol.weight.to_string(),
+                sol.tap_iterations.to_string(),
+            ]);
+        }
+    }
+    table.print("E1: weighted 2-ECSS rounds vs the Theorem 1.1 shape");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let graph = workloads::weighted_instance(Topology::Random, 256, 2, 100, 0xE1);
+    c.bench_function("e1/two_ecss_random_n256", |b| {
+        b.iter(|| {
+            let mut rng = workloads::rng(1);
+            two_ecss::solve(&graph, &mut rng).unwrap().weight
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

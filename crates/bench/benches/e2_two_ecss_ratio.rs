@@ -1,0 +1,79 @@
+//! E2 — Theorem 1.1 / Lemma 3.7 approximation quality: the weighted 2-ECSS
+//! algorithm is an `O(log n)` approximation, *guaranteed* (not just in
+//! expectation).
+//!
+//! Small instances are compared against the exact optimum (branch and bound);
+//! larger instances against the certified lower bound of
+//! `kecss::lower_bounds`. The greedy sequential set-cover augmentation is
+//! included as the quality reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kecss::baselines::{exact, greedy};
+use kecss::{lower_bounds, metrics::RatioSummary, two_ecss};
+use kecss_bench::table::Table;
+use kecss_bench::workloads::{self, Topology};
+use std::time::Duration;
+
+fn print_exact_comparison() {
+    let mut table = Table::new(["instance", "OPT", "distributed", "greedy", "dist/OPT", "greedy/OPT"]);
+    for seed in 0..6u64 {
+        let graph = workloads::weighted_instance(Topology::Random, 8, 2, 20, 0xE2_00 + seed);
+        let Some(opt) = exact::min_k_ecss(&graph, 2) else { continue };
+        let mut rng = workloads::rng(seed);
+        let dist = two_ecss::solve(&graph, &mut rng).expect("2-edge-connected instance");
+        let greedy_sol = greedy::k_ecss(&graph, 2);
+        table.push([
+            format!("random n=8 #{seed}"),
+            opt.weight.to_string(),
+            dist.weight.to_string(),
+            greedy_sol.weight.to_string(),
+            format!("{:.2}", dist.weight as f64 / opt.weight as f64),
+            format!("{:.2}", greedy_sol.weight as f64 / opt.weight as f64),
+        ]);
+    }
+    table.print("E2a: weighted 2-ECSS vs the exact optimum (small instances)");
+}
+
+fn print_lower_bound_comparison() {
+    let mut table = Table::new(["topology", "n", "weight", "lower bound", "ratio", "log2 n"]);
+    let mut summary = RatioSummary::new();
+    for topology in [Topology::Random, Topology::RingOfCliques] {
+        for n in [32usize, 64, 128, 256] {
+            let graph = workloads::weighted_instance(topology, n, 2, 50, 0xE2_10 + n as u64);
+            let mut rng = workloads::rng(0xE2_20 + n as u64);
+            let sol = two_ecss::solve(&graph, &mut rng).expect("2-edge-connected instance");
+            let lb = lower_bounds::k_ecss_lower_bound(&graph, 2);
+            let report = kecss::metrics::ApproxReport::new(sol.weight, lb);
+            summary.push(report);
+            table.push([
+                topology.label().to_string(),
+                graph.n().to_string(),
+                sol.weight.to_string(),
+                lb.to_string(),
+                format!("{:.2}", report.ratio()),
+                format!("{:.1}", (graph.n() as f64).log2()),
+            ]);
+        }
+    }
+    table.print("E2b: weighted 2-ECSS vs certified lower bounds");
+    println!("summary: {summary}");
+}
+
+fn bench(c: &mut Criterion) {
+    print_exact_comparison();
+    print_lower_bound_comparison();
+    let graph = workloads::weighted_instance(Topology::Random, 128, 2, 50, 0xE2);
+    c.bench_function("e2/two_ecss_ratio_n128", |b| {
+        b.iter(|| {
+            let mut rng = workloads::rng(2);
+            two_ecss::solve(&graph, &mut rng).unwrap().weight
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E3 — Lemma 3.11: the weighted TAP algorithm performs `O(log² n)`
+//! candidate/voting iterations w.h.p.
+//!
+//! Prints the measured iteration counts next to `log² n`; the ratio should
+//! stay bounded (in fact well below 1 with the constants involved) as `n`
+//! grows, and the weight ratio against the greedy baseline should stay a
+//! small constant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphs::mst;
+use kecss::baselines::greedy;
+use kecss::tap;
+use kecss_bench::table::Table;
+use kecss_bench::workloads::{self, Topology};
+use std::time::Duration;
+
+fn print_series() {
+    let mut table =
+        Table::new(["topology", "n", "iterations", "log^2 n", "iters/log^2 n", "weight", "greedy weight"]);
+    for topology in [Topology::Random, Topology::RingOfCliques] {
+        for n in [64usize, 128, 256, 512, 1024] {
+            let graph = workloads::weighted_instance(topology, n, 2, 1_000, 0xE3 + n as u64);
+            let tree = mst::kruskal(&graph);
+            let mut rng = workloads::rng(0xE3_10 + n as u64);
+            let sol = tap::solve(&graph, &tree, &mut rng).expect("2-edge-connected instance");
+            let greedy_sol = greedy::tap(&graph, &tree);
+            let log2 = (graph.n() as f64).log2().powi(2);
+            table.push([
+                topology.label().to_string(),
+                graph.n().to_string(),
+                sol.iterations.to_string(),
+                format!("{log2:.0}"),
+                format!("{:.2}", sol.iterations as f64 / log2),
+                sol.weight.to_string(),
+                greedy_sol.weight.to_string(),
+            ]);
+        }
+    }
+    table.print("E3: weighted TAP iteration counts vs log^2 n (Lemma 3.11)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let graph = workloads::weighted_instance(Topology::Random, 256, 2, 1_000, 0xE3);
+    let tree = mst::kruskal(&graph);
+    c.bench_function("e3/tap_n256", |b| {
+        b.iter(|| {
+            let mut rng = workloads::rng(3);
+            tap::solve(&graph, &tree, &mut rng).unwrap().iterations
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

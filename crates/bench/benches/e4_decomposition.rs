@@ -1,0 +1,67 @@
+//! E4 — Figure 1 / Section 3.2: the segment decomposition produces `O(√n)`
+//! segments of diameter `O(√n)`, with the skeleton-tree invariants of
+//! Lemma 3.4.
+//!
+//! Prints, per instance size, the number of fragments, marked vertices and
+//! segments and the maximum segment diameter, each normalized by `√n`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphs::{mst, RootedTree};
+use kecss::decomposition::Decomposition;
+use kecss_bench::table::Table;
+use kecss_bench::workloads::{self, Topology};
+use std::time::Duration;
+
+fn print_series() {
+    let mut table = Table::new([
+        "topology",
+        "n",
+        "sqrt n",
+        "fragments",
+        "marked",
+        "segments",
+        "max seg diam",
+        "segments/sqrt n",
+        "diam/sqrt n",
+    ]);
+    for topology in [Topology::Random, Topology::RingOfCliques, Topology::Torus] {
+        for n in [256usize, 1024, 4096] {
+            let graph = workloads::weighted_instance(topology, n, 2, 50, 0xE4 + n as u64);
+            let tree_edges = mst::kruskal(&graph);
+            let tree = RootedTree::new(&graph, &tree_edges, 0);
+            let d = Decomposition::build(&graph, &tree);
+            d.assert_invariants(&graph, &tree);
+            let sqrt_n = (graph.n() as f64).sqrt();
+            let max_diam = d.max_segment_diameter(&graph, &tree);
+            table.push([
+                topology.label().to_string(),
+                graph.n().to_string(),
+                format!("{sqrt_n:.0}"),
+                d.num_fragments().to_string(),
+                d.num_marked().to_string(),
+                d.num_segments().to_string(),
+                max_diam.to_string(),
+                format!("{:.2}", d.num_segments() as f64 / sqrt_n),
+                format!("{:.2}", max_diam as f64 / sqrt_n),
+            ]);
+        }
+    }
+    table.print("E4: segment decomposition statistics (Figure 1 / Lemma 3.4)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let graph = workloads::weighted_instance(Topology::Random, 1024, 2, 50, 0xE4);
+    let tree_edges = mst::kruskal(&graph);
+    let tree = RootedTree::new(&graph, &tree_edges, 0);
+    c.bench_function("e4/decomposition_n1024", |b| {
+        b.iter(|| Decomposition::build(&graph, &tree).num_segments())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E5 — Theorem 1.2: weighted k-ECSS in `O(k (D log³ n + n))` rounds with an
+//! `O(k log n)` expected approximation ratio.
+//!
+//! Prints, per `k` and `n`, the charged rounds next to the theorem's shape
+//! `k · (D log³ n + n)` and the weight ratio against the certified lower
+//! bound (which should stay within `O(k log n)`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kecss::kecss as kecss_alg;
+use kecss::lower_bounds;
+use kecss_bench::table::Table;
+use kecss_bench::workloads::{self, Topology};
+use std::time::Duration;
+
+fn shape(k: usize, n: usize, d: usize) -> f64 {
+    let log3 = (n as f64).log2().powi(3);
+    k as f64 * (d as f64 * log3 + n as f64)
+}
+
+fn print_series() {
+    let mut table = Table::new([
+        "k",
+        "n",
+        "D",
+        "rounds",
+        "k(D log^3 n + n)",
+        "ratio",
+        "weight",
+        "lower bound",
+        "weight/LB",
+        "k log2 n",
+    ]);
+    for k in [2usize, 3, 4] {
+        for n in [32usize, 64, 96] {
+            let graph = workloads::weighted_instance(Topology::Random, n, k, 20, 0xE5 + (k * 1000 + n) as u64);
+            let d = workloads::report_diameter(&graph);
+            let mut rng = workloads::rng(0xE5_10 + (k * 1000 + n) as u64);
+            let sol = kecss_alg::solve(&graph, k, &mut rng).expect("instance is k-edge-connected");
+            let lb = lower_bounds::k_ecss_lower_bound(&graph, k);
+            let s = shape(k, graph.n(), d);
+            table.push([
+                k.to_string(),
+                graph.n().to_string(),
+                d.to_string(),
+                sol.ledger.total().to_string(),
+                format!("{s:.0}"),
+                format!("{:.3}", sol.ledger.total() as f64 / s),
+                sol.weight.to_string(),
+                lb.to_string(),
+                format!("{:.2}", sol.weight as f64 / lb as f64),
+                format!("{:.1}", k as f64 * (graph.n() as f64).log2()),
+            ]);
+        }
+    }
+    table.print("E5: weighted k-ECSS rounds and ratios (Theorem 1.2)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let graph = workloads::weighted_instance(Topology::Random, 64, 3, 20, 0xE5);
+    c.bench_function("e5/kecss_k3_n64", |b| {
+        b.iter(|| {
+            let mut rng = workloads::rng(5);
+            kecss_alg::solve(&graph, 3, &mut rng).unwrap().weight
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

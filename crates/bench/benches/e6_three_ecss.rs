@@ -1,0 +1,75 @@
+//! E6 — Theorem 1.3: unweighted 3-ECSS in `O(D log³ n)` rounds with an
+//! `O(log n)` expected approximation ratio.
+//!
+//! The distinguishing feature versus Theorem 1.2 is that the rounds depend on
+//! the diameter but *not* on `√n` or `n`: on the random family (D ≈ 3) the
+//! rounds stay nearly flat as `n` grows, while on the torus family they track
+//! `D = Θ(√n)`. The table prints both, next to the `D log³ n` shape and to
+//! the `Aug_3` rounds of the general algorithm on the same instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kecss::kecss as kecss_alg;
+use kecss::three_ecss;
+use kecss_bench::table::Table;
+use kecss_bench::workloads::{self, Topology};
+use std::time::Duration;
+
+fn print_series() {
+    let mut table = Table::new([
+        "topology",
+        "n",
+        "D",
+        "rounds (Thm 1.3)",
+        "D log^3 n",
+        "ratio",
+        "rounds (Thm 1.2, k=3)",
+        "size",
+        "3n/2",
+        "size/(3n/2)",
+    ]);
+    for topology in [Topology::Random, Topology::Torus] {
+        for n in [36usize, 64, 144, 256] {
+            let graph = workloads::unweighted_instance(topology, n, 3, 0xE6 + n as u64);
+            if !graphs::connectivity::is_k_edge_connected(&graph, 3) {
+                continue;
+            }
+            let d = workloads::report_diameter(&graph);
+            let mut rng = workloads::rng(0xE6_10 + n as u64);
+            let sol = three_ecss::solve(&graph, &mut rng).expect("3-edge-connected instance");
+            let general = kecss_alg::solve(&graph, 3, &mut rng).expect("3-edge-connected instance");
+            let shape = d as f64 * (graph.n() as f64).log2().powi(3);
+            let lb = (3 * graph.n()).div_ceil(2);
+            table.push([
+                topology.label().to_string(),
+                graph.n().to_string(),
+                d.to_string(),
+                sol.ledger.total().to_string(),
+                format!("{shape:.0}"),
+                format!("{:.2}", sol.ledger.total() as f64 / shape),
+                general.ledger.total().to_string(),
+                sol.size.to_string(),
+                lb.to_string(),
+                format!("{:.2}", sol.size as f64 / lb as f64),
+            ]);
+        }
+    }
+    table.print("E6: unweighted 3-ECSS rounds and sizes (Theorem 1.3)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let graph = workloads::unweighted_instance(Topology::Random, 128, 3, 0xE6);
+    c.bench_function("e6/three_ecss_n128", |b| {
+        b.iter(|| {
+            let mut rng = workloads::rng(6);
+            three_ecss::solve(&graph, &mut rng).unwrap().size
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

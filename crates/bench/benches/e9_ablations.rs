@@ -1,0 +1,138 @@
+//! E9 — ablations of the design choices called out in DESIGN.md:
+//!
+//! * **Fragment-size target** (Section 3.2): the decomposition's `⌈√n⌉`
+//!   target balances the number of segments (which drives the skeleton-level
+//!   broadcasts) against the segment diameter (which drives the pipelined
+//!   scans). Sweeping the target shows the per-iteration TAP round cost is
+//!   minimized near `√n`, which is exactly the paper's choice.
+//! * **Base tree for weighted 2-ECSS**: augmenting an MST (the paper's
+//!   choice) versus augmenting a BFS tree. The BFS tree has depth `O(D)` but
+//!   is weight-oblivious, so the resulting 2-ECSS is more expensive.
+//! * **Weighted vs unweighted 3-ECSS** (Section 5.4): the weighted variant
+//!   pays `h_MST`-deep iterations but exploits weights; the unweighted one is
+//!   `O(D)`-deep but weight-oblivious.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphs::{mst, RootedTree};
+use kecss::decomposition::Decomposition;
+use kecss::{tap, three_ecss, two_ecss};
+use kecss_bench::table::Table;
+use kecss_bench::workloads::{self, Topology};
+use std::time::Duration;
+
+fn print_fragment_target_sweep() {
+    let n = 1024usize;
+    let graph = workloads::weighted_instance(Topology::RingOfCliques, n, 2, 50, 0xE9);
+    let tree_edges = mst::kruskal(&graph);
+    let tree = RootedTree::new(&graph, &tree_edges, 0);
+    let d = workloads::report_diameter(&graph);
+    let model = congest::CostModel::new(graph.n(), d);
+    let sqrt_n = (graph.n() as f64).sqrt().ceil() as usize;
+
+    let mut table = Table::new([
+        "fragment target",
+        "segments",
+        "max seg diam",
+        "per-iteration rounds",
+        "vs target = sqrt n",
+    ]);
+    let reference = {
+        let dec = Decomposition::build_with_target(&graph, &tree, sqrt_n);
+        tap::iteration_rounds(
+            &model,
+            dec.num_segments() as u64,
+            dec.max_segment_diameter(&graph, &tree) as u64,
+        )
+    };
+    for target in [4usize, 8, 16, sqrt_n, 2 * sqrt_n, 4 * sqrt_n, n / 2] {
+        let dec = Decomposition::build_with_target(&graph, &tree, target);
+        dec.assert_invariants(&graph, &tree);
+        let per_iter = tap::iteration_rounds(
+            &model,
+            dec.num_segments() as u64,
+            dec.max_segment_diameter(&graph, &tree) as u64,
+        );
+        table.push([
+            if target == sqrt_n { format!("{target} (= sqrt n)") } else { target.to_string() },
+            dec.num_segments().to_string(),
+            dec.max_segment_diameter(&graph, &tree).to_string(),
+            per_iter.to_string(),
+            format!("{:.2}x", per_iter as f64 / reference as f64),
+        ]);
+    }
+    table.print("E9a: fragment-size target vs per-iteration TAP round cost (n = 1024, ring of cliques)");
+}
+
+fn print_base_tree_ablation() {
+    let mut table = Table::new(["n", "MST+TAP weight", "BFS+TAP weight", "BFS/MST", "MST depth", "BFS depth"]);
+    for n in [64usize, 128, 256] {
+        let graph = workloads::weighted_instance(Topology::Random, n, 2, 100, 0xE9_10 + n as u64);
+        let mut rng = workloads::rng(0xE9_20 + n as u64);
+        let mst_based = two_ecss::solve(&graph, &mut rng).expect("2-edge-connected instance");
+        // BFS-tree base: same TAP machinery, weight-oblivious tree.
+        let bfs_tree = graphs::bfs::bfs(&graph, 0).tree_edges(&graph);
+        let tap_on_bfs = tap::solve(&graph, &bfs_tree, &mut rng).expect("2-edge-connected instance");
+        let bfs_weight = graph.weight_of(&bfs_tree) + tap_on_bfs.weight;
+        let mst_depth = RootedTree::new(&graph, &mst::kruskal(&graph), 0).height();
+        let bfs_depth = RootedTree::new(&graph, &bfs_tree, 0).height();
+        table.push([
+            n.to_string(),
+            mst_based.weight.to_string(),
+            bfs_weight.to_string(),
+            format!("{:.2}", bfs_weight as f64 / mst_based.weight as f64),
+            mst_depth.to_string(),
+            bfs_depth.to_string(),
+        ]);
+    }
+    table.print("E9b: weighted 2-ECSS quality — MST base (paper) vs BFS-tree base");
+}
+
+fn print_weighted_three_ecss_ablation() {
+    let mut table = Table::new([
+        "n",
+        "weighted 3-ECSS cost",
+        "unweighted 3-ECSS cost",
+        "cost ratio",
+        "weighted rounds",
+        "unweighted rounds",
+    ]);
+    for n in [24usize, 48, 96] {
+        let graph = workloads::adversarial_weighted_instance(n, 3, 0xE9_30 + n as u64);
+        if !graphs::connectivity::is_k_edge_connected(&graph, 3) {
+            continue;
+        }
+        let mut rng = workloads::rng(0xE9_40 + n as u64);
+        let weighted = three_ecss::solve_weighted(&graph, &mut rng).expect("3-edge-connected instance");
+        let unweighted = three_ecss::solve(&graph, &mut rng).expect("3-edge-connected instance");
+        table.push([
+            n.to_string(),
+            weighted.weight.to_string(),
+            unweighted.weight.to_string(),
+            format!("{:.2}", unweighted.weight as f64 / weighted.weight.max(1) as f64),
+            weighted.ledger.total().to_string(),
+            unweighted.ledger.total().to_string(),
+        ]);
+    }
+    table.print("E9c: weighted (Sec. 5.4) vs unweighted (Thm 1.3) 3-ECSS on skewed weights");
+}
+
+fn bench(c: &mut Criterion) {
+    print_fragment_target_sweep();
+    print_base_tree_ablation();
+    print_weighted_three_ecss_ablation();
+    let graph = workloads::weighted_instance(Topology::Random, 128, 2, 100, 0xE9);
+    let tree = mst::kruskal(&graph);
+    c.bench_function("e9/tap_on_mst_n128", |b| {
+        b.iter(|| {
+            let mut rng = workloads::rng(9);
+            tap::solve(&graph, &tree, &mut rng).unwrap().weight
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

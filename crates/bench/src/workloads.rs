@@ -1,0 +1,164 @@
+//! Instance families used by the experiments.
+//!
+//! The paper has no benchmark suite of its own, so the workloads are chosen to
+//! stress the two parameters its round complexities depend on — the vertex
+//! count `n` and the hop diameter `D` — independently:
+//!
+//! * [`Topology::Random`] — random k-edge-connected graphs with small
+//!   diameter (the "well-connected data-centre" regime);
+//! * [`Topology::RingOfCliques`] — high-diameter backbones, the regime where
+//!   `O((D + √n) log² n)` separates from the `O(h_MST + √n)` baseline of [1];
+//! * [`Topology::Torus`] — bounded-degree, `D = Θ(√n)` instances.
+
+use graphs::{generators, Graph, Weight};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The instance families used across the experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Random k-edge-connected graph (Harary base + random extra edges):
+    /// small diameter.
+    Random,
+    /// Ring of cliques: diameter `Θ(n / clique)`, 2-edge-connected or better.
+    RingOfCliques,
+    /// Torus grid: 4-edge-connected, diameter `Θ(√n)`.
+    Torus,
+}
+
+impl Topology {
+    /// A short label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Topology::Random => "random",
+            Topology::RingOfCliques => "ring-of-cliques",
+            Topology::Torus => "torus",
+        }
+    }
+}
+
+/// A weighted k-edge-connected instance of roughly `n` vertices (the torus
+/// and ring families round `n` to their natural grid sizes).
+///
+/// Weights are uniform in `1..=max_weight`; `seed` makes instances
+/// reproducible across benchmark runs.
+pub fn weighted_instance(
+    topology: Topology,
+    n: usize,
+    k: usize,
+    max_weight: Weight,
+    seed: u64,
+) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut graph = match topology {
+        Topology::Random => generators::random_k_edge_connected(n, k, 2 * n, &mut rng),
+        Topology::RingOfCliques => {
+            let clique = (k + 2).max(4);
+            let cliques = (n / clique).max(3);
+            generators::ring_of_cliques(cliques, clique, k.max(2), 1)
+        }
+        Topology::Torus => {
+            let side = (n as f64).sqrt().round().max(3.0) as usize;
+            generators::torus(side, side, 1)
+        }
+    };
+    if max_weight > 1 {
+        generators::randomize_weights(&mut graph, max_weight, &mut rng);
+    }
+    graph
+}
+
+/// An unweighted k-edge-connected instance (unit weights).
+pub fn unweighted_instance(topology: Topology, n: usize, k: usize, seed: u64) -> Graph {
+    weighted_instance(topology, n, k, 1, seed)
+}
+
+/// A weighted instance on which the unweighted sparse-certificate baseline is
+/// provably poor: a cheap k-edge-connected "core" (weight 1 edges) hidden
+/// among expensive decoy edges with *smaller edge ids*, so a weight-oblivious
+/// forest-growing baseline keeps picking expensive edges.
+pub fn adversarial_weighted_instance(n: usize, k: usize, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Expensive decoys first (small edge ids): a random connected sparse graph.
+    let decoys = generators::random_connected(n, 2.0 / n as f64, &mut rng);
+    let mut g = Graph::new(n);
+    for (_, e) in decoys.edges() {
+        g.add_edge(e.u, e.v, 1_000);
+    }
+    // The cheap core: a relabelled Harary graph with weight 1. Edges that
+    // coincide with a decoy are added as (cheap) parallel edges so the core is
+    // always fully present and feasible on its own.
+    let core = generators::random_k_edge_connected(n, k, 0, &mut rng);
+    for (_, e) in core.edges() {
+        g.add_edge(e.u, e.v, 1);
+    }
+    g
+}
+
+/// The exact hop diameter for small graphs, or the 2-approximation for larger
+/// ones (keeps report generation cheap).
+pub fn report_diameter(graph: &Graph) -> usize {
+    if graph.n() <= 512 {
+        graphs::bfs::diameter(graph).unwrap_or(graph.n())
+    } else {
+        graphs::bfs::approx_diameter(graph).unwrap_or(graph.n())
+    }
+}
+
+/// Deterministic per-experiment RNG.
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Draws a fresh sub-seed (convenience for sweeps that need one seed per
+/// configuration).
+pub fn subseed<R: Rng>(rng: &mut R) -> u64 {
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::connectivity;
+
+    #[test]
+    fn weighted_instances_meet_their_connectivity_promise() {
+        for topology in [Topology::Random, Topology::RingOfCliques, Topology::Torus] {
+            let g = weighted_instance(topology, 48, 2, 20, 1);
+            assert!(
+                connectivity::is_k_edge_connected(&g, 2),
+                "{} instance must be 2-edge-connected",
+                topology.label()
+            );
+        }
+    }
+
+    #[test]
+    fn random_instances_support_higher_k() {
+        let g = weighted_instance(Topology::Random, 32, 4, 10, 2);
+        assert!(connectivity::is_k_edge_connected(&g, 4));
+    }
+
+    #[test]
+    fn ring_instances_have_large_diameter() {
+        let g = unweighted_instance(Topology::RingOfCliques, 96, 2, 3);
+        let d = report_diameter(&g);
+        assert!(d >= 6, "ring of cliques should be high-diameter, got {d}");
+    }
+
+    #[test]
+    fn adversarial_instance_is_k_connected_and_has_cheap_core() {
+        let g = adversarial_weighted_instance(24, 2, 4);
+        assert!(connectivity::is_k_edge_connected(&g, 2));
+        let cheap: usize = g.edges().filter(|(_, e)| e.weight == 1).count();
+        assert!(cheap >= 24, "the cheap core must be present");
+    }
+
+    #[test]
+    fn instances_are_reproducible() {
+        let a = weighted_instance(Topology::Random, 40, 3, 50, 7);
+        let b = weighted_instance(Topology::Random, 40, 3, 50, 7);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,306 @@
+//! Hand-rolled argument parsing (no external dependency needed for a handful
+//! of flags).
+
+use crate::CliError;
+
+/// The instance families the generator supports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Random k-edge-connected graph (Harary base + random extras).
+    Random,
+    /// Ring of cliques (high diameter).
+    RingOfCliques,
+    /// Torus grid.
+    Torus,
+    /// Harary graph (minimum k-edge-connected graph).
+    Harary,
+}
+
+impl Family {
+    fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "random" => Ok(Family::Random),
+            "ring" | "ring-of-cliques" => Ok(Family::RingOfCliques),
+            "torus" => Ok(Family::Torus),
+            "harary" => Ok(Family::Harary),
+            other => Err(CliError::Usage(format!(
+                "unknown family '{other}' (expected random, ring, torus or harary)"
+            ))),
+        }
+    }
+}
+
+/// The algorithms `solve` can run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Weighted 2-ECSS (Theorem 1.1).
+    TwoEcss,
+    /// Weighted k-ECSS (Theorem 1.2); uses `--k`.
+    KEcss,
+    /// Unweighted 3-ECSS (Theorem 1.3).
+    ThreeEcss,
+    /// Weighted 3-ECSS (Section 5.4 remark).
+    ThreeEcssWeighted,
+    /// Sequential greedy k-ECSS baseline.
+    Greedy,
+    /// Thurimella sparse-certificate baseline (unweighted 2-approximation).
+    Thurimella,
+    /// Minimum spanning tree only (no fault tolerance; for comparison).
+    MstOnly,
+}
+
+impl Algorithm {
+    fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "2ecss" => Ok(Algorithm::TwoEcss),
+            "kecss" => Ok(Algorithm::KEcss),
+            "3ecss" => Ok(Algorithm::ThreeEcss),
+            "3ecss-weighted" => Ok(Algorithm::ThreeEcssWeighted),
+            "greedy" => Ok(Algorithm::Greedy),
+            "thurimella" => Ok(Algorithm::Thurimella),
+            "mst" => Ok(Algorithm::MstOnly),
+            other => Err(CliError::Usage(format!(
+                "unknown algorithm '{other}' (expected 2ecss, kecss, 3ecss, 3ecss-weighted, greedy, thurimella or mst)"
+            ))),
+        }
+    }
+}
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Print usage information.
+    Help,
+    /// Generate an instance and write it to a file.
+    Generate {
+        /// Instance family.
+        family: Family,
+        /// Number of vertices (approximate for grid-like families).
+        n: usize,
+        /// Required edge connectivity of the instance.
+        k: usize,
+        /// Maximum edge weight (1 = unweighted).
+        max_weight: u64,
+        /// RNG seed.
+        seed: u64,
+        /// Output path.
+        output: String,
+    },
+    /// Solve an instance file with one of the algorithms.
+    Solve {
+        /// Path to the instance file.
+        input: String,
+        /// Which algorithm to run.
+        algorithm: Algorithm,
+        /// Connectivity target (used by `kecss`, `greedy`, `thurimella`).
+        k: usize,
+        /// RNG seed for the randomized algorithms.
+        seed: u64,
+        /// Optional path to write the selected edge list to.
+        output: Option<String>,
+    },
+    /// Verify that a solution file is a k-edge-connected spanning subgraph of
+    /// an instance file.
+    Verify {
+        /// Path to the instance file.
+        input: String,
+        /// Path to the solution (edge list) file.
+        solution: String,
+        /// Connectivity to verify.
+        k: usize,
+    },
+}
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] when the command or its flags are malformed.
+pub fn parse(argv: &[String]) -> Result<Command, CliError> {
+    let mut it = argv.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    let rest: Vec<&String> = it.collect();
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => parse_generate(&rest),
+        "solve" => parse_solve(&rest),
+        "verify" => parse_verify(&rest),
+        other => Err(CliError::Usage(format!("unknown command '{other}'; try 'kecss help'"))),
+    }
+}
+
+/// The usage text printed by `kecss help`.
+pub const USAGE: &str = "\
+kecss — distributed approximation of minimum k-edge-connected spanning subgraphs
+
+USAGE:
+    kecss generate --family <random|ring|torus|harary> --n <N> [--k <K>] [--max-weight <W>] [--seed <S>] --output <FILE>
+    kecss solve    --input <FILE> --algorithm <2ecss|kecss|3ecss|3ecss-weighted|greedy|thurimella|mst> [--k <K>] [--seed <S>] [--output <FILE>]
+    kecss verify   --input <FILE> --solution <FILE> --k <K>
+    kecss help
+
+The instance file format is plain text: the first non-comment line is the
+number of vertices, every following line is 'u v weight'. Lines starting with
+'#' are ignored.
+";
+
+fn flag_map<'a>(rest: &[&'a String]) -> Result<std::collections::HashMap<&'a str, &'a str>, CliError> {
+    let mut map = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i].as_str();
+        if !key.starts_with("--") {
+            return Err(CliError::Usage(format!("expected a --flag, found '{key}'")));
+        }
+        let Some(value) = rest.get(i + 1) else {
+            return Err(CliError::Usage(format!("flag '{key}' is missing a value")));
+        };
+        map.insert(key.trim_start_matches("--"), value.as_str());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn required<'a>(
+    map: &std::collections::HashMap<&'a str, &'a str>,
+    key: &str,
+) -> Result<&'a str, CliError> {
+    map.get(key).copied().ok_or_else(|| CliError::Usage(format!("missing required flag --{key}")))
+}
+
+fn parse_number<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, CliError> {
+    value
+        .parse()
+        .map_err(|_| CliError::Usage(format!("flag --{key} expects a number, got '{value}'")))
+}
+
+fn parse_generate(rest: &[&String]) -> Result<Command, CliError> {
+    let map = flag_map(rest)?;
+    Ok(Command::Generate {
+        family: Family::parse(required(&map, "family")?)?,
+        n: parse_number("n", required(&map, "n")?)?,
+        k: map.get("k").map(|v| parse_number("k", v)).transpose()?.unwrap_or(2),
+        max_weight: map.get("max-weight").map(|v| parse_number("max-weight", v)).transpose()?.unwrap_or(1),
+        seed: map.get("seed").map(|v| parse_number("seed", v)).transpose()?.unwrap_or(1),
+        output: required(&map, "output")?.to_string(),
+    })
+}
+
+fn parse_solve(rest: &[&String]) -> Result<Command, CliError> {
+    let map = flag_map(rest)?;
+    Ok(Command::Solve {
+        input: required(&map, "input")?.to_string(),
+        algorithm: Algorithm::parse(required(&map, "algorithm")?)?,
+        k: map.get("k").map(|v| parse_number("k", v)).transpose()?.unwrap_or(2),
+        seed: map.get("seed").map(|v| parse_number("seed", v)).transpose()?.unwrap_or(1),
+        output: map.get("output").map(|s| s.to_string()),
+    })
+}
+
+fn parse_verify(rest: &[&String]) -> Result<Command, CliError> {
+    let map = flag_map(rest)?;
+    Ok(Command::Verify {
+        input: required(&map, "input")?.to_string(),
+        solution: required(&map, "solution")?.to_string(),
+        k: parse_number("k", required(&map, "k")?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_and_help_map_to_help() {
+        assert_eq!(parse(&argv(&[])).unwrap(), Command::Help);
+        assert_eq!(parse(&argv(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&argv(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn generate_with_defaults() {
+        let cmd = parse(&argv(&[
+            "generate", "--family", "random", "--n", "64", "--output", "g.graph",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                family: Family::Random,
+                n: 64,
+                k: 2,
+                max_weight: 1,
+                seed: 1,
+                output: "g.graph".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn generate_with_all_flags() {
+        let cmd = parse(&argv(&[
+            "generate", "--family", "ring", "--n", "120", "--k", "3", "--max-weight", "50",
+            "--seed", "9", "--output", "x.graph",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Generate { family, n, k, max_weight, seed, .. } => {
+                assert_eq!(family, Family::RingOfCliques);
+                assert_eq!((n, k, max_weight, seed), (120, 3, 50, 9));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solve_parses_algorithms() {
+        for (name, expected) in [
+            ("2ecss", Algorithm::TwoEcss),
+            ("kecss", Algorithm::KEcss),
+            ("3ecss", Algorithm::ThreeEcss),
+            ("3ecss-weighted", Algorithm::ThreeEcssWeighted),
+            ("greedy", Algorithm::Greedy),
+            ("thurimella", Algorithm::Thurimella),
+            ("mst", Algorithm::MstOnly),
+        ] {
+            let cmd = parse(&argv(&["solve", "--input", "g.graph", "--algorithm", name])).unwrap();
+            match cmd {
+                Command::Solve { algorithm, k, .. } => {
+                    assert_eq!(algorithm, expected);
+                    assert_eq!(k, 2);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn verify_requires_all_flags() {
+        let err = parse(&argv(&["verify", "--input", "g.graph"])).unwrap_err();
+        assert!(err.to_string().contains("--solution") || err.to_string().contains("missing"));
+        let ok = parse(&argv(&[
+            "verify", "--input", "g.graph", "--solution", "s.edges", "--k", "3",
+        ]))
+        .unwrap();
+        assert_eq!(
+            ok,
+            Command::Verify { input: "g.graph".into(), solution: "s.edges".into(), k: 3 }
+        );
+    }
+
+    #[test]
+    fn malformed_flags_are_usage_errors() {
+        assert!(parse(&argv(&["generate", "oops"])).is_err());
+        assert!(parse(&argv(&["generate", "--n"])).is_err());
+        assert!(parse(&argv(&["generate", "--family", "nope", "--n", "8", "--output", "x"])).is_err());
+        assert!(parse(&argv(&["solve", "--input", "g", "--algorithm", "magic"])).is_err());
+        assert!(parse(&argv(&["solve", "--input", "g", "--algorithm", "2ecss", "--k", "abc"])).is_err());
+        assert!(parse(&argv(&["nonsense"])).is_err());
+    }
+}

@@ -1,0 +1,293 @@
+//! Execution of the parsed CLI commands.
+
+use crate::args::{Algorithm, Command, Family};
+use crate::graph_io;
+use crate::CliError;
+use graphs::{connectivity, generators, mst, EdgeSet, Graph};
+use kecss::baselines::{greedy, thurimella};
+use kecss::{kecss as kecss_alg, lower_bounds, three_ecss, two_ecss};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::io::Write;
+use std::path::Path;
+
+/// Executes a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for I/O, format, usage or solver failures.
+pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            writeln!(out, "{}", crate::args::USAGE)?;
+            Ok(())
+        }
+        Command::Generate { family, n, k, max_weight, seed, output } => {
+            let graph = generate(family, n, k, max_weight, seed)?;
+            graph_io::write_graph(Path::new(&output), &graph)?;
+            writeln!(
+                out,
+                "wrote {}: n = {}, m = {}, edge connectivity >= {}, total weight {}",
+                output,
+                graph.n(),
+                graph.m(),
+                k,
+                graph.total_weight()
+            )?;
+            Ok(())
+        }
+        Command::Solve { input, algorithm, k, seed, output } => {
+            let graph = graph_io::read_graph(Path::new(&input))?;
+            let (edges, rounds, label) = solve(&graph, algorithm, k, seed)?;
+            report(out, &graph, &edges, rounds, label, k_for(algorithm, k))?;
+            if let Some(path) = output {
+                graph_io::write_solution(Path::new(&path), &graph, &edges)?;
+                writeln!(out, "solution written to {path}")?;
+            }
+            Ok(())
+        }
+        Command::Verify { input, solution, k } => {
+            let graph = graph_io::read_graph(Path::new(&input))?;
+            let edges = graph_io::read_solution(Path::new(&solution), &graph)?;
+            let ok = connectivity::is_k_edge_connected_in(&graph, &edges, k);
+            writeln!(
+                out,
+                "{}: {} edges, weight {}, {}",
+                solution,
+                edges.len(),
+                graph.weight_of(&edges),
+                if ok { format!("VALID {k}-edge-connected spanning subgraph") } else { format!("NOT {k}-edge-connected") }
+            )?;
+            if !ok {
+                return Err(CliError::Format(format!(
+                    "'{solution}' is not a {k}-edge-connected spanning subgraph of '{input}'"
+                )));
+            }
+            Ok(())
+        }
+    }
+}
+
+fn k_for(algorithm: Algorithm, k: usize) -> usize {
+    match algorithm {
+        Algorithm::TwoEcss => 2,
+        Algorithm::ThreeEcss | Algorithm::ThreeEcssWeighted => 3,
+        Algorithm::MstOnly => 1,
+        Algorithm::KEcss | Algorithm::Greedy | Algorithm::Thurimella => k,
+    }
+}
+
+fn generate(family: Family, n: usize, k: usize, max_weight: u64, seed: u64) -> Result<Graph, CliError> {
+    if n < 3 {
+        return Err(CliError::Usage("instances need at least 3 vertices".into()));
+    }
+    if k == 0 {
+        return Err(CliError::Usage("--k must be at least 1".into()));
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut graph = match family {
+        Family::Random => generators::random_k_edge_connected(n, k, 2 * n, &mut rng),
+        Family::RingOfCliques => {
+            let clique = (k + 2).max(4);
+            generators::ring_of_cliques((n / clique).max(3), clique, k.max(2), 1)
+        }
+        Family::Torus => {
+            let side = ((n as f64).sqrt().round() as usize).max(3);
+            generators::torus(side, side, 1)
+        }
+        Family::Harary => generators::harary(k, n, 1),
+    };
+    if max_weight > 1 {
+        generators::randomize_weights(&mut graph, max_weight, &mut rng);
+    }
+    Ok(graph)
+}
+
+/// Runs the chosen algorithm; returns the edge set, the charged CONGEST rounds
+/// (`None` for purely sequential baselines) and a display label.
+fn solve(
+    graph: &Graph,
+    algorithm: Algorithm,
+    k: usize,
+    seed: u64,
+) -> Result<(EdgeSet, Option<u64>, &'static str), CliError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Ok(match algorithm {
+        Algorithm::TwoEcss => {
+            let sol = two_ecss::solve(graph, &mut rng)?;
+            (sol.subgraph, Some(sol.ledger.total()), "weighted 2-ECSS (Theorem 1.1)")
+        }
+        Algorithm::KEcss => {
+            let sol = kecss_alg::solve(graph, k, &mut rng)?;
+            (sol.subgraph, Some(sol.ledger.total()), "weighted k-ECSS (Theorem 1.2)")
+        }
+        Algorithm::ThreeEcss => {
+            let sol = three_ecss::solve(graph, &mut rng)?;
+            (sol.subgraph, Some(sol.ledger.total()), "unweighted 3-ECSS (Theorem 1.3)")
+        }
+        Algorithm::ThreeEcssWeighted => {
+            let sol = three_ecss::solve_weighted(graph, &mut rng)?;
+            (sol.subgraph, Some(sol.ledger.total()), "weighted 3-ECSS (Section 5.4)")
+        }
+        Algorithm::Greedy => {
+            let sol = greedy::k_ecss(graph, k);
+            (sol.edges, None, "sequential greedy k-ECSS")
+        }
+        Algorithm::Thurimella => {
+            let sol = thurimella::sparse_certificate(graph, k);
+            (sol.edges, Some(sol.ledger.total()), "Thurimella sparse certificate [36]")
+        }
+        Algorithm::MstOnly => (mst::kruskal(graph), None, "minimum spanning tree"),
+    })
+}
+
+fn report<W: Write>(
+    out: &mut W,
+    graph: &Graph,
+    edges: &EdgeSet,
+    rounds: Option<u64>,
+    label: &str,
+    k: usize,
+) -> Result<(), CliError> {
+    let weight = graph.weight_of(edges);
+    writeln!(out, "algorithm : {label}")?;
+    writeln!(out, "instance  : n = {}, m = {}, total weight {}", graph.n(), graph.m(), graph.total_weight())?;
+    writeln!(out, "solution  : {} edges, weight {}", edges.len(), weight)?;
+    if k >= 1 {
+        let feasible = connectivity::is_k_edge_connected_in(graph, edges, k);
+        writeln!(out, "certified : {}", if feasible { format!("{k}-edge-connected ✓") } else { format!("NOT {k}-edge-connected ✗") })?;
+        if graph.n() >= 2 && graph.neighbors(0).len() >= k {
+            let lb = lower_bounds::k_ecss_lower_bound(graph, k.max(1));
+            if lb > 0 {
+                writeln!(out, "ratio     : {:.3} vs the degree/MST lower bound {lb}", weight as f64 / lb as f64)?;
+            }
+        }
+    }
+    if let Some(r) = rounds {
+        writeln!(out, "rounds    : {r} CONGEST rounds charged")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("kecss-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn run(cmd: Command) -> String {
+        let mut out = Vec::new();
+        execute(cmd, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn generate_solve_verify_round_trip() {
+        let instance = tmp("roundtrip.graph");
+        let solution = tmp("roundtrip.edges");
+        let text = run(Command::Generate {
+            family: Family::Random,
+            n: 24,
+            k: 2,
+            max_weight: 30,
+            seed: 5,
+            output: instance.clone(),
+        });
+        assert!(text.contains("n = 24"));
+
+        let text = run(Command::Solve {
+            input: instance.clone(),
+            algorithm: Algorithm::TwoEcss,
+            k: 2,
+            seed: 1,
+            output: Some(solution.clone()),
+        });
+        assert!(text.contains("2-edge-connected ✓"));
+        assert!(text.contains("rounds"));
+
+        let text = run(Command::Verify { input: instance, solution, k: 2 });
+        assert!(text.contains("VALID"));
+    }
+
+    #[test]
+    fn verify_rejects_an_mst_as_two_ecss() {
+        let instance = tmp("mst.graph");
+        let solution = tmp("mst.edges");
+        run(Command::Generate {
+            family: Family::Harary,
+            n: 16,
+            k: 2,
+            max_weight: 1,
+            seed: 2,
+            output: instance.clone(),
+        });
+        run(Command::Solve {
+            input: instance.clone(),
+            algorithm: Algorithm::MstOnly,
+            k: 1,
+            seed: 1,
+            output: Some(solution.clone()),
+        });
+        let mut out = Vec::new();
+        let err = execute(Command::Verify { input: instance, solution, k: 2 }, &mut out);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn all_algorithms_run_on_a_three_connected_instance() {
+        let instance = tmp("all.graph");
+        run(Command::Generate {
+            family: Family::Random,
+            n: 18,
+            k: 3,
+            max_weight: 10,
+            seed: 3,
+            output: instance.clone(),
+        });
+        for algorithm in [
+            Algorithm::TwoEcss,
+            Algorithm::KEcss,
+            Algorithm::ThreeEcss,
+            Algorithm::ThreeEcssWeighted,
+            Algorithm::Greedy,
+            Algorithm::Thurimella,
+            Algorithm::MstOnly,
+        ] {
+            let text = run(Command::Solve {
+                input: instance.clone(),
+                algorithm,
+                k: 3,
+                seed: 4,
+                output: None,
+            });
+            assert!(text.contains("solution"), "{algorithm:?} produced no report");
+        }
+    }
+
+    #[test]
+    fn generate_rejects_tiny_instances() {
+        let mut out = Vec::new();
+        let err = execute(
+            Command::Generate {
+                family: Family::Random,
+                n: 2,
+                k: 2,
+                max_weight: 1,
+                seed: 1,
+                output: tmp("tiny.graph"),
+            },
+            &mut out,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run(Command::Help);
+        assert!(text.contains("USAGE"));
+    }
+}

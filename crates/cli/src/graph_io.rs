@@ -1,0 +1,215 @@
+//! Plain-text instance and solution files.
+//!
+//! Instance format (`.graph`): comment lines start with `#`; the first data
+//! line is the number of vertices; every further data line is `u v weight`.
+//! Solution format (`.edges`): one `u v weight` line per selected edge
+//! (weights are informational; edges are matched to the instance by
+//! endpoints, cheapest unused edge first).
+
+use crate::CliError;
+use graphs::{EdgeSet, Graph};
+use std::path::Path;
+
+/// Serializes a graph to the plain-text instance format.
+pub fn to_text(graph: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str("# kecss instance: first line = n, then one 'u v weight' per edge\n");
+    out.push_str(&format!("{}\n", graph.n()));
+    for (_, e) in graph.edges() {
+        out.push_str(&format!("{} {} {}\n", e.u, e.v, e.weight));
+    }
+    out
+}
+
+/// Parses a graph from the plain-text instance format.
+///
+/// # Errors
+///
+/// Returns [`CliError::Format`] on malformed content.
+pub fn from_text(text: &str) -> Result<Graph, CliError> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let n: usize = lines
+        .next()
+        .ok_or_else(|| CliError::Format("empty instance file".into()))?
+        .parse()
+        .map_err(|_| CliError::Format("the first data line must be the vertex count".into()))?;
+    let mut graph = Graph::new(n);
+    for (idx, line) in lines.enumerate() {
+        let mut parts = line.split_whitespace();
+        let parse = |part: Option<&str>, what: &str| -> Result<u64, CliError> {
+            part.ok_or_else(|| CliError::Format(format!("edge line {idx}: missing {what}")))?
+                .parse()
+                .map_err(|_| CliError::Format(format!("edge line {idx}: malformed {what}")))
+        };
+        let u = parse(parts.next(), "endpoint u")? as usize;
+        let v = parse(parts.next(), "endpoint v")? as usize;
+        let w = parse(parts.next(), "weight")?;
+        if u >= n || v >= n || u == v {
+            return Err(CliError::Format(format!("edge line {idx}: invalid endpoints {u} {v}")));
+        }
+        graph.add_edge(u, v, w);
+    }
+    Ok(graph)
+}
+
+/// Writes a graph to a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_graph(path: &Path, graph: &Graph) -> Result<(), CliError> {
+    std::fs::write(path, to_text(graph))?;
+    Ok(())
+}
+
+/// Reads a graph from a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors and format errors.
+pub fn read_graph(path: &Path) -> Result<Graph, CliError> {
+    from_text(&std::fs::read_to_string(path)?)
+}
+
+/// Serializes a solution (edge subset of `graph`) as an edge list.
+pub fn solution_to_text(graph: &Graph, edges: &EdgeSet) -> String {
+    let mut out = String::new();
+    out.push_str("# kecss solution: one 'u v weight' line per selected edge\n");
+    for id in edges.iter() {
+        let e = graph.edge(id);
+        out.push_str(&format!("{} {} {}\n", e.u, e.v, e.weight));
+    }
+    out
+}
+
+/// Writes a solution edge list to a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_solution(path: &Path, graph: &Graph, edges: &EdgeSet) -> Result<(), CliError> {
+    std::fs::write(path, solution_to_text(graph, edges))?;
+    Ok(())
+}
+
+/// Parses a solution edge list back into an [`EdgeSet`] of `graph`.
+///
+/// Each `u v weight` line claims one edge between `u` and `v`; parallel edges
+/// are matched greedily (cheapest unused edge between the endpoints first).
+///
+/// # Errors
+///
+/// Returns [`CliError::Format`] if a line references an edge the instance does
+/// not have.
+pub fn solution_from_text(graph: &Graph, text: &str) -> Result<EdgeSet, CliError> {
+    let mut set = graph.empty_edge_set();
+    for (idx, line) in text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .enumerate()
+    {
+        let mut parts = line.split_whitespace();
+        let u: usize = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| CliError::Format(format!("solution line {idx}: malformed endpoint")))?;
+        let v: usize = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| CliError::Format(format!("solution line {idx}: malformed endpoint")))?;
+        if u >= graph.n() || v >= graph.n() {
+            return Err(CliError::Format(format!("solution line {idx}: endpoint out of range")));
+        }
+        let mut candidates: Vec<graphs::EdgeId> = graph
+            .neighbors(u)
+            .iter()
+            .filter(|(nbr, id)| *nbr == v && !set.contains(*id))
+            .map(|&(_, id)| id)
+            .collect();
+        candidates.sort_by_key(|&id| (graph.weight(id), id));
+        let Some(&id) = candidates.first() else {
+            return Err(CliError::Format(format!(
+                "solution line {idx}: the instance has no unused edge between {u} and {v}"
+            )));
+        };
+        set.insert(id);
+    }
+    Ok(set)
+}
+
+/// Reads a solution edge list from a file.
+///
+/// # Errors
+///
+/// Propagates I/O and format errors.
+pub fn read_solution(path: &Path, graph: &Graph) -> Result<EdgeSet, CliError> {
+    solution_from_text(graph, &std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators;
+
+    #[test]
+    fn graph_round_trips_through_text() {
+        let g = generators::random_weighted_k_edge_connected(
+            12,
+            2,
+            8,
+            30,
+            &mut rand_chacha::ChaCha8Rng::seed_from_u64(1),
+        );
+        let text = to_text(&g);
+        let parsed = from_text(&text).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\n4\n# an edge\n0 1 5\n2 3 7\n";
+        let g = from_text(text).unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.total_weight(), 12);
+    }
+
+    #[test]
+    fn malformed_instances_are_rejected() {
+        assert!(from_text("").is_err());
+        assert!(from_text("three\n").is_err());
+        assert!(from_text("3\n0 1\n").is_err());
+        assert!(from_text("3\n0 9 1\n").is_err());
+        assert!(from_text("3\n1 1 1\n").is_err());
+    }
+
+    #[test]
+    fn solution_round_trips_including_parallel_edges() {
+        let mut g = Graph::new(3);
+        let a = g.add_edge(0, 1, 5);
+        let b = g.add_edge(0, 1, 2);
+        let c = g.add_edge(1, 2, 3);
+        let mut set = g.empty_edge_set();
+        set.insert(a);
+        set.insert(b);
+        set.insert(c);
+        let text = solution_to_text(&g, &set);
+        let parsed = solution_from_text(&g, &text).unwrap();
+        assert_eq!(parsed, set);
+    }
+
+    #[test]
+    fn solutions_with_unknown_edges_are_rejected() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1);
+        assert!(solution_from_text(&g, "1 2 1\n").is_err());
+        assert!(solution_from_text(&g, "0 7 1\n").is_err());
+        assert!(solution_from_text(&g, "0 1 1\n0 1 1\n").is_err());
+    }
+
+    use rand::SeedableRng;
+}

@@ -1,0 +1,96 @@
+//! Library backing the `kecss` command-line tool.
+//!
+//! The binary is a thin wrapper around [`run`]; everything else lives here so
+//! that argument parsing, instance I/O and command execution are unit-tested.
+//!
+//! Supported commands (see `kecss help`):
+//!
+//! * `generate` — write a synthetic k-edge-connected instance to a `.graph`
+//!   file (simple text format, one edge per line).
+//! * `solve` — read an instance, run one of the paper's algorithms
+//!   (`2ecss`, `kecss`, `3ecss`, `3ecss-weighted`, or the baselines), print
+//!   the solution summary and optionally write the chosen edges.
+//! * `verify` — check a solution file for k-edge-connectivity against its
+//!   instance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod graph_io;
+
+use std::fmt;
+
+/// Errors surfaced to the command-line user.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line could not be parsed.
+    Usage(String),
+    /// An input file could not be read or parsed.
+    Io(std::io::Error),
+    /// An instance or solution file was malformed.
+    Format(String),
+    /// The solver rejected the instance.
+    Solver(kecss::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Format(msg) => write!(f, "format error: {msg}"),
+            CliError::Solver(e) => write!(f, "solver error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(value: std::io::Error) -> Self {
+        CliError::Io(value)
+    }
+}
+
+impl From<kecss::Error> for CliError {
+    fn from(value: kecss::Error) -> Self {
+        CliError::Solver(value)
+    }
+}
+
+/// Parses the arguments and runs the corresponding command, writing its
+/// report to `out`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing what went wrong; the binary prints it and
+/// exits non-zero.
+pub fn run<W: std::io::Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
+    let command = args::parse(argv)?;
+    commands::execute(command, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_help_succeeds() {
+        let mut out = Vec::new();
+        run(&["help".to_string()], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("generate"));
+        assert!(text.contains("solve"));
+        assert!(text.contains("verify"));
+    }
+
+    #[test]
+    fn run_unknown_command_is_a_usage_error() {
+        let mut out = Vec::new();
+        let err = run(&["frobnicate".to_string()], &mut out).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert!(err.to_string().contains("usage"));
+    }
+}

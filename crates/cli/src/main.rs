@@ -1,0 +1,12 @@
+//! The `kecss` command-line tool. See `kecss help` or the crate documentation
+//! of `kecss_cli` for the supported commands.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    if let Err(err) = kecss_cli::run(&argv, &mut stdout) {
+        eprintln!("error: {err}");
+        eprintln!("run 'kecss help' for usage");
+        std::process::exit(1);
+    }
+}

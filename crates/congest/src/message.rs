@@ -1,0 +1,126 @@
+//! Messages exchanged over edges in the CONGEST model.
+
+use std::fmt;
+
+/// A single CONGEST message: a short sequence of machine words.
+///
+/// In the CONGEST model a message carries `O(log n)` bits per round per edge.
+/// A machine word (`u64`) comfortably holds a vertex id, an edge id, a weight
+/// polynomial in `n`, or a random label of `O(log n)` bits, so the simulator
+/// measures message size in *words* and the [`crate::Network`] enforces a
+/// configurable per-message word budget (default
+/// [`Message::DEFAULT_WORD_BUDGET`]).
+///
+/// # Example
+///
+/// ```
+/// use congest::Message;
+///
+/// let m = Message::new([7, 42]);
+/// assert_eq!(m.words(), &[7, 42]);
+/// assert_eq!(m.len(), 2);
+/// assert_eq!(m.word(1), Some(42));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Message {
+    words: Vec<u64>,
+}
+
+impl Message {
+    /// The default number of `u64` words a single message may carry.
+    ///
+    /// Three words correspond to "a constant number of ids/weights", the
+    /// budget every message of the paper's algorithms fits in (e.g. an edge
+    /// identified by its two endpoints plus one value).
+    pub const DEFAULT_WORD_BUDGET: usize = 3;
+
+    /// Creates a message from its words.
+    pub fn new<I>(words: I) -> Self
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        Message { words: words.into_iter().collect() }
+    }
+
+    /// An empty message (a pure "pulse"); still counts as one message.
+    pub fn empty() -> Self {
+        Message { words: Vec::new() }
+    }
+
+    /// The words of the message.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the message carries no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The `i`-th word, if present.
+    pub fn word(&self, i: usize) -> Option<u64> {
+        self.words.get(i).copied()
+    }
+}
+
+impl fmt::Debug for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Message{:?}", self.words)
+    }
+}
+
+impl From<u64> for Message {
+    fn from(value: u64) -> Self {
+        Message::new([value])
+    }
+}
+
+impl From<Vec<u64>> for Message {
+    fn from(words: Vec<u64>) -> Self {
+        Message { words }
+    }
+}
+
+/// A message received by a node, tagged with the sender.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Incoming {
+    /// The vertex id of the sender (a neighbor in the communication graph).
+    pub from: graphs::NodeId,
+    /// The message payload.
+    pub message: Message,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = Message::new([1, 2, 3]);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.word(0), Some(1));
+        assert_eq!(m.word(3), None);
+        let e = Message::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Message = 9u64.into();
+        assert_eq!(a.words(), &[9]);
+        let b: Message = vec![4, 5].into();
+        assert_eq!(b.words(), &[4, 5]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Message::empty()).is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-node programs and their execution context.
+
+use crate::message::{Incoming, Message};
+use graphs::{EdgeId, NodeId, Weight};
+
+/// Static, local knowledge a vertex has in the CONGEST model: its own id, the
+/// number of vertices, and the ids / edge ids / weights of its incident edges.
+///
+/// This is exactly the initial knowledge the paper grants each vertex
+/// (Section 1.3): "Initially all the vertices know the ids of their neighbors
+/// and the weights of the edges adjacent to them".
+#[derive(Clone, Debug)]
+pub struct NodeContext {
+    /// This vertex's id.
+    pub id: NodeId,
+    /// Number of vertices in the network (the paper assumes `n` is known; it
+    /// can be learned in `O(D)` rounds otherwise).
+    pub n: usize,
+    /// Incident edges as `(neighbor, edge id, weight)` triples.
+    pub neighbors: Vec<(NodeId, EdgeId, Weight)>,
+}
+
+impl NodeContext {
+    /// Degree of this vertex.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The edge id and weight of the edge towards `neighbor`, if adjacent.
+    pub fn edge_to(&self, neighbor: NodeId) -> Option<(EdgeId, Weight)> {
+        self.neighbors
+            .iter()
+            .find(|(v, _, _)| *v == neighbor)
+            .map(|&(_, e, w)| (e, w))
+    }
+}
+
+/// A message queued for sending to a specific neighbor at the end of a round.
+#[derive(Clone, Debug)]
+pub struct Outgoing {
+    /// The neighbor to deliver to (must be adjacent; enforced by the network).
+    pub to: NodeId,
+    /// The payload.
+    pub message: Message,
+}
+
+impl Outgoing {
+    /// Convenience constructor.
+    pub fn new(to: NodeId, message: Message) -> Self {
+        Outgoing { to, message }
+    }
+}
+
+/// What a node did in one round.
+#[derive(Clone, Debug, Default)]
+pub struct StepResult {
+    /// Messages to deliver at the beginning of the next round.
+    pub outgoing: Vec<Outgoing>,
+    /// Whether this node has terminated. A terminated node is no longer
+    /// stepped, and the run finishes when every node has terminated.
+    pub done: bool,
+}
+
+impl StepResult {
+    /// A step that sends nothing and keeps running.
+    pub fn idle() -> Self {
+        StepResult { outgoing: Vec::new(), done: false }
+    }
+
+    /// A step that sends nothing and terminates the node.
+    pub fn halt() -> Self {
+        StepResult { outgoing: Vec::new(), done: true }
+    }
+
+    /// A step that sends the given messages and keeps running.
+    pub fn send(outgoing: Vec<Outgoing>) -> Self {
+        StepResult { outgoing, done: false }
+    }
+
+    /// A step that sends the given messages and terminates the node.
+    pub fn send_and_halt(outgoing: Vec<Outgoing>) -> Self {
+        StepResult { outgoing, done: true }
+    }
+}
+
+/// A per-node program executed by the [`crate::Network`].
+///
+/// One instance of the program exists per vertex. In every round the network
+/// delivers the messages sent to this vertex in the previous round and calls
+/// [`NodeProgram::step`]; the program performs arbitrary local computation
+/// (free in the CONGEST model) and returns the messages to send.
+pub trait NodeProgram {
+    /// Called once before round 1 with no inbox; typically used by initiator
+    /// vertices (e.g. the BFS root) to send their first messages.
+    fn init(&mut self, ctx: &NodeContext) -> StepResult {
+        let _ = ctx;
+        StepResult::idle()
+    }
+
+    /// Called once per round with the messages received at the start of the
+    /// round.
+    fn step(&mut self, ctx: &NodeContext, round: u64, inbox: &[Incoming]) -> StepResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_context_edge_lookup() {
+        let ctx = NodeContext {
+            id: 0,
+            n: 3,
+            neighbors: vec![(1, EdgeId(0), 5), (2, EdgeId(1), 7)],
+        };
+        assert_eq!(ctx.degree(), 2);
+        assert_eq!(ctx.edge_to(2), Some((EdgeId(1), 7)));
+        assert_eq!(ctx.edge_to(0), None);
+    }
+
+    #[test]
+    fn step_result_constructors() {
+        assert!(!StepResult::idle().done);
+        assert!(StepResult::halt().done);
+        let s = StepResult::send(vec![Outgoing::new(1, Message::empty())]);
+        assert_eq!(s.outgoing.len(), 1);
+        assert!(!s.done);
+        let s = StepResult::send_and_halt(vec![Outgoing::new(1, Message::empty())]);
+        assert!(s.done);
+    }
+}

@@ -1,0 +1,172 @@
+//! Distributed BFS-tree construction (the `O(D)`-round preliminary of
+//! Section 1.3 of the paper).
+
+use crate::message::{Incoming, Message};
+use crate::node::{NodeContext, NodeProgram, Outgoing, StepResult};
+use crate::network::Outcome;
+use graphs::{Graph, NodeId};
+
+/// Per-node program that builds a BFS tree rooted at a globally known vertex.
+///
+/// Every vertex learns its BFS parent and hop distance from the root. The
+/// construction takes `ecc(root) + O(1)` rounds: the root floods a wave, and
+/// every vertex joins the tree the first time the wave reaches it.
+///
+/// # Example
+///
+/// ```
+/// use graphs::generators;
+/// use congest::{Network, programs::bfs::DistributedBfs};
+///
+/// let g = generators::path(5, 1);
+/// let mut net = Network::new(&g);
+/// let outcome = net.run(DistributedBfs::programs(&g, 0), 50).unwrap();
+/// let (parents, dists) = DistributedBfs::extract(&outcome);
+/// assert_eq!(dists, vec![0, 1, 2, 3, 4]);
+/// assert_eq!(parents[4], Some(3));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DistributedBfs {
+    root: NodeId,
+    /// Distance from the root once joined.
+    dist: Option<u64>,
+    /// BFS parent once joined (`None` for the root).
+    parent: Option<NodeId>,
+}
+
+impl DistributedBfs {
+    /// Creates the program vector for a graph: one program per vertex, all
+    /// knowing the root's id (the paper elects the minimum-id vertex; any
+    /// globally known rule works).
+    pub fn programs(graph: &Graph, root: NodeId) -> Vec<Self> {
+        assert!(root < graph.n(), "root out of range");
+        (0..graph.n())
+            .map(|_| DistributedBfs { root, dist: None, parent: None })
+            .collect()
+    }
+
+    /// The BFS parent of this vertex (`None` for the root or if unreached).
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// The BFS distance of this vertex, if reached.
+    pub fn dist(&self) -> Option<u64> {
+        self.dist
+    }
+
+    /// Convenience: collects `(parents, distances)` from a finished run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some vertex was never reached (the graph was disconnected).
+    pub fn extract(outcome: &Outcome<Self>) -> (Vec<Option<NodeId>>, Vec<u64>) {
+        let parents = outcome.nodes.iter().map(|p| p.parent).collect();
+        let dists = outcome
+            .nodes
+            .iter()
+            .map(|p| p.dist.expect("BFS did not reach every vertex; is the graph connected?"))
+            .collect();
+        (parents, dists)
+    }
+
+    fn join_and_forward(&mut self, ctx: &NodeContext, dist: u64, parent: Option<NodeId>) -> StepResult {
+        self.dist = Some(dist);
+        self.parent = parent;
+        let out = ctx
+            .neighbors
+            .iter()
+            .filter(|&&(v, _, _)| Some(v) != parent)
+            .map(|&(v, _, _)| Outgoing::new(v, Message::new([dist + 1])))
+            .collect();
+        StepResult::send_and_halt(out)
+    }
+}
+
+impl NodeProgram for DistributedBfs {
+    fn init(&mut self, ctx: &NodeContext) -> StepResult {
+        if ctx.id == self.root {
+            self.join_and_forward(ctx, 0, None)
+        } else {
+            StepResult::idle()
+        }
+    }
+
+    fn step(&mut self, ctx: &NodeContext, _round: u64, inbox: &[Incoming]) -> StepResult {
+        if self.dist.is_some() {
+            // Already joined; ignore late wavefront duplicates.
+            return StepResult::halt();
+        }
+        // Join via the smallest-id sender among this round's offers (all offers
+        // in the same round carry the same distance because the wave is
+        // synchronous).
+        let Some(best) = inbox.iter().min_by_key(|m| m.from) else {
+            return StepResult::idle();
+        };
+        let dist = best.message.word(0).expect("BFS offer carries a distance");
+        self.join_and_forward(ctx, dist, Some(best.from))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use graphs::{bfs as seq_bfs, generators};
+
+    #[test]
+    fn bfs_on_path_matches_sequential() {
+        let g = generators::path(7, 1);
+        let mut net = Network::new(&g);
+        let outcome = net.run(DistributedBfs::programs(&g, 0), 100).unwrap();
+        let (_, dists) = DistributedBfs::extract(&outcome);
+        let reference = seq_bfs::bfs(&g, 0);
+        for v in 0..g.n() {
+            assert_eq!(dists[v] as usize, reference.dist[v]);
+        }
+        // Construction takes ecc(root) + O(1) rounds.
+        assert!(outcome.report.rounds as usize <= reference.eccentricity() + 2);
+    }
+
+    #[test]
+    fn bfs_rounds_scale_with_diameter_not_n() {
+        // A 4x25 torus-like grid: n = 100 but diameter ~ 14.
+        let g = generators::grid(4, 25, 1);
+        let d = seq_bfs::diameter(&g).unwrap();
+        let mut net = Network::new(&g);
+        let outcome = net.run(DistributedBfs::programs(&g, 0), 10_000).unwrap();
+        assert!(outcome.report.rounds as usize <= d + 2);
+    }
+
+    #[test]
+    fn bfs_parents_form_a_tree() {
+        let g = generators::torus(4, 4, 1);
+        let mut net = Network::new(&g);
+        let outcome = net.run(DistributedBfs::programs(&g, 3), 100).unwrap();
+        let (parents, dists) = DistributedBfs::extract(&outcome);
+        assert_eq!(parents.iter().filter(|p| p.is_none()).count(), 1);
+        for v in 0..g.n() {
+            if let Some(p) = parents[v] {
+                assert_eq!(dists[v], dists[p] + 1, "parent of {v} must be one level up");
+            } else {
+                assert_eq!(v, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_agree_for_every_root_on_random_graph() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let g = generators::random_k_edge_connected(24, 2, 20, &mut rng);
+        for root in [0, 5, 23] {
+            let mut net = Network::new(&g);
+            let outcome = net.run(DistributedBfs::programs(&g, root), 1000).unwrap();
+            let (_, dists) = DistributedBfs::extract(&outcome);
+            let reference = seq_bfs::bfs(&g, root);
+            for v in 0..g.n() {
+                assert_eq!(dists[v] as usize, reference.dist[v]);
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Distributed sampling of a random b-bit circulation
+//! (Pritchard–Thurimella cycle-space sampling, Lemma 5.5 of the paper).
+//!
+//! Given a spanning tree `T` of a subgraph `H`, every non-tree edge of `H`
+//! draws an independent random `b`-bit label, and every tree edge receives the
+//! XOR of the labels of the non-tree edges whose fundamental cycle contains
+//! it. The paper computes these labels in `O(depth(T))` rounds with a single
+//! leaf-to-root scan; this module is the genuine message-passing version:
+//!
+//! * **round 1** — for each non-tree edge of `H`, the endpoint with the
+//!   smaller id draws the label and sends it across the edge;
+//! * **rounds 2…depth+2** — every vertex, once it has heard from all its tree
+//!   children, sends to its parent the XOR of (a) the labels of its incident
+//!   non-tree edges and (b) the values received from its children. That value
+//!   is exactly the label of its parent tree edge.
+//!
+//! The per-edge labels let any pair of vertices decide "is `{e, f}` a cut
+//! pair?" locally (Property 5.1), which is the primitive behind the
+//! unweighted 3-ECSS algorithm of Section 5.
+
+use crate::message::{Incoming, Message};
+use crate::node::{NodeContext, NodeProgram, Outgoing, StepResult};
+use crate::network::Outcome;
+use graphs::{EdgeId, EdgeSet, Graph, NodeId, RootedTree};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Per-node program computing the circulation labels of its incident edges.
+#[derive(Clone, Debug)]
+pub struct CirculationLabeling {
+    /// Tree parent (`None` for the root).
+    parent: Option<NodeId>,
+    /// Number of tree children still to hear from.
+    pending_children: usize,
+    /// Tree children.
+    children: Vec<NodeId>,
+    /// Non-tree H-edges incident to this vertex: `(edge, other endpoint,
+    /// label if already known)`. The endpoint with the smaller vertex id owns
+    /// the label and sends it in round 1.
+    non_tree: Vec<(EdgeId, NodeId, Option<u64>)>,
+    /// The label of the tree edge towards the parent, once computed.
+    parent_edge: Option<EdgeId>,
+    parent_label: Option<u64>,
+    /// Accumulated XOR (incident non-tree labels + children contributions).
+    acc: u64,
+    sent_up: bool,
+    label_mask: u64,
+    seed: u64,
+}
+
+impl CirculationLabeling {
+    /// Builds the program vector for sampling a `bits`-bit circulation of the
+    /// subgraph `h` of `graph`, over the rooted spanning tree `tree` of `h`.
+    ///
+    /// `master_seed` derives each vertex's private randomness, so runs are
+    /// reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 64, or if `tree` does not span
+    /// the graph.
+    pub fn programs(
+        graph: &Graph,
+        h: &EdgeSet,
+        tree: &RootedTree,
+        bits: u32,
+        master_seed: u64,
+    ) -> Vec<Self> {
+        assert!(bits >= 1 && bits <= 64, "label width must be between 1 and 64 bits");
+        assert_eq!(tree.len(), graph.n(), "the tree must span the graph");
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let tree_edges = tree.edge_set(graph);
+        (0..graph.n())
+            .map(|v| {
+                let non_tree = graph
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&(_, e, )| h.contains(e) && !tree_edges.contains(e))
+                    .map(|&(u, e)| (e, u, None))
+                    .collect();
+                CirculationLabeling {
+                    parent: tree.parent(v),
+                    pending_children: tree.children(v).len(),
+                    children: tree.children(v).to_vec(),
+                    non_tree,
+                    parent_edge: tree.parent_edge(v),
+                    parent_label: None,
+                    acc: 0,
+                    sent_up: false,
+                    label_mask: mask,
+                    seed: master_seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                }
+            })
+            .collect()
+    }
+
+    /// The label of the tree edge towards this vertex's parent (`None` for the
+    /// root), available after the run.
+    pub fn parent_edge_label(&self) -> Option<(EdgeId, u64)> {
+        match (self.parent_edge, self.parent_label) {
+            (Some(e), Some(l)) => Some((e, l)),
+            _ => None,
+        }
+    }
+
+    /// The labels of the incident non-tree edges known to this vertex after
+    /// the run.
+    pub fn non_tree_labels(&self) -> Vec<(EdgeId, u64)> {
+        self.non_tree.iter().filter_map(|&(e, _, l)| l.map(|l| (e, l))).collect()
+    }
+
+    /// Collects the full labelling (one label per edge of `H`) from a finished
+    /// run.
+    pub fn collect_labels(outcome: &Outcome<Self>, graph: &Graph) -> Vec<Option<u64>> {
+        let mut labels = vec![None; graph.m()];
+        for node in &outcome.nodes {
+            if let Some((e, l)) = node.parent_edge_label() {
+                labels[e.index()] = Some(l);
+            }
+            for (e, l) in node.non_tree_labels() {
+                labels[e.index()] = Some(l);
+            }
+        }
+        labels
+    }
+
+    fn try_send_up(&mut self, ctx: &NodeContext) -> StepResult {
+        let all_non_tree_known = self.non_tree.iter().all(|(_, _, l)| l.is_some());
+        if self.pending_children > 0 || !all_non_tree_known || self.sent_up {
+            return if self.sent_up { StepResult::halt() } else { StepResult::idle() };
+        }
+        self.sent_up = true;
+        let _ = ctx;
+        match self.parent {
+            Some(p) => {
+                self.parent_label = Some(self.acc & self.label_mask);
+                StepResult::send_and_halt(vec![Outgoing::new(p, Message::new([self.acc]))])
+            }
+            None => StepResult::halt(),
+        }
+    }
+}
+
+impl NodeProgram for CirculationLabeling {
+    fn init(&mut self, ctx: &NodeContext) -> StepResult {
+        // Round 1: the smaller endpoint of each non-tree edge draws the label
+        // and sends it across.
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut out = Vec::new();
+        for entry in &mut self.non_tree {
+            let (edge, other, label_slot) = (entry.0, entry.1, &mut entry.2);
+            if ctx.id < other {
+                let label = rng.gen::<u64>() & self.label_mask;
+                *label_slot = Some(label);
+                self.acc ^= label;
+                out.push(Outgoing::new(other, Message::new([edge.index() as u64, label])));
+            }
+        }
+        // Leaves with no non-tree edges could already report, but the network
+        // delivers round-1 messages first; defer the upward send to `step`.
+        StepResult::send(out)
+    }
+
+    fn step(&mut self, ctx: &NodeContext, _round: u64, inbox: &[Incoming]) -> StepResult {
+        for m in inbox {
+            if m.message.len() == 2 {
+                // A non-tree label from the owning endpoint.
+                let edge = EdgeId(m.message.word(0).expect("edge id") as usize);
+                let label = m.message.word(1).expect("label");
+                if let Some(entry) = self.non_tree.iter_mut().find(|(e, _, _)| *e == edge) {
+                    entry.2 = Some(label);
+                    self.acc ^= label;
+                }
+            } else if m.message.len() == 1 && self.children.contains(&m.from) {
+                // A child's subtree XOR.
+                self.acc ^= m.message.word(0).expect("subtree xor");
+                self.pending_children -= 1;
+            }
+        }
+        self.try_send_up(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use graphs::{connectivity, generators};
+
+    fn run_labelling(graph: &Graph, h: &EdgeSet, seed: u64) -> (Vec<Option<u64>>, u64) {
+        let bfs = graphs::bfs::bfs_in(graph, h, 0);
+        let tree = RootedTree::new(graph, &bfs.tree_edges(graph), 0);
+        let mut net = Network::new(graph);
+        let programs = CirculationLabeling::programs(graph, h, &tree, 64, seed);
+        let outcome = net.run(programs, 10_000).expect("labelling terminates");
+        (CirculationLabeling::collect_labels(&outcome, graph), outcome.report.rounds)
+    }
+
+    #[test]
+    fn every_h_edge_gets_a_label() {
+        let g = generators::cycle(8, 1);
+        let h = g.full_edge_set();
+        let (labels, _) = run_labelling(&g, &h, 1);
+        for id in h.iter() {
+            assert!(labels[id.index()].is_some(), "edge {id:?} has no label");
+        }
+    }
+
+    #[test]
+    fn labels_classify_cut_pairs_exactly() {
+        use rand::SeedableRng as _;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let g = generators::random_k_edge_connected(14, 2, 6, &mut rng);
+        let h = g.full_edge_set();
+        let (labels, _) = run_labelling(&g, &h, 7);
+        let ids: Vec<EdgeId> = h.iter().collect();
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                let same = labels[ids[i].index()] == labels[ids[j].index()];
+                let cut = !connectivity::is_connected_after_removal(&g, &h, &[ids[i], ids[j]]);
+                assert_eq!(same, cut, "pair ({:?}, {:?})", ids[i], ids[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_are_bounded_by_tree_depth() {
+        let g = generators::cycle(30, 1);
+        let h = g.full_edge_set();
+        let bfs = graphs::bfs::bfs_in(&g, &h, 0);
+        let tree = RootedTree::new(&g, &bfs.tree_edges(&g), 0);
+        let mut net = Network::new(&g);
+        let programs = CirculationLabeling::programs(&g, &h, &tree, 64, 3);
+        let outcome = net.run(programs, 10_000).unwrap();
+        assert!(
+            outcome.report.rounds <= tree.height() as u64 + 3,
+            "labelling must finish within ~depth rounds (got {} for depth {})",
+            outcome.report.rounds,
+            tree.height()
+        );
+        assert!(outcome.report.max_message_words <= 2);
+    }
+
+    #[test]
+    fn three_edge_connected_graph_has_all_distinct_labels() {
+        let g = generators::complete(7, 1);
+        let h = g.full_edge_set();
+        let (labels, _) = run_labelling(&g, &h, 11);
+        let mut seen = std::collections::HashSet::new();
+        for id in h.iter() {
+            assert!(seen.insert(labels[id.index()].unwrap()), "unexpected label collision in K7");
+        }
+    }
+
+    #[test]
+    fn narrow_labels_respect_the_width() {
+        let g = generators::cycle(6, 1);
+        let h = g.full_edge_set();
+        let bfs = graphs::bfs::bfs_in(&g, &h, 0);
+        let tree = RootedTree::new(&g, &bfs.tree_edges(&g), 0);
+        let mut net = Network::new(&g);
+        let programs = CirculationLabeling::programs(&g, &h, &tree, 4, 9);
+        let outcome = net.run(programs, 1000).unwrap();
+        let labels = CirculationLabeling::collect_labels(&outcome, &g);
+        for id in h.iter() {
+            assert!(labels[id.index()].unwrap() < 16);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Collective operations over a rooted spanning tree: pipelined broadcast and
+//! convergecast.
+//!
+//! These are the workhorses behind Claims 3.1/3.2 of the paper: distributing
+//! `ℓ` distinct `O(log n)`-bit items from the root of a BFS tree to every
+//! vertex takes `O(D + ℓ)` rounds with pipelining, and aggregating a value
+//! towards the root takes `O(D)` rounds. The implementations here are genuine
+//! message-passing programs; the accounting model charges the same costs.
+
+use crate::message::{Incoming, Message};
+use crate::node::{NodeContext, NodeProgram, Outgoing, StepResult};
+use crate::network::Outcome;
+use graphs::{EdgeSet, Graph, NodeId, RootedTree};
+
+/// Tree structure local to one vertex: its parent and children in a rooted
+/// spanning tree, as supplied to the collective programs.
+#[derive(Clone, Debug)]
+pub struct LocalTree {
+    /// Parent in the tree, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Children in the tree.
+    pub children: Vec<NodeId>,
+}
+
+/// Builds per-vertex [`LocalTree`] descriptions from a [`RootedTree`].
+pub fn local_trees(tree: &RootedTree, n: usize) -> Vec<LocalTree> {
+    (0..n)
+        .map(|v| LocalTree {
+            parent: tree.parent(v),
+            children: tree.children(v).to_vec(),
+        })
+        .collect()
+}
+
+/// Pipelined broadcast: the root holds `ℓ` items and every vertex must learn
+/// all of them. Takes `depth + ℓ + O(1)` rounds.
+///
+/// # Example
+///
+/// ```
+/// use graphs::{generators, mst, RootedTree};
+/// use congest::{Network, programs::collective::{PipelinedBroadcast, local_trees}};
+///
+/// let g = generators::cycle(6, 1);
+/// let t = RootedTree::new(&g, &mst::kruskal(&g), 0);
+/// let mut net = Network::new(&g);
+/// let programs = PipelinedBroadcast::programs(&local_trees(&t, g.n()), vec![10, 20, 30]);
+/// let outcome = net.run(programs, 100).unwrap();
+/// assert!(outcome.nodes.iter().all(|p| p.received() == &[10, 20, 30]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PipelinedBroadcast {
+    tree: LocalTree,
+    /// Items still to forward to children (in order).
+    to_forward: std::collections::VecDeque<u64>,
+    /// All items received (or originated, at the root), in order.
+    received: Vec<u64>,
+    /// Total number of items expected.
+    expected: usize,
+    forwarded: usize,
+}
+
+impl PipelinedBroadcast {
+    /// Creates the program vector. `items` are the values held by the root;
+    /// every vertex is told how many items to expect (the count itself can be
+    /// broadcast in `O(D)` rounds beforehand).
+    pub fn programs(trees: &[LocalTree], items: Vec<u64>) -> Vec<Self> {
+        let expected = items.len();
+        trees
+            .iter()
+            .map(|t| {
+                let is_root = t.parent.is_none();
+                PipelinedBroadcast {
+                    tree: t.clone(),
+                    to_forward: if is_root { items.iter().copied().collect() } else { Default::default() },
+                    received: if is_root { items.clone() } else { Vec::new() },
+                    expected,
+                    forwarded: 0,
+                }
+            })
+            .collect()
+    }
+
+    /// The items this vertex has received, in pipeline order.
+    pub fn received(&self) -> &[u64] {
+        &self.received
+    }
+
+    fn pump(&mut self) -> StepResult {
+        let mut out = Vec::new();
+        if let Some(item) = self.to_forward.pop_front() {
+            for &c in &self.tree.children {
+                out.push(Outgoing::new(c, Message::new([item])));
+            }
+            self.forwarded += 1;
+        }
+        let all_received = self.received.len() == self.expected;
+        let all_forwarded = self.forwarded == self.expected || self.tree.children.is_empty();
+        if all_received && all_forwarded && self.to_forward.is_empty() {
+            StepResult::send_and_halt(out)
+        } else {
+            StepResult::send(out)
+        }
+    }
+}
+
+impl NodeProgram for PipelinedBroadcast {
+    fn init(&mut self, _ctx: &NodeContext) -> StepResult {
+        self.pump()
+    }
+
+    fn step(&mut self, _ctx: &NodeContext, _round: u64, inbox: &[Incoming]) -> StepResult {
+        for m in inbox {
+            if Some(m.from) == self.tree.parent {
+                if let Some(item) = m.message.word(0) {
+                    self.received.push(item);
+                    self.to_forward.push_back(item);
+                }
+            }
+        }
+        self.pump()
+    }
+}
+
+/// Convergecast of a sum towards the root: every vertex holds a value, and at
+/// the end the root knows the sum over all vertices. Takes `height + O(1)`
+/// rounds.
+#[derive(Clone, Debug)]
+pub struct SumConvergecast {
+    tree: LocalTree,
+    pending_children: usize,
+    /// The total at the root after the run (partial sums elsewhere).
+    total: u64,
+    sent: bool,
+}
+
+impl SumConvergecast {
+    /// Creates the program vector from per-vertex tree structure and values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trees` and `values` have different lengths.
+    pub fn programs(trees: &[LocalTree], values: &[u64]) -> Vec<Self> {
+        assert_eq!(trees.len(), values.len(), "one value per vertex required");
+        trees
+            .iter()
+            .zip(values)
+            .map(|(t, &value)| SumConvergecast {
+                tree: t.clone(),
+                pending_children: t.children.len(),
+                total: value,
+                sent: false,
+            })
+            .collect()
+    }
+
+    /// The aggregated total known to this vertex (meaningful at the root).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Extracts the root's total from a finished run.
+    pub fn root_total(outcome: &Outcome<Self>) -> u64 {
+        outcome
+            .nodes
+            .iter()
+            .find(|p| p.tree.parent.is_none())
+            .map(|p| p.total)
+            .expect("a rooted tree has a root")
+    }
+
+    fn try_send_up(&mut self) -> StepResult {
+        if self.pending_children == 0 && !self.sent {
+            self.sent = true;
+            match self.tree.parent {
+                Some(p) => {
+                    StepResult::send_and_halt(vec![Outgoing::new(p, Message::new([self.total]))])
+                }
+                None => StepResult::halt(),
+            }
+        } else if self.sent {
+            StepResult::halt()
+        } else {
+            StepResult::idle()
+        }
+    }
+}
+
+impl NodeProgram for SumConvergecast {
+    fn init(&mut self, _ctx: &NodeContext) -> StepResult {
+        self.try_send_up()
+    }
+
+    fn step(&mut self, _ctx: &NodeContext, _round: u64, inbox: &[Incoming]) -> StepResult {
+        for m in inbox {
+            if self.tree.children.contains(&m.from) {
+                self.total += m.message.word(0).unwrap_or(0);
+                self.pending_children -= 1;
+            }
+        }
+        self.try_send_up()
+    }
+}
+
+/// Constructs a rooted spanning tree of `graph` (restricted to `edges`) for
+/// use with the collective programs, rooted at `root`.
+pub fn spanning_tree_for(graph: &Graph, edges: &EdgeSet, root: NodeId) -> RootedTree {
+    let bfs = graphs::bfs::bfs_in(graph, edges, root);
+    RootedTree::new(graph, &bfs.tree_edges(graph), root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use graphs::{generators, mst};
+
+    fn tree_of(g: &Graph) -> RootedTree {
+        RootedTree::new(g, &mst::kruskal(g), 0)
+    }
+
+    #[test]
+    fn broadcast_delivers_all_items_in_order() {
+        let g = generators::path(6, 1);
+        let t = tree_of(&g);
+        let items = vec![5, 6, 7, 8];
+        let mut net = Network::new(&g);
+        let programs = PipelinedBroadcast::programs(&local_trees(&t, g.n()), items.clone());
+        let outcome = net.run(programs, 200).unwrap();
+        for p in &outcome.nodes {
+            assert_eq!(p.received(), items.as_slice());
+        }
+    }
+
+    #[test]
+    fn broadcast_round_complexity_is_depth_plus_items() {
+        let g = generators::path(20, 1);
+        let t = tree_of(&g);
+        let depth = t.height() as u64;
+        let items: Vec<u64> = (0..15).collect();
+        let mut net = Network::new(&g);
+        let programs = PipelinedBroadcast::programs(&local_trees(&t, g.n()), items.clone());
+        let outcome = net.run(programs, 1000).unwrap();
+        let rounds = outcome.report.rounds;
+        assert!(
+            rounds >= depth && rounds <= depth + items.len() as u64 + 3,
+            "pipelined broadcast should take ~depth + items rounds, got {rounds} (depth {depth})"
+        );
+    }
+
+    #[test]
+    fn broadcast_of_empty_item_list_terminates() {
+        let g = generators::cycle(5, 1);
+        let t = tree_of(&g);
+        let mut net = Network::new(&g);
+        let programs = PipelinedBroadcast::programs(&local_trees(&t, g.n()), vec![]);
+        let outcome = net.run(programs, 50).unwrap();
+        assert!(outcome.nodes.iter().all(|p| p.received().is_empty()));
+    }
+
+    #[test]
+    fn convergecast_sums_all_values() {
+        let g = generators::grid(4, 5, 1);
+        let t = tree_of(&g);
+        let values: Vec<u64> = (0..g.n() as u64).collect();
+        let expected: u64 = values.iter().sum();
+        let mut net = Network::new(&g);
+        let programs = SumConvergecast::programs(&local_trees(&t, g.n()), &values);
+        let outcome = net.run(programs, 200).unwrap();
+        assert_eq!(SumConvergecast::root_total(&outcome), expected);
+    }
+
+    #[test]
+    fn convergecast_round_complexity_is_tree_height() {
+        let g = generators::path(30, 1);
+        let t = tree_of(&g);
+        let values = vec![1u64; g.n()];
+        let mut net = Network::new(&g);
+        let programs = SumConvergecast::programs(&local_trees(&t, g.n()), &values);
+        let outcome = net.run(programs, 500).unwrap();
+        assert_eq!(SumConvergecast::root_total(&outcome), 30);
+        assert!(outcome.report.rounds <= t.height() as u64 + 2);
+    }
+
+    #[test]
+    fn spanning_tree_for_builds_bfs_tree() {
+        let g = generators::cycle(8, 1);
+        let t = spanning_tree_for(&g, &g.full_edge_set(), 0);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.height(), 4);
+    }
+}

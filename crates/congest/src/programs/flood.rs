@@ -1,0 +1,104 @@
+//! Leader election by flooding the maximum id.
+//!
+//! The paper's preliminaries elect the minimum-id vertex as the BFS root; this
+//! program is the standard flooding election, run for a number of rounds that
+//! upper-bounds the diameter (vertices know `n`, and `n - 1 ≥ D`).
+
+use crate::message::{Incoming, Message};
+use crate::node::{NodeContext, NodeProgram, Outgoing, StepResult};
+
+/// Per-node flooding leader election: after the run, every vertex knows the
+/// minimum vertex id in the network (the elected leader / BFS root).
+///
+/// Vertices forward improvements only, so the message complexity is `O(m·n)`
+/// worst case but far less in practice; the round complexity is exactly the
+/// round budget, `n` (a safe upper bound on the diameter), because vertices
+/// cannot detect quiescence locally.
+#[derive(Clone, Debug)]
+pub struct FloodMinElection {
+    best: u64,
+    rounds_budget: u64,
+}
+
+impl FloodMinElection {
+    /// Creates the program vector for a network of `n` vertices.
+    pub fn programs(n: usize) -> Vec<Self> {
+        (0..n)
+            .map(|v| FloodMinElection { best: v as u64, rounds_budget: n as u64 })
+            .collect()
+    }
+
+    /// The leader this vertex decided on (valid after the run terminates).
+    pub fn leader(&self) -> u64 {
+        self.best
+    }
+}
+
+impl NodeProgram for FloodMinElection {
+    fn init(&mut self, ctx: &NodeContext) -> StepResult {
+        let out = ctx
+            .neighbors
+            .iter()
+            .map(|&(v, _, _)| Outgoing::new(v, Message::new([self.best])))
+            .collect();
+        StepResult::send(out)
+    }
+
+    fn step(&mut self, ctx: &NodeContext, round: u64, inbox: &[Incoming]) -> StepResult {
+        let incoming_best = inbox
+            .iter()
+            .filter_map(|m| m.message.word(0))
+            .min()
+            .unwrap_or(self.best);
+        let improved = incoming_best < self.best;
+        if improved {
+            self.best = incoming_best;
+        }
+        let outgoing = if improved {
+            ctx.neighbors
+                .iter()
+                .map(|&(v, _, _)| Outgoing::new(v, Message::new([self.best])))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if round >= self.rounds_budget {
+            StepResult::send_and_halt(outgoing)
+        } else {
+            StepResult::send(outgoing)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use graphs::generators;
+
+    #[test]
+    fn every_vertex_elects_vertex_zero() {
+        let g = generators::cycle(9, 1);
+        let mut net = Network::new(&g);
+        let outcome = net.run(FloodMinElection::programs(g.n()), 100).unwrap();
+        assert!(outcome.nodes.iter().all(|p| p.leader() == 0));
+    }
+
+    #[test]
+    fn election_works_on_ring_of_cliques() {
+        let g = generators::ring_of_cliques(4, 3, 2, 1);
+        let mut net = Network::new(&g);
+        let outcome = net.run(FloodMinElection::programs(g.n()), 200).unwrap();
+        assert!(outcome.nodes.iter().all(|p| p.leader() == 0));
+        // Round complexity is the fixed budget n.
+        assert_eq!(outcome.report.rounds, g.n() as u64);
+    }
+
+    #[test]
+    fn messages_are_single_word() {
+        let g = generators::complete(6, 1);
+        let mut net = Network::new(&g);
+        let outcome = net.run(FloodMinElection::programs(g.n()), 100).unwrap();
+        assert_eq!(outcome.report.max_message_words, 1);
+    }
+}

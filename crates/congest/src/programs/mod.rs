@@ -1,0 +1,16 @@
+//! Genuine message-passing node programs for the standard CONGEST building
+//! blocks used by the paper: BFS-tree construction, leader election,
+//! pipelined tree broadcast / convergecast, and a Borůvka-style distributed
+//! MST.
+//!
+//! These exist for two reasons: they make the simulator a real CONGEST
+//! substrate rather than a round calculator, and they let tests cross-check
+//! the [`crate::accounting`] cost model against actually-executed round
+//! counts (e.g. BFS construction takes `Θ(D)` measured rounds, the pipelined
+//! broadcast of `ℓ` items takes `Θ(depth + ℓ)` measured rounds).
+
+pub mod bfs;
+pub mod boruvka;
+pub mod circulation;
+pub mod collective;
+pub mod flood;

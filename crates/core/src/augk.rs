@@ -1,0 +1,440 @@
+//! `Aug_k` — augmenting a `(k-1)`-edge-connected subgraph to
+//! k-edge-connectivity (Section 4 of the paper, the engine behind
+//! Theorem 1.2).
+//!
+//! The input is a k-edge-connected graph `G` and a `(k-1)`-edge-connected
+//! spanning subgraph `H`; the goal is a minimum-weight set of edges `A` such
+//! that `H ∪ A` is k-edge-connected, i.e. a set covering every cut of size
+//! `k - 1` of `H`.
+//!
+//! The distributed algorithm follows the framework of Section 2.1 with the
+//! "probability guessing" symmetry breaking of Section 4:
+//!
+//! 1. every edge outside `H ∪ A` computes its rounded cost-effectiveness
+//!    (all vertices know `H` and `A`, so this is local);
+//! 2. the edges in the maximum class are candidates;
+//! 3. each candidate becomes *active* with probability `p_i`, where `p_i`
+//!    starts at `1/2^⌈log m⌉` and doubles every `M·⌈log n⌉` iterations (and
+//!    resets whenever the maximum class drops);
+//! 4. an MST of `G` is computed under the reweighting {edges of `A` → 0,
+//!    active candidates → 1, others → 2}; the active candidates that appear
+//!    in this MST join `A` (Claims 4.1–4.3 guarantee `A` stays a forest and
+//!    every cut coverable by an active candidate gets covered);
+//! 5. repeat until every `(k-1)`-cut is covered.
+//!
+//! The approximation ratio is `O(log n)` in expectation (Lemma 4.6), and the
+//! round complexity is `O(D log³ n + n)` (Lemma 4.4): `O(log³ n)` iterations,
+//! each costing an MST plus `O(D)` aggregation plus broadcasting the
+//! `n_i ≤ n` newly added edges.
+
+use crate::cover::Rounded;
+use crate::cuts::{self, CutFamily};
+use crate::error::{Error, Result};
+use congest::{CostModel, RoundLedger};
+use graphs::{connectivity, mst, EdgeId, EdgeSet, Graph};
+use rand::Rng;
+
+/// The phase-length multiplier `M` of the probability schedule: the activation
+/// probability doubles every `M · ⌈log₂ n⌉` iterations at the same
+/// cost-effectiveness class. The paper leaves the constant unspecified;
+/// `M = 2` keeps the w.h.p. argument of Lemma 4.5 comfortable while bounding
+/// iteration counts in practice.
+pub const PHASE_MULTIPLIER: u64 = 2;
+
+/// Safety cap on iterations (`O(log³ n)` is expected; the cap flags bugs).
+const ITERATION_SAFETY_CAP: u64 = 500_000;
+
+/// The result of one `Aug_k` run.
+#[derive(Clone, Debug)]
+pub struct AugkSolution {
+    /// The edges added to the augmentation (`A`).
+    pub added: EdgeSet,
+    /// Total weight of `A`.
+    pub weight: u64,
+    /// Number of candidate/activation iterations executed.
+    pub iterations: u64,
+    /// Number of `(k-1)`-cuts of `H` that had to be covered.
+    pub cuts_covered: usize,
+    /// CONGEST rounds charged.
+    pub ledger: RoundLedger,
+}
+
+/// The geometric "probability guessing" schedule of Section 4.
+///
+/// Exposed so the unweighted 3-ECSS algorithm (Section 5) can reuse it.
+#[derive(Clone, Debug)]
+pub struct ProbabilitySchedule {
+    /// Current activation probability `p_i = 2^{-exponent}`.
+    exponent: u32,
+    start_exponent: u32,
+    iterations_in_phase: u64,
+    phase_length: u64,
+    current_class: Option<Rounded>,
+}
+
+impl ProbabilitySchedule {
+    /// Creates the schedule for a graph with `n` vertices and `m` edges.
+    pub fn new(n: usize, m: usize) -> Self {
+        let start_exponent = (usize::BITS - m.max(2).leading_zeros()) as u32;
+        let log_n = (usize::BITS - n.max(2).leading_zeros()) as u64;
+        ProbabilitySchedule {
+            exponent: start_exponent,
+            start_exponent,
+            iterations_in_phase: 0,
+            phase_length: PHASE_MULTIPLIER * log_n,
+            current_class: None,
+        }
+    }
+
+    /// The activation probability for the next iteration, given the current
+    /// maximum rounded cost-effectiveness class. Resets to the initial value
+    /// whenever the class changes, and doubles after every completed phase.
+    pub fn probability(&mut self, class: Rounded) -> f64 {
+        if self.current_class != Some(class) {
+            self.current_class = Some(class);
+            self.exponent = self.start_exponent;
+            self.iterations_in_phase = 0;
+        } else if self.iterations_in_phase >= self.phase_length && self.exponent > 0 {
+            self.exponent -= 1;
+            self.iterations_in_phase = 0;
+        }
+        self.iterations_in_phase += 1;
+        0.5f64.powi(self.exponent as i32)
+    }
+
+    /// The current activation probability without advancing the schedule.
+    pub fn current_probability(&self) -> f64 {
+        0.5f64.powi(self.exponent as i32)
+    }
+}
+
+/// Augments the `(k-1)`-edge-connected spanning subgraph `h` of `graph` to
+/// k-edge-connectivity, inferring the cost model from the graph diameter.
+///
+/// # Errors
+///
+/// * [`Error::ZeroK`] / [`Error::UnsupportedK`] for out-of-range `k`;
+/// * [`Error::InvalidSubgraph`] if `h` is not a spanning `(k-1)`-edge-connected
+///   subgraph;
+/// * [`Error::InsufficientConnectivity`] if `graph` itself is not
+///   k-edge-connected.
+pub fn augment<R: Rng>(graph: &Graph, h: &EdgeSet, k: usize, rng: &mut R) -> Result<AugkSolution> {
+    let diameter = graphs::bfs::diameter(graph).unwrap_or(graph.n());
+    augment_with_model(graph, h, k, CostModel::new(graph.n(), diameter), rng)
+}
+
+/// Same as [`augment`] with an explicit cost model.
+///
+/// # Errors
+///
+/// Same conditions as [`augment`].
+pub fn augment_with_model<R: Rng>(
+    graph: &Graph,
+    h: &EdgeSet,
+    k: usize,
+    model: CostModel,
+    rng: &mut R,
+) -> Result<AugkSolution> {
+    validate(graph, h, k)?;
+    let mut ledger = RoundLedger::new(model);
+
+    // All vertices learn the complete structure of H (|H| = O(kn) edges).
+    ledger.charge("augk/learn_h", model.broadcast(h.len() as u64));
+
+    // The cuts of size k-1 of H; with full knowledge of H every vertex can
+    // enumerate them locally (local computation is free in CONGEST).
+    let family = CutFamily::enumerate(graph, h, k - 1);
+    let mut covered = vec![false; family.len()];
+    let mut uncovered = family.len();
+
+    let candidates_pool: Vec<(EdgeId, usize, usize, u64)> = graph
+        .edges()
+        .filter(|(id, _)| !h.contains(*id))
+        .map(|(id, e)| (id, e.u, e.v, e.weight))
+        .collect();
+
+    let mut added = graph.empty_edge_set();
+    let mut schedule = ProbabilitySchedule::new(graph.n(), graph.m());
+    let mut iterations = 0u64;
+
+    // Per-candidate counts of *uncovered* cuts crossed. Maintained
+    // incrementally: when a cut becomes covered, every candidate crossing it
+    // is decremented, so the total maintenance cost over the whole run is
+    // O(#cuts · #candidates) instead of that much per iteration.
+    let mut coverage: Vec<usize> = candidates_pool
+        .iter()
+        .map(|&(_, u, v, _)| (0..family.len()).filter(|&c| family.crossed_by(c, u, v)).count())
+        .collect();
+
+    while uncovered > 0 {
+        assert!(
+            iterations < ITERATION_SAFETY_CAP,
+            "Aug_k exceeded the iteration safety cap; this indicates a bug"
+        );
+        iterations += 1;
+
+        // Lines 1-2: rounded cost-effectiveness and the maximum class.
+        let mut best_class: Option<Rounded> = None;
+        for (i, &(_, _, _, w)) in candidates_pool.iter().enumerate() {
+            if let Some(class) = Rounded::of(coverage[i], w) {
+                best_class = Some(best_class.map_or(class, |b| b.max(class)));
+            }
+        }
+        let Some(target_class) = best_class else {
+            // Some cut cannot be covered by any remaining edge: impossible for
+            // a k-edge-connected input.
+            return Err(Error::InsufficientConnectivity {
+                required: k,
+                actual: connectivity::edge_connectivity(graph),
+            });
+        };
+        ledger.charge("augk/max_cost_effectiveness", model.convergecast(1) + model.broadcast(1));
+
+        // Line 3: candidates of the maximum class become active with
+        // probability p_i.
+        let p = schedule.probability(target_class);
+        let active: Vec<usize> = candidates_pool
+            .iter()
+            .enumerate()
+            .filter(|(i, (id, _, _, w))| {
+                !added.contains(*id) && Rounded::of(coverage[*i], *w) == Some(target_class)
+            })
+            .filter(|_| rng.gen_bool(p))
+            .map(|(i, _)| i)
+            .collect();
+
+        // Line 4: MST under the reweighting {A → 0, active → 1, other → 2};
+        // active candidates appearing in the MST join A.
+        ledger.charge("augk/mst", model.mst_kutten_peleg());
+        let mut n_i = 0u64;
+        if !active.is_empty() {
+            let mut is_active = vec![false; graph.m()];
+            for &i in &active {
+                is_active[candidates_pool[i].0.index()] = true;
+            }
+            let reweighted = mst::kruskal_with(graph, &graph.full_edge_set(), |id| {
+                if added.contains(id) || h.contains(id) {
+                    // Edges of A have weight 0. Edges of H are irrelevant to
+                    // the forest-growing argument but giving them weight 0 as
+                    // well only helps connectivity; the paper keeps A ⊆ G
+                    // acyclic via the MST — we restrict additions to active
+                    // candidates anyway, so the distinction is immaterial.
+                    if added.contains(id) {
+                        0
+                    } else {
+                        2
+                    }
+                } else if is_active[id.index()] {
+                    1
+                } else {
+                    2
+                }
+            });
+            for &i in &active {
+                let (id, u, v, _) = candidates_pool[i];
+                if reweighted.contains(id) {
+                    added.insert(id);
+                    n_i += 1;
+                    for c in 0..family.len() {
+                        if !covered[c] && family.crossed_by(c, u, v) {
+                            covered[c] = true;
+                            uncovered -= 1;
+                            // Decrement every candidate that crossed this cut.
+                            for (j, &(_, cu, cv, _)) in candidates_pool.iter().enumerate() {
+                                if family.crossed_by(c, cu, cv) {
+                                    coverage[j] = coverage[j].saturating_sub(1);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Broadcasting the n_i newly added edges so every vertex keeps full
+        // knowledge of A (Lemma 4.4 charges O(D + n_i) for this).
+        ledger.charge("augk/broadcast_added", model.broadcast(n_i));
+        ledger.charge("augk/termination", model.convergecast(1));
+    }
+
+    let weight = graph.weight_of(&added);
+    Ok(AugkSolution { added, weight, iterations, cuts_covered: family.len(), ledger })
+}
+
+fn validate(graph: &Graph, h: &EdgeSet, k: usize) -> Result<()> {
+    if k == 0 {
+        return Err(Error::ZeroK);
+    }
+    if k < 2 {
+        return Err(Error::InvalidSubgraph {
+            reason: "Aug_k is defined for k >= 2; use an MST for the first level".into(),
+        });
+    }
+    if k - 1 > cuts::MAX_CUT_SIZE {
+        return Err(Error::UnsupportedK { k, max: cuts::MAX_CUT_SIZE + 1 });
+    }
+    if !connectivity::is_k_edge_connected_in(graph, h, k - 1) {
+        return Err(Error::InvalidSubgraph {
+            reason: format!("H must be ({}-edge-connected and spanning", k - 1),
+        });
+    }
+    if !connectivity::is_k_edge_connected(graph, k) {
+        return Err(Error::InsufficientConnectivity {
+            required: k,
+            actual: connectivity::edge_connectivity(graph),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines;
+    use graphs::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn augments_mst_to_two_edge_connectivity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for n in [10, 24, 48] {
+            let g = generators::random_weighted_k_edge_connected(n, 2, 2 * n, 40, &mut rng);
+            let h = mst::kruskal(&g);
+            let sol = augment(&g, &h, 2, &mut rng).unwrap();
+            let union = h.union(&sol.added);
+            assert!(connectivity::is_k_edge_connected_in(&g, &union, 2), "n = {n}");
+            assert_eq!(sol.weight, g.weight_of(&sol.added));
+        }
+    }
+
+    #[test]
+    fn augments_two_connected_subgraph_to_three() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = generators::random_k_edge_connected(14, 3, 20, &mut rng);
+        // Start from a 2-edge-connected subgraph: the sparse certificate.
+        let h = baselines::thurimella::sparse_certificate(&g, 2).edges;
+        let sol = augment(&g, &h, 3, &mut rng).unwrap();
+        let union = h.union(&sol.added);
+        assert!(connectivity::is_k_edge_connected_in(&g, &union, 3));
+    }
+
+    #[test]
+    fn augmentation_is_forest_like() {
+        // Claim 4.1: the added edge set never contains a cycle, so it has at
+        // most n - 1 edges.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = generators::random_weighted_k_edge_connected(30, 2, 60, 25, &mut rng);
+        let h = mst::kruskal(&g);
+        let sol = augment(&g, &h, 2, &mut rng).unwrap();
+        assert!(sol.added.len() <= g.n() - 1);
+        // No cycles: adding the edges one by one to a DSU never closes a loop.
+        let mut dsu = graphs::dsu::DisjointSets::new(g.n());
+        for id in sol.added.iter() {
+            let e = g.edge(id);
+            assert!(dsu.union(e.u, e.v), "added edges must form a forest");
+        }
+    }
+
+    #[test]
+    fn already_connected_subgraph_needs_no_augmentation() {
+        let g = generators::harary(2, 8, 1);
+        let h = g.full_edge_set();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let sol = augment(&g, &h, 2, &mut rng).unwrap();
+        assert!(sol.added.is_empty());
+        assert_eq!(sol.iterations, 0);
+        assert_eq!(sol.cuts_covered, 0);
+    }
+
+    #[test]
+    fn weight_is_within_logarithmic_factor_of_greedy() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut worst: f64 = 0.0;
+        for _ in 0..6 {
+            let g = generators::random_weighted_k_edge_connected(16, 2, 24, 20, &mut rng);
+            let h = mst::kruskal(&g);
+            let sol = augment(&g, &h, 2, &mut rng).unwrap();
+            let family = CutFamily::enumerate(&g, &h, 1);
+            let greedy = baselines::greedy::augment_cuts(&g, &h, &family);
+            if greedy.weight > 0 {
+                worst = worst.max(sol.weight as f64 / greedy.weight as f64);
+            }
+        }
+        assert!(worst <= 6.0, "Aug_k is {worst:.2}x the greedy cost");
+    }
+
+    #[test]
+    fn iteration_count_is_polylogarithmic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for n in [32usize, 64, 128] {
+            let g = generators::random_weighted_k_edge_connected(n, 2, 2 * n, 100, &mut rng);
+            let h = mst::kruskal(&g);
+            let sol = augment(&g, &h, 2, &mut rng).unwrap();
+            let log_n = (n as f64).log2();
+            assert!(
+                (sol.iterations as f64) <= 20.0 * log_n.powi(3),
+                "n = {n}: {} iterations exceeds O(log^3 n)",
+                sol.iterations
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = generators::cycle(6, 1);
+        let h = g.full_edge_set();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(augment(&g, &h, 0, &mut rng).unwrap_err(), Error::ZeroK);
+        assert!(matches!(
+            augment(&g, &h, 1, &mut rng).unwrap_err(),
+            Error::InvalidSubgraph { .. }
+        ));
+        assert!(matches!(
+            augment(&g, &h, 9, &mut rng).unwrap_err(),
+            Error::UnsupportedK { k: 9, .. }
+        ));
+        // The cycle is not 3-edge-connected.
+        assert!(matches!(
+            augment(&g, &h, 3, &mut rng).unwrap_err(),
+            Error::InsufficientConnectivity { required: 3, .. }
+        ));
+        // H not (k-1)-connected: a spanning tree for k = 3.
+        let g3 = generators::harary(3, 8, 1);
+        let tree = mst::kruskal(&g3);
+        assert!(matches!(
+            augment(&g3, &tree, 3, &mut rng).unwrap_err(),
+            Error::InvalidSubgraph { .. }
+        ));
+    }
+
+    #[test]
+    fn ledger_records_mst_and_broadcast_phases() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let g = generators::random_weighted_k_edge_connected(20, 2, 30, 15, &mut rng);
+        let h = mst::kruskal(&g);
+        let sol = augment(&g, &h, 2, &mut rng).unwrap();
+        assert!(sol.ledger.phase("augk/learn_h") > 0);
+        assert!(sol.ledger.phase("augk/mst") > 0);
+        assert!(sol.ledger.total() > 0);
+    }
+
+    #[test]
+    fn probability_schedule_doubles_and_resets() {
+        let mut s = ProbabilitySchedule::new(16, 64);
+        let class_a = Rounded::Exponent(3);
+        let class_b = Rounded::Exponent(1);
+        let p0 = s.probability(class_a);
+        assert!(p0 <= 1.0 / 64.0);
+        // Stay in the same class long enough to see the probability double.
+        let mut last = p0;
+        for _ in 0..(PHASE_MULTIPLIER * 5 * 10) {
+            last = s.probability(class_a);
+        }
+        assert!(last > p0);
+        assert!(last <= 1.0);
+        // A class change resets the schedule.
+        let reset = s.probability(class_b);
+        assert!((reset - p0).abs() < 1e-12);
+        assert!(s.current_probability() > 0.0);
+    }
+}

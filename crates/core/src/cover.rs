@@ -1,0 +1,214 @@
+//! Cost-effectiveness and rounded cost-effectiveness (Section 2.1 of the
+//! paper).
+//!
+//! For an edge `e` outside the current subgraph, the cost-effectiveness is
+//! `ρ(e) = |C_e| / w(e)`, where `C_e` is the set of still-uncovered cuts the
+//! edge would cover. The algorithms never compare raw cost-effectiveness
+//! values: they round up to the nearest power of two (`ρ̃`), which creates
+//! only `O(log n)` distinct classes and drives the iteration-count analysis
+//! (Lemma 3.11 and the phase structure of Section 4).
+//!
+//! Rounding convention: `ρ̃(e) = 2^i` with the smallest `i` such that
+//! `2^i >= ρ(e)`, giving `ρ(e) <= ρ̃(e) < 2·ρ(e)`, the property the
+//! approximation analysis uses. Edges of weight zero have infinite
+//! cost-effectiveness.
+
+use graphs::Weight;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The rounded cost-effectiveness class of an edge: either infinite (zero
+/// weight) or a power of two `2^exponent` (the exponent may be negative, e.g.
+/// an edge covering 1 cut at weight 8 has `ρ̃ = 2^{-3}`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rounded {
+    /// Weight-zero edge: always the best possible class.
+    Infinite,
+    /// `ρ̃ = 2^exponent`.
+    Exponent(i32),
+}
+
+impl Rounded {
+    /// The rounded cost-effectiveness of an edge covering `covered` uncovered
+    /// cuts at weight `weight`.
+    ///
+    /// Returns `None` when `covered == 0` (the edge is useless this iteration
+    /// and cannot be a candidate).
+    pub fn of(covered: usize, weight: Weight) -> Option<Rounded> {
+        if covered == 0 {
+            return None;
+        }
+        if weight == 0 {
+            return Some(Rounded::Infinite);
+        }
+        Some(Rounded::Exponent(ceil_log2_ratio(covered as u64, weight)))
+    }
+
+    /// Whether this class is the infinite (weight-zero) class.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self, Rounded::Infinite)
+    }
+
+    /// The exponent `i` such that `ρ̃ = 2^i`, or `None` for the infinite class.
+    pub fn exponent(&self) -> Option<i32> {
+        match self {
+            Rounded::Infinite => None,
+            Rounded::Exponent(i) => Some(*i),
+        }
+    }
+
+    /// The rounded value as a floating-point number (`f64::INFINITY` for the
+    /// infinite class); intended for reporting, not for comparisons.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Rounded::Infinite => f64::INFINITY,
+            Rounded::Exponent(i) => 2f64.powi(*i),
+        }
+    }
+}
+
+impl PartialOrd for Rounded {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rounded {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Rounded::Infinite, Rounded::Infinite) => Ordering::Equal,
+            (Rounded::Infinite, _) => Ordering::Greater,
+            (_, Rounded::Infinite) => Ordering::Less,
+            (Rounded::Exponent(a), Rounded::Exponent(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl fmt::Display for Rounded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rounded::Infinite => write!(f, "inf"),
+            Rounded::Exponent(i) => write!(f, "2^{i}"),
+        }
+    }
+}
+
+/// The exact cost-effectiveness `covered / weight` as an `f64`, with
+/// `f64::INFINITY` for weight zero. Used by the sequential greedy baselines
+/// and by the cost-charging checks in tests.
+pub fn exact(covered: usize, weight: Weight) -> f64 {
+    if weight == 0 {
+        f64::INFINITY
+    } else {
+        covered as f64 / weight as f64
+    }
+}
+
+/// The smallest `i` (possibly negative) with `2^i >= num / den`, for positive
+/// integers, computed exactly in integer arithmetic.
+fn ceil_log2_ratio(num: u64, den: u64) -> i32 {
+    debug_assert!(num > 0 && den > 0);
+    // Find smallest i such that num <= den * 2^i  (i may be negative:
+    // num * 2^{-i} <= den).
+    if num >= den {
+        // i >= 0: smallest i with den << i >= num.
+        let mut i = 0i32;
+        let mut value = den as u128;
+        while value < num as u128 {
+            value <<= 1;
+            i += 1;
+        }
+        i
+    } else {
+        // i <= 0: largest j = -i with num << j <= den, then check exactness.
+        let mut j = 0i32;
+        let mut value = num as u128;
+        while value * 2 <= den as u128 {
+            value *= 2;
+            j += 1;
+        }
+        // Now num * 2^j <= den < num * 2^{j+1}; we need smallest i with
+        // num <= den * 2^i, i.e. i = -j if num * 2^j == den has no slack issue:
+        // num <= den * 2^{-j} iff num * 2^j <= den, which holds. Check whether
+        // an even smaller i = -(j+1) also works: num * 2^{j+1} <= den — it does
+        // not by construction. So i = -j.
+        -j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_coverage_is_not_a_class() {
+        assert_eq!(Rounded::of(0, 5), None);
+        assert_eq!(Rounded::of(0, 0), None);
+    }
+
+    #[test]
+    fn zero_weight_is_infinite() {
+        let r = Rounded::of(3, 0).unwrap();
+        assert!(r.is_infinite());
+        assert_eq!(r.exponent(), None);
+        assert!(r.as_f64().is_infinite());
+        assert!(r > Rounded::Exponent(1000));
+    }
+
+    #[test]
+    fn rounding_is_the_smallest_power_of_two_at_least_rho() {
+        // rho = 4/1 = 4 -> 2^2.
+        assert_eq!(Rounded::of(4, 1), Some(Rounded::Exponent(2)));
+        // rho = 5/1 -> 2^3.
+        assert_eq!(Rounded::of(5, 1), Some(Rounded::Exponent(3)));
+        // rho = 1/1 -> 2^0.
+        assert_eq!(Rounded::of(1, 1), Some(Rounded::Exponent(0)));
+        // rho = 1/3 -> 2^{-1} (0.5 >= 0.333.. and 0.25 < 0.333..).
+        assert_eq!(Rounded::of(1, 3), Some(Rounded::Exponent(-1)));
+        // rho = 1/4 -> 2^{-2} exactly.
+        assert_eq!(Rounded::of(1, 4), Some(Rounded::Exponent(-2)));
+        // rho = 1/5 -> 2^{-2} (0.25 >= 0.2).
+        assert_eq!(Rounded::of(1, 5), Some(Rounded::Exponent(-2)));
+        // rho = 3/2 -> 2^1.
+        assert_eq!(Rounded::of(3, 2), Some(Rounded::Exponent(1)));
+    }
+
+    #[test]
+    fn rounded_is_within_factor_two_of_exact() {
+        for covered in 1..40usize {
+            for weight in 1..40u64 {
+                let rho = exact(covered, weight);
+                let rounded = Rounded::of(covered, weight).unwrap().as_f64();
+                assert!(rounded >= rho - 1e-12, "rounded {rounded} < rho {rho}");
+                assert!(rounded < 2.0 * rho + 1e-12, "rounded {rounded} >= 2 rho {rho}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_matches_numeric_value() {
+        let classes = [
+            Rounded::Exponent(-3),
+            Rounded::Exponent(0),
+            Rounded::Exponent(2),
+            Rounded::Infinite,
+        ];
+        for w in classes.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(w[0].as_f64() < w[1].as_f64());
+        }
+        assert_eq!(Rounded::Exponent(2).max(Rounded::Exponent(1)), Rounded::Exponent(2));
+    }
+
+    #[test]
+    fn exact_handles_zero_weight() {
+        assert!(exact(2, 0).is_infinite());
+        assert_eq!(exact(6, 3), 2.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Rounded::Infinite.to_string(), "inf");
+        assert_eq!(Rounded::Exponent(-2).to_string(), "2^-2");
+    }
+}

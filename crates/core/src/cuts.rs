@@ -1,0 +1,363 @@
+//! Enumeration of the small cuts that the augmentation algorithms must cover.
+//!
+//! `Aug_k` (Section 4) covers all cuts of size `k - 1` of a
+//! `(k-1)`-edge-connected spanning subgraph `H`. This module enumerates those
+//! cuts exactly:
+//!
+//! * size 1 — bridges (Tarjan);
+//! * size 2 — cut pairs, found through cycle-space label classes (Section
+//!   5.2) and then *verified* by an explicit removal test, so the result is
+//!   exact rather than w.h.p.;
+//! * size 3 — label triples XOR-ing to zero (the general induced-cut
+//!   characterization of Corollary 5.3), verified the same way.
+//!
+//! Because a `(k-1)`-edge-connected graph has at most `binom(n, 2)` minimum
+//! cuts (the paper cites [19, 6]), the enumeration is polynomial; the
+//! verification step only runs on label-filtered candidates, so false
+//! positives cost little. Supported cut sizes are `1..=MAX_CUT_SIZE`, i.e.
+//! `k <= 4` for the full k-ECSS pipeline, which covers the regimes the
+//! evaluation exercises (DESIGN.md §6).
+
+use crate::cycle_space::Circulation;
+use graphs::{connectivity, EdgeId, EdgeSet, Graph, NodeId, RootedTree};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The largest cut size [`cuts_of_size`] can enumerate (so the largest
+/// supported `k` for the k-ECSS driver is `MAX_CUT_SIZE + 1`).
+pub const MAX_CUT_SIZE: usize = 3;
+
+/// A single cut: the edge ids, sorted.
+pub type Cut = Vec<EdgeId>;
+
+/// Whether removing `cut` from the subgraph `(V, h)` disconnects it.
+pub fn disconnects(graph: &Graph, h: &EdgeSet, cut: &[EdgeId]) -> bool {
+    !connectivity::is_connected_after_removal(graph, h, cut)
+}
+
+/// Whether the edge `e` (an edge of `graph`, not necessarily of `h`) covers
+/// the cut `cut` of the subgraph `(V, h)`: i.e. `(h \ cut) ∪ {e}` is
+/// connected (Definition 2.1).
+pub fn covers(graph: &Graph, h: &EdgeSet, cut: &[EdgeId], e: EdgeId) -> bool {
+    let mut sub = h.clone();
+    for c in cut {
+        sub.remove(*c);
+    }
+    sub.insert(e);
+    connectivity::is_connected_in(graph, &sub)
+}
+
+/// Enumerates every cut of exactly `size` edges of the connected subgraph
+/// `(V, h)`.
+///
+/// The subgraph must be `size`-edge-connected *or better is not required*:
+/// cuts smaller than `size` may exist and are not reported; the augmentation
+/// driver always calls this with `size = k - 1` on a `(k-1)`-edge-connected
+/// `H`, where the reported cuts are exactly the minimum cuts.
+///
+/// # Panics
+///
+/// Panics if `size` is 0 or greater than [`MAX_CUT_SIZE`], or if `h` is
+/// disconnected.
+pub fn cuts_of_size(graph: &Graph, h: &EdgeSet, size: usize) -> Vec<Cut> {
+    assert!(size >= 1 && size <= MAX_CUT_SIZE, "cut size {size} unsupported");
+    assert!(
+        connectivity::is_connected_in(graph, h),
+        "cut enumeration requires a connected subgraph"
+    );
+    match size {
+        1 => connectivity::bridges_in(graph, h).into_iter().map(|b| vec![b]).collect(),
+        2 => cut_pairs(graph, h),
+        3 => cut_triples(graph, h),
+        _ => unreachable!("guarded by the assertion above"),
+    }
+}
+
+fn labels_for(graph: &Graph, h: &EdgeSet) -> Circulation {
+    // The seed is arbitrary: label equality is only used to *filter*
+    // candidates, every candidate is verified exactly, and real cuts always
+    // pass the filter (one-sided error).
+    let mut rng = ChaCha8Rng::seed_from_u64(0x6b65_6373_735f_6375);
+    let bfs = graphs::bfs::bfs_in(graph, h, 0);
+    let tree = RootedTree::new(graph, &bfs.tree_edges(graph), bfs.root);
+    Circulation::sample(graph, h, &tree, 64, &mut rng)
+}
+
+/// All cuts of size exactly 2 (cut pairs) of the connected subgraph `(V, h)`.
+fn cut_pairs(graph: &Graph, h: &EdgeSet) -> Vec<Cut> {
+    let circulation = labels_for(graph, h);
+    let mut out = Vec::new();
+    for class in circulation.label_classes(h) {
+        for i in 0..class.len() {
+            for j in (i + 1)..class.len() {
+                let cut = vec![class[i], class[j]];
+                if disconnects(graph, h, &cut) {
+                    out.push(cut);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// All cuts of size exactly 3 of the connected subgraph `(V, h)`.
+fn cut_triples(graph: &Graph, h: &EdgeSet) -> Vec<Cut> {
+    let circulation = labels_for(graph, h);
+    let ids: Vec<EdgeId> = h.iter().collect();
+    // label -> edges with that label, for completing pairs into XOR-zero triples.
+    let mut by_label: std::collections::HashMap<u64, Vec<EdgeId>> = std::collections::HashMap::new();
+    for &id in &ids {
+        by_label.entry(circulation.label(id).expect("edge of h has a label")).or_default().push(id);
+    }
+    let mut out = Vec::new();
+    for i in 0..ids.len() {
+        for j in (i + 1)..ids.len() {
+            let a = ids[i];
+            let b = ids[j];
+            let want = circulation.label(a).unwrap() ^ circulation.label(b).unwrap();
+            let Some(candidates) = by_label.get(&want) else { continue };
+            for &c in candidates {
+                if c <= b {
+                    continue;
+                }
+                let cut = vec![a, b, c];
+                if disconnects(graph, h, &cut) {
+                    out.push(cut);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// A family of cuts of a subgraph `H`, with the bipartition of each cut
+/// precomputed so that "does edge `e` cover cut `C`?" is an `O(1)` query.
+///
+/// For a minimal cut `C` of a connected `H`, `H \ C` has exactly two
+/// connected components; an edge covers the cut iff its endpoints lie in
+/// different components.
+#[derive(Clone, Debug)]
+pub struct CutFamily {
+    cuts: Vec<Cut>,
+    /// `sides[c][v]` — the side of vertex `v` for cut `c`.
+    sides: Vec<Vec<bool>>,
+}
+
+impl CutFamily {
+    /// Enumerates all cuts of exactly `size` edges of `(V, h)` and
+    /// precomputes their bipartitions.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`cuts_of_size`]; additionally panics if some
+    /// enumerated cut does not split `H` into exactly two components (which
+    /// cannot happen for minimum cuts of a `(size)`-edge-connected `H`).
+    pub fn enumerate(graph: &Graph, h: &EdgeSet, size: usize) -> Self {
+        let cuts = cuts_of_size(graph, h, size);
+        let sides = cuts.iter().map(|cut| bipartition(graph, h, cut)).collect();
+        CutFamily { cuts, sides }
+    }
+
+    /// Builds a family from explicitly provided cuts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some cut does not split `(V, h)` into exactly two components.
+    pub fn from_cuts(graph: &Graph, h: &EdgeSet, cuts: Vec<Cut>) -> Self {
+        let sides = cuts.iter().map(|cut| bipartition(graph, h, cut)).collect();
+        CutFamily { cuts, sides }
+    }
+
+    /// Number of cuts in the family.
+    pub fn len(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Whether the family is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cuts.is_empty()
+    }
+
+    /// The `i`-th cut.
+    pub fn cut(&self, i: usize) -> &[EdgeId] {
+        &self.cuts[i]
+    }
+
+    /// All cuts.
+    pub fn cuts(&self) -> &[Cut] {
+        &self.cuts
+    }
+
+    /// Whether the edge with endpoints `u`, `v` covers the `i`-th cut.
+    pub fn crossed_by(&self, i: usize, u: NodeId, v: NodeId) -> bool {
+        self.sides[i][u] != self.sides[i][v]
+    }
+
+    /// The indices of the cuts covered by an edge `{u, v}`.
+    pub fn covered_by(&self, u: NodeId, v: NodeId) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.crossed_by(i, u, v)).collect()
+    }
+}
+
+/// The two-sided partition of `V` obtained by removing `cut` from `(V, h)`.
+///
+/// # Panics
+///
+/// Panics if the removal does not yield exactly two components.
+fn bipartition(graph: &Graph, h: &EdgeSet, cut: &[EdgeId]) -> Vec<bool> {
+    let mut sub = h.clone();
+    for c in cut {
+        sub.remove(*c);
+    }
+    let (labels, count) = connectivity::connected_components_in(graph, &sub);
+    assert_eq!(
+        count, 2,
+        "a minimal cut must split the subgraph into exactly two components, got {count}"
+    );
+    let reference = labels[0];
+    labels.iter().map(|&l| l == reference).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators;
+
+    #[test]
+    fn bridges_are_the_size_one_cuts() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 0, 1);
+        let bridge = g.add_edge(2, 3, 1);
+        let cuts = cuts_of_size(&g, &g.full_edge_set(), 1);
+        assert_eq!(cuts, vec![vec![bridge]]);
+    }
+
+    #[test]
+    fn cycle_has_all_pairs_as_cuts() {
+        let g = generators::cycle(5, 1);
+        let cuts = cuts_of_size(&g, &g.full_edge_set(), 2);
+        assert_eq!(cuts.len(), 5 * 4 / 2);
+    }
+
+    #[test]
+    fn cut_pairs_match_naive_enumeration() {
+        use rand::SeedableRng;
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for n in [8, 12] {
+            let g = generators::random_k_edge_connected(n, 2, 4, &mut rng);
+            let h = g.full_edge_set();
+            let fast = cuts_of_size(&g, &h, 2);
+            let ids: Vec<EdgeId> = h.iter().collect();
+            let mut naive = Vec::new();
+            for i in 0..ids.len() {
+                for j in (i + 1)..ids.len() {
+                    if disconnects(&g, &h, &[ids[i], ids[j]]) {
+                        naive.push(vec![ids[i], ids[j]]);
+                    }
+                }
+            }
+            naive.sort();
+            assert_eq!(fast, naive, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn triples_on_k4_are_the_vertex_stars() {
+        // K4 is 3-edge-connected; its size-3 cuts are exactly the four
+        // vertex-isolating cuts δ(v).
+        let g = generators::complete(4, 1);
+        let h = g.full_edge_set();
+        assert_eq!(connectivity::edge_connectivity(&g), 3);
+        let cuts = cuts_of_size(&g, &h, 3);
+        assert_eq!(cuts.len(), 4);
+        for cut in &cuts {
+            assert!(disconnects(&g, &h, cut));
+            // A vertex star: all three edges share a vertex.
+            let edges: Vec<_> = cut.iter().map(|&id| g.edge(id)).collect();
+            let shared = (0..4).find(|&v| edges.iter().all(|e| e.has_endpoint(v)));
+            assert!(shared.is_some(), "cut {cut:?} is not a vertex star");
+        }
+    }
+
+    #[test]
+    fn triples_match_naive_enumeration_on_random_graph() {
+        use rand::SeedableRng;
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = generators::random_k_edge_connected(10, 3, 2, &mut rng);
+        let h = g.full_edge_set();
+        let fast = cuts_of_size(&g, &h, 3);
+        let ids: Vec<EdgeId> = h.iter().collect();
+        let mut naive = Vec::new();
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                for l in (j + 1)..ids.len() {
+                    let cut = vec![ids[i], ids[j], ids[l]];
+                    if disconnects(&g, &h, &cut) {
+                        naive.push(cut);
+                    }
+                }
+            }
+        }
+        naive.sort();
+        assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn covers_matches_definition() {
+        let g = generators::cycle(6, 1);
+        let h = g.full_edge_set();
+        let cut = vec![EdgeId(0), EdgeId(3)];
+        assert!(disconnects(&g, &h, &cut));
+        // An edge of the cut itself covers it (re-inserting it reconnects).
+        assert!(covers(&g, &h, &cut, EdgeId(0)));
+    }
+
+    #[test]
+    fn cut_family_cover_queries_match_covers() {
+        let mut g = graphs::Graph::new(6);
+        // 6-cycle plus one chord.
+        for v in 0..6 {
+            g.add_edge(v, (v + 1) % 6, 1);
+        }
+        let chord = g.add_edge(0, 3, 1);
+        let mut h = g.full_edge_set();
+        h.remove(chord);
+        let family = CutFamily::enumerate(&g, &h, 2);
+        assert_eq!(family.len(), 6 * 5 / 2);
+        assert!(!family.is_empty());
+        for i in 0..family.len() {
+            let cut = family.cut(i).to_vec();
+            let e = g.edge(chord);
+            assert_eq!(family.crossed_by(i, e.u, e.v), covers(&g, &h, &cut, chord), "cut {cut:?}");
+        }
+        let covered = family.covered_by(0, 3);
+        assert!(!covered.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn oversized_cut_requests_are_rejected() {
+        let g = generators::cycle(4, 1);
+        cuts_of_size(&g, &g.full_edge_set(), 4);
+    }
+
+    #[test]
+    fn no_cut_pairs_in_three_connected_graph() {
+        let g = generators::harary(3, 8, 1);
+        assert!(cuts_of_size(&g, &g.full_edge_set(), 2).is_empty());
+    }
+
+    #[test]
+    fn from_cuts_builds_family() {
+        let g = generators::cycle(4, 1);
+        let h = g.full_edge_set();
+        let family = CutFamily::from_cuts(&g, &h, vec![vec![EdgeId(0), EdgeId(2)]]);
+        assert_eq!(family.len(), 1);
+        assert_eq!(family.cuts().len(), 1);
+        assert!(family.crossed_by(0, 0, 2) || family.crossed_by(0, 1, 3));
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types shared by the solvers in this crate.
+
+use std::fmt;
+
+/// Errors returned by the k-ECSS solvers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// The input graph is not sufficiently edge-connected for the requested
+    /// problem (a k-ECSS only exists in a k-edge-connected graph).
+    InsufficientConnectivity {
+        /// The connectivity the problem requires.
+        required: usize,
+        /// The actual edge connectivity of the input (or of the subgraph `H`).
+        actual: usize,
+    },
+    /// The requested connectivity target is unsupported by this implementation
+    /// (cut enumeration is implemented for cuts of size at most
+    /// [`crate::cuts::MAX_CUT_SIZE`], i.e. `k - 1 <= MAX_CUT_SIZE`).
+    UnsupportedK {
+        /// The requested `k`.
+        k: usize,
+        /// The largest supported `k`.
+        max: usize,
+    },
+    /// The provided spanning subgraph is not spanning or is not a subgraph of
+    /// the input graph.
+    InvalidSubgraph {
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// `k` must be at least 1.
+    ZeroK,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InsufficientConnectivity { required, actual } => write!(
+                f,
+                "input graph is only {actual}-edge-connected but the problem requires {required}-edge-connectivity"
+            ),
+            Error::UnsupportedK { k, max } => {
+                write!(f, "k = {k} is not supported (cut enumeration handles k <= {max})")
+            }
+            Error::InvalidSubgraph { reason } => write!(f, "invalid subgraph: {reason}"),
+            Error::ZeroK => write!(f, "connectivity target k must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::InsufficientConnectivity { required: 3, actual: 1 };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("1"));
+        let e = Error::UnsupportedK { k: 9, max: 4 };
+        assert!(e.to_string().contains("9"));
+        let e = Error::InvalidSubgraph { reason: "not spanning".into() };
+        assert!(e.to_string().contains("not spanning"));
+        assert!(Error::ZeroK.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+    }
+}

@@ -1,0 +1,147 @@
+//! Certified lower bounds on the optimum, used to measure approximation
+//! ratios on instances too large for the exact solver.
+//!
+//! Every bound here is a true lower bound on the weight of *any* feasible
+//! solution, so `algorithm_weight / lower_bound` is an upper bound on the real
+//! approximation ratio.
+
+use graphs::{mst, EdgeSet, Graph, RootedTree, Weight};
+
+/// A lower bound on the weight of any k-edge-connected spanning subgraph of
+/// `graph`: the maximum of
+///
+/// * the *degree bound* — every vertex needs at least `k` incident edges, so
+///   OPT ≥ ⌈(Σ_v sum of the k cheapest weights incident to v) / 2⌉, and
+/// * the *spanning bound* — every k-ECSS (k ≥ 1) is connected and spanning,
+///   so OPT ≥ weight(MST).
+///
+/// # Panics
+///
+/// Panics if some vertex has degree smaller than `k` (then no k-ECSS exists).
+pub fn k_ecss_lower_bound(graph: &Graph, k: usize) -> Weight {
+    let degree_bound = degree_lower_bound(graph, k);
+    let mst_bound = graph.weight_of(&mst::kruskal(graph));
+    degree_bound.max(mst_bound)
+}
+
+/// The degree part of [`k_ecss_lower_bound`].
+///
+/// # Panics
+///
+/// Panics if some vertex has degree smaller than `k`.
+pub fn degree_lower_bound(graph: &Graph, k: usize) -> Weight {
+    let mut total: u128 = 0;
+    for v in 0..graph.n() {
+        let mut weights: Vec<Weight> = graph.neighbors(v).iter().map(|&(_, e)| graph.weight(e)).collect();
+        assert!(
+            weights.len() >= k,
+            "vertex {v} has degree {} < k = {k}; no k-ECSS exists",
+            weights.len()
+        );
+        weights.sort_unstable();
+        total += weights.iter().take(k).map(|&w| w as u128).sum::<u128>();
+    }
+    (total.div_ceil(2)) as Weight
+}
+
+/// A lower bound on the weight of any augmentation making `tree_edges`
+/// 2-edge-connected: for every tree edge `t`, any feasible augmentation must
+/// contain some non-tree edge covering `t`, so OPT ≥ max_t (cheapest cover of
+/// `t`). Additionally, edge-disjoint groups of tree edges whose cover sets are
+/// disjoint would give a stronger bound; this function keeps the simple,
+/// always-valid max-min bound.
+pub fn tap_lower_bound(graph: &Graph, tree_edges: &EdgeSet) -> Weight {
+    let tree = RootedTree::new(graph, tree_edges, 0);
+    // cheapest_cover[child vertex] = min weight of a non-tree edge covering
+    // the tree edge {child, parent(child)}.
+    let mut cheapest = vec![Weight::MAX; graph.n()];
+    for (id, e) in graph.edges() {
+        if tree_edges.contains(id) {
+            continue;
+        }
+        for child in tree.path_edge_children(e.u, e.v) {
+            cheapest[child] = cheapest[child].min(e.weight);
+        }
+    }
+    tree.edge_children().map(|c| cheapest[c]).filter(|&w| w != Weight::MAX).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn cycle_lower_bound_is_exact() {
+        // The unique 2-ECSS of a cycle is the cycle itself.
+        let g = generators::cycle(7, 3);
+        assert_eq!(k_ecss_lower_bound(&g, 2), 21);
+    }
+
+    #[test]
+    fn unit_weight_bound_is_kn_over_two() {
+        let g = generators::harary(4, 10, 1);
+        assert_eq!(degree_lower_bound(&g, 4), 20);
+        assert!(k_ecss_lower_bound(&g, 4) >= 20);
+    }
+
+    #[test]
+    fn mst_bound_kicks_in_for_skewed_weights() {
+        // A triangle with one very heavy edge: degree bound would be small but
+        // the MST bound is what matters for k = 1.
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 0, 100);
+        assert_eq!(k_ecss_lower_bound(&g, 1), 2);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_a_feasible_solution() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for k in 2..=3 {
+            for n in [10, 20] {
+                let g = generators::random_weighted_k_edge_connected(n, k, n, 30, &mut rng);
+                let lb = k_ecss_lower_bound(&g, k);
+                // The whole graph is feasible.
+                assert!(lb <= g.total_weight(), "k = {k}, n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no k-ECSS exists")]
+    fn degree_bound_rejects_low_degree_vertices() {
+        let g = generators::path(4, 1);
+        degree_lower_bound(&g, 2);
+    }
+
+    #[test]
+    fn tap_bound_on_cycle_is_the_closing_edge() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 3, 1);
+        let closing = g.add_edge(3, 0, 7);
+        let mut tree = g.full_edge_set();
+        tree.remove(closing);
+        assert_eq!(tap_lower_bound(&g, &tree), 7);
+    }
+
+    #[test]
+    fn tap_bound_is_at_most_any_feasible_augmentation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = generators::random_weighted_k_edge_connected(16, 2, 20, 25, &mut rng);
+        let tree = graphs::mst::kruskal(&g);
+        let lb = tap_lower_bound(&g, &tree);
+        // All non-tree edges together are a feasible augmentation.
+        let all_non_tree: u64 = g
+            .edges()
+            .filter(|(id, _)| !tree.contains(*id))
+            .map(|(_, e)| e.weight)
+            .sum();
+        assert!(lb <= all_non_tree);
+    }
+}

@@ -1,0 +1,163 @@
+//! Small reporting helpers shared by the benchmark harness and the examples:
+//! approximation-ratio reports and round-complexity series points.
+
+use graphs::Weight;
+use std::fmt;
+
+/// A single approximation measurement: the weight an algorithm achieved
+/// against a certified lower bound (or the exact optimum).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ApproxReport {
+    /// The weight of the algorithm's solution.
+    pub weight: Weight,
+    /// A certified lower bound on OPT (or OPT itself).
+    pub lower_bound: Weight,
+}
+
+impl ApproxReport {
+    /// Creates a report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower_bound` is zero while `weight` is positive, or if the
+    /// solution is cheaper than the "lower bound" (which would mean the bound
+    /// is not a bound).
+    pub fn new(weight: Weight, lower_bound: Weight) -> Self {
+        assert!(
+            weight >= lower_bound,
+            "solution weight {weight} is below the claimed lower bound {lower_bound}"
+        );
+        ApproxReport { weight, lower_bound }
+    }
+
+    /// The measured approximation ratio (an upper bound on the true ratio).
+    /// Returns 1.0 when both weight and bound are zero.
+    pub fn ratio(&self) -> f64 {
+        if self.weight == 0 {
+            1.0
+        } else if self.lower_bound == 0 {
+            f64::INFINITY
+        } else {
+            self.weight as f64 / self.lower_bound as f64
+        }
+    }
+}
+
+impl fmt::Display for ApproxReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "weight {} / LB {} = {:.3}x", self.weight, self.lower_bound, self.ratio())
+    }
+}
+
+/// A point on a round-complexity curve: instance parameters plus the measured
+/// CONGEST rounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundsPoint {
+    /// Number of vertices.
+    pub n: usize,
+    /// Hop diameter of the instance.
+    pub diameter: usize,
+    /// Measured (charged) CONGEST rounds.
+    pub rounds: u64,
+}
+
+impl fmt::Display for RoundsPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={:>6}  D={:>4}  rounds={:>10}", self.n, self.diameter, self.rounds)
+    }
+}
+
+/// Aggregates a set of ratio measurements (per experiment / per n).
+#[derive(Clone, Debug, Default)]
+pub struct RatioSummary {
+    reports: Vec<ApproxReport>,
+}
+
+impl RatioSummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        RatioSummary::default()
+    }
+
+    /// Adds one measurement.
+    pub fn push(&mut self, report: ApproxReport) {
+        self.reports.push(report);
+    }
+
+    /// Number of measurements.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether the summary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// The maximum ratio observed (0.0 when empty).
+    pub fn max_ratio(&self) -> f64 {
+        self.reports.iter().map(ApproxReport::ratio).fold(0.0, f64::max)
+    }
+
+    /// The mean ratio (0.0 when empty).
+    pub fn mean_ratio(&self) -> f64 {
+        if self.reports.is_empty() {
+            0.0
+        } else {
+            self.reports.iter().map(ApproxReport::ratio).sum::<f64>() / self.reports.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for RatioSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instances, mean ratio {:.3}, max ratio {:.3}",
+            self.len(),
+            self.mean_ratio(),
+            self.max_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_computation() {
+        let r = ApproxReport::new(30, 10);
+        assert!((r.ratio() - 3.0).abs() < 1e-12);
+        assert!(r.to_string().contains("3.000"));
+        assert_eq!(ApproxReport::new(0, 0).ratio(), 1.0);
+        assert!(ApproxReport::new(5, 0).ratio().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "below the claimed lower bound")]
+    fn invalid_bound_is_rejected() {
+        ApproxReport::new(5, 10);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = RatioSummary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean_ratio(), 0.0);
+        s.push(ApproxReport::new(10, 10));
+        s.push(ApproxReport::new(30, 10));
+        assert_eq!(s.len(), 2);
+        assert!((s.mean_ratio() - 2.0).abs() < 1e-12);
+        assert!((s.max_ratio() - 3.0).abs() < 1e-12);
+        assert!(s.to_string().contains("2 instances"));
+    }
+
+    #[test]
+    fn rounds_point_display() {
+        let p = RoundsPoint { n: 128, diameter: 9, rounds: 4000 };
+        let s = p.to_string();
+        assert!(s.contains("128"));
+        assert!(s.contains("4000"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Connectivity queries: components, bridges, exact edge connectivity and
+//! k-edge-connectivity certification.
+//!
+//! These are the *verifiers* for every algorithm in the workspace: the
+//! distributed approximation algorithms produce an edge set `H`, and the tests
+//! certify `H` with [`is_k_edge_connected_in`] (exact, max-flow based) before
+//! any approximation ratio is measured.
+
+use crate::dsu::DisjointSets;
+use crate::graph::{EdgeId, EdgeSet, Graph, NodeId};
+use crate::maxflow;
+
+/// Connected-component labels (`labels[v]` is the representative of `v`'s
+/// component) and the number of components, restricted to `edges`.
+pub fn connected_components_in(graph: &Graph, edges: &EdgeSet) -> (Vec<usize>, usize) {
+    let mut dsu = DisjointSets::new(graph.n());
+    for id in edges.iter() {
+        let e = graph.edge(id);
+        dsu.union(e.u, e.v);
+    }
+    let count = dsu.component_count();
+    (dsu.labels(), count)
+}
+
+/// Whether the subgraph `(V, edges)` is connected. Graphs with zero or one
+/// vertex are connected.
+pub fn is_connected_in(graph: &Graph, edges: &EdgeSet) -> bool {
+    if graph.n() <= 1 {
+        return true;
+    }
+    let (_, count) = connected_components_in(graph, edges);
+    count == 1
+}
+
+/// Whether the whole graph is connected.
+pub fn is_connected(graph: &Graph) -> bool {
+    is_connected_in(graph, &graph.full_edge_set())
+}
+
+/// Whether `(V, edges \ removed)` is connected — i.e. whether `removed` fails
+/// to be a cut of the subgraph.
+pub fn is_connected_after_removal(graph: &Graph, edges: &EdgeSet, removed: &[EdgeId]) -> bool {
+    let mut dsu = DisjointSets::new(graph.n());
+    for id in edges.iter() {
+        if removed.contains(&id) {
+            continue;
+        }
+        let e = graph.edge(id);
+        dsu.union(e.u, e.v);
+    }
+    dsu.component_count() == 1
+}
+
+/// All bridges (cut edges) of the subgraph `(V, edges)`, via Tarjan's
+/// low-link algorithm. A bridge is exactly a cut of size 1.
+///
+/// Parallel edges are handled correctly: two parallel edges are never bridges.
+pub fn bridges_in(graph: &Graph, edges: &EdgeSet) -> Vec<EdgeId> {
+    let n = graph.n();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut bridges = Vec::new();
+    let mut timer = 0usize;
+
+    // Iterative DFS to avoid recursion limits on path-like graphs.
+    #[derive(Clone, Copy)]
+    struct Frame {
+        v: NodeId,
+        parent_edge: Option<EdgeId>,
+        next_idx: usize,
+    }
+
+    for start in 0..n {
+        if disc[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![Frame { v: start, parent_edge: None, next_idx: 0 }];
+        disc[start] = timer;
+        low[start] = timer;
+        timer += 1;
+        while let Some(frame) = stack.last().copied() {
+            let v = frame.v;
+            if frame.next_idx < graph.neighbors(v).len() {
+                stack.last_mut().expect("stack non-empty").next_idx += 1;
+                let (u, e) = graph.neighbors(v)[frame.next_idx];
+                if !edges.contains(e) || Some(e) == frame.parent_edge {
+                    continue;
+                }
+                if disc[u] == usize::MAX {
+                    disc[u] = timer;
+                    low[u] = timer;
+                    timer += 1;
+                    stack.push(Frame { v: u, parent_edge: Some(e), next_idx: 0 });
+                } else {
+                    low[v] = low[v].min(disc[u]);
+                }
+            } else {
+                stack.pop();
+                if let Some(parent_frame) = stack.last() {
+                    let p = parent_frame.v;
+                    low[p] = low[p].min(low[v]);
+                    if low[v] > disc[p] {
+                        bridges.push(frame.parent_edge.expect("non-root frame has a parent edge"));
+                    }
+                }
+            }
+        }
+    }
+    bridges
+}
+
+/// All bridges of the whole graph.
+pub fn bridges(graph: &Graph) -> Vec<EdgeId> {
+    bridges_in(graph, &graph.full_edge_set())
+}
+
+/// Whether the subgraph `(V, edges)` is 2-edge-connected: connected, at least
+/// two vertices, and bridgeless.
+pub fn is_two_edge_connected_in(graph: &Graph, edges: &EdgeSet) -> bool {
+    graph.n() >= 2 && is_connected_in(graph, edges) && bridges_in(graph, edges).is_empty()
+}
+
+/// Exact edge connectivity of the subgraph `(V, edges)`.
+///
+/// Returns 0 for disconnected (or single-vertex) subgraphs. Computed as
+/// `min_{t != 0} maxflow(0, t)`, which is exact because a global minimum cut
+/// separates vertex 0 from at least one other vertex.
+pub fn edge_connectivity_in(graph: &Graph, edges: &EdgeSet) -> usize {
+    let n = graph.n();
+    if n <= 1 {
+        return 0;
+    }
+    if !is_connected_in(graph, edges) {
+        return 0;
+    }
+    let mut flow = maxflow::UnitFlow::new(graph, edges);
+    let mut best = u32::MAX;
+    for t in 1..n {
+        best = best.min(flow.max_flow_capped(0, t, best));
+        if best == 0 {
+            break;
+        }
+    }
+    best as usize
+}
+
+/// Exact edge connectivity of the whole graph.
+pub fn edge_connectivity(graph: &Graph) -> usize {
+    edge_connectivity_in(graph, &graph.full_edge_set())
+}
+
+/// Whether the subgraph `(V, edges)` is k-edge-connected, with early exit as
+/// soon as a cut smaller than `k` is certain.
+///
+/// `k == 0` is trivially true; `k == 1` reduces to connectivity.
+pub fn is_k_edge_connected_in(graph: &Graph, edges: &EdgeSet, k: usize) -> bool {
+    if k == 0 {
+        return true;
+    }
+    if graph.n() <= 1 {
+        // A single vertex is k-edge-connected for every k by convention here;
+        // the paper's instances always have n >= 2.
+        return true;
+    }
+    if !is_connected_in(graph, edges) {
+        return false;
+    }
+    if k == 1 {
+        return true;
+    }
+    let k = k as u32;
+    let mut flow = maxflow::UnitFlow::new(graph, edges);
+    for t in 1..graph.n() {
+        if flow.max_flow_capped(0, t, k) < k {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether the whole graph is k-edge-connected.
+pub fn is_k_edge_connected(graph: &Graph, k: usize) -> bool {
+    is_k_edge_connected_in(graph, &graph.full_edge_set(), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1, 1);
+        g.add_edge(2, 3, 1);
+        let (labels, count) = connected_components_in(&g, &g.full_edge_set());
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[4], labels[0]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn trivial_graphs_are_connected() {
+        assert!(is_connected(&Graph::new(0)));
+        assert!(is_connected(&Graph::new(1)));
+    }
+
+    #[test]
+    fn path_edges_are_all_bridges() {
+        let g = generators::path(6, 1);
+        let b = bridges(&g);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn cycle_has_no_bridges() {
+        let g = generators::cycle(7, 1);
+        assert!(bridges(&g).is_empty());
+        assert!(is_two_edge_connected_in(&g, &g.full_edge_set()));
+    }
+
+    #[test]
+    fn bridge_in_barbell_graph() {
+        // Two triangles joined by a single edge: that edge is the only bridge.
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 0, 1);
+        g.add_edge(3, 4, 1);
+        g.add_edge(4, 5, 1);
+        g.add_edge(5, 3, 1);
+        let bridge = g.add_edge(2, 3, 1);
+        let b = bridges(&g);
+        assert_eq!(b, vec![bridge]);
+        assert!(!is_two_edge_connected_in(&g, &g.full_edge_set()));
+    }
+
+    #[test]
+    fn parallel_edges_are_not_bridges() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 1);
+        g.add_edge(0, 1, 1);
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn bridges_respect_edge_mask() {
+        let g = generators::cycle(4, 1);
+        let mut mask = g.full_edge_set();
+        // Remove one cycle edge: the rest becomes a path, all bridges.
+        mask.remove(EdgeId(0));
+        assert_eq!(bridges_in(&g, &mask).len(), 3);
+    }
+
+    #[test]
+    fn edge_connectivity_of_standard_graphs() {
+        assert_eq!(edge_connectivity(&generators::path(5, 1)), 1);
+        assert_eq!(edge_connectivity(&generators::cycle(5, 1)), 2);
+        assert_eq!(edge_connectivity(&generators::complete(5, 1)), 4);
+        assert_eq!(edge_connectivity(&generators::harary(4, 10, 1)), 4);
+        assert_eq!(edge_connectivity(&Graph::new(3)), 0);
+    }
+
+    #[test]
+    fn k_edge_connected_certification() {
+        let g = generators::harary(3, 8, 1);
+        for k in 0..=3 {
+            assert!(is_k_edge_connected(&g, k), "should be {k}-edge-connected");
+        }
+        assert!(!is_k_edge_connected(&g, 4));
+    }
+
+    #[test]
+    fn removal_check_detects_cuts() {
+        let g = generators::cycle(5, 1);
+        let all = g.full_edge_set();
+        assert!(is_connected_after_removal(&g, &all, &[EdgeId(0)]));
+        assert!(!is_connected_after_removal(&g, &all, &[EdgeId(0), EdgeId(2)]));
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        let g = generators::path(20_000, 1);
+        assert_eq!(bridges(&g).len(), 19_999);
+    }
+}

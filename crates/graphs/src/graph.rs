@@ -1,0 +1,576 @@
+//! The core undirected weighted multigraph type and edge-set masks.
+
+use std::fmt;
+
+/// Identifier of a vertex. Vertices of a graph with `n` vertices are the
+/// integers `0..n`.
+pub type NodeId = usize;
+
+/// Edge weights. The paper assumes non-negative integer weights polynomial in
+/// `n`, so a `u64` is sufficient and keeps all arithmetic exact.
+pub type Weight = u64;
+
+/// Stable identifier of an edge: the index of the edge in insertion order.
+///
+/// Edge identifiers are never invalidated; masked views of a graph are
+/// expressed with [`EdgeSet`] rather than by removing edges.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub usize);
+
+impl EdgeId {
+    /// The raw index of this edge.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(value: usize) -> Self {
+        EdgeId(value)
+    }
+}
+
+/// An undirected edge `{u, v}` with a non-negative integer weight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// Non-negative weight, assumed polynomial in `n`.
+    pub weight: Weight,
+}
+
+impl Edge {
+    /// Returns the endpoint of the edge that is not `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of the edge.
+    #[inline]
+    pub fn other(&self, x: NodeId) -> NodeId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("vertex {x} is not an endpoint of edge {{{}, {}}}", self.u, self.v)
+        }
+    }
+
+    /// Returns `true` if `x` is one of the endpoints.
+    #[inline]
+    pub fn has_endpoint(&self, x: NodeId) -> bool {
+        self.u == x || self.v == x
+    }
+
+    /// Returns the endpoints as an ordered pair `(min, max)`.
+    #[inline]
+    pub fn ordered(&self) -> (NodeId, NodeId) {
+        (self.u.min(self.v), self.u.max(self.v))
+    }
+}
+
+/// An undirected, weighted multigraph with `n` vertices and stable edge ids.
+///
+/// Vertices are `0..n`. Parallel edges and self-loops are permitted by the
+/// representation (the algorithms in this workspace never create self-loops,
+/// and [`Graph::add_edge`] rejects them), which keeps edge identifiers simple.
+///
+/// # Example
+///
+/// ```
+/// use graphs::Graph;
+///
+/// let mut g = Graph::new(3);
+/// let e = g.add_edge(0, 1, 7);
+/// g.add_edge(1, 2, 3);
+/// assert_eq!(g.n(), 3);
+/// assert_eq!(g.m(), 2);
+/// assert_eq!(g.edge(e).weight, 7);
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<Edge>,
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            n,
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Creates a graph with `n` vertices from an iterator of `(u, v, weight)`
+    /// triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range or if an edge is a self-loop.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, NodeId, Weight)>,
+    {
+        let mut g = Graph::new(n);
+        for (u, v, w) in edges {
+            g.add_edge(u, v, w);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}` with the given weight and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range, or if `u == v` (self-loop).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: Weight) -> EdgeId {
+        assert!(u < self.n, "endpoint {u} out of range (n = {})", self.n);
+        assert!(v < self.n, "endpoint {v} out of range (n = {})", self.n);
+        assert_ne!(u, v, "self-loops are not supported");
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge { u, v, weight });
+        self.adj[u].push((v, id));
+        self.adj[v].push((u, id));
+        id
+    }
+
+    /// Adds an unweighted (weight 1) edge.
+    pub fn add_unit_edge(&mut self, u: NodeId, v: NodeId) -> EdgeId {
+        self.add_edge(u, v, 1)
+    }
+
+    /// The edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0]
+    }
+
+    /// The weight of an edge.
+    #[inline]
+    pub fn weight(&self, id: EdgeId) -> Weight {
+        self.edges[id.0].weight
+    }
+
+    /// Overwrites the weight of an edge.
+    pub fn set_weight(&mut self, id: EdgeId, weight: Weight) {
+        self.edges[id.0].weight = weight;
+    }
+
+    /// Iterator over `(EdgeId, &Edge)` in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.edges.iter().enumerate().map(|(i, e)| (EdgeId(i), e))
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edges.len()).map(EdgeId)
+    }
+
+    /// Neighbors of `v` as `(neighbor, edge id)` pairs, including parallel edges.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v` (counting parallel edges).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Total weight of all edges.
+    pub fn total_weight(&self) -> Weight {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// Total weight of the edges in `set`.
+    pub fn weight_of(&self, set: &EdgeSet) -> Weight {
+        set.iter().map(|id| self.weight(id)).sum()
+    }
+
+    /// Looks up an edge id connecting `u` and `v`, if one exists.
+    ///
+    /// If there are parallel edges the one with the smallest id is returned.
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        self.adj[u]
+            .iter()
+            .filter(|(nbr, _)| *nbr == v)
+            .map(|&(_, id)| id)
+            .min()
+    }
+
+    /// Returns the subgraph induced by the edge set as a new graph over the
+    /// same vertex set. Edge ids are *not* preserved in the result; prefer
+    /// passing [`EdgeSet`] masks to algorithms when id stability matters.
+    pub fn edge_subgraph(&self, set: &EdgeSet) -> Graph {
+        let mut g = Graph::new(self.n);
+        for id in set.iter() {
+            let e = self.edge(id);
+            g.add_edge(e.u, e.v, e.weight);
+        }
+        g
+    }
+
+    /// An [`EdgeSet`] sized for this graph containing no edges.
+    pub fn empty_edge_set(&self) -> EdgeSet {
+        EdgeSet::new(self.m())
+    }
+
+    /// An [`EdgeSet`] sized for this graph containing every edge.
+    pub fn full_edge_set(&self) -> EdgeSet {
+        let mut s = EdgeSet::new(self.m());
+        for id in self.edge_ids() {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+/// A set of edges of a particular graph, stored as a bitmap over edge ids.
+///
+/// `EdgeSet` is the universal currency for "subgraph" in this workspace: the
+/// spanning subgraph `H`, the augmentation `A`, candidate sets and MSTs are
+/// all edge sets over the original input graph, which keeps edge identifiers
+/// stable across every phase of the algorithms.
+///
+/// # Example
+///
+/// ```
+/// use graphs::{EdgeSet, EdgeId};
+///
+/// let mut s = EdgeSet::new(4);
+/// s.insert(EdgeId(1));
+/// s.insert(EdgeId(3));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(EdgeId(3)));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![EdgeId(1), EdgeId(3)]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct EdgeSet {
+    bits: Vec<bool>,
+    count: usize,
+}
+
+impl EdgeSet {
+    /// Creates an empty set over a universe of `m` edges.
+    pub fn new(m: usize) -> Self {
+        EdgeSet {
+            bits: vec![false; m],
+            count: 0,
+        }
+    }
+
+    /// Creates a set over a universe of `m` edges from an iterator of ids.
+    pub fn from_ids<I>(m: usize, ids: I) -> Self
+    where
+        I: IntoIterator<Item = EdgeId>,
+    {
+        let mut s = EdgeSet::new(m);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Size of the universe (number of edge ids representable).
+    pub fn universe(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of edges in the set.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether the set contains `id`.
+    #[inline]
+    pub fn contains(&self, id: EdgeId) -> bool {
+        self.bits.get(id.0).copied().unwrap_or(false)
+    }
+
+    /// Inserts `id`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
+    pub fn insert(&mut self, id: EdgeId) -> bool {
+        assert!(id.0 < self.bits.len(), "edge id {id} outside universe");
+        if self.bits[id.0] {
+            false
+        } else {
+            self.bits[id.0] = true;
+            self.count += 1;
+            true
+        }
+    }
+
+    /// Removes `id`, returning `true` if it was present.
+    pub fn remove(&mut self, id: EdgeId) -> bool {
+        if id.0 < self.bits.len() && self.bits[id.0] {
+            self.bits[id.0] = false;
+            self.count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterator over the edge ids in the set, in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| EdgeId(i))
+    }
+
+    /// In-place union with another set over the same universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &EdgeSet) {
+        assert_eq!(self.bits.len(), other.bits.len(), "edge set universes differ");
+        for (i, &b) in other.bits.iter().enumerate() {
+            if b && !self.bits[i] {
+                self.bits[i] = true;
+                self.count += 1;
+            }
+        }
+    }
+
+    /// Returns the union of two sets over the same universe.
+    pub fn union(&self, other: &EdgeSet) -> EdgeSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Returns the set difference `self \ other`.
+    pub fn difference(&self, other: &EdgeSet) -> EdgeSet {
+        assert_eq!(self.bits.len(), other.bits.len(), "edge set universes differ");
+        let mut out = EdgeSet::new(self.bits.len());
+        for (i, &b) in self.bits.iter().enumerate() {
+            if b && !other.bits[i] {
+                out.insert(EdgeId(i));
+            }
+        }
+        out
+    }
+
+    /// Returns the intersection of two sets over the same universe.
+    pub fn intersection(&self, other: &EdgeSet) -> EdgeSet {
+        assert_eq!(self.bits.len(), other.bits.len(), "edge set universes differ");
+        let mut out = EdgeSet::new(self.bits.len());
+        for (i, &b) in self.bits.iter().enumerate() {
+            if b && other.bits[i] {
+                out.insert(EdgeId(i));
+            }
+        }
+        out
+    }
+
+    /// Whether `self` is a subset of `other`.
+    pub fn is_subset_of(&self, other: &EdgeSet) -> bool {
+        self.iter().all(|id| other.contains(id))
+    }
+
+    /// The edge ids of the set collected into a vector.
+    pub fn to_vec(&self) -> Vec<EdgeId> {
+        self.iter().collect()
+    }
+}
+
+impl fmt::Debug for EdgeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<EdgeId> for EdgeSet {
+    /// Builds an edge set whose universe is just large enough for the largest id.
+    fn from_iter<T: IntoIterator<Item = EdgeId>>(iter: T) -> Self {
+        let ids: Vec<EdgeId> = iter.into_iter().collect();
+        let max = ids.iter().map(|id| id.0 + 1).max().unwrap_or(0);
+        EdgeSet::from_ids(max, ids)
+    }
+}
+
+impl Extend<EdgeId> for EdgeSet {
+    fn extend<T: IntoIterator<Item = EdgeId>>(&mut self, iter: T) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_updates_adjacency_and_degree() {
+        let mut g = Graph::new(4);
+        let e01 = g.add_edge(0, 1, 5);
+        let e12 = g.add_edge(1, 2, 3);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.edge(e01).weight, 5);
+        assert_eq!(g.edge(e12).other(2), 1);
+        assert_eq!(g.neighbors(0), &[(1, e01)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn add_edge_rejects_self_loop() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_rejects_out_of_range() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 2, 1);
+    }
+
+    #[test]
+    fn parallel_edges_are_kept_distinct() {
+        let mut g = Graph::new(2);
+        let a = g.add_edge(0, 1, 1);
+        let b = g.add_edge(0, 1, 9);
+        assert_ne!(a, b);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.find_edge(0, 1), Some(a));
+    }
+
+    #[test]
+    fn from_edges_builds_expected_graph() {
+        let g = Graph::from_edges(3, vec![(0, 1, 2), (1, 2, 4)]);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.total_weight(), 6);
+    }
+
+    #[test]
+    fn edge_other_panics_for_non_endpoint() {
+        let e = Edge { u: 0, v: 1, weight: 1 };
+        assert_eq!(e.other(0), 1);
+        assert_eq!(e.other(1), 0);
+        let result = std::panic::catch_unwind(|| e.other(5));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn edge_set_insert_remove_iter() {
+        let mut s = EdgeSet::new(5);
+        assert!(s.is_empty());
+        assert!(s.insert(EdgeId(2)));
+        assert!(!s.insert(EdgeId(2)));
+        assert!(s.insert(EdgeId(4)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(EdgeId(2)));
+        assert!(!s.contains(EdgeId(0)));
+        assert_eq!(s.to_vec(), vec![EdgeId(2), EdgeId(4)]);
+        assert!(s.remove(EdgeId(2)));
+        assert!(!s.remove(EdgeId(2)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn edge_set_union_difference_intersection() {
+        let a = EdgeSet::from_ids(6, [EdgeId(0), EdgeId(1), EdgeId(2)]);
+        let b = EdgeSet::from_ids(6, [EdgeId(2), EdgeId(3)]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 4);
+        let d = a.difference(&b);
+        assert_eq!(d.to_vec(), vec![EdgeId(0), EdgeId(1)]);
+        let i = a.intersection(&b);
+        assert_eq!(i.to_vec(), vec![EdgeId(2)]);
+        assert!(i.is_subset_of(&a));
+        assert!(i.is_subset_of(&b));
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn edge_subgraph_preserves_weights() {
+        let mut g = Graph::new(3);
+        let a = g.add_edge(0, 1, 10);
+        let _b = g.add_edge(1, 2, 20);
+        let set = EdgeSet::from_ids(g.m(), [a]);
+        let sub = g.edge_subgraph(&set);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 1);
+        assert_eq!(sub.total_weight(), 10);
+    }
+
+    #[test]
+    fn weight_of_sums_only_selected_edges() {
+        let mut g = Graph::new(3);
+        let a = g.add_edge(0, 1, 10);
+        let b = g.add_edge(1, 2, 20);
+        let mut set = g.empty_edge_set();
+        set.insert(b);
+        assert_eq!(g.weight_of(&set), 20);
+        set.insert(a);
+        assert_eq!(g.weight_of(&set), 30);
+    }
+
+    #[test]
+    fn full_and_empty_edge_sets() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        assert_eq!(g.empty_edge_set().len(), 0);
+        assert_eq!(g.full_edge_set().len(), 2);
+    }
+
+    #[test]
+    fn from_iterator_sizes_universe() {
+        let s: EdgeSet = vec![EdgeId(3), EdgeId(1)].into_iter().collect();
+        assert_eq!(s.universe(), 4);
+        assert_eq!(s.len(), 2);
+    }
+}

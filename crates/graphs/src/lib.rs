@@ -1,0 +1,51 @@
+//! Graph substrate for the `kecss` workspace.
+//!
+//! This crate provides the sequential graph machinery that the distributed
+//! algorithms of [Dory, PODC 2018] are built on and evaluated against:
+//!
+//! * [`Graph`] — an undirected, weighted multigraph with stable edge
+//!   identifiers ([`EdgeId`]), supporting masked views through [`EdgeSet`].
+//! * [`generators`] — synthetic workloads: Harary graphs, random
+//!   k-edge-connected graphs, rings of cliques, grids/tori, paths and cycles,
+//!   with optional random polynomial weights.
+//! * [`connectivity`] — connected components, bridges, cut pairs and exact
+//!   edge connectivity (via unit-capacity max-flow).
+//! * [`mst`] — minimum spanning trees (Kruskal, Prim).
+//! * [`tree`] — rooted spanning trees with depth, parent pointers, LCA
+//!   queries and tree paths.
+//! * [`dsu`] — union–find.
+//! * [`bfs`] — breadth-first search, eccentricities and diameter.
+//!
+//! # Example
+//!
+//! ```
+//! use graphs::{Graph, connectivity, mst};
+//!
+//! // A weighted 4-cycle plus one chord.
+//! let mut g = Graph::new(4);
+//! g.add_edge(0, 1, 1);
+//! g.add_edge(1, 2, 2);
+//! g.add_edge(2, 3, 1);
+//! g.add_edge(3, 0, 5);
+//! g.add_edge(0, 2, 2);
+//!
+//! assert!(connectivity::is_connected(&g));
+//! assert_eq!(connectivity::edge_connectivity(&g), 2);
+//! let t = mst::kruskal(&g);
+//! assert_eq!(t.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod connectivity;
+pub mod dsu;
+pub mod generators;
+pub mod graph;
+pub mod maxflow;
+pub mod mst;
+pub mod tree;
+
+pub use graph::{Edge, EdgeId, EdgeSet, Graph, NodeId, Weight};
+pub use tree::RootedTree;

@@ -1,0 +1,212 @@
+//! Unit-capacity maximum flow for exact edge-connectivity queries.
+//!
+//! Edge connectivity between two vertices of an undirected graph equals the
+//! maximum number of edge-disjoint paths between them (Menger), which is the
+//! value of a maximum flow where every undirected edge has capacity one in
+//! each direction. The verifier uses this to certify the outputs of every
+//! k-ECSS algorithm, so it is deliberately simple (BFS augmenting paths) and
+//! exact.
+
+use crate::graph::{EdgeSet, Graph, NodeId};
+use std::collections::VecDeque;
+
+/// A residual arc in the unit-capacity flow network.
+#[derive(Clone, Copy, Debug)]
+struct Arc {
+    to: NodeId,
+    /// Residual capacity (0 or 1 initially; reverse arcs also start at 1
+    /// because the edge is undirected).
+    cap: u32,
+    /// Index of the reverse arc in the arena.
+    rev: usize,
+}
+
+/// A reusable unit-capacity max-flow solver over a masked subgraph.
+#[derive(Clone, Debug)]
+pub struct UnitFlow {
+    n: usize,
+    arcs: Vec<Arc>,
+    head: Vec<Vec<usize>>,
+}
+
+impl UnitFlow {
+    /// Builds the flow network for the subgraph of `graph` given by `edges`.
+    pub fn new(graph: &Graph, edges: &EdgeSet) -> Self {
+        let n = graph.n();
+        let mut flow = UnitFlow { n, arcs: Vec::new(), head: vec![Vec::new(); n] };
+        for id in edges.iter() {
+            let e = graph.edge(id);
+            flow.add_undirected(e.u, e.v);
+        }
+        flow
+    }
+
+    fn add_undirected(&mut self, u: NodeId, v: NodeId) {
+        let a = self.arcs.len();
+        self.arcs.push(Arc { to: v, cap: 1, rev: a + 1 });
+        self.arcs.push(Arc { to: u, cap: 1, rev: a });
+        self.head[u].push(a);
+        self.head[v].push(a + 1);
+    }
+
+    fn reset(&mut self) {
+        // Undirected unit edges: both directions back to capacity 1.
+        for arc in &mut self.arcs {
+            arc.cap = 1;
+        }
+    }
+
+    /// Maximum `s`–`t` flow value, stopping early once it reaches `limit`.
+    ///
+    /// With unit capacities each augmentation adds exactly one unit, so the
+    /// cost is `O(limit * m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either vertex is out of range.
+    pub fn max_flow_capped(&mut self, s: NodeId, t: NodeId, limit: u32) -> u32 {
+        assert!(s < self.n && t < self.n, "flow endpoints out of range");
+        assert_ne!(s, t, "source and sink must differ");
+        self.reset();
+        let mut flow = 0;
+        while flow < limit {
+            match self.augment(s, t) {
+                true => flow += 1,
+                false => break,
+            }
+        }
+        flow
+    }
+
+    /// Maximum `s`–`t` flow value (uncapped; bounded by the degree of `s`).
+    pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> u32 {
+        let cap = self.head[s].len() as u32;
+        self.max_flow_capped(s, t, cap)
+    }
+
+    /// Finds one augmenting path by BFS and pushes one unit along it.
+    fn augment(&mut self, s: NodeId, t: NodeId) -> bool {
+        let mut pred: Vec<Option<usize>> = vec![None; self.n];
+        let mut seen = vec![false; self.n];
+        seen[s] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        'bfs: while let Some(v) = queue.pop_front() {
+            for &ai in &self.head[v] {
+                let arc = self.arcs[ai];
+                if arc.cap > 0 && !seen[arc.to] {
+                    seen[arc.to] = true;
+                    pred[arc.to] = Some(ai);
+                    if arc.to == t {
+                        break 'bfs;
+                    }
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        if !seen[t] {
+            return false;
+        }
+        // Walk back from t, pushing one unit.
+        let mut v = t;
+        while v != s {
+            let ai = pred[v].expect("predecessor must exist on augmenting path");
+            self.arcs[ai].cap -= 1;
+            let rev = self.arcs[ai].rev;
+            self.arcs[rev].cap += 1;
+            v = self.arcs[rev].to;
+        }
+        true
+    }
+}
+
+/// The local edge connectivity between `s` and `t` in the subgraph given by
+/// `edges` (the maximum number of edge-disjoint `s`–`t` paths).
+pub fn local_edge_connectivity_in(graph: &Graph, edges: &EdgeSet, s: NodeId, t: NodeId) -> u32 {
+    UnitFlow::new(graph, edges).max_flow(s, t)
+}
+
+/// The local edge connectivity capped at `limit` (early exit).
+pub fn local_edge_connectivity_capped(
+    graph: &Graph,
+    edges: &EdgeSet,
+    s: NodeId,
+    t: NodeId,
+    limit: u32,
+) -> u32 {
+    UnitFlow::new(graph, edges).max_flow_capped(s, t, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn flow_on_cycle_is_two() {
+        let g = generators::cycle(6, 1);
+        let all = g.full_edge_set();
+        assert_eq!(local_edge_connectivity_in(&g, &all, 0, 3), 2);
+    }
+
+    #[test]
+    fn flow_on_path_is_one() {
+        let g = generators::path(4, 1);
+        let all = g.full_edge_set();
+        assert_eq!(local_edge_connectivity_in(&g, &all, 0, 3), 1);
+    }
+
+    #[test]
+    fn flow_on_complete_graph_equals_degree() {
+        let g = generators::complete(5, 1);
+        let all = g.full_edge_set();
+        assert_eq!(local_edge_connectivity_in(&g, &all, 0, 4), 4);
+    }
+
+    #[test]
+    fn capped_flow_stops_early() {
+        let g = generators::complete(6, 1);
+        let all = g.full_edge_set();
+        assert_eq!(local_edge_connectivity_capped(&g, &all, 0, 5, 2), 2);
+    }
+
+    #[test]
+    fn flow_respects_edge_mask() {
+        let g = generators::cycle(5, 1);
+        let mut half = g.empty_edge_set();
+        // Keep only edges 0-1, 1-2 (a path); connectivity drops to 1.
+        half.insert(crate::EdgeId(0));
+        half.insert(crate::EdgeId(1));
+        assert_eq!(local_edge_connectivity_in(&g, &half, 0, 2), 1);
+        assert_eq!(local_edge_connectivity_in(&g, &half, 0, 3), 0);
+    }
+
+    #[test]
+    fn parallel_edges_add_capacity() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 1);
+        g.add_edge(0, 1, 1);
+        g.add_edge(0, 1, 1);
+        let all = g.full_edge_set();
+        assert_eq!(local_edge_connectivity_in(&g, &all, 0, 1), 3);
+    }
+
+    #[test]
+    fn disconnected_vertices_have_zero_flow() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1);
+        g.add_edge(2, 3, 1);
+        let all = g.full_edge_set();
+        assert_eq!(local_edge_connectivity_in(&g, &all, 0, 3), 0);
+    }
+
+    #[test]
+    fn reusing_solver_resets_flow() {
+        let g = generators::cycle(5, 1);
+        let all = g.full_edge_set();
+        let mut f = UnitFlow::new(&g, &all);
+        assert_eq!(f.max_flow(0, 2), 2);
+        assert_eq!(f.max_flow(1, 3), 2);
+        assert_eq!(f.max_flow(0, 2), 2);
+    }
+}

@@ -1,0 +1,393 @@
+//! Rooted spanning trees: parents, depths, LCA queries and tree paths.
+//!
+//! The weighted TAP algorithm (Section 3 of the paper) reasons entirely in
+//! terms of a rooted spanning tree `T`: a non-tree edge `e = {u, v}` covers
+//! exactly the tree edges on the unique tree path `P_{u,v}`, which is the
+//! concatenation of the `u → LCA(u, v)` and `v → LCA(u, v)` paths. This module
+//! provides those primitives with binary-lifting LCA so the sequential
+//! reference implementations stay near-linear.
+
+use crate::graph::{EdgeId, EdgeSet, Graph, NodeId};
+
+/// A rooted spanning tree (or rooted spanning forest component) of a graph,
+/// with O(log n) LCA queries.
+///
+/// Tree edges are identified by their *child* endpoint: the tree edge
+/// `{v, parent(v)}` is referred to as "the tree edge of `v`". This matches the
+/// paper's convention `t = {v, p(v)}`.
+#[derive(Clone, Debug)]
+pub struct RootedTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    parent_edge: Vec<Option<EdgeId>>,
+    depth: Vec<usize>,
+    children: Vec<Vec<NodeId>>,
+    /// Vertices in BFS order from the root (every vertex appears after its parent).
+    order: Vec<NodeId>,
+    /// `up[j][v]` = the 2^j-th ancestor of `v` (or the root when overshooting).
+    up: Vec<Vec<NodeId>>,
+    in_tree: Vec<bool>,
+}
+
+impl RootedTree {
+    /// Builds the rooted tree over the component of `root` in the subgraph
+    /// `(V, tree_edges)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range, or if `tree_edges` contains a cycle
+    /// in the component of `root` (it must be a forest).
+    pub fn new(graph: &Graph, tree_edges: &EdgeSet, root: NodeId) -> Self {
+        assert!(root < graph.n(), "root {root} out of range");
+        let n = graph.n();
+        let mut parent = vec![None; n];
+        let mut parent_edge = vec![None; n];
+        let mut depth = vec![0usize; n];
+        let mut children = vec![Vec::new(); n];
+        let mut in_tree = vec![false; n];
+        let mut order = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        in_tree[root] = true;
+        queue.push_back(root);
+        let mut edges_seen = 0usize;
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &(u, e) in graph.neighbors(v) {
+                if !tree_edges.contains(e) {
+                    continue;
+                }
+                if Some(e) == parent_edge[v] {
+                    continue;
+                }
+                assert!(
+                    !in_tree[u],
+                    "tree_edges contains a cycle through vertex {u} (edge {e})"
+                );
+                in_tree[u] = true;
+                parent[u] = Some(v);
+                parent_edge[u] = Some(e);
+                depth[u] = depth[v] + 1;
+                children[v].push(u);
+                edges_seen += 1;
+                queue.push_back(u);
+            }
+        }
+        debug_assert_eq!(edges_seen + 1, order.len());
+
+        // Binary lifting table.
+        let levels = usize::BITS as usize - (n.max(2) - 1).leading_zeros() as usize;
+        let mut up = vec![vec![root; n]; levels.max(1)];
+        for v in 0..n {
+            up[0][v] = parent[v].unwrap_or(v);
+        }
+        for j in 1..up.len() {
+            for v in 0..n {
+                up[j][v] = up[j - 1][up[j - 1][v]];
+            }
+        }
+
+        RootedTree { root, parent, parent_edge, depth, children, order, up, in_tree }
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Whether `v` belongs to this tree (is in the root's component).
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.in_tree[v]
+    }
+
+    /// Number of vertices in the tree.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the tree is empty (never true: the root is always present).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The parent of `v`, or `None` for the root (and for vertices outside the
+    /// tree).
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v]
+    }
+
+    /// The tree edge `{v, parent(v)}`, or `None` for the root.
+    pub fn parent_edge(&self, v: NodeId) -> Option<EdgeId> {
+        self.parent_edge[v]
+    }
+
+    /// Depth of `v` (root has depth 0).
+    pub fn depth(&self, v: NodeId) -> usize {
+        self.depth[v]
+    }
+
+    /// The height of the tree (maximum depth).
+    pub fn height(&self) -> usize {
+        self.order.iter().map(|&v| self.depth[v]).max().unwrap_or(0)
+    }
+
+    /// Children of `v`.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v]
+    }
+
+    /// Vertices in BFS order from the root (parents before children).
+    pub fn bfs_order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The tree edges, identified by their child endpoints.
+    pub fn edge_children(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.order.iter().copied().filter(|&v| v != self.root)
+    }
+
+    /// The tree edges as an [`EdgeSet`].
+    pub fn edge_set(&self, graph: &Graph) -> EdgeSet {
+        let mut s = graph.empty_edge_set();
+        for e in self.parent_edge.iter().flatten() {
+            s.insert(*e);
+        }
+        s
+    }
+
+    /// The ancestor of `v` that is `steps` levels up (clamped at the root).
+    pub fn ancestor(&self, v: NodeId, steps: usize) -> NodeId {
+        let mut v = v;
+        let mut remaining = steps.min(self.depth[v]);
+        let mut j = 0;
+        while remaining > 0 {
+            if remaining & 1 == 1 {
+                v = self.up[j][v];
+            }
+            remaining >>= 1;
+            j += 1;
+        }
+        v
+    }
+
+    /// The lowest common ancestor of `u` and `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex is outside the tree.
+    pub fn lca(&self, u: NodeId, v: NodeId) -> NodeId {
+        assert!(self.in_tree[u], "vertex {u} is not in the tree");
+        assert!(self.in_tree[v], "vertex {v} is not in the tree");
+        let (mut a, mut b) = (u, v);
+        if self.depth[a] < self.depth[b] {
+            std::mem::swap(&mut a, &mut b);
+        }
+        a = self.ancestor(a, self.depth[a] - self.depth[b]);
+        if a == b {
+            return a;
+        }
+        for j in (0..self.up.len()).rev() {
+            if self.up[j][a] != self.up[j][b] {
+                a = self.up[j][a];
+                b = self.up[j][b];
+            }
+        }
+        self.parent[a].expect("distinct vertices at equal depth have a common ancestor")
+    }
+
+    /// Whether `a` is an ancestor of `b` (a vertex is an ancestor of itself).
+    pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        self.in_tree[a] && self.in_tree[b] && self.lca(a, b) == a
+    }
+
+    /// The vertices on the path from `v` up to (and including) its ancestor
+    /// `top`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `top` is not an ancestor of `v`.
+    pub fn path_to_ancestor(&self, v: NodeId, top: NodeId) -> Vec<NodeId> {
+        assert!(self.is_ancestor(top, v), "{top} is not an ancestor of {v}");
+        let mut path = Vec::new();
+        let mut cur = v;
+        loop {
+            path.push(cur);
+            if cur == top {
+                break;
+            }
+            cur = self.parent[cur].expect("walk towards an ancestor cannot pass the root");
+        }
+        path
+    }
+
+    /// The tree edges on the unique path between `u` and `v`, identified by
+    /// their child endpoints. This is the cover set `S_e` of a non-tree edge
+    /// `e = {u, v}` in the TAP algorithm.
+    pub fn path_edge_children(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        let l = self.lca(u, v);
+        let mut out = Vec::new();
+        let mut cur = u;
+        while cur != l {
+            out.push(cur);
+            cur = self.parent[cur].expect("path to LCA stays in tree");
+        }
+        let mut cur = v;
+        while cur != l {
+            out.push(cur);
+            cur = self.parent[cur].expect("path to LCA stays in tree");
+        }
+        out
+    }
+
+    /// The tree edges on the unique path between `u` and `v` as edge ids.
+    pub fn path_edges(&self, u: NodeId, v: NodeId) -> Vec<EdgeId> {
+        self.path_edge_children(u, v)
+            .into_iter()
+            .map(|c| self.parent_edge[c].expect("non-root child has a parent edge"))
+            .collect()
+    }
+
+    /// The number of tree edges on the path between `u` and `v`.
+    pub fn path_len(&self, u: NodeId, v: NodeId) -> usize {
+        let l = self.lca(u, v);
+        self.depth[u] + self.depth[v] - 2 * self.depth[l]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::mst;
+
+    fn sample_tree() -> (Graph, RootedTree) {
+        // Tree:      0
+        //          /   \
+        //         1     2
+        //        / \     \
+        //       3   4     5
+        //       |
+        //       6
+        let mut g = Graph::new(7);
+        g.add_edge(0, 1, 1);
+        g.add_edge(0, 2, 1);
+        g.add_edge(1, 3, 1);
+        g.add_edge(1, 4, 1);
+        g.add_edge(2, 5, 1);
+        g.add_edge(3, 6, 1);
+        let all = g.full_edge_set();
+        let t = RootedTree::new(&g, &all, 0);
+        (g, t)
+    }
+
+    #[test]
+    fn parents_depths_children() {
+        let (_, t) = sample_tree();
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.parent(6), Some(3));
+        assert_eq!(t.depth(6), 3);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.children(1), &[3, 4]);
+        assert_eq!(t.len(), 7);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn lca_queries() {
+        let (_, t) = sample_tree();
+        assert_eq!(t.lca(3, 4), 1);
+        assert_eq!(t.lca(6, 4), 1);
+        assert_eq!(t.lca(6, 5), 0);
+        assert_eq!(t.lca(2, 5), 2);
+        assert_eq!(t.lca(0, 6), 0);
+        assert_eq!(t.lca(3, 3), 3);
+    }
+
+    #[test]
+    fn ancestor_and_is_ancestor() {
+        let (_, t) = sample_tree();
+        assert_eq!(t.ancestor(6, 1), 3);
+        assert_eq!(t.ancestor(6, 2), 1);
+        assert_eq!(t.ancestor(6, 10), 0);
+        assert!(t.is_ancestor(0, 6));
+        assert!(t.is_ancestor(1, 4));
+        assert!(!t.is_ancestor(2, 4));
+        assert!(t.is_ancestor(5, 5));
+    }
+
+    #[test]
+    fn paths_between_vertices() {
+        let (_, t) = sample_tree();
+        assert_eq!(t.path_len(6, 5), 5);
+        let children = t.path_edge_children(6, 5);
+        assert_eq!(children.len(), 5);
+        assert!(children.contains(&6));
+        assert!(children.contains(&3));
+        assert!(children.contains(&1));
+        assert!(children.contains(&2));
+        assert!(children.contains(&5));
+        assert_eq!(t.path_edges(4, 3).len(), 2);
+        assert_eq!(t.path_len(3, 3), 0);
+        assert!(t.path_edges(3, 3).is_empty());
+    }
+
+    #[test]
+    fn path_to_ancestor_walks_upwards() {
+        let (_, t) = sample_tree();
+        assert_eq!(t.path_to_ancestor(6, 0), vec![6, 3, 1, 0]);
+        assert_eq!(t.path_to_ancestor(6, 6), vec![6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an ancestor")]
+    fn path_to_non_ancestor_panics() {
+        let (_, t) = sample_tree();
+        t.path_to_ancestor(6, 2);
+    }
+
+    #[test]
+    fn tree_from_mst_of_random_graph() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let g = generators::random_weighted_k_edge_connected(40, 2, 60, 50, &mut rng);
+        let forest = mst::kruskal(&g);
+        let t = RootedTree::new(&g, &forest, 0);
+        assert_eq!(t.len(), g.n());
+        assert_eq!(t.edge_set(&g).len(), g.n() - 1);
+        // Every non-tree edge's path length matches path_edges().len().
+        for (id, e) in g.edges() {
+            if forest.contains(id) {
+                continue;
+            }
+            assert_eq!(t.path_len(e.u, e.v), t.path_edges(e.u, e.v).len());
+        }
+    }
+
+    #[test]
+    fn edge_children_skip_root() {
+        let (_, t) = sample_tree();
+        let kids: Vec<NodeId> = t.edge_children().collect();
+        assert_eq!(kids.len(), 6);
+        assert!(!kids.contains(&0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cyclic_edge_set_is_rejected() {
+        let g = generators::cycle(4, 1);
+        RootedTree::new(&g, &g.full_edge_set(), 0);
+    }
+
+    #[test]
+    fn partial_tree_only_contains_component() {
+        let mut g = Graph::new(4);
+        let a = g.add_edge(0, 1, 1);
+        let _b = g.add_edge(2, 3, 1);
+        let set = EdgeSet::from_ids(g.m(), [a]);
+        let t = RootedTree::new(&g, &set, 0);
+        assert!(t.contains(0));
+        assert!(t.contains(1));
+        assert!(!t.contains(2));
+        assert_eq!(t.len(), 2);
+    }
+}

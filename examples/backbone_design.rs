@@ -1,0 +1,90 @@
+//! Backbone design: the weighted network-design scenario that motivates the
+//! paper. A wide-area backbone is modelled as a ring of regional clusters
+//! (high diameter, like a national ring topology) with cheap intra-cluster
+//! links and expensive long-haul links. We compare:
+//!
+//! * MST only (cheapest, zero fault tolerance),
+//! * the weighted 2-ECSS algorithm of Theorem 1.1,
+//! * the weighted 3-ECSS via the k-ECSS driver of Theorem 1.2,
+//! * the unweighted sparse certificate of [36] (ignores link costs).
+//!
+//! Run with: `cargo run --example backbone_design`
+
+use graphs::{connectivity, generators, mst, Graph};
+use kecss::kecss as kecss_alg;
+use kecss::{baselines, lower_bounds, two_ecss};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A ring of `clusters` clusters with `size` routers each: intra-cluster links
+/// cost 1..=10, inter-cluster long-haul links cost 50..=100. Three parallel
+/// long-haul links join consecutive clusters so the backbone is
+/// 3-edge-connected.
+fn backbone(clusters: usize, size: usize, rng: &mut impl Rng) -> Graph {
+    let base = generators::ring_of_cliques(clusters, size, 3, 1);
+    let mut g = Graph::new(base.n());
+    for (_, e) in base.edges() {
+        let same_cluster = e.u / size == e.v / size;
+        let w = if same_cluster { rng.gen_range(1..=10) } else { rng.gen_range(50..=100) };
+        g.add_edge(e.u, e.v, w);
+    }
+    g
+}
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let graph = backbone(8, 6, &mut rng);
+    let diameter = graphs::bfs::diameter(&graph).expect("backbone is connected");
+    println!(
+        "backbone: {} routers, {} links, diameter {}, connectivity {}",
+        graph.n(),
+        graph.m(),
+        diameter,
+        connectivity::edge_connectivity(&graph)
+    );
+    let lb2 = lower_bounds::k_ecss_lower_bound(&graph, 2);
+    let lb3 = lower_bounds::k_ecss_lower_bound(&graph, 3);
+
+    let tree = mst::kruskal(&graph);
+    println!("\n{:<34} {:>8} {:>8} {:>10}", "design", "edges", "cost", "rounds");
+    println!("{:<34} {:>8} {:>8} {:>10}", "MST (no fault tolerance)", tree.len(), graph.weight_of(&tree), "-");
+
+    let two = two_ecss::solve(&graph, &mut rng).expect("2-edge-connected input");
+    println!(
+        "{:<34} {:>8} {:>8} {:>10}",
+        "weighted 2-ECSS (Thm 1.1)",
+        two.subgraph.len(),
+        two.weight,
+        two.ledger.total()
+    );
+
+    let three = kecss_alg::solve(&graph, 3, &mut rng).expect("3-edge-connected input");
+    println!(
+        "{:<34} {:>8} {:>8} {:>10}",
+        "weighted 3-ECSS (Thm 1.2)",
+        three.subgraph.len(),
+        three.weight,
+        three.ledger.total()
+    );
+
+    let cert = baselines::thurimella::sparse_certificate(&graph, 3);
+    println!(
+        "{:<34} {:>8} {:>8} {:>10}",
+        "sparse certificate [36] (unweighted)",
+        cert.edges.len(),
+        cert.weight,
+        cert.ledger.total()
+    );
+
+    println!("\nlower bounds: 2-ECSS >= {lb2}, 3-ECSS >= {lb3}");
+    println!(
+        "the weighted algorithms pay {:.2}x / {:.2}x the lower bound; the unweighted certificate pays {:.2}x for k = 3",
+        two.weight as f64 / lb2 as f64,
+        three.weight as f64 / lb3 as f64,
+        cert.weight as f64 / lb3 as f64
+    );
+
+    assert!(connectivity::is_k_edge_connected_in(&graph, &two.subgraph, 2));
+    assert!(connectivity::is_k_edge_connected_in(&graph, &three.subgraph, 3));
+}

@@ -1,0 +1,44 @@
+//! Quickstart: build a small weighted network, compute a minimum-weight
+//! 2-edge-connected spanning subgraph with the distributed algorithm of
+//! Theorem 1.1, and inspect the result.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use graphs::{connectivity, generators, mst};
+use kecss::{lower_bounds, metrics::ApproxReport, two_ecss};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2018);
+
+    // A random 2-edge-connected network of 48 routers with link costs in 1..=100.
+    let graph = generators::random_weighted_k_edge_connected(48, 2, 96, 100, &mut rng);
+    println!(
+        "input: n = {}, m = {}, diameter = {:?}, total link cost = {}",
+        graph.n(),
+        graph.m(),
+        graphs::bfs::diameter(&graph),
+        graph.total_weight()
+    );
+
+    // The MST alone is cheap but a single link failure partitions it.
+    let tree = mst::kruskal(&graph);
+    println!("MST weight: {} ({} edges) — not fault tolerant", graph.weight_of(&tree), tree.len());
+
+    // Distributed weighted 2-ECSS (Theorem 1.1): O(log n)-approximation in
+    // O((D + sqrt(n)) log^2 n) CONGEST rounds.
+    let solution = two_ecss::solve(&graph, &mut rng).expect("the input is 2-edge-connected");
+    assert!(connectivity::is_k_edge_connected_in(&graph, &solution.subgraph, 2));
+
+    let report = ApproxReport::new(solution.weight, lower_bounds::k_ecss_lower_bound(&graph, 2));
+    println!(
+        "2-ECSS: {} edges, weight {}, {} TAP iterations",
+        solution.subgraph.len(),
+        solution.weight,
+        solution.tap_iterations
+    );
+    println!("approximation: {report}");
+    println!("\nCONGEST round breakdown:");
+    print!("{}", solution.ledger);
+}

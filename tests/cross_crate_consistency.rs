@@ -1,0 +1,150 @@
+//! Consistency between the three layers of the workspace: the sequential
+//! graph algorithms (`graphs`), the message-level CONGEST programs
+//! (`congest::programs`) and the round-accounting model (`congest::accounting`)
+//! used by the high-level algorithms in `kecss`.
+
+use congest::programs::bfs::DistributedBfs;
+use congest::programs::boruvka::DistributedBoruvka;
+use congest::programs::collective::{local_trees, PipelinedBroadcast, SumConvergecast};
+use congest::{CostModel, Network};
+use graphs::{bfs, connectivity, generators, mst, RootedTree};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn distributed_bfs_matches_sequential_bfs_and_the_cost_model() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for n in [16usize, 36, 64] {
+        let g = generators::random_k_edge_connected(n, 2, n, &mut rng);
+        let reference = bfs::bfs(&g, 0);
+        let mut net = Network::new(&g);
+        let outcome = net.run(DistributedBfs::programs(&g, 0), 10_000).unwrap();
+        let (_, dists) = DistributedBfs::extract(&outcome);
+        for v in 0..g.n() {
+            assert_eq!(dists[v] as usize, reference.dist[v], "vertex {v}, n = {n}");
+        }
+        let model = CostModel::new(g.n(), bfs::diameter(&g).unwrap());
+        assert!(
+            outcome.report.rounds <= model.bfs_construction() + 1,
+            "measured BFS rounds exceed the accounting model's charge"
+        );
+    }
+}
+
+#[test]
+fn distributed_boruvka_matches_kruskal() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    for n in [10usize, 18, 30] {
+        let g = generators::random_weighted_k_edge_connected(n, 2, n, 100, &mut rng);
+        let mut net = Network::new(&g);
+        let budget = DistributedBoruvka::round_budget(&g) + 10;
+        let outcome = net.run(DistributedBoruvka::programs(&g), budget).unwrap();
+        let dist_mst = DistributedBoruvka::mst_edges(&outcome, &g);
+        let seq_mst = mst::kruskal(&g);
+        assert_eq!(dist_mst.len(), g.n() - 1, "n = {n}");
+        assert!(connectivity::is_connected_in(&g, &dist_mst));
+        assert_eq!(
+            g.weight_of(&dist_mst),
+            g.weight_of(&seq_mst),
+            "n = {n}: the message-level MST must have the same weight as Kruskal"
+        );
+    }
+}
+
+#[test]
+fn pipelined_broadcast_round_count_matches_the_model_charge() {
+    let g = generators::grid(3, 12, 1);
+    let tree = RootedTree::new(&g, &mst::kruskal(&g), 0);
+    let items: Vec<u64> = (0..25).collect();
+    let model = CostModel::new(g.n(), bfs::diameter(&g).unwrap());
+    let mut net = Network::new(&g);
+    let outcome = net
+        .run(PipelinedBroadcast::programs(&local_trees(&tree, g.n()), items.clone()), 10_000)
+        .unwrap();
+    assert!(outcome.nodes.iter().all(|p| p.received() == items.as_slice()));
+    // The model charges D + items; the measured rounds use the tree's depth,
+    // which is at most ~2D for an MST-rooted tree of a grid. Allow that slack.
+    assert!(outcome.report.rounds <= 2 * model.broadcast(items.len() as u64) + 2);
+}
+
+#[test]
+fn convergecast_totals_match_a_direct_sum() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let g = generators::random_k_edge_connected(28, 2, 30, &mut rng);
+    let tree = RootedTree::new(&g, &mst::kruskal(&g), 0);
+    let values: Vec<u64> = (0..g.n() as u64).map(|v| v * 3 + 1).collect();
+    let expected: u64 = values.iter().sum();
+    let mut net = Network::new(&g);
+    let outcome = net.run(SumConvergecast::programs(&local_trees(&tree, g.n()), &values), 10_000).unwrap();
+    assert_eq!(SumConvergecast::root_total(&outcome), expected);
+}
+
+#[test]
+fn congest_message_budget_is_respected_by_all_programs() {
+    let g = generators::torus(4, 4, 1);
+    let mut net = Network::new(&g);
+    let bfs_run = net.run(DistributedBfs::programs(&g, 0), 1_000).unwrap();
+    assert!(bfs_run.report.max_message_words <= congest::Message::DEFAULT_WORD_BUDGET);
+    let mut net = Network::new(&g);
+    let boruvka = net
+        .run(DistributedBoruvka::programs(&g), DistributedBoruvka::round_budget(&g) + 5)
+        .unwrap();
+    assert!(boruvka.report.max_message_words <= congest::Message::DEFAULT_WORD_BUDGET);
+}
+
+#[test]
+fn cost_model_square_root_term_matches_decomposition_granularity() {
+    // The accounting model's sqrt(n) is exactly the scale the decomposition
+    // targets, so the number of segments stays within a small factor of it.
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let g = generators::random_weighted_k_edge_connected(225, 2, 450, 40, &mut rng);
+    let tree = RootedTree::new(&g, &mst::kruskal(&g), 0);
+    let decomposition = kecss::decomposition::Decomposition::build(&g, &tree);
+    let model = CostModel::new(g.n(), bfs::diameter(&g).unwrap());
+    assert!(decomposition.num_segments() as u64 <= 16 * model.sqrt_n());
+    assert!(decomposition.max_segment_diameter(&g, &tree) as u64 <= 4 * model.sqrt_n() + 2);
+}
+
+#[test]
+fn message_level_circulation_labels_classify_like_the_centralized_sampler() {
+    // The distributed labelling (congest::programs::circulation) and the
+    // centralized sampler (kecss::cycle_space) draw different random labels,
+    // but they must induce the *same equivalence classes* on the edges of a
+    // 2-edge-connected subgraph: two edges share a label iff they are a cut
+    // pair (Property 5.1), regardless of which implementation produced the
+    // labels.
+    use congest::programs::circulation::CirculationLabeling;
+    use kecss::cycle_space::Circulation;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let g = generators::random_k_edge_connected(18, 2, 8, &mut rng);
+    let h = g.full_edge_set();
+    let bfs_tree = bfs::bfs(&g, 0);
+    let tree = RootedTree::new(&g, &bfs_tree.tree_edges(&g), 0);
+
+    // Message-level labels.
+    let mut net = Network::new(&g);
+    let programs = CirculationLabeling::programs(&g, &h, &tree, 64, 0xC0FFEE);
+    let outcome = net.run(programs, 10_000).expect("labelling terminates");
+    let distributed = CirculationLabeling::collect_labels(&outcome, &g);
+
+    // Centralized labels.
+    let centralized = Circulation::sample(&g, &h, &tree, 64, &mut rng);
+
+    let ids: Vec<graphs::EdgeId> = h.iter().collect();
+    for i in 0..ids.len() {
+        for j in (i + 1)..ids.len() {
+            let a = ids[i];
+            let b = ids[j];
+            let same_distributed = distributed[a.index()] == distributed[b.index()];
+            let same_centralized = centralized.label(a) == centralized.label(b);
+            assert_eq!(
+                same_distributed, same_centralized,
+                "implementations disagree on pair ({a:?}, {b:?})"
+            );
+        }
+    }
+    // The labelling run respects the CONGEST constraints and depth bound.
+    assert!(outcome.report.max_message_words <= congest::Message::DEFAULT_WORD_BUDGET);
+    assert!(outcome.report.rounds <= tree.height() as u64 + 3);
+}

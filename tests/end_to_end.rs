@@ -1,0 +1,151 @@
+//! End-to-end integration tests: the full pipelines of Theorems 1.1, 1.2 and
+//! 1.3 on a variety of topologies, certified with the exact connectivity
+//! verifier and measured against lower bounds / baselines.
+
+use graphs::{connectivity, generators, mst};
+use kecss::baselines::{exact, greedy, thurimella};
+use kecss::kecss as kecss_alg;
+use kecss::{lower_bounds, tap, three_ecss, two_ecss};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn two_ecss_pipeline_on_multiple_topologies() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let instances: Vec<(&str, graphs::Graph)> = vec![
+        ("random", generators::random_weighted_k_edge_connected(60, 2, 120, 40, &mut rng)),
+        ("torus", generators::torus(6, 6, 7)),
+        ("ring of cliques", generators::ring_of_cliques(6, 5, 2, 3)),
+        ("harary", generators::harary(2, 41, 9)),
+    ];
+    for (name, graph) in instances {
+        let sol = two_ecss::solve(&graph, &mut rng)
+            .unwrap_or_else(|e| panic!("{name}: solve failed: {e}"));
+        assert!(
+            connectivity::is_k_edge_connected_in(&graph, &sol.subgraph, 2),
+            "{name}: output must be 2-edge-connected"
+        );
+        let lb = lower_bounds::k_ecss_lower_bound(&graph, 2);
+        assert!(sol.weight >= lb, "{name}: weight below the lower bound?!");
+        let bound = lb as f64 * (4.0 * (graph.n() as f64).log2() + 4.0);
+        assert!(
+            (sol.weight as f64) <= bound,
+            "{name}: weight {} exceeds O(log n) * LB = {bound:.0}",
+            sol.weight
+        );
+        assert!(sol.ledger.total() > 0);
+    }
+}
+
+#[test]
+fn k_ecss_pipeline_produces_certified_subgraphs_for_k_up_to_four() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    for k in 1..=4usize {
+        let graph = generators::random_weighted_k_edge_connected(24, k, 48, 25, &mut rng);
+        let sol = kecss_alg::solve(&graph, k, &mut rng).expect("valid instance");
+        assert!(
+            connectivity::is_k_edge_connected_in(&graph, &sol.subgraph, k),
+            "k = {k}: output must be {k}-edge-connected"
+        );
+        assert_eq!(sol.levels.len(), k);
+        // The subgraph never costs more than the whole graph and never less
+        // than the lower bound.
+        assert!(sol.weight <= graph.total_weight());
+        assert!(sol.weight >= lower_bounds::k_ecss_lower_bound(&graph, k));
+    }
+}
+
+#[test]
+fn three_ecss_pipeline_is_competitive_with_the_general_algorithm() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let graph = generators::random_k_edge_connected(40, 3, 80, &mut rng);
+    let fast = three_ecss::solve(&graph, &mut rng).expect("3-edge-connected instance");
+    let general = kecss_alg::solve(&graph, 3, &mut rng).expect("3-edge-connected instance");
+    assert!(connectivity::is_k_edge_connected_in(&graph, &fast.subgraph, 3));
+    assert!(connectivity::is_k_edge_connected_in(&graph, &general.subgraph, 3));
+    // Quality: both are O(log n) approximations of the same optimum; neither
+    // should be wildly worse than the other.
+    let fast_size = fast.size as f64;
+    let general_size = general.subgraph.len() as f64;
+    assert!(fast_size <= 3.0 * general_size + 10.0);
+    assert!(general_size <= 3.0 * fast_size + 10.0);
+}
+
+#[test]
+fn distributed_solutions_track_the_exact_optimum_on_small_instances() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let mut checked = 0;
+    for seed in 0..8u64 {
+        let mut inner = ChaCha8Rng::seed_from_u64(100 + seed);
+        let graph = generators::random_weighted_k_edge_connected(8, 2, 4, 12, &mut inner);
+        let Some(opt) = exact::min_k_ecss(&graph, 2) else { continue };
+        let sol = two_ecss::solve(&graph, &mut rng).expect("2-edge-connected instance");
+        assert!(sol.weight >= opt.weight);
+        let log_bound = 4.0 * ((graph.n() as f64).log2() + 1.0);
+        assert!(
+            (sol.weight as f64) <= log_bound * opt.weight as f64,
+            "seed {seed}: {} vs OPT {}",
+            sol.weight,
+            opt.weight
+        );
+        checked += 1;
+    }
+    assert!(checked >= 4, "the exact solver must handle most tiny instances");
+}
+
+#[test]
+fn tap_and_greedy_agree_on_feasibility_and_are_comparable() {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let graph = generators::random_weighted_k_edge_connected(36, 2, 70, 30, &mut rng);
+    let tree = mst::kruskal(&graph);
+    let distributed = tap::solve(&graph, &tree, &mut rng).expect("2-edge-connected instance");
+    let sequential = greedy::tap(&graph, &tree);
+    for (name, edges) in [("distributed", &distributed.augmentation), ("greedy", &sequential.edges)] {
+        let union = tree.union(edges);
+        assert!(
+            connectivity::is_two_edge_connected_in(&graph, &union),
+            "{name} augmentation must make the tree 2-edge-connected"
+        );
+    }
+    assert!(distributed.weight as f64 <= 6.0 * sequential.weight.max(1) as f64);
+}
+
+#[test]
+fn weighted_algorithms_beat_the_unweighted_certificate_on_skewed_weights() {
+    // Cheap Harary core + expensive decoy edges with smaller ids: the
+    // weight-oblivious certificate picks expensive edges, the weighted
+    // algorithm must not.
+    let n = 30;
+    let mut graph = graphs::Graph::new(n);
+    for v in 0..n {
+        graph.add_edge(v, (v + 1) % n, 500);
+        graph.add_edge(v, (v + 3) % n, 500);
+    }
+    // Cheap core: the circulant step-7 cycle (gcd(7, 30) = 1, so it is a
+    // single spanning cycle and a feasible 2-ECSS of weight n on its own).
+    for v in 0..n {
+        graph.add_edge(v, (v + 7) % n, 1);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let ours = two_ecss::solve(&graph, &mut rng).expect("2-edge-connected instance");
+    let cert = thurimella::sparse_certificate(&graph, 2);
+    assert!(connectivity::is_k_edge_connected_in(&graph, &cert.edges, 2));
+    assert!(
+        ours.weight * 3 < cert.weight,
+        "weighted algorithm ({}) should be far cheaper than the certificate ({})",
+        ours.weight,
+        cert.weight
+    );
+}
+
+#[test]
+fn ledgers_reflect_the_expected_dominant_phases() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let graph = generators::random_weighted_k_edge_connected(80, 2, 160, 60, &mut rng);
+    let sol = two_ecss::solve(&graph, &mut rng).expect("2-edge-connected instance");
+    let breakdown = sol.ledger.breakdown();
+    assert!(breakdown.iter().any(|(phase, _)| phase == "2ecss/mst"));
+    assert!(breakdown.iter().any(|(phase, _)| phase == "tap/iterations"));
+    // TAP iterations dominate the total (the log^2 n factor).
+    assert!(sol.ledger.phase("tap/iterations") >= sol.ledger.phase("2ecss/mst"));
+}

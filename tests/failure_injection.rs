@@ -1,0 +1,111 @@
+//! Failure-injection tests: the whole point of a k-ECSS is surviving edge
+//! failures, so the outputs are exercised against exhaustive and randomized
+//! failure sets (not just certified by the max-flow verifier).
+
+use graphs::{connectivity, generators, EdgeId, EdgeSet, Graph};
+use kecss::kecss as kecss_alg;
+use kecss::{three_ecss, two_ecss};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn assert_survives_all_single_failures(graph: &Graph, design: &EdgeSet) {
+    for e in design.iter() {
+        assert!(
+            connectivity::is_connected_after_removal(graph, design, &[e]),
+            "removing {e:?} disconnects the design"
+        );
+    }
+}
+
+fn assert_survives_all_double_failures(graph: &Graph, design: &EdgeSet) {
+    let edges: Vec<EdgeId> = design.iter().collect();
+    for i in 0..edges.len() {
+        for j in (i + 1)..edges.len() {
+            assert!(
+                connectivity::is_connected_after_removal(graph, design, &[edges[i], edges[j]]),
+                "removing {:?} and {:?} disconnects the design",
+                edges[i],
+                edges[j]
+            );
+        }
+    }
+}
+
+#[test]
+fn two_ecss_survives_every_single_link_failure() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    for n in [16usize, 32, 64] {
+        let graph = generators::random_weighted_k_edge_connected(n, 2, 2 * n, 40, &mut rng);
+        let sol = two_ecss::solve(&graph, &mut rng).expect("2-edge-connected instance");
+        assert_survives_all_single_failures(&graph, &sol.subgraph);
+    }
+}
+
+#[test]
+fn three_ecss_survives_every_double_link_failure() {
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let graph = generators::random_k_edge_connected(24, 3, 48, &mut rng);
+    let sol = three_ecss::solve(&graph, &mut rng).expect("3-edge-connected instance");
+    assert_survives_all_single_failures(&graph, &sol.subgraph);
+    assert_survives_all_double_failures(&graph, &sol.subgraph);
+}
+
+#[test]
+fn k_ecss_survives_random_failure_sets_of_size_k_minus_one() {
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    for k in 2..=4usize {
+        let graph = generators::random_weighted_k_edge_connected(20, k, 50, 15, &mut rng);
+        let sol = kecss_alg::solve(&graph, k, &mut rng).expect("k-edge-connected instance");
+        let edges: Vec<EdgeId> = sol.subgraph.iter().collect();
+        for trial in 0..200 {
+            let removed: Vec<EdgeId> =
+                edges.choose_multiple(&mut rng, k - 1).copied().collect();
+            assert!(
+                connectivity::is_connected_after_removal(&graph, &sol.subgraph, &removed),
+                "k = {k}, trial {trial}: removing {removed:?} disconnected the design"
+            );
+        }
+    }
+}
+
+#[test]
+fn mst_alone_fails_single_link_failures_that_the_two_ecss_survives() {
+    let mut rng = ChaCha8Rng::seed_from_u64(19);
+    let graph = generators::random_weighted_k_edge_connected(30, 2, 60, 25, &mut rng);
+    let sol = two_ecss::solve(&graph, &mut rng).expect("2-edge-connected instance");
+    let tree = &sol.tree;
+    // Every MST edge is a single point of failure of the MST…
+    let some_bridge = tree.iter().next().unwrap();
+    assert!(!connectivity::is_connected_after_removal(&graph, tree, &[some_bridge]));
+    // …but not of the augmented design.
+    assert!(connectivity::is_connected_after_removal(&graph, &sol.subgraph, &[some_bridge]));
+}
+
+#[test]
+fn double_failures_can_break_a_two_ecss_but_never_a_three_ecss() {
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let graph = generators::random_k_edge_connected(20, 3, 60, &mut rng);
+    let two = two_ecss::solve(&graph, &mut rng).expect("2-edge-connected instance");
+    let three = three_ecss::solve(&graph, &mut rng).expect("3-edge-connected instance");
+    // A minimal-ish 2-ECSS has some pair of edges whose removal disconnects it
+    // (otherwise it would already be 3-edge-connected — possible but rare; in
+    // that case the assertion about the 3-ECSS still holds and we skip this
+    // part).
+    let edges: Vec<EdgeId> = two.subgraph.iter().collect();
+    let mut found_weakness = false;
+    'outer: for i in 0..edges.len() {
+        for j in (i + 1)..edges.len() {
+            if !connectivity::is_connected_after_removal(&graph, &two.subgraph, &[edges[i], edges[j]]) {
+                found_weakness = true;
+                break 'outer;
+            }
+        }
+    }
+    if connectivity::is_k_edge_connected_in(&graph, &two.subgraph, 3) {
+        assert!(!found_weakness);
+    } else {
+        assert!(found_weakness, "a 2-but-not-3-edge-connected design must have a weak pair");
+    }
+    assert_survives_all_double_failures(&graph, &three.subgraph);
+}

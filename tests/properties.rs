@@ -1,0 +1,163 @@
+//! Property-based tests (proptest) for the core invariants:
+//!
+//! * every solver output is k-edge-connected and within the proven
+//!   approximation factor of a certified lower bound;
+//! * cycle-space labels agree with ground-truth cut pairs;
+//! * the decomposition invariants hold on arbitrary random trees;
+//! * cost-effectiveness rounding brackets the exact value;
+//! * edge-set algebra behaves like set algebra.
+
+use graphs::{connectivity, generators, mst, EdgeId, EdgeSet, RootedTree};
+use kecss::cover::Rounded;
+use kecss::cycle_space::Circulation;
+use kecss::decomposition::Decomposition;
+use kecss::{lower_bounds, tap, two_ecss};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Theorem 1.1 output is always 2-edge-connected and within the
+    /// logarithmic factor of the lower bound, for arbitrary instance seeds.
+    #[test]
+    fn two_ecss_is_always_feasible_and_bounded(
+        n in 8usize..40,
+        extra in 0usize..40,
+        max_w in 1u64..80,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let graph = generators::random_weighted_k_edge_connected(n, 2, extra, max_w, &mut rng);
+        let sol = two_ecss::solve(&graph, &mut rng).expect("instance is 2-edge-connected");
+        prop_assert!(connectivity::is_k_edge_connected_in(&graph, &sol.subgraph, 2));
+        let lb = lower_bounds::k_ecss_lower_bound(&graph, 2);
+        prop_assert!(sol.weight >= lb);
+        let bound = (lb as f64) * (6.0 * (n as f64).log2() + 6.0);
+        prop_assert!((sol.weight as f64) <= bound, "weight {} > bound {bound}", sol.weight);
+    }
+
+    /// The TAP augmentation never contains tree edges and always covers every
+    /// tree edge.
+    #[test]
+    fn tap_augmentation_covers_every_tree_edge(
+        n in 6usize..32,
+        extra in 2usize..30,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let graph = generators::random_weighted_k_edge_connected(n, 2, extra, 30, &mut rng);
+        let tree = mst::kruskal(&graph);
+        let sol = tap::solve(&graph, &tree, &mut rng).expect("instance is 2-edge-connected");
+        for id in sol.augmentation.iter() {
+            prop_assert!(!tree.contains(id));
+        }
+        let rooted = RootedTree::new(&graph, &tree, 0);
+        // Every tree edge lies on the fundamental path of some chosen edge.
+        let mut covered = vec![false; graph.n()];
+        for id in sol.augmentation.iter() {
+            let e = graph.edge(id);
+            for child in rooted.path_edge_children(e.u, e.v) {
+                covered[child] = true;
+            }
+        }
+        for child in rooted.edge_children() {
+            prop_assert!(covered[child], "tree edge of child {child} left uncovered");
+        }
+    }
+
+    /// Cycle-space labels with 64 bits classify cut pairs exactly on small
+    /// graphs (the w.h.p. guarantee is overwhelming at this size).
+    #[test]
+    fn circulation_labels_match_ground_truth(
+        n in 6usize..18,
+        extra in 0usize..10,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let graph = generators::random_k_edge_connected(n, 2, extra, &mut rng);
+        let h = graph.full_edge_set();
+        let bfs = graphs::bfs::bfs(&graph, 0);
+        let tree = RootedTree::new(&graph, &bfs.tree_edges(&graph), 0);
+        let circulation = Circulation::sample(&graph, &h, &tree, 64, &mut rng);
+        let ids: Vec<EdgeId> = h.iter().collect();
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                let same = circulation.label(ids[i]) == circulation.label(ids[j]);
+                let cut = !connectivity::is_connected_after_removal(&graph, &h, &[ids[i], ids[j]]);
+                prop_assert_eq!(same, cut, "pair {:?} {:?}", ids[i], ids[j]);
+            }
+        }
+    }
+
+    /// Decomposition invariants hold for arbitrary random connected graphs and
+    /// fragment targets.
+    #[test]
+    fn decomposition_invariants_hold(
+        n in 4usize..120,
+        p in 0.01f64..0.3,
+        target in 2usize..16,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let graph = generators::random_connected(n, p, &mut rng);
+        let tree_edges = mst::kruskal(&graph);
+        let tree = RootedTree::new(&graph, &tree_edges, 0);
+        let d = Decomposition::build_with_target(&graph, &tree, target);
+        d.assert_invariants(&graph, &tree);
+        // Property 1 of Lemma 3.4: every vertex has a marked ancestor within
+        // the fragment height.
+        for v in 0..graph.n() {
+            let mut cur = v;
+            let mut steps = 0usize;
+            while !d.is_marked(cur) {
+                cur = tree.parent(cur).expect("unmarked vertices cannot be the root");
+                steps += 1;
+                prop_assert!(steps <= target + 1, "vertex {v} has no nearby marked ancestor");
+            }
+        }
+    }
+
+    /// Rounded cost-effectiveness always brackets the exact value within a
+    /// factor of two, and the ordering is consistent with the exact values
+    /// whenever they differ by at least a factor of two.
+    #[test]
+    fn rounding_brackets_exact_cost_effectiveness(c1 in 1usize..500, w1 in 1u64..500, c2 in 1usize..500, w2 in 1u64..500) {
+        let r1 = Rounded::of(c1, w1).unwrap();
+        let r2 = Rounded::of(c2, w2).unwrap();
+        let e1 = kecss::cover::exact(c1, w1);
+        let e2 = kecss::cover::exact(c2, w2);
+        prop_assert!(r1.as_f64() >= e1 - 1e-9 && r1.as_f64() < 2.0 * e1 + 1e-9);
+        if e1 >= 2.0 * e2 {
+            prop_assert!(r1 >= r2);
+        }
+    }
+
+    /// EdgeSet algebra: union/intersection/difference sizes satisfy
+    /// inclusion–exclusion and subset relations.
+    #[test]
+    fn edge_set_algebra(universe in 1usize..200, xs in prop::collection::vec(0usize..200, 0..50), ys in prop::collection::vec(0usize..200, 0..50)) {
+        let a = EdgeSet::from_ids(universe, xs.into_iter().filter(|&x| x < universe).map(EdgeId));
+        let b = EdgeSet::from_ids(universe, ys.into_iter().filter(|&y| y < universe).map(EdgeId));
+        let union = a.union(&b);
+        let inter = a.intersection(&b);
+        let diff = a.difference(&b);
+        prop_assert_eq!(union.len() + inter.len(), a.len() + b.len());
+        prop_assert_eq!(diff.len() + inter.len(), a.len());
+        prop_assert!(inter.is_subset_of(&a) && inter.is_subset_of(&b));
+        prop_assert!(a.is_subset_of(&union) && b.is_subset_of(&union));
+    }
+
+    /// The MST is never heavier than any spanning connected edge subset we can
+    /// derive from a BFS tree.
+    #[test]
+    fn mst_weight_is_minimal_among_spanning_trees(n in 4usize..40, extra in 0usize..40, seed in 0u64..1_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let graph = generators::random_weighted_k_edge_connected(n, 2, extra, 60, &mut rng);
+        let mst_edges = mst::kruskal(&graph);
+        let bfs_tree = graphs::bfs::bfs(&graph, 0).tree_edges(&graph);
+        prop_assert!(graph.weight_of(&mst_edges) <= graph.weight_of(&bfs_tree));
+        prop_assert_eq!(mst_edges.len(), graph.n() - 1);
+    }
+}
