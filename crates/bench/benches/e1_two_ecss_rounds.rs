@@ -6,9 +6,9 @@
 //! (which should stay roughly constant as `n` grows if the shape is right).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use kecss::two_ecss;
 use kecss_bench::table::Table;
 use kecss_bench::workloads::{self, Topology};
-use kecss::two_ecss;
 use std::time::Duration;
 
 fn shape(n: usize, d: usize) -> f64 {
@@ -17,7 +17,17 @@ fn shape(n: usize, d: usize) -> f64 {
 }
 
 fn print_series() {
-    let mut table = Table::new(["topology", "n", "m", "D", "rounds", "(D+sqrt n)log^2 n", "ratio", "weight", "tap iters"]);
+    let mut table = Table::new([
+        "topology",
+        "n",
+        "m",
+        "D",
+        "rounds",
+        "(D+sqrt n)log^2 n",
+        "ratio",
+        "weight",
+        "tap iters",
+    ]);
     for topology in [Topology::Random, Topology::RingOfCliques, Topology::Torus] {
         for n in [64usize, 128, 256, 512, 1024] {
             let graph = workloads::weighted_instance(topology, n, 2, 100, 0xE1 + n as u64);

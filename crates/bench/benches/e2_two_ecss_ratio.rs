@@ -15,10 +15,19 @@ use kecss_bench::workloads::{self, Topology};
 use std::time::Duration;
 
 fn print_exact_comparison() {
-    let mut table = Table::new(["instance", "OPT", "distributed", "greedy", "dist/OPT", "greedy/OPT"]);
+    let mut table = Table::new([
+        "instance",
+        "OPT",
+        "distributed",
+        "greedy",
+        "dist/OPT",
+        "greedy/OPT",
+    ]);
     for seed in 0..6u64 {
         let graph = workloads::weighted_instance(Topology::Random, 8, 2, 20, 0xE2_00 + seed);
-        let Some(opt) = exact::min_k_ecss(&graph, 2) else { continue };
+        let Some(opt) = exact::min_k_ecss(&graph, 2) else {
+            continue;
+        };
         let mut rng = workloads::rng(seed);
         let dist = two_ecss::solve(&graph, &mut rng).expect("2-edge-connected instance");
         let greedy_sol = greedy::k_ecss(&graph, 2);

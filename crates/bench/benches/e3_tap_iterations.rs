@@ -15,8 +15,15 @@ use kecss_bench::workloads::{self, Topology};
 use std::time::Duration;
 
 fn print_series() {
-    let mut table =
-        Table::new(["topology", "n", "iterations", "log^2 n", "iters/log^2 n", "weight", "greedy weight"]);
+    let mut table = Table::new([
+        "topology",
+        "n",
+        "iterations",
+        "log^2 n",
+        "iters/log^2 n",
+        "weight",
+        "greedy weight",
+    ]);
     for topology in [Topology::Random, Topology::RingOfCliques] {
         for n in [64usize, 128, 256, 512, 1024] {
             let graph = workloads::weighted_instance(topology, n, 2, 1_000, 0xE3 + n as u64);

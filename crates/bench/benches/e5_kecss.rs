@@ -32,7 +32,13 @@ fn print_series() {
     ]);
     for k in [2usize, 3, 4] {
         for n in [32usize, 64, 96] {
-            let graph = workloads::weighted_instance(Topology::Random, n, k, 20, 0xE5 + (k * 1000 + n) as u64);
+            let graph = workloads::weighted_instance(
+                Topology::Random,
+                n,
+                k,
+                20,
+                0xE5 + (k * 1000 + n) as u64,
+            );
             let d = workloads::report_diameter(&graph);
             let mut rng = workloads::rng(0xE5_10 + (k * 1000 + n) as u64);
             let sol = kecss_alg::solve(&graph, k, &mut rng).expect("instance is k-edge-connected");

@@ -22,7 +22,14 @@ fn spanning_tree(graph: &graphs::Graph) -> RootedTree {
 }
 
 fn print_exactness() {
-    let mut table = Table::new(["n", "m", "true cut pairs", "label cut pairs (b=64)", "false pos", "false neg"]);
+    let mut table = Table::new([
+        "n",
+        "m",
+        "true cut pairs",
+        "label cut pairs (b=64)",
+        "false pos",
+        "false neg",
+    ]);
     for n in [16usize, 32, 64] {
         // A sparse 2-edge-connected graph (cycle-like Harary base plus a few
         // chords) has many genuine cut pairs to detect.
@@ -62,7 +69,12 @@ fn print_error_decay() {
     let h = graph.full_edge_set();
     let tree = spanning_tree(&graph);
     let pairs_total = h.len() * (h.len() - 1) / 2;
-    let mut table = Table::new(["label bits b", "spurious pairs", "pair collision rate", "2^-b"]);
+    let mut table = Table::new([
+        "label bits b",
+        "spurious pairs",
+        "pair collision rate",
+        "2^-b",
+    ]);
     for bits in [1u32, 2, 4, 6, 8, 12, 16] {
         // Average over a few samples to smooth the small-count regime.
         let samples = 5;
@@ -80,7 +92,9 @@ fn print_error_decay() {
             format!("{:.5}", 0.5f64.powi(bits as i32)),
         ]);
     }
-    table.print("E7b: spurious collisions vs label width on a 3-edge-connected graph (Corollary 5.3)");
+    table.print(
+        "E7b: spurious collisions vs label width on a 3-edge-connected graph (Corollary 5.3)",
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -92,7 +106,9 @@ fn bench(c: &mut Criterion) {
     c.bench_function("e7/circulation_sampling_n256", |b| {
         b.iter(|| {
             let mut rng = workloads::rng(7);
-            Circulation::sample(&graph, &h, &tree, 64, &mut rng).label_classes(&h).len()
+            Circulation::sample(&graph, &h, &tree, 64, &mut rng)
+                .label_classes(&h)
+                .len()
         })
     });
 }

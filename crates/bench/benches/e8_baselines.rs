@@ -52,7 +52,12 @@ fn print_round_crossover() {
                 h_mst.to_string(),
                 format!("{ours:.0}"),
                 format!("{theirs:.0}"),
-                if ours < theirs { "Thm 1.1" } else { "[1] baseline" }.to_string(),
+                if ours < theirs {
+                    "Thm 1.1"
+                } else {
+                    "[1] baseline"
+                }
+                .to_string(),
             ]);
         }
     }
@@ -76,7 +81,7 @@ fn print_weight_comparison() {
         let greedy_sol = greedy::k_ecss(&graph, 2);
         let cert = thurimella::sparse_certificate(&graph, 2);
         table.push([
-            format!("adversarial weights"),
+            "adversarial weights".to_string(),
             graph.n().to_string(),
             ours.weight.to_string(),
             greedy_sol.weight.to_string(),
@@ -92,7 +97,7 @@ fn print_weight_comparison() {
         let greedy_sol = greedy::k_ecss(&graph, 2);
         let cert = thurimella::sparse_certificate(&graph, 2);
         table.push([
-            format!("random weights"),
+            "random weights".to_string(),
             graph.n().to_string(),
             ours.weight.to_string(),
             greedy_sol.weight.to_string(),
@@ -111,7 +116,9 @@ fn bench(c: &mut Criterion) {
     c.bench_function("e8/thurimella_certificate_n96", |b| {
         b.iter(|| thurimella::sparse_certificate(&graph, 2).edges.len())
     });
-    c.bench_function("e8/greedy_k_ecss_n96", |b| b.iter(|| greedy::k_ecss(&graph, 2).weight));
+    c.bench_function("e8/greedy_k_ecss_n96", |b| {
+        b.iter(|| greedy::k_ecss(&graph, 2).weight)
+    });
 }
 
 criterion_group! {

@@ -53,25 +53,39 @@ fn print_fragment_target_sweep() {
             dec.max_segment_diameter(&graph, &tree) as u64,
         );
         table.push([
-            if target == sqrt_n { format!("{target} (= sqrt n)") } else { target.to_string() },
+            if target == sqrt_n {
+                format!("{target} (= sqrt n)")
+            } else {
+                target.to_string()
+            },
             dec.num_segments().to_string(),
             dec.max_segment_diameter(&graph, &tree).to_string(),
             per_iter.to_string(),
             format!("{:.2}x", per_iter as f64 / reference as f64),
         ]);
     }
-    table.print("E9a: fragment-size target vs per-iteration TAP round cost (n = 1024, ring of cliques)");
+    table.print(
+        "E9a: fragment-size target vs per-iteration TAP round cost (n = 1024, ring of cliques)",
+    );
 }
 
 fn print_base_tree_ablation() {
-    let mut table = Table::new(["n", "MST+TAP weight", "BFS+TAP weight", "BFS/MST", "MST depth", "BFS depth"]);
+    let mut table = Table::new([
+        "n",
+        "MST+TAP weight",
+        "BFS+TAP weight",
+        "BFS/MST",
+        "MST depth",
+        "BFS depth",
+    ]);
     for n in [64usize, 128, 256] {
         let graph = workloads::weighted_instance(Topology::Random, n, 2, 100, 0xE9_10 + n as u64);
         let mut rng = workloads::rng(0xE9_20 + n as u64);
         let mst_based = two_ecss::solve(&graph, &mut rng).expect("2-edge-connected instance");
         // BFS-tree base: same TAP machinery, weight-oblivious tree.
         let bfs_tree = graphs::bfs::bfs(&graph, 0).tree_edges(&graph);
-        let tap_on_bfs = tap::solve(&graph, &bfs_tree, &mut rng).expect("2-edge-connected instance");
+        let tap_on_bfs =
+            tap::solve(&graph, &bfs_tree, &mut rng).expect("2-edge-connected instance");
         let bfs_weight = graph.weight_of(&bfs_tree) + tap_on_bfs.weight;
         let mst_depth = RootedTree::new(&graph, &mst::kruskal(&graph), 0).height();
         let bfs_depth = RootedTree::new(&graph, &bfs_tree, 0).height();
@@ -102,13 +116,17 @@ fn print_weighted_three_ecss_ablation() {
             continue;
         }
         let mut rng = workloads::rng(0xE9_40 + n as u64);
-        let weighted = three_ecss::solve_weighted(&graph, &mut rng).expect("3-edge-connected instance");
+        let weighted =
+            three_ecss::solve_weighted(&graph, &mut rng).expect("3-edge-connected instance");
         let unweighted = three_ecss::solve(&graph, &mut rng).expect("3-edge-connected instance");
         table.push([
             n.to_string(),
             weighted.weight.to_string(),
             unweighted.weight.to_string(),
-            format!("{:.2}", unweighted.weight as f64 / weighted.weight.max(1) as f64),
+            format!(
+                "{:.2}",
+                unweighted.weight as f64 / weighted.weight.max(1) as f64
+            ),
             weighted.ledger.total().to_string(),
             unweighted.ledger.total().to_string(),
         ]);

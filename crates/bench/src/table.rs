@@ -14,7 +14,10 @@ impl Table {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must have as many cells as there are headers).
@@ -28,7 +31,11 @@ impl Table {
         S: Into<String>,
     {
         let row: Vec<String> = row.into_iter().map(Into::into).collect();
-        assert_eq!(row.len(), self.headers.len(), "row width must match the header");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match the header"
+        );
         self.rows.push(row);
     }
 

@@ -127,7 +127,9 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "generate" => parse_generate(&rest),
         "solve" => parse_solve(&rest),
         "verify" => parse_verify(&rest),
-        other => Err(CliError::Usage(format!("unknown command '{other}'; try 'kecss help'"))),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'; try 'kecss help'"
+        ))),
     }
 }
 
@@ -146,7 +148,9 @@ number of vertices, every following line is 'u v weight'. Lines starting with
 '#' are ignored.
 ";
 
-fn flag_map<'a>(rest: &[&'a String]) -> Result<std::collections::HashMap<&'a str, &'a str>, CliError> {
+fn flag_map<'a>(
+    rest: &[&'a String],
+) -> Result<std::collections::HashMap<&'a str, &'a str>, CliError> {
     let mut map = std::collections::HashMap::new();
     let mut i = 0;
     while i < rest.len() {
@@ -167,7 +171,9 @@ fn required<'a>(
     map: &std::collections::HashMap<&'a str, &'a str>,
     key: &str,
 ) -> Result<&'a str, CliError> {
-    map.get(key).copied().ok_or_else(|| CliError::Usage(format!("missing required flag --{key}")))
+    map.get(key)
+        .copied()
+        .ok_or_else(|| CliError::Usage(format!("missing required flag --{key}")))
 }
 
 fn parse_number<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, CliError> {
@@ -181,9 +187,21 @@ fn parse_generate(rest: &[&String]) -> Result<Command, CliError> {
     Ok(Command::Generate {
         family: Family::parse(required(&map, "family")?)?,
         n: parse_number("n", required(&map, "n")?)?,
-        k: map.get("k").map(|v| parse_number("k", v)).transpose()?.unwrap_or(2),
-        max_weight: map.get("max-weight").map(|v| parse_number("max-weight", v)).transpose()?.unwrap_or(1),
-        seed: map.get("seed").map(|v| parse_number("seed", v)).transpose()?.unwrap_or(1),
+        k: map
+            .get("k")
+            .map(|v| parse_number("k", v))
+            .transpose()?
+            .unwrap_or(2),
+        max_weight: map
+            .get("max-weight")
+            .map(|v| parse_number("max-weight", v))
+            .transpose()?
+            .unwrap_or(1),
+        seed: map
+            .get("seed")
+            .map(|v| parse_number("seed", v))
+            .transpose()?
+            .unwrap_or(1),
         output: required(&map, "output")?.to_string(),
     })
 }
@@ -193,8 +211,16 @@ fn parse_solve(rest: &[&String]) -> Result<Command, CliError> {
     Ok(Command::Solve {
         input: required(&map, "input")?.to_string(),
         algorithm: Algorithm::parse(required(&map, "algorithm")?)?,
-        k: map.get("k").map(|v| parse_number("k", v)).transpose()?.unwrap_or(2),
-        seed: map.get("seed").map(|v| parse_number("seed", v)).transpose()?.unwrap_or(1),
+        k: map
+            .get("k")
+            .map(|v| parse_number("k", v))
+            .transpose()?
+            .unwrap_or(2),
+        seed: map
+            .get("seed")
+            .map(|v| parse_number("seed", v))
+            .transpose()?
+            .unwrap_or(1),
         output: map.get("output").map(|s| s.to_string()),
     })
 }
@@ -245,12 +271,30 @@ mod tests {
     #[test]
     fn generate_with_all_flags() {
         let cmd = parse(&argv(&[
-            "generate", "--family", "ring", "--n", "120", "--k", "3", "--max-weight", "50",
-            "--seed", "9", "--output", "x.graph",
+            "generate",
+            "--family",
+            "ring",
+            "--n",
+            "120",
+            "--k",
+            "3",
+            "--max-weight",
+            "50",
+            "--seed",
+            "9",
+            "--output",
+            "x.graph",
         ]))
         .unwrap();
         match cmd {
-            Command::Generate { family, n, k, max_weight, seed, .. } => {
+            Command::Generate {
+                family,
+                n,
+                k,
+                max_weight,
+                seed,
+                ..
+            } => {
                 assert_eq!(family, Family::RingOfCliques);
                 assert_eq!((n, k, max_weight, seed), (120, 3, 50, 9));
             }
@@ -285,12 +329,22 @@ mod tests {
         let err = parse(&argv(&["verify", "--input", "g.graph"])).unwrap_err();
         assert!(err.to_string().contains("--solution") || err.to_string().contains("missing"));
         let ok = parse(&argv(&[
-            "verify", "--input", "g.graph", "--solution", "s.edges", "--k", "3",
+            "verify",
+            "--input",
+            "g.graph",
+            "--solution",
+            "s.edges",
+            "--k",
+            "3",
         ]))
         .unwrap();
         assert_eq!(
             ok,
-            Command::Verify { input: "g.graph".into(), solution: "s.edges".into(), k: 3 }
+            Command::Verify {
+                input: "g.graph".into(),
+                solution: "s.edges".into(),
+                k: 3
+            }
         );
     }
 
@@ -298,9 +352,21 @@ mod tests {
     fn malformed_flags_are_usage_errors() {
         assert!(parse(&argv(&["generate", "oops"])).is_err());
         assert!(parse(&argv(&["generate", "--n"])).is_err());
-        assert!(parse(&argv(&["generate", "--family", "nope", "--n", "8", "--output", "x"])).is_err());
+        assert!(parse(&argv(&[
+            "generate", "--family", "nope", "--n", "8", "--output", "x"
+        ]))
+        .is_err());
         assert!(parse(&argv(&["solve", "--input", "g", "--algorithm", "magic"])).is_err());
-        assert!(parse(&argv(&["solve", "--input", "g", "--algorithm", "2ecss", "--k", "abc"])).is_err());
+        assert!(parse(&argv(&[
+            "solve",
+            "--input",
+            "g",
+            "--algorithm",
+            "2ecss",
+            "--k",
+            "abc"
+        ]))
+        .is_err());
         assert!(parse(&argv(&["nonsense"])).is_err());
     }
 }

@@ -22,7 +22,14 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             writeln!(out, "{}", crate::args::USAGE)?;
             Ok(())
         }
-        Command::Generate { family, n, k, max_weight, seed, output } => {
+        Command::Generate {
+            family,
+            n,
+            k,
+            max_weight,
+            seed,
+            output,
+        } => {
             let graph = generate(family, n, k, max_weight, seed)?;
             graph_io::write_graph(Path::new(&output), &graph)?;
             writeln!(
@@ -36,7 +43,13 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             )?;
             Ok(())
         }
-        Command::Solve { input, algorithm, k, seed, output } => {
+        Command::Solve {
+            input,
+            algorithm,
+            k,
+            seed,
+            output,
+        } => {
             let graph = graph_io::read_graph(Path::new(&input))?;
             let (edges, rounds, label) = solve(&graph, algorithm, k, seed)?;
             report(out, &graph, &edges, rounds, label, k_for(algorithm, k))?;
@@ -56,7 +69,11 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
                 solution,
                 edges.len(),
                 graph.weight_of(&edges),
-                if ok { format!("VALID {k}-edge-connected spanning subgraph") } else { format!("NOT {k}-edge-connected") }
+                if ok {
+                    format!("VALID {k}-edge-connected spanning subgraph")
+                } else {
+                    format!("NOT {k}-edge-connected")
+                }
             )?;
             if !ok {
                 return Err(CliError::Format(format!(
@@ -77,7 +94,13 @@ fn k_for(algorithm: Algorithm, k: usize) -> usize {
     }
 }
 
-fn generate(family: Family, n: usize, k: usize, max_weight: u64, seed: u64) -> Result<Graph, CliError> {
+fn generate(
+    family: Family,
+    n: usize,
+    k: usize,
+    max_weight: u64,
+    seed: u64,
+) -> Result<Graph, CliError> {
     if n < 3 {
         return Err(CliError::Usage("instances need at least 3 vertices".into()));
     }
@@ -115,19 +138,35 @@ fn solve(
     Ok(match algorithm {
         Algorithm::TwoEcss => {
             let sol = two_ecss::solve(graph, &mut rng)?;
-            (sol.subgraph, Some(sol.ledger.total()), "weighted 2-ECSS (Theorem 1.1)")
+            (
+                sol.subgraph,
+                Some(sol.ledger.total()),
+                "weighted 2-ECSS (Theorem 1.1)",
+            )
         }
         Algorithm::KEcss => {
             let sol = kecss_alg::solve(graph, k, &mut rng)?;
-            (sol.subgraph, Some(sol.ledger.total()), "weighted k-ECSS (Theorem 1.2)")
+            (
+                sol.subgraph,
+                Some(sol.ledger.total()),
+                "weighted k-ECSS (Theorem 1.2)",
+            )
         }
         Algorithm::ThreeEcss => {
             let sol = three_ecss::solve(graph, &mut rng)?;
-            (sol.subgraph, Some(sol.ledger.total()), "unweighted 3-ECSS (Theorem 1.3)")
+            (
+                sol.subgraph,
+                Some(sol.ledger.total()),
+                "unweighted 3-ECSS (Theorem 1.3)",
+            )
         }
         Algorithm::ThreeEcssWeighted => {
             let sol = three_ecss::solve_weighted(graph, &mut rng)?;
-            (sol.subgraph, Some(sol.ledger.total()), "weighted 3-ECSS (Section 5.4)")
+            (
+                sol.subgraph,
+                Some(sol.ledger.total()),
+                "weighted 3-ECSS (Section 5.4)",
+            )
         }
         Algorithm::Greedy => {
             let sol = greedy::k_ecss(graph, k);
@@ -135,7 +174,11 @@ fn solve(
         }
         Algorithm::Thurimella => {
             let sol = thurimella::sparse_certificate(graph, k);
-            (sol.edges, Some(sol.ledger.total()), "Thurimella sparse certificate [36]")
+            (
+                sol.edges,
+                Some(sol.ledger.total()),
+                "Thurimella sparse certificate [36]",
+            )
         }
         Algorithm::MstOnly => (mst::kruskal(graph), None, "minimum spanning tree"),
     })
@@ -151,15 +194,33 @@ fn report<W: Write>(
 ) -> Result<(), CliError> {
     let weight = graph.weight_of(edges);
     writeln!(out, "algorithm : {label}")?;
-    writeln!(out, "instance  : n = {}, m = {}, total weight {}", graph.n(), graph.m(), graph.total_weight())?;
+    writeln!(
+        out,
+        "instance  : n = {}, m = {}, total weight {}",
+        graph.n(),
+        graph.m(),
+        graph.total_weight()
+    )?;
     writeln!(out, "solution  : {} edges, weight {}", edges.len(), weight)?;
     if k >= 1 {
         let feasible = connectivity::is_k_edge_connected_in(graph, edges, k);
-        writeln!(out, "certified : {}", if feasible { format!("{k}-edge-connected ✓") } else { format!("NOT {k}-edge-connected ✗") })?;
+        writeln!(
+            out,
+            "certified : {}",
+            if feasible {
+                format!("{k}-edge-connected ✓")
+            } else {
+                format!("NOT {k}-edge-connected ✗")
+            }
+        )?;
         if graph.n() >= 2 && graph.neighbors(0).len() >= k {
             let lb = lower_bounds::k_ecss_lower_bound(graph, k.max(1));
             if lb > 0 {
-                writeln!(out, "ratio     : {:.3} vs the degree/MST lower bound {lb}", weight as f64 / lb as f64)?;
+                writeln!(
+                    out,
+                    "ratio     : {:.3} vs the degree/MST lower bound {lb}",
+                    weight as f64 / lb as f64
+                )?;
             }
         }
     }
@@ -209,7 +270,11 @@ mod tests {
         assert!(text.contains("2-edge-connected ✓"));
         assert!(text.contains("rounds"));
 
-        let text = run(Command::Verify { input: instance, solution, k: 2 });
+        let text = run(Command::Verify {
+            input: instance,
+            solution,
+            k: 2,
+        });
         assert!(text.contains("VALID"));
     }
 
@@ -233,7 +298,14 @@ mod tests {
             output: Some(solution.clone()),
         });
         let mut out = Vec::new();
-        let err = execute(Command::Verify { input: instance, solution, k: 2 }, &mut out);
+        let err = execute(
+            Command::Verify {
+                input: instance,
+                solution,
+                k: 2,
+            },
+            &mut out,
+        );
         assert!(err.is_err());
     }
 
@@ -264,7 +336,10 @@ mod tests {
                 seed: 4,
                 output: None,
             });
-            assert!(text.contains("solution"), "{algorithm:?} produced no report");
+            assert!(
+                text.contains("solution"),
+                "{algorithm:?} produced no report"
+            );
         }
     }
 

@@ -48,7 +48,9 @@ pub fn from_text(text: &str) -> Result<Graph, CliError> {
         let v = parse(parts.next(), "endpoint v")? as usize;
         let w = parse(parts.next(), "weight")?;
         if u >= n || v >= n || u == v {
-            return Err(CliError::Format(format!("edge line {idx}: invalid endpoints {u} {v}")));
+            return Err(CliError::Format(format!(
+                "edge line {idx}: invalid endpoints {u} {v}"
+            )));
         }
         graph.add_edge(u, v, w);
     }
@@ -122,7 +124,9 @@ pub fn solution_from_text(graph: &Graph, text: &str) -> Result<EdgeSet, CliError
             .and_then(|p| p.parse().ok())
             .ok_or_else(|| CliError::Format(format!("solution line {idx}: malformed endpoint")))?;
         if u >= graph.n() || v >= graph.n() {
-            return Err(CliError::Format(format!("solution line {idx}: endpoint out of range")));
+            return Err(CliError::Format(format!(
+                "solution line {idx}: endpoint out of range"
+            )));
         }
         let mut candidates: Vec<graphs::EdgeId> = graph
             .neighbors(u)

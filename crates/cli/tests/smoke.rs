@@ -1,0 +1,102 @@
+//! Workspace-seam smoke test: drives the full generate → solve → verify
+//! pipeline through `kecss_cli::run` on a tiny instance.
+
+use std::path::PathBuf;
+
+fn argv(args: &[&str]) -> Vec<String> {
+    args.iter().map(|s| s.to_string()).collect()
+}
+
+fn run(args: &[&str]) -> Result<String, kecss_cli::CliError> {
+    let mut out = Vec::new();
+    kecss_cli::run(&argv(args), &mut out)?;
+    Ok(String::from_utf8(out).expect("cli output is utf-8"))
+}
+
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn new(name: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("kecss-cli-smoke-{}-{name}", std::process::id()));
+        TempFile(path)
+    }
+    fn as_str(&self) -> &str {
+        self.0.to_str().expect("temp path is utf-8")
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn generate_solve_verify_pipeline() {
+    let instance = TempFile::new("instance.graph");
+    let solution = TempFile::new("solution.edges");
+
+    let out = run(&[
+        "generate",
+        "--family",
+        "random",
+        "--n",
+        "16",
+        "--k",
+        "2",
+        "--max-weight",
+        "20",
+        "--seed",
+        "5",
+        "--output",
+        instance.as_str(),
+    ])
+    .expect("generate succeeds");
+    assert!(
+        out.contains("16"),
+        "generate reports the instance size: {out}"
+    );
+
+    let out = run(&[
+        "solve",
+        "--input",
+        instance.as_str(),
+        "--algorithm",
+        "2ecss",
+        "--seed",
+        "5",
+        "--output",
+        solution.as_str(),
+    ])
+    .expect("solve succeeds");
+    assert!(out.contains("weight"), "solve reports a weight: {out}");
+
+    let out = run(&[
+        "verify",
+        "--input",
+        instance.as_str(),
+        "--solution",
+        solution.as_str(),
+        "--k",
+        "2",
+    ])
+    .expect("verify succeeds");
+    assert!(
+        out.to_lowercase().contains("ok") || out.contains("2-edge-connected"),
+        "verify reports success: {out}"
+    );
+}
+
+#[test]
+fn solve_rejects_missing_file() {
+    let err = run(&[
+        "solve",
+        "--input",
+        "/nonexistent/kecss.graph",
+        "--algorithm",
+        "2ecss",
+    ])
+    .expect_err("missing input must fail");
+    assert!(matches!(err, kecss_cli::CliError::Io(_)));
+}

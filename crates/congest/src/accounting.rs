@@ -127,7 +127,11 @@ pub struct RoundLedger {
 impl RoundLedger {
     /// Creates an empty ledger for the given cost model.
     pub fn new(model: CostModel) -> Self {
-        RoundLedger { model, total: 0, by_phase: BTreeMap::new() }
+        RoundLedger {
+            model,
+            total: 0,
+            by_phase: BTreeMap::new(),
+        }
     }
 
     /// The cost model this ledger charges against.
@@ -217,7 +221,10 @@ mod tests {
         assert_eq!(ledger.phase("a"), 7);
         assert_eq!(ledger.phase("b"), 7);
         assert_eq!(ledger.phase("missing"), 0);
-        assert_eq!(ledger.breakdown(), vec![("a".to_string(), 7), ("b".to_string(), 7)]);
+        assert_eq!(
+            ledger.breakdown(),
+            vec![("a".to_string(), 7), ("b".to_string(), 7)]
+        );
         assert_eq!(ledger.model(), m);
     }
 

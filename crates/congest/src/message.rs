@@ -39,7 +39,9 @@ impl Message {
     where
         I: IntoIterator<Item = u64>,
     {
-        Message { words: words.into_iter().collect() }
+        Message {
+            words: words.into_iter().collect(),
+        }
     }
 
     /// An empty message (a pure "pulse"); still counts as one message.

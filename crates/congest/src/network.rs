@@ -29,7 +29,9 @@ pub struct Outcome<P> {
 
 impl<P> fmt::Debug for Outcome<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Outcome").field("report", &self.report).finish_non_exhaustive()
+        f.debug_struct("Outcome")
+            .field("report", &self.report)
+            .finish_non_exhaustive()
     }
 }
 
@@ -74,7 +76,12 @@ impl fmt::Display for NetworkError {
             NetworkError::NotANeighbor { from, to } => {
                 write!(f, "vertex {from} attempted to send to non-neighbor {to}")
             }
-            NetworkError::MessageTooLarge { from, to, words, budget } => write!(
+            NetworkError::MessageTooLarge {
+                from,
+                to,
+                words,
+                budget,
+            } => write!(
                 f,
                 "message from {from} to {to} has {words} words, exceeding the budget of {budget}"
             ),
@@ -126,7 +133,10 @@ impl Network {
                     .collect(),
             })
             .collect();
-        Network { contexts, word_budget }
+        Network {
+            contexts,
+            word_budget,
+        }
     }
 
     /// Number of vertices.
@@ -159,7 +169,10 @@ impl Network {
     ) -> Result<Outcome<P>, NetworkError> {
         let n = self.contexts.len();
         if programs.len() != n {
-            return Err(NetworkError::WrongProgramCount { got: programs.len(), expected: n });
+            return Err(NetworkError::WrongProgramCount {
+                got: programs.len(),
+                expected: n,
+            });
         }
         let mut report = RunReport::default();
         let mut done = vec![false; n];
@@ -190,7 +203,8 @@ impl Network {
                     continue;
                 }
                 inboxes[v].sort_by_key(|m| m.from);
-                let result: StepResult = programs[v].step(&self.contexts[v], report.rounds, &inboxes[v]);
+                let result: StepResult =
+                    programs[v].step(&self.contexts[v], report.rounds, &inboxes[v]);
                 self.collect(v, result.outgoing, &mut pending, &mut report)?;
                 if result.done {
                     done[v] = true;
@@ -202,7 +216,10 @@ impl Network {
             std::mem::swap(&mut inboxes, &mut pending);
         }
 
-        Ok(Outcome { nodes: programs, report })
+        Ok(Outcome {
+            nodes: programs,
+            report,
+        })
     }
 
     fn collect(
@@ -229,7 +246,10 @@ impl Network {
             report.messages += 1;
             report.words += words as u64;
             report.max_message_words = report.max_message_words.max(words);
-            pending[to].push(Incoming { from, message: out.message });
+            pending[to].push(Incoming {
+                from,
+                message: out.message,
+            });
         }
         Ok(())
     }
@@ -296,7 +316,13 @@ mod tests {
         let mut net = Network::new(&g);
         let programs: Vec<Relay> = vec![];
         let err = net.run(programs, 10).unwrap_err();
-        assert!(matches!(err, NetworkError::WrongProgramCount { expected: 3, got: 0 }));
+        assert!(matches!(
+            err,
+            NetworkError::WrongProgramCount {
+                expected: 3,
+                got: 0
+            }
+        ));
     }
 
     struct TooChatty;
@@ -319,7 +345,10 @@ mod tests {
         let g = generators::path(2, 1);
         let mut net = Network::new(&g);
         let err = net.run(vec![TooChatty, TooChatty], 10).unwrap_err();
-        assert!(matches!(err, NetworkError::MessageTooLarge { words: 64, .. }));
+        assert!(matches!(
+            err,
+            NetworkError::MessageTooLarge { words: 64, .. }
+        ));
     }
 
     struct SendsToStranger;
@@ -364,11 +393,19 @@ mod tests {
     fn error_display_is_informative() {
         let e = NetworkError::NotANeighbor { from: 1, to: 9 };
         assert!(e.to_string().contains("non-neighbor"));
-        let e = NetworkError::MessageTooLarge { from: 0, to: 1, words: 8, budget: 3 };
+        let e = NetworkError::MessageTooLarge {
+            from: 0,
+            to: 1,
+            words: 8,
+            budget: 3,
+        };
         assert!(e.to_string().contains("budget"));
         let e = NetworkError::RoundLimitExceeded { limit: 5 };
         assert!(e.to_string().contains('5'));
-        let e = NetworkError::WrongProgramCount { got: 1, expected: 2 };
+        let e = NetworkError::WrongProgramCount {
+            got: 1,
+            expected: 2,
+        };
         assert!(e.to_string().contains("programs"));
     }
 

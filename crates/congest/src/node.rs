@@ -64,22 +64,34 @@ pub struct StepResult {
 impl StepResult {
     /// A step that sends nothing and keeps running.
     pub fn idle() -> Self {
-        StepResult { outgoing: Vec::new(), done: false }
+        StepResult {
+            outgoing: Vec::new(),
+            done: false,
+        }
     }
 
     /// A step that sends nothing and terminates the node.
     pub fn halt() -> Self {
-        StepResult { outgoing: Vec::new(), done: true }
+        StepResult {
+            outgoing: Vec::new(),
+            done: true,
+        }
     }
 
     /// A step that sends the given messages and keeps running.
     pub fn send(outgoing: Vec<Outgoing>) -> Self {
-        StepResult { outgoing, done: false }
+        StepResult {
+            outgoing,
+            done: false,
+        }
     }
 
     /// A step that sends the given messages and terminates the node.
     pub fn send_and_halt(outgoing: Vec<Outgoing>) -> Self {
-        StepResult { outgoing, done: true }
+        StepResult {
+            outgoing,
+            done: true,
+        }
     }
 }
 

@@ -2,8 +2,8 @@
 //! Section 1.3 of the paper).
 
 use crate::message::{Incoming, Message};
-use crate::node::{NodeContext, NodeProgram, Outgoing, StepResult};
 use crate::network::Outcome;
+use crate::node::{NodeContext, NodeProgram, Outgoing, StepResult};
 use graphs::{Graph, NodeId};
 
 /// Per-node program that builds a BFS tree rooted at a globally known vertex.
@@ -41,7 +41,11 @@ impl DistributedBfs {
     pub fn programs(graph: &Graph, root: NodeId) -> Vec<Self> {
         assert!(root < graph.n(), "root out of range");
         (0..graph.n())
-            .map(|_| DistributedBfs { root, dist: None, parent: None })
+            .map(|_| DistributedBfs {
+                root,
+                dist: None,
+                parent: None,
+            })
             .collect()
     }
 
@@ -65,12 +69,20 @@ impl DistributedBfs {
         let dists = outcome
             .nodes
             .iter()
-            .map(|p| p.dist.expect("BFS did not reach every vertex; is the graph connected?"))
+            .map(|p| {
+                p.dist
+                    .expect("BFS did not reach every vertex; is the graph connected?")
+            })
             .collect();
         (parents, dists)
     }
 
-    fn join_and_forward(&mut self, ctx: &NodeContext, dist: u64, parent: Option<NodeId>) -> StepResult {
+    fn join_and_forward(
+        &mut self,
+        ctx: &NodeContext,
+        dist: u64,
+        parent: Option<NodeId>,
+    ) -> StepResult {
         self.dist = Some(dist);
         self.parent = parent;
         let out = ctx
@@ -121,8 +133,8 @@ mod tests {
         let outcome = net.run(DistributedBfs::programs(&g, 0), 100).unwrap();
         let (_, dists) = DistributedBfs::extract(&outcome);
         let reference = seq_bfs::bfs(&g, 0);
-        for v in 0..g.n() {
-            assert_eq!(dists[v] as usize, reference.dist[v]);
+        for (v, &d) in dists.iter().enumerate() {
+            assert_eq!(d as usize, reference.dist[v]);
         }
         // Construction takes ecc(root) + O(1) rounds.
         assert!(outcome.report.rounds as usize <= reference.eccentricity() + 2);
@@ -164,8 +176,8 @@ mod tests {
             let outcome = net.run(DistributedBfs::programs(&g, root), 1000).unwrap();
             let (_, dists) = DistributedBfs::extract(&outcome);
             let reference = seq_bfs::bfs(&g, root);
-            for v in 0..g.n() {
-                assert_eq!(dists[v] as usize, reference.dist[v]);
+            for (v, &d) in dists.iter().enumerate() {
+                assert_eq!(d as usize, reference.dist[v]);
             }
         }
     }

@@ -11,8 +11,8 @@
 //! exactly the MST, and every message fits the CONGEST budget.
 
 use crate::message::{Incoming, Message};
-use crate::node::{NodeContext, NodeProgram, Outgoing, StepResult};
 use crate::network::Outcome;
+use crate::node::{NodeContext, NodeProgram, Outgoing, StepResult};
 use graphs::{EdgeId, EdgeSet, Graph, NodeId, Weight};
 
 /// Edge ordering key used to make the MST unique: `(weight, edge id)`.
@@ -104,7 +104,10 @@ impl DistributedBoruvka {
     where
         F: Fn() -> Message,
     {
-        ctx.neighbors.iter().map(|&(v, _, _)| Outgoing::new(v, make())).collect()
+        ctx.neighbors
+            .iter()
+            .map(|&(v, _, _)| Outgoing::new(v, make()))
+            .collect()
     }
 }
 
@@ -168,15 +171,16 @@ impl NodeProgram for DistributedBoruvka {
             }
             if self.best != INFINITY {
                 let edge = EdgeId(self.best.1 as usize);
-                if let Some(&(other, _, _)) =
-                    ctx.neighbors.iter().find(|(_, e, _)| *e == edge)
-                {
+                if let Some(&(other, _, _)) = ctx.neighbors.iter().find(|(_, e, _)| *e == edge) {
                     // Only the endpoint inside the fragment that selected this
                     // edge "owns" it; both endpoints may own it if the two
                     // fragments picked the same edge, which is fine.
                     if self.neighbor_fragment.get(&other).copied() != Some(self.fragment) {
                         self.chosen.insert(edge);
-                        out.push(Outgoing::new(other, Message::new([u64::MAX, edge.index() as u64])));
+                        out.push(Outgoing::new(
+                            other,
+                            Message::new([u64::MAX, edge.index() as u64]),
+                        ));
                     }
                 }
             }
@@ -240,7 +244,9 @@ mod tests {
     fn run_boruvka(g: &Graph) -> EdgeSet {
         let mut net = Network::new(g);
         let budget = DistributedBoruvka::round_budget(g) + 10;
-        let outcome = net.run(DistributedBoruvka::programs(g), budget).expect("boruvka terminates");
+        let outcome = net
+            .run(DistributedBoruvka::programs(g), budget)
+            .expect("boruvka terminates");
         DistributedBoruvka::mst_edges(&outcome, g)
     }
 
@@ -263,7 +269,10 @@ mod tests {
         let dist = run_boruvka(&g);
         let seq = mst::kruskal(&g);
         assert_eq!(dist.len(), 6);
-        assert_eq!(graphs::mst::forest_weight(&g, &dist), graphs::mst::forest_weight(&g, &seq));
+        assert_eq!(
+            graphs::mst::forest_weight(&g, &dist),
+            graphs::mst::forest_weight(&g, &seq)
+        );
         assert!(connectivity::is_connected_in(&g, &dist));
     }
 

@@ -19,8 +19,8 @@
 //! unweighted 3-ECSS algorithm of Section 5.
 
 use crate::message::{Incoming, Message};
-use crate::node::{NodeContext, NodeProgram, Outgoing, StepResult};
 use crate::network::Outcome;
+use crate::node::{NodeContext, NodeProgram, Outgoing, StepResult};
 use graphs::{EdgeId, EdgeSet, Graph, NodeId, RootedTree};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -66,16 +66,23 @@ impl CirculationLabeling {
         bits: u32,
         master_seed: u64,
     ) -> Vec<Self> {
-        assert!(bits >= 1 && bits <= 64, "label width must be between 1 and 64 bits");
+        assert!(
+            (1..=64).contains(&bits),
+            "label width must be between 1 and 64 bits"
+        );
         assert_eq!(tree.len(), graph.n(), "the tree must span the graph");
-        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         let tree_edges = tree.edge_set(graph);
         (0..graph.n())
             .map(|v| {
                 let non_tree = graph
                     .neighbors(v)
                     .iter()
-                    .filter(|&&(_, e, )| h.contains(e) && !tree_edges.contains(e))
+                    .filter(|&&(_, e)| h.contains(e) && !tree_edges.contains(e))
                     .map(|&(u, e)| (e, u, None))
                     .collect();
                 CirculationLabeling {
@@ -106,7 +113,10 @@ impl CirculationLabeling {
     /// The labels of the incident non-tree edges known to this vertex after
     /// the run.
     pub fn non_tree_labels(&self) -> Vec<(EdgeId, u64)> {
-        self.non_tree.iter().filter_map(|&(e, _, l)| l.map(|l| (e, l))).collect()
+        self.non_tree
+            .iter()
+            .filter_map(|&(e, _, l)| l.map(|l| (e, l)))
+            .collect()
     }
 
     /// Collects the full labelling (one label per edge of `H`) from a finished
@@ -127,7 +137,11 @@ impl CirculationLabeling {
     fn try_send_up(&mut self, ctx: &NodeContext) -> StepResult {
         let all_non_tree_known = self.non_tree.iter().all(|(_, _, l)| l.is_some());
         if self.pending_children > 0 || !all_non_tree_known || self.sent_up {
-            return if self.sent_up { StepResult::halt() } else { StepResult::idle() };
+            return if self.sent_up {
+                StepResult::halt()
+            } else {
+                StepResult::idle()
+            };
         }
         self.sent_up = true;
         let _ = ctx;
@@ -153,7 +167,10 @@ impl NodeProgram for CirculationLabeling {
                 let label = rng.gen::<u64>() & self.label_mask;
                 *label_slot = Some(label);
                 self.acc ^= label;
-                out.push(Outgoing::new(other, Message::new([edge.index() as u64, label])));
+                out.push(Outgoing::new(
+                    other,
+                    Message::new([edge.index() as u64, label]),
+                ));
             }
         }
         // Leaves with no non-tree edges could already report, but the network
@@ -193,7 +210,10 @@ mod tests {
         let mut net = Network::new(graph);
         let programs = CirculationLabeling::programs(graph, h, &tree, 64, seed);
         let outcome = net.run(programs, 10_000).expect("labelling terminates");
-        (CirculationLabeling::collect_labels(&outcome, graph), outcome.report.rounds)
+        (
+            CirculationLabeling::collect_labels(&outcome, graph),
+            outcome.report.rounds,
+        )
     }
 
     #[test]
@@ -248,7 +268,10 @@ mod tests {
         let (labels, _) = run_labelling(&g, &h, 11);
         let mut seen = std::collections::HashSet::new();
         for id in h.iter() {
-            assert!(seen.insert(labels[id.index()].unwrap()), "unexpected label collision in K7");
+            assert!(
+                seen.insert(labels[id.index()].unwrap()),
+                "unexpected label collision in K7"
+            );
         }
     }
 

@@ -8,8 +8,8 @@
 //! message-passing programs; the accounting model charges the same costs.
 
 use crate::message::{Incoming, Message};
-use crate::node::{NodeContext, NodeProgram, Outgoing, StepResult};
 use crate::network::Outcome;
+use crate::node::{NodeContext, NodeProgram, Outgoing, StepResult};
 use graphs::{EdgeSet, Graph, NodeId, RootedTree};
 
 /// Tree structure local to one vertex: its parent and children in a rooted
@@ -72,7 +72,11 @@ impl PipelinedBroadcast {
                 let is_root = t.parent.is_none();
                 PipelinedBroadcast {
                     tree: t.clone(),
-                    to_forward: if is_root { items.iter().copied().collect() } else { Default::default() },
+                    to_forward: if is_root {
+                        items.iter().copied().collect()
+                    } else {
+                        Default::default()
+                    },
                     received: if is_root { items.clone() } else { Vec::new() },
                     expected,
                     forwarded: 0,

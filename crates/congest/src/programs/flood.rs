@@ -24,7 +24,10 @@ impl FloodMinElection {
     /// Creates the program vector for a network of `n` vertices.
     pub fn programs(n: usize) -> Vec<Self> {
         (0..n)
-            .map(|v| FloodMinElection { best: v as u64, rounds_budget: n as u64 })
+            .map(|v| FloodMinElection {
+                best: v as u64,
+                rounds_budget: n as u64,
+            })
             .collect()
     }
 

@@ -1,0 +1,44 @@
+//! Workspace-seam smoke test: ledger accounting plus one genuine
+//! message-passing run through the public API only.
+
+use congest::{programs::bfs::DistributedBfs, CostModel, Network, RoundLedger};
+use graphs::generators;
+
+#[test]
+fn ledger_accounting_adds_up() {
+    let model = CostModel::new(100, 10);
+    let mut ledger = RoundLedger::new(model);
+    ledger.charge("setup/bfs", model.bfs_construction());
+    ledger.charge("solve/broadcast", model.broadcast(5));
+    ledger.charge("solve/mst", model.mst_kutten_peleg());
+    assert_eq!(
+        ledger.total(),
+        model.bfs_construction() + model.broadcast(5) + model.mst_kutten_peleg()
+    );
+    assert_eq!(ledger.phase("setup/bfs"), model.bfs_construction());
+    let breakdown = ledger.breakdown();
+    assert_eq!(breakdown.len(), 3);
+    assert_eq!(
+        breakdown.iter().map(|(_, r)| r).sum::<u64>(),
+        ledger.total()
+    );
+
+    // Absorbing a ledger merges phase-wise.
+    let mut other = RoundLedger::new(model);
+    other.charge("solve/mst", 7);
+    ledger.absorb(&other);
+    assert_eq!(ledger.phase("solve/mst"), model.mst_kutten_peleg() + 7);
+}
+
+#[test]
+fn bfs_program_runs_on_a_cycle() {
+    let g = generators::cycle(8, 1);
+    let mut net = Network::new(&g);
+    let outcome = net
+        .run(DistributedBfs::programs(&g, 0), 100)
+        .expect("bfs terminates");
+    // The cycle's BFS tree from any root has depth n/2 = 4.
+    assert!(outcome.report.rounds >= 4);
+    let (_, dists) = DistributedBfs::extract(&outcome);
+    assert_eq!(dists.iter().copied().max(), Some(4));
+}

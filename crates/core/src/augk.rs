@@ -75,7 +75,7 @@ pub struct ProbabilitySchedule {
 impl ProbabilitySchedule {
     /// Creates the schedule for a graph with `n` vertices and `m` edges.
     pub fn new(n: usize, m: usize) -> Self {
-        let start_exponent = (usize::BITS - m.max(2).leading_zeros()) as u32;
+        let start_exponent = usize::BITS - m.max(2).leading_zeros();
         let log_n = (usize::BITS - n.max(2).leading_zeros()) as u64;
         ProbabilitySchedule {
             exponent: start_exponent,
@@ -163,7 +163,11 @@ pub fn augment_with_model<R: Rng>(
     // O(#cuts · #candidates) instead of that much per iteration.
     let mut coverage: Vec<usize> = candidates_pool
         .iter()
-        .map(|&(_, u, v, _)| (0..family.len()).filter(|&c| family.crossed_by(c, u, v)).count())
+        .map(|&(_, u, v, _)| {
+            (0..family.len())
+                .filter(|&c| family.crossed_by(c, u, v))
+                .count()
+        })
         .collect();
 
     while uncovered > 0 {
@@ -188,7 +192,10 @@ pub fn augment_with_model<R: Rng>(
                 actual: connectivity::edge_connectivity(graph),
             });
         };
-        ledger.charge("augk/max_cost_effectiveness", model.convergecast(1) + model.broadcast(1));
+        ledger.charge(
+            "augk/max_cost_effectiveness",
+            model.convergecast(1) + model.broadcast(1),
+        );
 
         // Line 3: candidates of the maximum class become active with
         // probability p_i.
@@ -235,9 +242,9 @@ pub fn augment_with_model<R: Rng>(
                 if reweighted.contains(id) {
                     added.insert(id);
                     n_i += 1;
-                    for c in 0..family.len() {
-                        if !covered[c] && family.crossed_by(c, u, v) {
-                            covered[c] = true;
+                    for (c, cov) in covered.iter_mut().enumerate() {
+                        if !*cov && family.crossed_by(c, u, v) {
+                            *cov = true;
                             uncovered -= 1;
                             // Decrement every candidate that crossed this cut.
                             for (j, &(_, cu, cv, _)) in candidates_pool.iter().enumerate() {
@@ -257,7 +264,13 @@ pub fn augment_with_model<R: Rng>(
     }
 
     let weight = graph.weight_of(&added);
-    Ok(AugkSolution { added, weight, iterations, cuts_covered: family.len(), ledger })
+    Ok(AugkSolution {
+        added,
+        weight,
+        iterations,
+        cuts_covered: family.len(),
+        ledger,
+    })
 }
 
 fn validate(graph: &Graph, h: &EdgeSet, k: usize) -> Result<()> {
@@ -270,7 +283,10 @@ fn validate(graph: &Graph, h: &EdgeSet, k: usize) -> Result<()> {
         });
     }
     if k - 1 > cuts::MAX_CUT_SIZE {
-        return Err(Error::UnsupportedK { k, max: cuts::MAX_CUT_SIZE + 1 });
+        return Err(Error::UnsupportedK {
+            k,
+            max: cuts::MAX_CUT_SIZE + 1,
+        });
     }
     if !connectivity::is_k_edge_connected_in(graph, h, k - 1) {
         return Err(Error::InvalidSubgraph {
@@ -302,7 +318,10 @@ mod tests {
             let h = mst::kruskal(&g);
             let sol = augment(&g, &h, 2, &mut rng).unwrap();
             let union = h.union(&sol.added);
-            assert!(connectivity::is_k_edge_connected_in(&g, &union, 2), "n = {n}");
+            assert!(
+                connectivity::is_k_edge_connected_in(&g, &union, 2),
+                "n = {n}"
+            );
             assert_eq!(sol.weight, g.weight_of(&sol.added));
         }
     }
@@ -326,7 +345,7 @@ mod tests {
         let g = generators::random_weighted_k_edge_connected(30, 2, 60, 25, &mut rng);
         let h = mst::kruskal(&g);
         let sol = augment(&g, &h, 2, &mut rng).unwrap();
-        assert!(sol.added.len() <= g.n() - 1);
+        assert!(sol.added.len() < g.n());
         // No cycles: adding the edges one by one to a DSU never closes a loop.
         let mut dsu = graphs::dsu::DisjointSets::new(g.n());
         for id in sol.added.iter() {

@@ -32,7 +32,10 @@ pub struct BfsTwoEcssSolution {
 impl From<BfsTwoEcssSolution> for BaselineSolution {
     fn from(s: BfsTwoEcssSolution) -> Self {
         let weight = s.size as u64;
-        BaselineSolution { edges: s.edges, weight }
+        BaselineSolution {
+            edges: s.edges,
+            weight,
+        }
     }
 }
 
@@ -75,13 +78,13 @@ pub fn solve_with_model(graph: &Graph, model: CostModel) -> BfsTwoEcssSolution {
     }
     for &v in tree.bfs_order().iter().rev() {
         for &(d, id) in &incident[v] {
-            if best[v].map_or(true, |(bd, bid)| (d, id) < (bd, bid)) {
+            if best[v].is_none_or(|(bd, bid)| (d, id) < (bd, bid)) {
                 best[v] = Some((d, id));
             }
         }
         if let Some(p) = tree.parent(v) {
             if let Some(candidate) = best[v] {
-                if best[p].map_or(true, |b| candidate < b) {
+                if best[p].is_none_or(|b| candidate < b) {
                     best[p] = Some(candidate);
                 }
             }
@@ -96,8 +99,8 @@ pub fn solve_with_model(graph: &Graph, model: CostModel) -> BfsTwoEcssSolution {
         if v == tree.root() || covered[v] {
             continue;
         }
-        let (lca_depth, id) = best[v]
-            .expect("2-edge-connected graph: every subtree has an escaping non-tree edge");
+        let (lca_depth, id) =
+            best[v].expect("2-edge-connected graph: every subtree has an escaping non-tree edge");
         assert!(
             lca_depth < tree.depth(v),
             "the best escaping edge must cover the uncovered tree edge"
@@ -112,7 +115,12 @@ pub fn solve_with_model(graph: &Graph, model: CostModel) -> BfsTwoEcssSolution {
 
     let edges = tree_edges.union(&chosen);
     let size = edges.len();
-    BfsTwoEcssSolution { edges, tree: tree_edges, size, ledger }
+    BfsTwoEcssSolution {
+        edges,
+        tree: tree_edges,
+        size,
+        ledger,
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +136,10 @@ mod tests {
         for n in [8, 20, 60] {
             let g = generators::random_k_edge_connected(n, 2, 2 * n, &mut rng);
             let sol = solve(&g);
-            assert!(connectivity::is_two_edge_connected_in(&g, &sol.edges), "n = {n}");
+            assert!(
+                connectivity::is_two_edge_connected_in(&g, &sol.edges),
+                "n = {n}"
+            );
             assert_eq!(sol.size, sol.edges.len());
         }
     }

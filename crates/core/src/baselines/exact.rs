@@ -41,7 +41,10 @@ pub fn min_tap(graph: &Graph, tree_edges: &EdgeSet) -> Option<BaselineSolution> 
     if !connectivity::is_two_edge_connected_in(graph, &graph.full_edge_set()) {
         return None;
     }
-    let allowed: Vec<EdgeId> = graph.edge_ids().filter(|id| !tree_edges.contains(*id)).collect();
+    let allowed: Vec<EdgeId> = graph
+        .edge_ids()
+        .filter(|id| !tree_edges.contains(*id))
+        .collect();
     minimum_feasible_subset(graph, tree_edges, allowed, |edges| {
         connectivity::is_two_edge_connected_in(graph, edges)
     })
@@ -49,7 +52,10 @@ pub fn min_tap(graph: &Graph, tree_edges: &EdgeSet) -> Option<BaselineSolution> 
         // Report only the augmentation edges (exclude the fixed tree edges).
         let augmentation = sol.edges.difference(tree_edges);
         let weight = graph.weight_of(&augmentation);
-        BaselineSolution { edges: augmentation, weight }
+        BaselineSolution {
+            edges: augmentation,
+            weight,
+        }
     })
 }
 
@@ -68,7 +74,10 @@ pub fn min_augmentation(graph: &Graph, h: &EdgeSet, k: usize) -> Option<Baseline
     .map(|sol| {
         let augmentation = sol.edges.difference(h);
         let weight = graph.weight_of(&augmentation);
-        BaselineSolution { edges: augmentation, weight }
+        BaselineSolution {
+            edges: augmentation,
+            weight,
+        }
     })
 }
 
@@ -130,7 +139,13 @@ where
         }
     }
 
-    let mut search = Search { graph, allowed: &allowed, feasible, best_weight: u64::MAX, best: None };
+    let mut search = Search {
+        graph,
+        allowed: &allowed,
+        feasible,
+        best_weight: u64::MAX,
+        best: None,
+    };
     let mut current = everything;
     let total_allowed_weight: u64 = allowed.iter().map(|&id| graph.weight(id)).sum();
     // Seed the bound with "take everything" so the search always terminates
@@ -216,8 +231,7 @@ mod tests {
         for _ in 0..3 {
             let g = generators::random_weighted_k_edge_connected(8, 2, 6, 15, &mut rng);
             let tree = graphs::mst::kruskal(&g);
-            let non_tree: Vec<EdgeId> =
-                g.edge_ids().filter(|id| !tree.contains(*id)).collect();
+            let non_tree: Vec<EdgeId> = g.edge_ids().filter(|id| !tree.contains(*id)).collect();
             if non_tree.len() > 16 {
                 continue;
             }

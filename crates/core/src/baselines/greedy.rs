@@ -37,8 +37,11 @@ pub fn tap(graph: &Graph, tree_edges: &EdgeSet) -> BaselineSolution {
             if chosen.contains(id) {
                 continue;
             }
-            let path: Vec<usize> =
-                tree.path_edge_children(u, v).into_iter().filter(|&c| !covered[c]).collect();
+            let path: Vec<usize> = tree
+                .path_edge_children(u, v)
+                .into_iter()
+                .filter(|&c| !covered[c])
+                .collect();
             if path.is_empty() {
                 continue;
             }
@@ -61,7 +64,10 @@ pub fn tap(graph: &Graph, tree_edges: &EdgeSet) -> BaselineSolution {
     }
 
     let weight = graph.weight_of(&chosen);
-    BaselineSolution { edges: chosen, weight }
+    BaselineSolution {
+        edges: chosen,
+        weight,
+    }
 }
 
 /// Greedy augmentation of a `(size+1 - 1) = size`-cut family: cover every cut
@@ -89,8 +95,9 @@ pub fn augment_cuts(graph: &Graph, h: &EdgeSet, family: &CutFamily) -> BaselineS
             if chosen.contains(id) {
                 continue;
             }
-            let covers: Vec<usize> =
-                (0..family.len()).filter(|&c| !covered[c] && family.crossed_by(c, u, v)).collect();
+            let covers: Vec<usize> = (0..family.len())
+                .filter(|&c| !covered[c] && family.crossed_by(c, u, v))
+                .collect();
             if covers.is_empty() {
                 continue;
             }
@@ -113,7 +120,10 @@ pub fn augment_cuts(graph: &Graph, h: &EdgeSet, family: &CutFamily) -> BaselineS
     }
 
     let weight = graph.weight_of(&chosen);
-    BaselineSolution { edges: chosen, weight }
+    BaselineSolution {
+        edges: chosen,
+        weight,
+    }
 }
 
 /// Greedy weighted k-ECSS: MST for the first connectivity level, then greedy
@@ -150,7 +160,10 @@ mod tests {
             let tree = mst::kruskal(&g);
             let sol = tap(&g, &tree);
             let union = tree.union(&sol.edges);
-            assert!(connectivity::is_two_edge_connected_in(&g, &union), "n = {n}");
+            assert!(
+                connectivity::is_two_edge_connected_in(&g, &union),
+                "n = {n}"
+            );
             assert_eq!(sol.weight, g.weight_of(&sol.edges));
         }
     }
@@ -177,7 +190,10 @@ mod tests {
         let cheap = g.add_edge(0, 3, 3);
         let _ = expensive1;
         let _ = expensive2;
-        let tree = graphs::EdgeSet::from_ids(g.m(), [graphs::EdgeId(0), graphs::EdgeId(1), graphs::EdgeId(2)]);
+        let tree = graphs::EdgeSet::from_ids(
+            g.m(),
+            [graphs::EdgeId(0), graphs::EdgeId(1), graphs::EdgeId(2)],
+        );
         let sol = tap(&g, &tree);
         assert!(sol.edges.contains(cheap));
         assert_eq!(sol.weight, 3);

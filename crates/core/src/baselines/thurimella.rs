@@ -31,7 +31,10 @@ pub struct ThurimellaSolution {
 
 impl From<ThurimellaSolution> for BaselineSolution {
     fn from(s: ThurimellaSolution) -> Self {
-        BaselineSolution { edges: s.edges, weight: s.weight }
+        BaselineSolution {
+            edges: s.edges,
+            weight: s.weight,
+        }
     }
 }
 
@@ -42,7 +45,11 @@ pub fn sparse_certificate(graph: &Graph, k: usize) -> ThurimellaSolution {
 }
 
 /// Same as [`sparse_certificate`] with an explicit cost model.
-pub fn sparse_certificate_with_model(graph: &Graph, k: usize, model: CostModel) -> ThurimellaSolution {
+pub fn sparse_certificate_with_model(
+    graph: &Graph,
+    k: usize,
+    model: CostModel,
+) -> ThurimellaSolution {
     let mut ledger = RoundLedger::new(model);
     let mut remaining = graph.full_edge_set();
     let mut certificate = graph.empty_edge_set();
@@ -56,7 +63,11 @@ pub fn sparse_certificate_with_model(graph: &Graph, k: usize, model: CostModel) 
         }
     }
     let weight = graph.weight_of(&certificate);
-    ThurimellaSolution { edges: certificate, weight, ledger }
+    ThurimellaSolution {
+        edges: certificate,
+        weight,
+        ledger,
+    }
 }
 
 #[cfg(test)]

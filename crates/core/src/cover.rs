@@ -180,7 +180,10 @@ mod tests {
                 let rho = exact(covered, weight);
                 let rounded = Rounded::of(covered, weight).unwrap().as_f64();
                 assert!(rounded >= rho - 1e-12, "rounded {rounded} < rho {rho}");
-                assert!(rounded < 2.0 * rho + 1e-12, "rounded {rounded} >= 2 rho {rho}");
+                assert!(
+                    rounded < 2.0 * rho + 1e-12,
+                    "rounded {rounded} >= 2 rho {rho}"
+                );
             }
         }
     }
@@ -197,7 +200,10 @@ mod tests {
             assert!(w[0] < w[1]);
             assert!(w[0].as_f64() < w[1].as_f64());
         }
-        assert_eq!(Rounded::Exponent(2).max(Rounded::Exponent(1)), Rounded::Exponent(2));
+        assert_eq!(
+            Rounded::Exponent(2).max(Rounded::Exponent(1)),
+            Rounded::Exponent(2)
+        );
     }
 
     #[test]

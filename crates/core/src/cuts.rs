@@ -60,13 +60,19 @@ pub fn covers(graph: &Graph, h: &EdgeSet, cut: &[EdgeId], e: EdgeId) -> bool {
 /// Panics if `size` is 0 or greater than [`MAX_CUT_SIZE`], or if `h` is
 /// disconnected.
 pub fn cuts_of_size(graph: &Graph, h: &EdgeSet, size: usize) -> Vec<Cut> {
-    assert!(size >= 1 && size <= MAX_CUT_SIZE, "cut size {size} unsupported");
+    assert!(
+        (1..=MAX_CUT_SIZE).contains(&size),
+        "cut size {size} unsupported"
+    );
     assert!(
         connectivity::is_connected_in(graph, h),
         "cut enumeration requires a connected subgraph"
     );
     match size {
-        1 => connectivity::bridges_in(graph, h).into_iter().map(|b| vec![b]).collect(),
+        1 => connectivity::bridges_in(graph, h)
+            .into_iter()
+            .map(|b| vec![b])
+            .collect(),
         2 => cut_pairs(graph, h),
         3 => cut_triples(graph, h),
         _ => unreachable!("guarded by the assertion above"),
@@ -106,9 +112,13 @@ fn cut_triples(graph: &Graph, h: &EdgeSet) -> Vec<Cut> {
     let circulation = labels_for(graph, h);
     let ids: Vec<EdgeId> = h.iter().collect();
     // label -> edges with that label, for completing pairs into XOR-zero triples.
-    let mut by_label: std::collections::HashMap<u64, Vec<EdgeId>> = std::collections::HashMap::new();
+    let mut by_label: std::collections::HashMap<u64, Vec<EdgeId>> =
+        std::collections::HashMap::new();
     for &id in &ids {
-        by_label.entry(circulation.label(id).expect("edge of h has a label")).or_default().push(id);
+        by_label
+            .entry(circulation.label(id).expect("edge of h has a label"))
+            .or_default()
+            .push(id);
     }
     let mut out = Vec::new();
     for i in 0..ids.len() {
@@ -116,7 +126,9 @@ fn cut_triples(graph: &Graph, h: &EdgeSet) -> Vec<Cut> {
             let a = ids[i];
             let b = ids[j];
             let want = circulation.label(a).unwrap() ^ circulation.label(b).unwrap();
-            let Some(candidates) = by_label.get(&want) else { continue };
+            let Some(candidates) = by_label.get(&want) else {
+                continue;
+            };
             for &c in candidates {
                 if c <= b {
                     continue;
@@ -197,7 +209,9 @@ impl CutFamily {
 
     /// The indices of the cuts covered by an edge `{u, v}`.
     pub fn covered_by(&self, u: NodeId, v: NodeId) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.crossed_by(i, u, v)).collect()
+        (0..self.len())
+            .filter(|&i| self.crossed_by(i, u, v))
+            .collect()
     }
 }
 
@@ -332,7 +346,11 @@ mod tests {
         for i in 0..family.len() {
             let cut = family.cut(i).to_vec();
             let e = g.edge(chord);
-            assert_eq!(family.crossed_by(i, e.u, e.v), covers(&g, &h, &cut, chord), "cut {cut:?}");
+            assert_eq!(
+                family.crossed_by(i, e.u, e.v),
+                covers(&g, &h, &cut, chord),
+                "cut {cut:?}"
+            );
         }
         let covered = family.covered_by(0, 3);
         assert!(!covered.is_empty());

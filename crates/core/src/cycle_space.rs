@@ -44,8 +44,15 @@ impl Circulation {
         bits: u32,
         rng: &mut R,
     ) -> Self {
-        assert!(bits >= 1 && bits <= 64, "label width must be between 1 and 64 bits");
-        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        assert!(
+            (1..=64).contains(&bits),
+            "label width must be between 1 and 64 bits"
+        );
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         let mut labels: Vec<Option<u64>> = vec![None; graph.m()];
         // Accumulate, per vertex, the XOR of the labels of incident non-tree edges.
         let mut acc = vec![0u64; graph.n()];
@@ -68,7 +75,9 @@ impl Circulation {
         let mut subtree = acc;
         for &v in tree.bfs_order().iter().rev() {
             if let Some(p) = tree.parent(v) {
-                let edge = tree.parent_edge(v).expect("non-root vertex has a parent edge");
+                let edge = tree
+                    .parent_edge(v)
+                    .expect("non-root vertex has a parent edge");
                 labels[edge.index()] = Some(subtree[v]);
                 subtree[p] ^= subtree[v];
             }
@@ -162,7 +171,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let c = Circulation::sample(&g, &h, &tree, 64, &mut rng);
         let labels: Vec<u64> = h.iter().map(|e| c.label(e).unwrap()).collect();
-        assert!(labels.windows(2).all(|w| w[0] == w[1]), "every pair of cycle edges is a cut pair");
+        assert!(
+            labels.windows(2).all(|w| w[0] == w[1]),
+            "every pair of cycle edges is a cut pair"
+        );
         assert_eq!(c.cut_pairs(&h).len(), 6 * 5 / 2);
     }
 
@@ -173,7 +185,10 @@ mod tests {
         let tree = spanning_tree(&g, &h);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let c = Circulation::sample(&g, &h, &tree, 64, &mut rng);
-        assert!(c.cut_pairs(&h).is_empty(), "K6 is 5-edge-connected: no cut pairs");
+        assert!(
+            c.cut_pairs(&h).is_empty(),
+            "K6 is 5-edge-connected: no cut pairs"
+        );
         assert!(c.label_classes(&h).iter().all(|cl| cl.len() == 1));
     }
 

@@ -189,7 +189,12 @@ impl Decomposition {
             if segment_rooted_at[r_s] == usize::MAX {
                 segment_rooted_at[r_s] = idx;
             }
-            segments.push(Segment { root: r_s, descendant: d, highway, vertices: Vec::new() });
+            segments.push(Segment {
+                root: r_s,
+                descendant: d,
+                highway,
+                vertices: Vec::new(),
+            });
         }
 
         // Assign every vertex to its home segment.
@@ -241,15 +246,15 @@ impl Decomposition {
                 segments[segment_of[v]].vertices.push(v);
             }
         }
-        for idx in 0..segments.len() {
-            let r_s = segments[idx].root;
-            let d_s = segments[idx].descendant;
-            segments[idx].vertices.push(r_s);
+        for segment in &mut segments {
+            let r_s = segment.root;
+            let d_s = segment.descendant;
+            segment.vertices.push(r_s);
             if d_s != r_s {
-                segments[idx].vertices.push(d_s);
+                segment.vertices.push(d_s);
             }
-            segments[idx].vertices.sort_unstable();
-            segments[idx].vertices.dedup();
+            segment.vertices.sort_unstable();
+            segment.vertices.dedup();
         }
 
         Decomposition {
@@ -321,7 +326,11 @@ impl Decomposition {
 
     /// The number of tree edges on the longest highway.
     pub fn max_highway_len(&self) -> usize {
-        self.segments.iter().map(Segment::highway_len).max().unwrap_or(0)
+        self.segments
+            .iter()
+            .map(Segment::highway_len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Checks the structural invariants promised by Section 3.2 / Lemma 3.4
@@ -358,8 +367,13 @@ impl Decomposition {
                 }
                 let p = tree.parent(v).expect("non-root vertex has a parent");
                 if in_segment[p] {
-                    let e = tree.parent_edge(v).expect("non-root vertex has a parent edge");
-                    assert!(edge_seen.insert(e), "tree edge {e:?} belongs to two segments");
+                    let e = tree
+                        .parent_edge(v)
+                        .expect("non-root vertex has a parent edge");
+                    assert!(
+                        edge_seen.insert(e),
+                        "tree edge {e:?} belongs to two segments"
+                    );
                 }
             }
             // r_S is an ancestor of every vertex of the segment.
@@ -391,7 +405,10 @@ impl Decomposition {
         );
         // Every vertex is in some segment.
         for v in 0..n {
-            assert!(self.segment_of[v] < self.segments.len(), "vertex {v} has no segment");
+            assert!(
+                self.segment_of[v] < self.segments.len(),
+                "vertex {v} has no segment"
+            );
         }
     }
 }
@@ -570,7 +587,7 @@ mod tests {
             assert_eq!(*seg.highway.last().unwrap(), seg.root);
             assert_eq!(seg.highway_len() + 1, seg.highway.len());
             assert!(!seg.is_empty());
-            assert!(seg.len() >= 1);
+            assert!(seg.len() >= seg.highway.len());
             assert_eq!(seg.id(), (seg.root, seg.descendant));
             // Consecutive highway vertices are parent/child.
             for w in seg.highway.windows(2) {

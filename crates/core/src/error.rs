@@ -59,12 +59,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = Error::InsufficientConnectivity { required: 3, actual: 1 };
+        let e = Error::InsufficientConnectivity {
+            required: 3,
+            actual: 1,
+        };
         assert!(e.to_string().contains("3"));
         assert!(e.to_string().contains("1"));
         let e = Error::UnsupportedK { k: 9, max: 4 };
         assert!(e.to_string().contains("9"));
-        let e = Error::InvalidSubgraph { reason: "not spanning".into() };
+        let e = Error::InvalidSubgraph {
+            reason: "not spanning".into(),
+        };
         assert!(e.to_string().contains("not spanning"));
         assert!(Error::ZeroK.to_string().contains("at least 1"));
     }

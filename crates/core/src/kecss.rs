@@ -108,7 +108,12 @@ pub fn solve_with_model<R: Rng>(
     }
 
     let weight = graph.weight_of(&h);
-    Ok(KEcssSolution { subgraph: h, weight, levels, ledger })
+    Ok(KEcssSolution {
+        subgraph: h,
+        weight,
+        levels,
+        ledger,
+    })
 }
 
 #[cfg(test)]
@@ -163,7 +168,10 @@ mod tests {
             let lb = lower_bounds::k_ecss_lower_bound(&g, k);
             let ratio = sol.weight as f64 / lb as f64;
             let bound = 3.0 * k as f64 * ((g.n() as f64).log2() + 2.0);
-            assert!(ratio <= bound, "k = {k}: ratio {ratio:.2} exceeds {bound:.2}");
+            assert!(
+                ratio <= bound,
+                "k = {k}: ratio {ratio:.2} exceeds {bound:.2}"
+            );
         }
     }
 
@@ -185,10 +193,16 @@ mod tests {
         let g = generators::cycle(8, 1);
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         assert_eq!(solve(&g, 0, &mut rng).unwrap_err(), Error::ZeroK);
-        assert!(matches!(solve(&g, 10, &mut rng).unwrap_err(), Error::UnsupportedK { .. }));
+        assert!(matches!(
+            solve(&g, 10, &mut rng).unwrap_err(),
+            Error::UnsupportedK { .. }
+        ));
         assert_eq!(
             solve(&g, 3, &mut rng).unwrap_err(),
-            Error::InsufficientConnectivity { required: 3, actual: 2 }
+            Error::InsufficientConnectivity {
+                required: 3,
+                actual: 2
+            }
         );
     }
 

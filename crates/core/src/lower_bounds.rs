@@ -32,7 +32,11 @@ pub fn k_ecss_lower_bound(graph: &Graph, k: usize) -> Weight {
 pub fn degree_lower_bound(graph: &Graph, k: usize) -> Weight {
     let mut total: u128 = 0;
     for v in 0..graph.n() {
-        let mut weights: Vec<Weight> = graph.neighbors(v).iter().map(|&(_, e)| graph.weight(e)).collect();
+        let mut weights: Vec<Weight> = graph
+            .neighbors(v)
+            .iter()
+            .map(|&(_, e)| graph.weight(e))
+            .collect();
         assert!(
             weights.len() >= k,
             "vertex {v} has degree {} < k = {k}; no k-ECSS exists",
@@ -63,7 +67,11 @@ pub fn tap_lower_bound(graph: &Graph, tree_edges: &EdgeSet) -> Weight {
             cheapest[child] = cheapest[child].min(e.weight);
         }
     }
-    tree.edge_children().map(|c| cheapest[c]).filter(|&w| w != Weight::MAX).max().unwrap_or(0)
+    tree.edge_children()
+        .map(|c| cheapest[c])
+        .filter(|&w| w != Weight::MAX)
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -27,7 +27,10 @@ impl ApproxReport {
             weight >= lower_bound,
             "solution weight {weight} is below the claimed lower bound {lower_bound}"
         );
-        ApproxReport { weight, lower_bound }
+        ApproxReport {
+            weight,
+            lower_bound,
+        }
     }
 
     /// The measured approximation ratio (an upper bound on the true ratio).
@@ -45,7 +48,13 @@ impl ApproxReport {
 
 impl fmt::Display for ApproxReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "weight {} / LB {} = {:.3}x", self.weight, self.lower_bound, self.ratio())
+        write!(
+            f,
+            "weight {} / LB {} = {:.3}x",
+            self.weight,
+            self.lower_bound,
+            self.ratio()
+        )
     }
 }
 
@@ -63,7 +72,11 @@ pub struct RoundsPoint {
 
 impl fmt::Display for RoundsPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "n={:>6}  D={:>4}  rounds={:>10}", self.n, self.diameter, self.rounds)
+        write!(
+            f,
+            "n={:>6}  D={:>4}  rounds={:>10}",
+            self.n, self.diameter, self.rounds
+        )
     }
 }
 
@@ -96,7 +109,10 @@ impl RatioSummary {
 
     /// The maximum ratio observed (0.0 when empty).
     pub fn max_ratio(&self) -> f64 {
-        self.reports.iter().map(ApproxReport::ratio).fold(0.0, f64::max)
+        self.reports
+            .iter()
+            .map(ApproxReport::ratio)
+            .fold(0.0, f64::max)
     }
 
     /// The mean ratio (0.0 when empty).
@@ -155,7 +171,11 @@ mod tests {
 
     #[test]
     fn rounds_point_display() {
-        let p = RoundsPoint { n: 128, diameter: 9, rounds: 4000 };
+        let p = RoundsPoint {
+            n: 128,
+            diameter: 9,
+            rounds: 4000,
+        };
         let s = p.to_string();
         assert!(s.contains("128"));
         assert!(s.contains("4000"));

@@ -94,7 +94,13 @@ pub fn solve_with_model<R: Rng>(
     let non_tree: Vec<NonTreeEdge> = graph
         .edges()
         .filter(|(id, _)| !tree_edges.contains(*id))
-        .map(|(id, e)| NonTreeEdge { id, u: e.u, v: e.v, weight: e.weight, lca: tree.lca(e.u, e.v) })
+        .map(|(id, e)| NonTreeEdge {
+            id,
+            u: e.u,
+            v: e.v,
+            weight: e.weight,
+            lca: tree.lca(e.u, e.v),
+        })
         .collect();
 
     let mut augmentation = graph.empty_edge_set();
@@ -107,7 +113,10 @@ pub fn solve_with_model<R: Rng>(
             state.cover_path(&tree, e.u, e.v);
         }
     }
-    ledger.charge("tap/zero_weight_setup", iteration_rounds(&model, seg_count, seg_diam));
+    ledger.charge(
+        "tap/zero_weight_setup",
+        iteration_rounds(&model, seg_count, seg_diam),
+    );
 
     let mut iterations = 0u64;
     while state.uncovered > 0 {
@@ -116,7 +125,10 @@ pub fn solve_with_model<R: Rng>(
             "TAP exceeded the iteration safety cap; this indicates a bug"
         );
         iterations += 1;
-        ledger.charge("tap/iterations", iteration_rounds(&model, seg_count, seg_diam));
+        ledger.charge(
+            "tap/iterations",
+            iteration_rounds(&model, seg_count, seg_diam),
+        );
 
         // Line 1-2: rounded cost-effectiveness and the candidate set.
         let prefix = state.uncovered_prefix(&tree);
@@ -135,7 +147,10 @@ pub fn solve_with_model<R: Rng>(
         let Some(target_class) = best_class else {
             // No remaining edge covers anything, yet some tree edge is
             // uncovered: the input could not have been 2-edge-connected.
-            return Err(Error::InsufficientConnectivity { required: 2, actual: 1 });
+            return Err(Error::InsufficientConnectivity {
+                required: 2,
+                actual: 1,
+            });
         };
 
         // Line 3: candidates draw random ranks (the paper draws from
@@ -147,7 +162,11 @@ pub fn solve_with_model<R: Rng>(
                 !augmentation.contains(e.id)
                     && Rounded::of(coverage[*i], e.weight) == Some(target_class)
             })
-            .map(|(i, e)| Candidate { index: i, rank: rng.gen::<u64>(), id: e.id })
+            .map(|(i, e)| Candidate {
+                index: i,
+                rank: rng.gen::<u64>(),
+                id: e.id,
+            })
             .collect();
         candidates.sort_by_key(|c| (c.rank, c.id));
 
@@ -173,7 +192,12 @@ pub fn solve_with_model<R: Rng>(
     }
 
     let weight = graph.weight_of(&augmentation);
-    Ok(TapSolution { augmentation, weight, iterations, ledger })
+    Ok(TapSolution {
+        augmentation,
+        weight,
+        iterations,
+        ledger,
+    })
 }
 
 /// The CONGEST rounds of a single TAP iteration, as analysed in Section 3.1
@@ -187,7 +211,8 @@ pub fn iteration_rounds(model: &CostModel, segment_count: u64, segment_diameter:
     let max_ce = model.convergecast(1) + model.broadcast(1);
     // (II) best covering candidate: short-range scan, long-range
     // convergecast/broadcast of per-highway optima, mid-range scans.
-    let best_edge = scan + model.convergecast(segment_count) + model.broadcast(segment_count) + 2 * scan;
+    let best_edge =
+        scan + model.convergecast(segment_count) + model.broadcast(segment_count) + 2 * scan;
     // (III) vote counting mirrors the cost-effectiveness computation.
     let votes = model.broadcast(segment_count) + scan + model.edge_exchange();
     // Termination / coverage check over the BFS tree.
@@ -197,7 +222,9 @@ pub fn iteration_rounds(model: &CostModel, segment_count: u64, segment_diameter:
 
 fn validate(graph: &Graph, tree_edges: &EdgeSet) -> Result<()> {
     if graph.n() < 2 {
-        return Err(Error::InvalidSubgraph { reason: "graph has fewer than two vertices".into() });
+        return Err(Error::InvalidSubgraph {
+            reason: "graph has fewer than two vertices".into(),
+        });
     }
     if tree_edges.len() != graph.n() - 1 {
         return Err(Error::InvalidSubgraph {
@@ -209,10 +236,15 @@ fn validate(graph: &Graph, tree_edges: &EdgeSet) -> Result<()> {
         });
     }
     if !connectivity::is_connected_in(graph, tree_edges) {
-        return Err(Error::InvalidSubgraph { reason: "tree edges do not span the graph".into() });
+        return Err(Error::InvalidSubgraph {
+            reason: "tree edges do not span the graph".into(),
+        });
     }
     if !connectivity::is_two_edge_connected_in(graph, &graph.full_edge_set()) {
-        return Err(Error::InsufficientConnectivity { required: 2, actual: 1 });
+        return Err(Error::InsufficientConnectivity {
+            required: 2,
+            actual: 1,
+        });
     }
     Ok(())
 }
@@ -245,7 +277,11 @@ struct CoverState {
 impl CoverState {
     fn new(graph: &Graph) -> Self {
         let n = graph.n();
-        CoverState { covered: vec![false; n], uncovered: n - 1, skip: (0..n).collect() }
+        CoverState {
+            covered: vec![false; n],
+            uncovered: n - 1,
+            skip: (0..n).collect(),
+        }
     }
 
     /// The representative of `v`: the deepest vertex `w` on the path from `v`
@@ -269,7 +305,9 @@ impl CoverState {
                 debug_assert!(!self.covered[cur]);
                 self.covered[cur] = true;
                 self.uncovered -= 1;
-                let parent = tree.parent(cur).expect("deeper than the LCA implies a parent");
+                let parent = tree
+                    .parent(cur)
+                    .expect("deeper than the LCA implies a parent");
                 self.skip[cur] = parent;
                 cur = self.find(parent);
             }
@@ -322,7 +360,9 @@ impl CoverState {
                     if !self.covered[cur] {
                         votes[ci] += 1;
                     }
-                    let parent = tree.parent(cur).expect("deeper than the LCA implies a parent");
+                    let parent = tree
+                        .parent(cur)
+                        .expect("deeper than the LCA implies a parent");
                     assigned_skip[cur] = parent;
                     cur = find(&mut assigned_skip, parent);
                 }
@@ -410,7 +450,10 @@ mod tests {
         }
         // The distributed algorithm is an O(log n) approximation; against the
         // greedy (itself O(log n)) it should stay within a small constant.
-        assert!(worst <= 4.0, "distributed TAP is {worst:.2}x the greedy cost");
+        assert!(
+            worst <= 4.0,
+            "distributed TAP is {worst:.2}x the greedy cost"
+        );
     }
 
     #[test]
@@ -460,7 +503,13 @@ mod tests {
         let tree_edges = g.full_edge_set();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let err = solve(&g, &tree_edges, &mut rng).unwrap_err();
-        assert_eq!(err, Error::InsufficientConnectivity { required: 2, actual: 1 });
+        assert_eq!(
+            err,
+            Error::InsufficientConnectivity {
+                required: 2,
+                actual: 1
+            }
+        );
     }
 
     #[test]

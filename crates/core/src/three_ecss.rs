@@ -87,8 +87,15 @@ pub fn solve_with_model<R: Rng>(
     let h = base.edges.clone();
     let tree = RootedTree::new(graph, &base.tree, 0);
 
-    let (added, iterations) =
-        augment_to_three(graph, &h, &tree, /* weighted = */ false, model, rng, &mut ledger);
+    let (added, iterations) = augment_to_three(
+        graph,
+        &h,
+        &tree,
+        /* weighted = */ false,
+        model,
+        rng,
+        &mut ledger,
+    );
     Ok(assemble(graph, h, added, iterations, ledger))
 }
 
@@ -128,8 +135,15 @@ pub fn solve_weighted_with_model<R: Rng>(
     let h = mst_edges.union(&tap_solution.augmentation);
     let tree = RootedTree::new(graph, &mst_edges, 0);
 
-    let (added, iterations) =
-        augment_to_three(graph, &h, &tree, /* weighted = */ true, model, rng, &mut ledger);
+    let (added, iterations) = augment_to_three(
+        graph,
+        &h,
+        &tree,
+        /* weighted = */ true,
+        model,
+        rng,
+        &mut ledger,
+    );
     Ok(assemble(graph, h, added, iterations, ledger))
 }
 
@@ -153,7 +167,15 @@ fn assemble(
     let subgraph = h.union(&added);
     let size = subgraph.len();
     let weight = graph.weight_of(&subgraph);
-    ThreeEcssSolution { subgraph, base: h, added, size, weight, iterations, ledger }
+    ThreeEcssSolution {
+        subgraph,
+        base: h,
+        added,
+        size,
+        weight,
+        iterations,
+        ledger,
+    }
 }
 
 /// The Section 5.3 augmentation loop: cover every cut pair of `h ∪ A` using
@@ -197,7 +219,9 @@ fn augment_to_three<R: Rng>(
         ledger.charge("3ecss/labels", depth_rounds);
         let mut n_phi: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         for id in current.iter() {
-            *n_phi.entry(circulation.label(id).expect("edge of H ∪ A has a label")).or_insert(0) += 1;
+            *n_phi
+                .entry(circulation.label(id).expect("edge of H ∪ A has a label"))
+                .or_insert(0) += 1;
         }
         ledger.charge("3ecss/label_counts", depth_rounds);
 
@@ -205,7 +229,9 @@ fn augment_to_three<R: Rng>(
         // no tree edge is in a cut pair, hence there are no cut pairs at all
         // and H ∪ A is 3-edge-connected. This direction holds with certainty.
         let has_cut_pair_witness = tree.edge_children().any(|c| {
-            let t = tree.parent_edge(c).expect("non-root child has a parent edge");
+            let t = tree
+                .parent_edge(c)
+                .expect("non-root child has a parent edge");
             n_phi[&circulation.label(t).expect("tree edge has a label")] > 1
         });
         ledger.charge("3ecss/termination", model.convergecast(1));
@@ -224,9 +250,12 @@ fn augment_to_three<R: Rng>(
             if added.contains(id) {
                 continue;
             }
-            let mut on_path: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+            let mut on_path: std::collections::HashMap<u64, usize> =
+                std::collections::HashMap::new();
             for child in tree.path_edge_children(u, v) {
-                let t = tree.parent_edge(child).expect("non-root child has a parent edge");
+                let t = tree
+                    .parent_edge(child)
+                    .expect("non-root child has a parent edge");
                 let label = circulation.label(t).expect("tree edge has a label");
                 *on_path.entry(label).or_insert(0) += 1;
             }
@@ -241,8 +270,14 @@ fn augment_to_three<R: Rng>(
                 best_class = Some(best_class.map_or(class, |b| b.max(class)));
             }
         }
-        ledger.charge("3ecss/cost_effectiveness", depth_rounds + model.edge_exchange());
-        ledger.charge("3ecss/max_cost_effectiveness", model.convergecast(1) + model.broadcast(1));
+        ledger.charge(
+            "3ecss/cost_effectiveness",
+            depth_rounds + model.edge_exchange(),
+        );
+        ledger.charge(
+            "3ecss/max_cost_effectiveness",
+            model.convergecast(1) + model.broadcast(1),
+        );
 
         let Some(target_class) = best_class else {
             // No candidate covers anything although cut pairs remain: only
@@ -256,7 +291,8 @@ fn augment_to_three<R: Rng>(
         let p = schedule.probability(target_class);
         for (i, &(id, _, _, w)) in candidates_pool.iter().enumerate() {
             let weight_for_class = if weighted { w } else { 1 };
-            if added.contains(id) || Rounded::of(coverage[i], weight_for_class) != Some(target_class)
+            if added.contains(id)
+                || Rounded::of(coverage[i], weight_for_class) != Some(target_class)
             {
                 continue;
             }
@@ -312,7 +348,10 @@ mod tests {
             let lb = (3 * n).div_ceil(2);
             let ratio = sol.size as f64 / lb as f64;
             let bound = 2.0 + 2.0 * (n as f64).log2();
-            assert!(ratio <= bound, "n = {n}: ratio {ratio:.2} exceeds {bound:.2}");
+            assert!(
+                ratio <= bound,
+                "n = {n}: ratio {ratio:.2} exceeds {bound:.2}"
+            );
         }
     }
 
@@ -322,11 +361,17 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         assert_eq!(
             solve(&g, &mut rng).unwrap_err(),
-            Error::InsufficientConnectivity { required: 3, actual: 2 }
+            Error::InsufficientConnectivity {
+                required: 3,
+                actual: 2
+            }
         );
         assert_eq!(
             solve_weighted(&g, &mut rng).unwrap_err(),
-            Error::InsufficientConnectivity { required: 3, actual: 2 }
+            Error::InsufficientConnectivity {
+                required: 3,
+                actual: 2
+            }
         );
     }
 
@@ -371,7 +416,11 @@ mod tests {
         let g = generators::harary(3, 16, 1);
         let mut rng = ChaCha8Rng::seed_from_u64(13);
         let sol = solve(&g, &mut rng).unwrap();
-        assert_eq!(sol.size, g.m(), "the only 3-ECSS of H_{{3,n}} is the graph itself");
+        assert_eq!(
+            sol.size,
+            g.m(),
+            "the only 3-ECSS of H_{{3,n}} is the graph itself"
+        );
     }
 
     #[test]
@@ -387,7 +436,10 @@ mod tests {
             let lb = lower_bounds::k_ecss_lower_bound(&g, 3);
             let ratio = sol.weight as f64 / lb as f64;
             let bound = 6.0 * (n as f64).log2() + 6.0;
-            assert!(ratio <= bound, "n = {n}: weighted ratio {ratio:.2} exceeds {bound:.2}");
+            assert!(
+                ratio <= bound,
+                "n = {n}: weighted ratio {ratio:.2} exceeds {bound:.2}"
+            );
         }
     }
 
@@ -414,7 +466,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(19);
         let weighted = solve_weighted(&g, &mut rng).unwrap();
         let unweighted = solve(&g, &mut rng).unwrap();
-        assert!(connectivity::is_k_edge_connected_in(&g, &weighted.subgraph, 3));
+        assert!(connectivity::is_k_edge_connected_in(
+            &g,
+            &weighted.subgraph,
+            3
+        ));
         assert!(
             weighted.weight < unweighted.weight,
             "weighted variant ({}) should be cheaper than the unweighted one ({})",

@@ -52,7 +52,10 @@ pub fn solve_with_model<R: Rng>(
 ) -> Result<TwoEcssSolution> {
     if !connectivity::is_k_edge_connected(graph, 2) {
         let actual = connectivity::edge_connectivity(graph);
-        return Err(Error::InsufficientConnectivity { required: 2, actual });
+        return Err(Error::InsufficientConnectivity {
+            required: 2,
+            actual,
+        });
     }
 
     let mut ledger = RoundLedger::new(model);
@@ -91,7 +94,10 @@ mod tests {
         for n in [8, 20, 50, 100] {
             let g = generators::random_weighted_k_edge_connected(n, 2, 2 * n, 50, &mut rng);
             let sol = solve(&g, &mut rng).unwrap();
-            assert!(connectivity::is_k_edge_connected_in(&g, &sol.subgraph, 2), "n = {n}");
+            assert!(
+                connectivity::is_k_edge_connected_in(&g, &sol.subgraph, 2),
+                "n = {n}"
+            );
             assert_eq!(sol.weight, g.weight_of(&sol.subgraph));
             assert_eq!(sol.subgraph.len(), sol.tree.len() + sol.augmentation.len());
         }
@@ -111,7 +117,13 @@ mod tests {
         let g = generators::path(6, 1);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let err = solve(&g, &mut rng).unwrap_err();
-        assert_eq!(err, Error::InsufficientConnectivity { required: 2, actual: 1 });
+        assert_eq!(
+            err,
+            Error::InsufficientConnectivity {
+                required: 2,
+                actual: 1
+            }
+        );
     }
 
     #[test]
@@ -123,7 +135,10 @@ mod tests {
             let lb = lower_bounds::k_ecss_lower_bound(&g, 2);
             let ratio = sol.weight as f64 / lb as f64;
             let bound = 4.0 * (n as f64).log2() + 4.0;
-            assert!(ratio <= bound, "n = {n}: ratio {ratio:.2} exceeds {bound:.2}");
+            assert!(
+                ratio <= bound,
+                "n = {n}: ratio {ratio:.2} exceeds {bound:.2}"
+            );
         }
     }
 

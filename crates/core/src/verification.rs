@@ -58,7 +58,11 @@ pub fn verify_two_edge_connected<R: Rng>(graph: &Graph, h: &EdgeSet, rng: &mut R
     // One aggregation over the BFS tree to combine the per-vertex verdicts.
     let aggregate = ledger.model().convergecast(1);
     ledger.charge("verify/aggregate", aggregate);
-    Verdict { accepted: witness.is_none(), witness, ledger }
+    Verdict {
+        accepted: witness.is_none(),
+        witness,
+        ledger,
+    }
 }
 
 /// Verifies that the spanning connected subgraph `h` of `graph` is
@@ -89,7 +93,11 @@ pub fn verify_three_edge_connected<R: Rng>(graph: &Graph, h: &EdgeSet, rng: &mut
     }
     let aggregate = ledger.model().convergecast(1);
     ledger.charge("verify/aggregate", aggregate);
-    Verdict { accepted: witness.is_none(), witness, ledger }
+    Verdict {
+        accepted: witness.is_none(),
+        witness,
+        ledger,
+    }
 }
 
 /// Exact verification: runs the randomized verifier and, on acceptance,
@@ -124,7 +132,11 @@ fn default_model(graph: &Graph) -> CostModel {
     CostModel::new(graph.n(), diameter)
 }
 
-fn label<R: Rng>(graph: &Graph, h: &EdgeSet, rng: &mut R) -> (Circulation, RootedTree, RoundLedger) {
+fn label<R: Rng>(
+    graph: &Graph,
+    h: &EdgeSet,
+    rng: &mut R,
+) -> (Circulation, RootedTree, RoundLedger) {
     assert!(
         connectivity::is_connected_in(graph, h),
         "verification requires a connected spanning subgraph"
@@ -135,7 +147,10 @@ fn label<R: Rng>(graph: &Graph, h: &EdgeSet, rng: &mut R) -> (Circulation, Roote
     let tree = RootedTree::new(graph, &bfs.tree_edges(graph), 0);
     ledger.charge("verify/bfs_tree", model.bfs_construction());
     let circulation = Circulation::sample(graph, h, &tree, 64, rng);
-    ledger.charge("verify/labels", labelling_rounds(&tree).min(2 * model.bfs_construction()));
+    ledger.charge(
+        "verify/labels",
+        labelling_rounds(&tree).min(2 * model.bfs_construction()),
+    );
     (circulation, tree, ledger)
 }
 

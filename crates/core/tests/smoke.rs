@@ -1,0 +1,33 @@
+//! Workspace-seam smoke test: runs the headline solvers on one small
+//! fixed-seed instance through the public API only.
+
+use graphs::{connectivity, generators};
+use kecss::{three_ecss, two_ecss};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn two_ecss_on_fixed_seed_instance() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let g = generators::random_weighted_k_edge_connected(24, 2, 20, 40, &mut rng);
+    let sol = two_ecss::solve(&g, &mut rng).expect("instance is 2-edge-connected");
+    assert!(connectivity::is_k_edge_connected_in(&g, &sol.subgraph, 2));
+    assert!(sol.weight >= g.weight_of(&sol.tree));
+    assert!(sol.ledger.total() > 0, "rounds must be charged");
+}
+
+#[test]
+fn three_ecss_on_fixed_seed_instance() {
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let g = generators::random_k_edge_connected(18, 3, 24, &mut rng);
+    let sol = three_ecss::solve(&g, &mut rng).expect("instance is 3-edge-connected");
+    assert!(connectivity::is_k_edge_connected_in(&g, &sol.subgraph, 3));
+    assert!(sol.ledger.total() > 0);
+}
+
+#[test]
+fn solver_rejects_underconnected_input() {
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let g = generators::path(6, 1);
+    assert!(two_ecss::solve(&g, &mut rng).is_err());
+}

@@ -35,7 +35,12 @@ impl BfsTree {
     /// The maximum distance of any reachable vertex from the root
     /// (the root's eccentricity restricted to its component).
     pub fn eccentricity(&self) -> usize {
-        self.dist.iter().copied().filter(|&d| d != usize::MAX).max().unwrap_or(0)
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != usize::MAX)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The set of tree edges (parent pointers) as an [`EdgeSet`] over the
@@ -80,7 +85,13 @@ pub fn bfs_in(graph: &Graph, edges: &EdgeSet, root: NodeId) -> BfsTree {
             }
         }
     }
-    BfsTree { root, parent, parent_edge, dist, order }
+    BfsTree {
+        root,
+        parent,
+        parent_edge,
+        dist,
+        order,
+    }
 }
 
 /// Hop distances from `root` restricted to `edges` (`usize::MAX` when

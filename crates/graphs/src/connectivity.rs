@@ -74,7 +74,11 @@ pub fn bridges_in(graph: &Graph, edges: &EdgeSet) -> Vec<EdgeId> {
         if disc[start] != usize::MAX {
             continue;
         }
-        let mut stack = vec![Frame { v: start, parent_edge: None, next_idx: 0 }];
+        let mut stack = vec![Frame {
+            v: start,
+            parent_edge: None,
+            next_idx: 0,
+        }];
         disc[start] = timer;
         low[start] = timer;
         timer += 1;
@@ -90,7 +94,11 @@ pub fn bridges_in(graph: &Graph, edges: &EdgeSet) -> Vec<EdgeId> {
                     disc[u] = timer;
                     low[u] = timer;
                     timer += 1;
-                    stack.push(Frame { v: u, parent_edge: Some(e), next_idx: 0 });
+                    stack.push(Frame {
+                        v: u,
+                        parent_edge: Some(e),
+                        next_idx: 0,
+                    });
                 } else {
                     low[v] = low[v].min(disc[u]);
                 }
@@ -278,7 +286,11 @@ mod tests {
         let g = generators::cycle(5, 1);
         let all = g.full_edge_set();
         assert!(is_connected_after_removal(&g, &all, &[EdgeId(0)]));
-        assert!(!is_connected_after_removal(&g, &all, &[EdgeId(0), EdgeId(2)]));
+        assert!(!is_connected_after_removal(
+            &g,
+            &all,
+            &[EdgeId(0), EdgeId(2)]
+        ));
     }
 
     #[test]

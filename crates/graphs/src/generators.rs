@@ -88,7 +88,10 @@ pub fn grid(rows: usize, cols: usize, w: Weight) -> Graph {
 ///
 /// Panics if either dimension is smaller than 3.
 pub fn torus(rows: usize, cols: usize, w: Weight) -> Graph {
-    assert!(rows >= 3 && cols >= 3, "torus requires both dimensions >= 3");
+    assert!(
+        rows >= 3 && cols >= 3,
+        "torus requires both dimensions >= 3"
+    );
     let n = rows * cols;
     let mut g = Graph::new(n);
     let id = |r: usize, c: usize| r * cols + c;
@@ -117,7 +120,7 @@ pub fn harary(k: usize, n: usize, w: Weight) -> Graph {
     assert!(k >= 1, "connectivity must be at least 1");
     assert!(k < n, "harary requires k < n");
     if k % 2 == 1 && k > 1 {
-        assert!(n % 2 == 0, "harary with odd k requires even n");
+        assert!(n.is_multiple_of(2), "harary with odd k requires even n");
     }
     let mut g = Graph::new(n);
     let half = k / 2;
@@ -152,9 +155,15 @@ pub fn harary(k: usize, n: usize, w: Weight) -> Graph {
 ///
 /// Panics if `cliques < 3`, `clique_size < 2`, or `links > clique_size`.
 pub fn ring_of_cliques(cliques: usize, clique_size: usize, links: usize, w: Weight) -> Graph {
-    assert!(cliques >= 3, "ring_of_cliques requires at least three cliques");
+    assert!(
+        cliques >= 3,
+        "ring_of_cliques requires at least three cliques"
+    );
     assert!(clique_size >= 2, "cliques must have at least two vertices");
-    assert!(links <= clique_size, "cannot create more links than clique vertices");
+    assert!(
+        links <= clique_size,
+        "cannot create more links than clique vertices"
+    );
     let n = cliques * clique_size;
     let mut g = Graph::new(n);
     let id = |c: usize, i: usize| c * clique_size + i;
@@ -263,10 +272,8 @@ pub fn random_connected<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
         let j = rng.gen_range(0..i);
         g.add_edge(order[i], order[j], 1);
     }
-    let mut present: std::collections::HashSet<(NodeId, NodeId)> = g
-        .edges()
-        .map(|(_, e)| e.ordered())
-        .collect();
+    let mut present: std::collections::HashSet<(NodeId, NodeId)> =
+        g.edges().map(|(_, e)| e.ordered()).collect();
     for u in 0..n {
         for v in (u + 1)..n {
             if present.contains(&(u, v)) {
@@ -351,7 +358,10 @@ mod tests {
         let d = crate::bfs::diameter(&g).unwrap();
         // Crossing to the opposite side of the ring takes at least
         // floor(cliques / 2) inter-clique hops.
-        assert!(d >= 3, "ring of 6 cliques should have diameter >= 3, got {d}");
+        assert!(
+            d >= 3,
+            "ring of 6 cliques should have diameter >= 3, got {d}"
+        );
     }
 
     #[test]

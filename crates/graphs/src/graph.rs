@@ -67,7 +67,10 @@ impl Edge {
         } else if x == self.v {
             self.u
         } else {
-            panic!("vertex {x} is not an endpoint of edge {{{}, {}}}", self.u, self.v)
+            panic!(
+                "vertex {x} is not an endpoint of edge {{{}, {}}}",
+                self.u, self.v
+            )
         }
     }
 
@@ -370,7 +373,11 @@ impl EdgeSet {
     ///
     /// Panics if the universes differ.
     pub fn union_with(&mut self, other: &EdgeSet) {
-        assert_eq!(self.bits.len(), other.bits.len(), "edge set universes differ");
+        assert_eq!(
+            self.bits.len(),
+            other.bits.len(),
+            "edge set universes differ"
+        );
         for (i, &b) in other.bits.iter().enumerate() {
             if b && !self.bits[i] {
                 self.bits[i] = true;
@@ -388,7 +395,11 @@ impl EdgeSet {
 
     /// Returns the set difference `self \ other`.
     pub fn difference(&self, other: &EdgeSet) -> EdgeSet {
-        assert_eq!(self.bits.len(), other.bits.len(), "edge set universes differ");
+        assert_eq!(
+            self.bits.len(),
+            other.bits.len(),
+            "edge set universes differ"
+        );
         let mut out = EdgeSet::new(self.bits.len());
         for (i, &b) in self.bits.iter().enumerate() {
             if b && !other.bits[i] {
@@ -400,7 +411,11 @@ impl EdgeSet {
 
     /// Returns the intersection of two sets over the same universe.
     pub fn intersection(&self, other: &EdgeSet) -> EdgeSet {
-        assert_eq!(self.bits.len(), other.bits.len(), "edge set universes differ");
+        assert_eq!(
+            self.bits.len(),
+            other.bits.len(),
+            "edge set universes differ"
+        );
         let mut out = EdgeSet::new(self.bits.len());
         for (i, &b) in self.bits.iter().enumerate() {
             if b && other.bits[i] {
@@ -496,7 +511,11 @@ mod tests {
 
     #[test]
     fn edge_other_panics_for_non_endpoint() {
-        let e = Edge { u: 0, v: 1, weight: 1 };
+        let e = Edge {
+            u: 0,
+            v: 1,
+            weight: 1,
+        };
         assert_eq!(e.other(0), 1);
         assert_eq!(e.other(1), 0);
         let result = std::panic::catch_unwind(|| e.other(5));

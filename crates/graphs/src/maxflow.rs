@@ -33,7 +33,11 @@ impl UnitFlow {
     /// Builds the flow network for the subgraph of `graph` given by `edges`.
     pub fn new(graph: &Graph, edges: &EdgeSet) -> Self {
         let n = graph.n();
-        let mut flow = UnitFlow { n, arcs: Vec::new(), head: vec![Vec::new(); n] };
+        let mut flow = UnitFlow {
+            n,
+            arcs: Vec::new(),
+            head: vec![Vec::new(); n],
+        };
         for id in edges.iter() {
             let e = graph.edge(id);
             flow.add_undirected(e.u, e.v);
@@ -43,8 +47,16 @@ impl UnitFlow {
 
     fn add_undirected(&mut self, u: NodeId, v: NodeId) {
         let a = self.arcs.len();
-        self.arcs.push(Arc { to: v, cap: 1, rev: a + 1 });
-        self.arcs.push(Arc { to: u, cap: 1, rev: a });
+        self.arcs.push(Arc {
+            to: v,
+            cap: 1,
+            rev: a + 1,
+        });
+        self.arcs.push(Arc {
+            to: u,
+            cap: 1,
+            rev: a,
+        });
         self.head[u].push(a);
         self.head[v].push(a + 1);
     }

@@ -137,7 +137,10 @@ mod tests {
             }
             let set: EdgeSet = EdgeSet::from_ids(
                 g.m(),
-                ids.iter().enumerate().filter(|(i, _)| mask >> i & 1 == 1).map(|(_, &id)| id),
+                ids.iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, &id)| id),
             );
             if connectivity::is_connected_in(&g, &set) {
                 best = best.min(g.weight_of(&set));
@@ -153,7 +156,13 @@ mod tests {
         let e2 = g.add_edge(1, 2, 100);
         let e3 = g.add_edge(0, 2, 100);
         // Override: make the nominally cheap edge expensive.
-        let t = kruskal_with(&g, &g.full_edge_set(), |id| if id == cheap_by_weight { 10 } else { 0 });
+        let t = kruskal_with(&g, &g.full_edge_set(), |id| {
+            if id == cheap_by_weight {
+                10
+            } else {
+                0
+            }
+        });
         assert!(t.contains(e2));
         assert!(t.contains(e3));
         assert!(!t.contains(cheap_by_weight));

@@ -86,7 +86,16 @@ impl RootedTree {
             }
         }
 
-        RootedTree { root, parent, parent_edge, depth, children, order, up, in_tree }
+        RootedTree {
+            root,
+            parent,
+            parent_edge,
+            depth,
+            children,
+            order,
+            up,
+            in_tree,
+        }
     }
 
     /// The root vertex.

@@ -1,0 +1,36 @@
+//! Workspace-seam smoke test: exercises `graphs` exactly as an external
+//! consumer does, so manifest or re-export regressions fail fast.
+
+use graphs::{connectivity, generators, mst, Graph};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn generator_round_trip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let g = generators::random_weighted_k_edge_connected(20, 2, 15, 50, &mut rng);
+    assert_eq!(g.n(), 20);
+    assert!(g.m() >= 20, "Harary base plus extras has at least n edges");
+    assert!(connectivity::is_connected(&g));
+    assert!(connectivity::edge_connectivity(&g) >= 2);
+    assert!(g.edges().all(|(_, e)| (1..=50).contains(&e.weight)));
+
+    let tree = mst::kruskal(&g);
+    assert_eq!(tree.len(), g.n() - 1);
+    assert!(connectivity::is_k_edge_connected_in(
+        &g,
+        &g.full_edge_set(),
+        2
+    ));
+}
+
+#[test]
+fn hand_built_graph_basics() {
+    let mut g = Graph::new(4);
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 2, 2);
+    g.add_edge(2, 3, 1);
+    g.add_edge(3, 0, 5);
+    assert_eq!(g.m(), 4);
+    assert_eq!(connectivity::edge_connectivity(&g), 2);
+}

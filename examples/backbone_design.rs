@@ -26,7 +26,11 @@ fn backbone(clusters: usize, size: usize, rng: &mut impl Rng) -> Graph {
     let mut g = Graph::new(base.n());
     for (_, e) in base.edges() {
         let same_cluster = e.u / size == e.v / size;
-        let w = if same_cluster { rng.gen_range(1..=10) } else { rng.gen_range(50..=100) };
+        let w = if same_cluster {
+            rng.gen_range(1..=10)
+        } else {
+            rng.gen_range(50..=100)
+        };
         g.add_edge(e.u, e.v, w);
     }
     g
@@ -47,8 +51,17 @@ fn main() {
     let lb3 = lower_bounds::k_ecss_lower_bound(&graph, 3);
 
     let tree = mst::kruskal(&graph);
-    println!("\n{:<34} {:>8} {:>8} {:>10}", "design", "edges", "cost", "rounds");
-    println!("{:<34} {:>8} {:>8} {:>10}", "MST (no fault tolerance)", tree.len(), graph.weight_of(&tree), "-");
+    println!(
+        "\n{:<34} {:>8} {:>8} {:>10}",
+        "design", "edges", "cost", "rounds"
+    );
+    println!(
+        "{:<34} {:>8} {:>8} {:>10}",
+        "MST (no fault tolerance)",
+        tree.len(),
+        graph.weight_of(&tree),
+        "-"
+    );
 
     let two = two_ecss::solve(&graph, &mut rng).expect("2-edge-connected input");
     println!(
@@ -85,6 +98,14 @@ fn main() {
         cert.weight as f64 / lb3 as f64
     );
 
-    assert!(connectivity::is_k_edge_connected_in(&graph, &two.subgraph, 2));
-    assert!(connectivity::is_k_edge_connected_in(&graph, &three.subgraph, 3));
+    assert!(connectivity::is_k_edge_connected_in(
+        &graph,
+        &two.subgraph,
+        2
+    ));
+    assert!(connectivity::is_k_edge_connected_in(
+        &graph,
+        &three.subgraph,
+        3
+    ));
 }

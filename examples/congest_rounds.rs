@@ -27,21 +27,37 @@ fn main() {
     let d = graphs::bfs::diameter(&g).unwrap();
     let model = CostModel::new(g.n(), d);
     println!("torus 6x6: n = {}, D = {d}", g.n());
-    println!("{:<28} {:>10} {:>14}", "primitive", "measured", "model charge");
+    println!(
+        "{:<28} {:>10} {:>14}",
+        "primitive", "measured", "model charge"
+    );
 
     let mut net = Network::new(&g);
     let bfs = net.run(DistributedBfs::programs(&g, 0), 10_000).unwrap();
-    println!("{:<28} {:>10} {:>14}", "BFS tree", bfs.report.rounds, model.bfs_construction());
+    println!(
+        "{:<28} {:>10} {:>14}",
+        "BFS tree",
+        bfs.report.rounds,
+        model.bfs_construction()
+    );
 
     let mut net = Network::new(&g);
     let election = net.run(FloodMinElection::programs(g.n()), 10_000).unwrap();
-    println!("{:<28} {:>10} {:>14}", "leader election (flood)", election.report.rounds, g.n());
+    println!(
+        "{:<28} {:>10} {:>14}",
+        "leader election (flood)",
+        election.report.rounds,
+        g.n()
+    );
 
     let tree = RootedTree::new(&g, &mst::kruskal(&g), 0);
     let items: Vec<u64> = (0..20).collect();
     let mut net = Network::new(&g);
     let bcast = net
-        .run(PipelinedBroadcast::programs(&local_trees(&tree, g.n()), items.clone()), 10_000)
+        .run(
+            PipelinedBroadcast::programs(&local_trees(&tree, g.n()), items.clone()),
+            10_000,
+        )
         .unwrap();
     println!(
         "{:<28} {:>10} {:>14}",
@@ -52,7 +68,10 @@ fn main() {
 
     let mut net = Network::new(&g);
     let boruvka = net
-        .run(DistributedBoruvka::programs(&g), DistributedBoruvka::round_budget(&g) + 10)
+        .run(
+            DistributedBoruvka::programs(&g),
+            DistributedBoruvka::round_budget(&g) + 10,
+        )
         .unwrap();
     println!(
         "{:<28} {:>10} {:>14}",
@@ -66,7 +85,10 @@ fn main() {
 
     // -------- Part 2: 2-ECSS round scaling (Theorem 1.1 shape). --------
     println!("\nweighted 2-ECSS rounds vs the (D + sqrt(n)) log^2 n shape:");
-    println!("{:>6} {:>6} {:>12} {:>18} {:>8}", "n", "D", "rounds", "(D+√n)·log²n", "ratio");
+    println!(
+        "{:>6} {:>6} {:>12} {:>18} {:>8}",
+        "n", "D", "rounds", "(D+√n)·log²n", "ratio"
+    );
     for exp in 5..=9u32 {
         let n = 1usize << exp;
         let g = generators::random_weighted_k_edge_connected(n, 2, 2 * n, 100, &mut rng);

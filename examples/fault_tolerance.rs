@@ -10,7 +10,7 @@
 
 use graphs::{connectivity, generators, mst, EdgeSet, Graph};
 use kecss::kecss as kecss_alg;
-use kecss::{two_ecss};
+use kecss::two_ecss;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -35,7 +35,9 @@ fn survival(graph: &Graph, design: &EdgeSet, failures: usize, trials: usize, see
 fn survives_all(graph: &Graph, design: &EdgeSet, failures: usize) -> bool {
     let edges: Vec<_> = design.iter().collect();
     match failures {
-        1 => edges.iter().all(|&e| connectivity::is_connected_after_removal(graph, design, &[e])),
+        1 => edges
+            .iter()
+            .all(|&e| connectivity::is_connected_after_removal(graph, design, &[e])),
         2 => edges.iter().enumerate().all(|(i, &a)| {
             edges[i + 1..]
                 .iter()
@@ -59,7 +61,10 @@ fn main() {
     let two = two_ecss::solve(&graph, &mut rng).expect("2-edge-connected input");
     let three = kecss_alg::solve(&graph, 3, &mut rng).expect("3-edge-connected input");
 
-    println!("\n{:<22} {:>6} {:>8} {:>18} {:>18}", "design", "edges", "cost", "survives 1 failure", "survives 2 failures");
+    println!(
+        "\n{:<22} {:>6} {:>8} {:>18} {:>18}",
+        "design", "edges", "cost", "survives 1 failure", "survives 2 failures"
+    );
     for (name, design) in [
         ("MST", &tree),
         ("2-ECSS (Thm 1.1)", &two.subgraph),
@@ -78,9 +83,18 @@ fn main() {
     }
 
     // The guarantees, verified exhaustively.
-    assert!(!survives_all(&graph, &tree, 1), "an MST never survives all single failures");
-    assert!(survives_all(&graph, &two.subgraph, 1), "a 2-ECSS survives every single failure");
+    assert!(
+        !survives_all(&graph, &tree, 1),
+        "an MST never survives all single failures"
+    );
+    assert!(
+        survives_all(&graph, &two.subgraph, 1),
+        "a 2-ECSS survives every single failure"
+    );
     assert!(survives_all(&graph, &three.subgraph, 1));
-    assert!(survives_all(&graph, &three.subgraph, 2), "a 3-ECSS survives every double failure");
+    assert!(
+        survives_all(&graph, &three.subgraph, 2),
+        "a 3-ECSS survives every double failure"
+    );
     println!("\nexhaustive sweeps confirm: 2-ECSS tolerates any 1 failure, 3-ECSS any 2 failures.");
 }

@@ -24,12 +24,20 @@ fn main() {
 
     // The MST alone is cheap but a single link failure partitions it.
     let tree = mst::kruskal(&graph);
-    println!("MST weight: {} ({} edges) — not fault tolerant", graph.weight_of(&tree), tree.len());
+    println!(
+        "MST weight: {} ({} edges) — not fault tolerant",
+        graph.weight_of(&tree),
+        tree.len()
+    );
 
     // Distributed weighted 2-ECSS (Theorem 1.1): O(log n)-approximation in
     // O((D + sqrt(n)) log^2 n) CONGEST rounds.
     let solution = two_ecss::solve(&graph, &mut rng).expect("the input is 2-edge-connected");
-    assert!(connectivity::is_k_edge_connected_in(&graph, &solution.subgraph, 2));
+    assert!(connectivity::is_k_edge_connected_in(
+        &graph,
+        &solution.subgraph,
+        2
+    ));
 
     let report = ApproxReport::new(solution.weight, lower_bounds::k_ecss_lower_bound(&graph, 2));
     println!(

@@ -1,0 +1,16 @@
+//! Umbrella crate for the k-ECSS workspace.
+//!
+//! This package exists to give the workspace-level integration tests
+//! (`tests/`) and example programs (`examples/`) a Cargo home; the library
+//! itself only re-exports the member crates so examples and docs can reach
+//! everything through one name.
+//!
+//! * [`graphs`] — sequential graph substrate (generators, connectivity, MST).
+//! * [`kecss`] — the paper's algorithms (2-ECSS, TAP, k-ECSS, 3-ECSS).
+//! * [`congest`] — CONGEST-model simulator and round accounting.
+
+#![forbid(unsafe_code)]
+
+pub use congest;
+pub use graphs;
+pub use kecss;

@@ -20,8 +20,8 @@ fn distributed_bfs_matches_sequential_bfs_and_the_cost_model() {
         let mut net = Network::new(&g);
         let outcome = net.run(DistributedBfs::programs(&g, 0), 10_000).unwrap();
         let (_, dists) = DistributedBfs::extract(&outcome);
-        for v in 0..g.n() {
-            assert_eq!(dists[v] as usize, reference.dist[v], "vertex {v}, n = {n}");
+        for (v, &d) in dists.iter().enumerate() {
+            assert_eq!(d as usize, reference.dist[v], "vertex {v}, n = {n}");
         }
         let model = CostModel::new(g.n(), bfs::diameter(&g).unwrap());
         assert!(
@@ -59,9 +59,15 @@ fn pipelined_broadcast_round_count_matches_the_model_charge() {
     let model = CostModel::new(g.n(), bfs::diameter(&g).unwrap());
     let mut net = Network::new(&g);
     let outcome = net
-        .run(PipelinedBroadcast::programs(&local_trees(&tree, g.n()), items.clone()), 10_000)
+        .run(
+            PipelinedBroadcast::programs(&local_trees(&tree, g.n()), items.clone()),
+            10_000,
+        )
         .unwrap();
-    assert!(outcome.nodes.iter().all(|p| p.received() == items.as_slice()));
+    assert!(outcome
+        .nodes
+        .iter()
+        .all(|p| p.received() == items.as_slice()));
     // The model charges D + items; the measured rounds use the tree's depth,
     // which is at most ~2D for an MST-rooted tree of a grid. Allow that slack.
     assert!(outcome.report.rounds <= 2 * model.broadcast(items.len() as u64) + 2);
@@ -75,7 +81,12 @@ fn convergecast_totals_match_a_direct_sum() {
     let values: Vec<u64> = (0..g.n() as u64).map(|v| v * 3 + 1).collect();
     let expected: u64 = values.iter().sum();
     let mut net = Network::new(&g);
-    let outcome = net.run(SumConvergecast::programs(&local_trees(&tree, g.n()), &values), 10_000).unwrap();
+    let outcome = net
+        .run(
+            SumConvergecast::programs(&local_trees(&tree, g.n()), &values),
+            10_000,
+        )
+        .unwrap();
     assert_eq!(SumConvergecast::root_total(&outcome), expected);
 }
 
@@ -87,7 +98,10 @@ fn congest_message_budget_is_respected_by_all_programs() {
     assert!(bfs_run.report.max_message_words <= congest::Message::DEFAULT_WORD_BUDGET);
     let mut net = Network::new(&g);
     let boruvka = net
-        .run(DistributedBoruvka::programs(&g), DistributedBoruvka::round_budget(&g) + 5)
+        .run(
+            DistributedBoruvka::programs(&g),
+            DistributedBoruvka::round_budget(&g) + 5,
+        )
         .unwrap();
     assert!(boruvka.report.max_message_words <= congest::Message::DEFAULT_WORD_BUDGET);
 }

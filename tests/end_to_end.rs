@@ -13,7 +13,10 @@ use rand_chacha::ChaCha8Rng;
 fn two_ecss_pipeline_on_multiple_topologies() {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let instances: Vec<(&str, graphs::Graph)> = vec![
-        ("random", generators::random_weighted_k_edge_connected(60, 2, 120, 40, &mut rng)),
+        (
+            "random",
+            generators::random_weighted_k_edge_connected(60, 2, 120, 40, &mut rng),
+        ),
         ("torus", generators::torus(6, 6, 7)),
         ("ring of cliques", generators::ring_of_cliques(6, 5, 2, 3)),
         ("harary", generators::harary(2, 41, 9)),
@@ -61,8 +64,16 @@ fn three_ecss_pipeline_is_competitive_with_the_general_algorithm() {
     let graph = generators::random_k_edge_connected(40, 3, 80, &mut rng);
     let fast = three_ecss::solve(&graph, &mut rng).expect("3-edge-connected instance");
     let general = kecss_alg::solve(&graph, 3, &mut rng).expect("3-edge-connected instance");
-    assert!(connectivity::is_k_edge_connected_in(&graph, &fast.subgraph, 3));
-    assert!(connectivity::is_k_edge_connected_in(&graph, &general.subgraph, 3));
+    assert!(connectivity::is_k_edge_connected_in(
+        &graph,
+        &fast.subgraph,
+        3
+    ));
+    assert!(connectivity::is_k_edge_connected_in(
+        &graph,
+        &general.subgraph,
+        3
+    ));
     // Quality: both are O(log n) approximations of the same optimum; neither
     // should be wildly worse than the other.
     let fast_size = fast.size as f64;
@@ -78,7 +89,9 @@ fn distributed_solutions_track_the_exact_optimum_on_small_instances() {
     for seed in 0..8u64 {
         let mut inner = ChaCha8Rng::seed_from_u64(100 + seed);
         let graph = generators::random_weighted_k_edge_connected(8, 2, 4, 12, &mut inner);
-        let Some(opt) = exact::min_k_ecss(&graph, 2) else { continue };
+        let Some(opt) = exact::min_k_ecss(&graph, 2) else {
+            continue;
+        };
         let sol = two_ecss::solve(&graph, &mut rng).expect("2-edge-connected instance");
         assert!(sol.weight >= opt.weight);
         let log_bound = 4.0 * ((graph.n() as f64).log2() + 1.0);
@@ -90,7 +103,10 @@ fn distributed_solutions_track_the_exact_optimum_on_small_instances() {
         );
         checked += 1;
     }
-    assert!(checked >= 4, "the exact solver must handle most tiny instances");
+    assert!(
+        checked >= 4,
+        "the exact solver must handle most tiny instances"
+    );
 }
 
 #[test]
@@ -100,7 +116,10 @@ fn tap_and_greedy_agree_on_feasibility_and_are_comparable() {
     let tree = mst::kruskal(&graph);
     let distributed = tap::solve(&graph, &tree, &mut rng).expect("2-edge-connected instance");
     let sequential = greedy::tap(&graph, &tree);
-    for (name, edges) in [("distributed", &distributed.augmentation), ("greedy", &sequential.edges)] {
+    for (name, edges) in [
+        ("distributed", &distributed.augmentation),
+        ("greedy", &sequential.edges),
+    ] {
         let union = tree.union(edges);
         assert!(
             connectivity::is_two_edge_connected_in(&graph, &union),

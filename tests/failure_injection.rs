@@ -59,8 +59,7 @@ fn k_ecss_survives_random_failure_sets_of_size_k_minus_one() {
         let sol = kecss_alg::solve(&graph, k, &mut rng).expect("k-edge-connected instance");
         let edges: Vec<EdgeId> = sol.subgraph.iter().collect();
         for trial in 0..200 {
-            let removed: Vec<EdgeId> =
-                edges.choose_multiple(&mut rng, k - 1).copied().collect();
+            let removed: Vec<EdgeId> = edges.choose_multiple(&mut rng, k - 1).copied().collect();
             assert!(
                 connectivity::is_connected_after_removal(&graph, &sol.subgraph, &removed),
                 "k = {k}, trial {trial}: removing {removed:?} disconnected the design"
@@ -77,9 +76,17 @@ fn mst_alone_fails_single_link_failures_that_the_two_ecss_survives() {
     let tree = &sol.tree;
     // Every MST edge is a single point of failure of the MST…
     let some_bridge = tree.iter().next().unwrap();
-    assert!(!connectivity::is_connected_after_removal(&graph, tree, &[some_bridge]));
+    assert!(!connectivity::is_connected_after_removal(
+        &graph,
+        tree,
+        &[some_bridge]
+    ));
     // …but not of the augmented design.
-    assert!(connectivity::is_connected_after_removal(&graph, &sol.subgraph, &[some_bridge]));
+    assert!(connectivity::is_connected_after_removal(
+        &graph,
+        &sol.subgraph,
+        &[some_bridge]
+    ));
 }
 
 #[test]
@@ -96,7 +103,11 @@ fn double_failures_can_break_a_two_ecss_but_never_a_three_ecss() {
     let mut found_weakness = false;
     'outer: for i in 0..edges.len() {
         for j in (i + 1)..edges.len() {
-            if !connectivity::is_connected_after_removal(&graph, &two.subgraph, &[edges[i], edges[j]]) {
+            if !connectivity::is_connected_after_removal(
+                &graph,
+                &two.subgraph,
+                &[edges[i], edges[j]],
+            ) {
                 found_weakness = true;
                 break 'outer;
             }
@@ -105,7 +116,10 @@ fn double_failures_can_break_a_two_ecss_but_never_a_three_ecss() {
     if connectivity::is_k_edge_connected_in(&graph, &two.subgraph, 3) {
         assert!(!found_weakness);
     } else {
-        assert!(found_weakness, "a 2-but-not-3-edge-connected design must have a weak pair");
+        assert!(
+            found_weakness,
+            "a 2-but-not-3-edge-connected design must have a weak pair"
+        );
     }
     assert_survives_all_double_failures(&graph, &three.subgraph);
 }

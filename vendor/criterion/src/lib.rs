@@ -1,0 +1,197 @@
+//! Offline stand-in for the subset of [`criterion`](https://docs.rs/criterion)
+//! used by the workspace's `benches/`.
+//!
+//! It keeps the same shape — [`Criterion`], [`Bencher::iter`],
+//! [`criterion_group!`], [`criterion_main!`], [`black_box`] — but replaces the
+//! statistical machinery with a straightforward timed loop: warm up for
+//! `warm_up_time`, then run `sample_size` samples (each sized to fit the
+//! measurement budget) and report min / median / mean per iteration.
+//!
+//! Benchmarks therefore still *run* and print comparable wall-clock numbers,
+//! without crates.io dependencies.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away (upstream re-export).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs the timing loop for one benchmark.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    /// Per-iteration sample durations, filled by [`Bencher::iter`].
+    samples: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, recording `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget is spent, measuring the mean
+        // iteration time to size the measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let mean = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Aim for `sample_size` samples inside the measurement budget, with at
+        // least one iteration per sample.
+        let budget = self.config.measurement_time.as_secs_f64();
+        let per_sample = budget / self.config.sample_size.max(1) as f64;
+        let iters_per_sample = ((per_sample / mean.max(1e-9)) as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+}
+
+/// The benchmark driver: builder-style configuration plus `bench_function`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+fn format_duration(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accepted for CLI compatibility; this stand-in has no arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmarks `f`, printing min / median / mean iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: self,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{id:<40} (no samples recorded)");
+            return self;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{id:<40} min {:>12}   median {:>12}   mean {:>12}   ({} samples)",
+            format_duration(min),
+            format_duration(median),
+            format_duration(mean),
+            samples.len()
+        );
+        self
+    }
+}
+
+/// Declares a group of benchmark functions with an optional shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(3u64).wrapping_mul(7));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn format_duration_picks_sane_units() {
+        assert!(format_duration(2.0).ends_with(" s"));
+        assert!(format_duration(2e-3).ends_with(" ms"));
+        assert!(format_duration(2e-6).ends_with(" µs"));
+        assert!(format_duration(2e-9).ends_with(" ns"));
+    }
+}

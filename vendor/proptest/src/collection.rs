@@ -1,0 +1,42 @@
+//! Strategies for collections.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy producing `Vec`s whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: core::ops::Range<usize>,
+}
+
+/// Creates a strategy for vectors of values from `element` with a length
+/// sampled from `size`.
+pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.clone().sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_length_and_element_bounds() {
+        let strat = vec(10usize..20, 0..8);
+        let mut rng = TestRng::deterministic("vec_bounds", 1);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!(v.len() < 8);
+            assert!(v.iter().all(|x| (10..20).contains(x)));
+        }
+    }
+}

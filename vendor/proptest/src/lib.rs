@@ -1,0 +1,138 @@
+//! Offline stand-in for the subset of [`proptest`](https://docs.rs/proptest)
+//! used by this workspace's property tests.
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(...)]`
+//!   inner attribute and `#[test] fn name(arg in strategy, ...) { .. }` items;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] (with optional format messages);
+//! * range strategies over the primitive types the tests draw from;
+//! * [`collection::vec`] for vectors of a strategy with a sampled length;
+//! * [`test_runner::ProptestConfig`] with the `cases` knob.
+//!
+//! There is **no shrinking**: a failing case reports its case index and the
+//! sampled arguments instead. Case generation is fully deterministic — the
+//! RNG is seeded from the test name and the case index — so failures
+//! reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Prelude matching the imports the tests expect from `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of upstream's `prop` module (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines deterministic property tests.
+///
+/// Each item expands to a `#[test]` function that samples its arguments from
+/// the given strategies `config.cases` times and runs the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($config) $($rest)*);
+    };
+    (@with ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut runner_rng =
+                        $crate::test_runner::TestRng::deterministic(stringify!($name), case);
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut runner_rng); )+
+                    let described = format!(
+                        concat!($(concat!(stringify!($arg), " = {:?}, ")),+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::core::result::Result<(), ::std::string::String> =
+                        (move || { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(message) = outcome {
+                        panic!(
+                            "proptest '{}' failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name), case, config.cases, message, described
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case
+/// (with the sampled inputs attached) instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err(
+                format!("assertion failed: `{:?}` == `{:?}`", l, r),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err(
+                format!("assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)+)),
+            );
+        }
+    }};
+}
+
+/// Inequality counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::core::result::Result::Err(
+                format!("assertion failed: `{:?}` != `{:?}`", l, r),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::core::result::Result::Err(
+                format!("assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)+)),
+            );
+        }
+    }};
+}

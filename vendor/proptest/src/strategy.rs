@@ -1,0 +1,84 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+
+/// A source of random values of one type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a strategy
+/// simply samples a value from the runner's RNG.
+pub trait Strategy {
+    /// The type of values produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let width = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add((rng.next_u64() as u128 % width) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let width = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                lo.wrapping_add((rng.next_u64() as u128 % width) as $t)
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// A strategy producing one fixed value (upstream's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges_sample_in_bounds", 0);
+        for _ in 0..500 {
+            let a = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&a));
+            let b = (1u64..=4).sample(&mut rng);
+            assert!((1..=4).contains(&b));
+            let c = (0.5f64..0.75).sample(&mut rng);
+            assert!((0.5..0.75).contains(&c));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let mut a = TestRng::deterministic("x", 5);
+        let mut b = TestRng::deterministic("x", 5);
+        assert_eq!((0usize..100).sample(&mut a), (0usize..100).sample(&mut b));
+    }
+}

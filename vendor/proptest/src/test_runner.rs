@@ -1,0 +1,68 @@
+//! Test-runner configuration and the deterministic case RNG.
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+///
+/// Only `cases` is honoured by this stand-in; the other fields exist so that
+/// upstream-style functional-update construction compiles.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; rejection sampling is not implemented.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 0,
+        }
+    }
+}
+
+/// The deterministic RNG handed to strategies (xoshiro256**, seeded from the
+/// test name and case index so every case reproduces across runs).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates the RNG for `case` of the property named `name`.
+    pub fn deterministic(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index, then SplitMix64
+        // expansion into the xoshiro state.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut seed = h ^ ((case as u64) << 32) ^ 0x9E37_79B9_7F4A_7C15;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *word = z ^ (z >> 31);
+        }
+        TestRng { state }
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+}
