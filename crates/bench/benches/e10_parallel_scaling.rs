@@ -1,0 +1,169 @@
+//! E10 — parallel scaling of the `kecss_runtime` engine (DESIGN.md §8).
+//!
+//! Three tables, one per parallelism surface:
+//!
+//! * **round engine** — a fully-active gossip workload
+//!   ([`kecss_bench::workloads::GossipMix`]) on a ≥10k-vertex torus, stepped
+//!   by the parallel round engine at 1/2/4/8 threads;
+//! * **cut verification** — enumeration of the 2-cuts of a ≥10k-vertex
+//!   chorded cycle through [`kecss::cuts::cuts_of_size_with`];
+//! * **sweep throughput** — a grid of weighted k-ECSS instances solved
+//!   concurrently by [`kecss_runtime::sweep`].
+//!
+//! Every configuration first asserts bit-identical results against the
+//! sequential baseline (the scaling table must not be comparing different
+//! computations), then reports wall time and speedup. The printed speedups
+//! are *measured on the current machine*: on a single hardware thread the
+//! columns stay near 1.0x and the table documents the engine's overhead
+//! instead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphs::generators;
+use kecss_bench::table::Table;
+use kecss_bench::workloads::{self, GossipMix};
+use kecss_runtime::{engine, sweep, Executor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Wall time of the best of `reps` runs (the minimum is the usual
+/// low-variance estimator for scaling tables).
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    let mut best: Option<(Duration, R)> = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let result = f();
+        let elapsed = start.elapsed();
+        if best.as_ref().is_none_or(|(b, _)| elapsed < *b) {
+            best = Some((elapsed, result));
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn engine_table() {
+    // 104 x 100 torus: 10,400 vertices, every one of them active in every
+    // round of the gossip workload.
+    let g = generators::torus(104, 100, 1);
+    let net = congest::Network::new(&g);
+    let rounds = 40;
+    let max_rounds = 10 * rounds;
+
+    let mut table = Table::new(["threads", "wall ms", "speedup", "rounds", "messages"]);
+    let (base, reference) = best_of(2, || {
+        net.run(GossipMix::programs(g.n(), rounds), max_rounds)
+            .expect("sequential gossip run")
+    });
+    let digest = GossipMix::digest(&reference);
+    for threads in THREADS {
+        let exec = Executor::from_threads(threads);
+        let (elapsed, outcome) = best_of(2, || {
+            engine::run(&net, GossipMix::programs(g.n(), rounds), max_rounds, &exec)
+                .expect("threaded gossip run")
+        });
+        assert_eq!(outcome.report, reference.report, "t = {threads}");
+        assert_eq!(GossipMix::digest(&outcome), digest, "t = {threads}");
+        table.push([
+            threads.to_string(),
+            elapsed.as_millis().to_string(),
+            format!("{:.2}x", base.as_secs_f64() / elapsed.as_secs_f64()),
+            outcome.report.rounds.to_string(),
+            outcome.report.messages.to_string(),
+        ]);
+    }
+    table.print(&format!(
+        "E10a: parallel round engine, gossip on a {}-vertex torus ({} rounds)",
+        g.n(),
+        rounds
+    ));
+}
+
+fn cuts_table() {
+    // A 10,400-vertex chorded cycle: 36,400 genuine 2-cuts (see
+    // `workloads::chorded_cycle`), each candidate verified by an independent
+    // O(n + m) removal test.
+    let g = workloads::chorded_cycle(10_400, 8);
+    let h = g.full_edge_set();
+
+    let mut table = Table::new(["threads", "wall ms", "speedup", "cuts"]);
+    let (base, reference) = best_of(2, || kecss::cuts::cuts_of_size(&g, &h, 2));
+    for threads in THREADS {
+        let exec = Executor::from_threads(threads);
+        let (elapsed, cuts) = best_of(2, || kecss::cuts::cuts_of_size_with(&g, &h, 2, &exec));
+        assert_eq!(cuts, reference, "t = {threads}");
+        table.push([
+            threads.to_string(),
+            elapsed.as_millis().to_string(),
+            format!("{:.2}x", base.as_secs_f64() / elapsed.as_secs_f64()),
+            cuts.len().to_string(),
+        ]);
+    }
+    table.print(&format!(
+        "E10b: parallel candidate-cut verification, {}-vertex chorded cycle",
+        g.n()
+    ));
+}
+
+fn sweep_table() {
+    // 8 independent weighted k-ECSS cells (one per seed).
+    let seeds: Vec<u64> = (0..8).collect();
+    let solve_cell = |&seed: &u64| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::random_weighted_k_edge_connected(96, 2, 192, 40, &mut rng);
+        let sol = kecss::kecss::solve(&g, 2, &mut rng).expect("cell solves");
+        (sol.weight, sol.ledger.total())
+    };
+
+    let mut table = Table::new(["threads", "wall ms", "speedup", "cells", "total rounds"]);
+    let (base, reference) = best_of(2, || sweep::run(&Executor::Sequential, &seeds, solve_cell));
+    for threads in THREADS {
+        let exec = Executor::from_threads(threads);
+        let (elapsed, rows) = best_of(2, || sweep::run(&exec, &seeds, solve_cell));
+        assert_eq!(rows, reference, "t = {threads}");
+        let reports: Vec<congest::RunReport> = rows
+            .iter()
+            .map(|&(_, rounds)| congest::RunReport {
+                rounds,
+                ..Default::default()
+            })
+            .collect();
+        let total = sweep::aggregate(&reports);
+        table.push([
+            threads.to_string(),
+            elapsed.as_millis().to_string(),
+            format!("{:.2}x", base.as_secs_f64() / elapsed.as_secs_f64()),
+            rows.len().to_string(),
+            total.rounds.to_string(),
+        ]);
+    }
+    table.print("E10c: concurrent workload sweep, 8 weighted k-ECSS cells (n = 96)");
+}
+
+fn bench(c: &mut Criterion) {
+    engine_table();
+    cuts_table();
+    sweep_table();
+
+    // Criterion guards one representative configuration against regressions:
+    // the threaded engine on a smaller torus.
+    let g = generators::torus(40, 40, 1);
+    let net = congest::Network::new(&g);
+    let exec = Executor::from_threads(4);
+    c.bench_function("e10/engine_gossip_1600v_threads4", |b| {
+        b.iter(|| {
+            engine::run(&net, GossipMix::programs(g.n(), 20), 1000, &exec)
+                .expect("gossip run")
+                .report
+                .messages
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

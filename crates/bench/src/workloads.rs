@@ -10,6 +10,7 @@
 //!   `O((D + √n) log² n)` separates from the `O(h_MST + √n)` baseline of [1];
 //! * [`Topology::Torus`] — bounded-degree, `D = Θ(√n)` instances.
 
+use congest::{Incoming, Message, NodeContext, NodeProgram, Outcome, Outgoing, StepResult};
 use graphs::{generators, Graph, Weight};
 use rand::Rng;
 use rand::SeedableRng;
@@ -96,6 +97,102 @@ pub fn adversarial_weighted_instance(n: usize, k: usize, seed: u64) -> Graph {
     g
 }
 
+/// A cycle of `n` vertices with a chord over every run of `stride`
+/// consecutive cycle edges (so `n` must be a multiple of `stride`).
+///
+/// Two cycle edges form a 2-cut iff they lie under the *same* chord, giving
+/// exactly `(n / stride) · stride · (stride - 1) / 2` genuine 2-cuts — a
+/// large, known population of independent removal tests, which makes this
+/// the E10 stress case for parallel candidate-cut verification.
+///
+/// # Panics
+///
+/// Panics if `stride < 2` or `n` is not a multiple of `stride` at least
+/// `3 * stride`.
+pub fn chorded_cycle(n: usize, stride: usize) -> Graph {
+    assert!(stride >= 2, "stride must be at least 2");
+    assert!(
+        n >= 3 * stride && n.is_multiple_of(stride),
+        "n must be a multiple of stride, at least 3 * stride"
+    );
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        g.add_edge(v, (v + 1) % n, 1);
+    }
+    for anchor in (0..n).step_by(stride) {
+        g.add_edge(anchor, (anchor + stride) % n, 1);
+    }
+    g
+}
+
+/// A fully-active BSP-style stress program for the parallel-scaling
+/// experiment (E10): every vertex mixes the values received from all its
+/// neighbors into its own and re-broadcasts, for a fixed number of rounds.
+///
+/// Unlike the paper's programs (whose active frontier is often a thin wave),
+/// *every* vertex does work in *every* round, which is the regime where the
+/// per-round parallelism of the `kecss_runtime` engine has something to chew
+/// on. The mixing is pure integer arithmetic on the sorted inbox, so the
+/// result is deterministic and the engine's bit-identical guarantee can be
+/// checked cheaply via [`GossipMix::digest`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GossipMix {
+    value: u64,
+    budget: u64,
+}
+
+impl GossipMix {
+    /// One program per vertex, each seeded with a distinct mixed value,
+    /// running for exactly `rounds` rounds.
+    pub fn programs(n: usize, rounds: u64) -> Vec<Self> {
+        (0..n as u64)
+            .map(|v| GossipMix {
+                // SplitMix64-style seeding so neighbors start uncorrelated.
+                value: (v.wrapping_add(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+                budget: rounds,
+            })
+            .collect()
+    }
+
+    /// Order-sensitive fold of all final vertex values: two runs delivered
+    /// the same states iff their digests match.
+    pub fn digest(outcome: &Outcome<Self>) -> u64 {
+        outcome
+            .nodes
+            .iter()
+            .fold(0u64, |acc, p| acc.rotate_left(5) ^ p.value)
+    }
+
+    fn broadcast(&self, ctx: &NodeContext) -> Vec<Outgoing> {
+        ctx.neighbors
+            .iter()
+            .map(|&(v, _, _)| Outgoing::new(v, Message::from(self.value)))
+            .collect()
+    }
+}
+
+impl NodeProgram for GossipMix {
+    fn init(&mut self, ctx: &NodeContext) -> StepResult {
+        if self.budget == 0 {
+            return StepResult::halt();
+        }
+        StepResult::send(self.broadcast(ctx))
+    }
+
+    fn step(&mut self, ctx: &NodeContext, round: u64, inbox: &[Incoming]) -> StepResult {
+        let mut acc = self.value;
+        for m in inbox {
+            acc = acc.rotate_left(7) ^ m.message.word(0).unwrap_or(0);
+        }
+        self.value = acc.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(round);
+        if round >= self.budget {
+            StepResult::halt()
+        } else {
+            StepResult::send(self.broadcast(ctx))
+        }
+    }
+}
+
 /// The exact hop diameter for small graphs, or the 2-approximation for larger
 /// ones (keeps report generation cheap).
 pub fn report_diameter(graph: &Graph) -> usize {
@@ -153,6 +250,29 @@ mod tests {
         assert!(connectivity::is_k_edge_connected(&g, 2));
         let cheap: usize = g.edges().filter(|(_, e)| e.weight == 1).count();
         assert!(cheap >= 24, "the cheap core must be present");
+    }
+
+    #[test]
+    fn chorded_cycle_has_the_predicted_cut_population() {
+        let n = 24;
+        let stride = 4;
+        let g = chorded_cycle(n, stride);
+        assert!(connectivity::is_k_edge_connected(&g, 2));
+        let cuts = kecss::cuts::cuts_of_size(&g, &g.full_edge_set(), 2);
+        assert_eq!(cuts.len(), (n / stride) * stride * (stride - 1) / 2);
+    }
+
+    #[test]
+    fn gossip_mix_runs_fixed_rounds_and_is_reproducible() {
+        let g = generators::torus(4, 4, 1);
+        let net = congest::Network::new(&g);
+        let a = net.run(GossipMix::programs(g.n(), 12), 100).unwrap();
+        let b = net.run(GossipMix::programs(g.n(), 12), 100).unwrap();
+        assert_eq!(a.report.rounds, 12);
+        // Every vertex sends to all 4 neighbors in rounds 0..12.
+        assert_eq!(a.report.messages, 12 * 4 * g.n() as u64);
+        assert_eq!(GossipMix::digest(&a), GossipMix::digest(&b));
+        assert_eq!(a.nodes, b.nodes);
     }
 
     #[test]

@@ -96,8 +96,31 @@ pub enum Command {
         k: usize,
         /// RNG seed for the randomized algorithms.
         seed: u64,
+        /// Worker threads for the cut-verification phase of the algorithms
+        /// that have one (`kecss`, `greedy`; the others ignore the flag).
+        /// Results are bit-identical for every thread count.
+        threads: usize,
         /// Optional path to write the selected edge list to.
         output: Option<String>,
+    },
+    /// Run a grid of instances × algorithms × seeds concurrently.
+    Sweep {
+        /// Instance family.
+        family: Family,
+        /// Vertex counts, one grid dimension.
+        ns: Vec<usize>,
+        /// Connectivity target for generation and solving.
+        k: usize,
+        /// Maximum edge weight (1 = unweighted).
+        max_weight: u64,
+        /// Algorithms to run, one grid dimension.
+        algorithms: Vec<Algorithm>,
+        /// Number of seeds per (n, algorithm) cell.
+        seeds: u64,
+        /// First seed of the per-cell seed range.
+        base_seed: u64,
+        /// Worker threads the grid cells are spread over.
+        threads: usize,
     },
     /// Verify that a solution file is a k-edge-connected spanning subgraph of
     /// an instance file.
@@ -127,6 +150,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "generate" => parse_generate(&rest),
         "solve" => parse_solve(&rest),
         "verify" => parse_verify(&rest),
+        "sweep" => parse_sweep(&rest),
         other => Err(CliError::Usage(format!(
             "unknown command '{other}'; try 'kecss help'"
         ))),
@@ -139,9 +163,16 @@ kecss — distributed approximation of minimum k-edge-connected spanning subgrap
 
 USAGE:
     kecss generate --family <random|ring|torus|harary> --n <N> [--k <K>] [--max-weight <W>] [--seed <S>] --output <FILE>
-    kecss solve    --input <FILE> --algorithm <2ecss|kecss|3ecss|3ecss-weighted|greedy|thurimella|mst> [--k <K>] [--seed <S>] [--output <FILE>]
+    kecss solve    --input <FILE> --algorithm <2ecss|kecss|3ecss|3ecss-weighted|greedy|thurimella|mst> [--k <K>] [--seed <S>] [--threads <T>] [--output <FILE>]
     kecss verify   --input <FILE> --solution <FILE> --k <K>
+    kecss sweep    --family <random|ring|torus|harary> --n <N1,N2,...> [--k <K>] [--max-weight <W>] [--algorithms <A1,A2,...>] [--seeds <S>] [--base-seed <B>] [--threads <T>]
     kecss help
+
+`solve --threads T` parallelizes the cut-verification phase of the
+algorithms that have one (kecss, greedy); the other algorithms ignore the
+flag. `sweep` runs every (n, algorithm, seed) cell of the grid concurrently
+over T worker threads and verifies each solution. Results are bit-identical
+for every thread count.
 
 The instance file format is plain text: the first non-comment line is the
 number of vertices, every following line is 'u v weight'. Lines starting with
@@ -221,7 +252,76 @@ fn parse_solve(rest: &[&String]) -> Result<Command, CliError> {
             .map(|v| parse_number("seed", v))
             .transpose()?
             .unwrap_or(1),
+        threads: map
+            .get("threads")
+            .map(|v| parse_number("threads", v))
+            .transpose()?
+            .unwrap_or(1),
         output: map.get("output").map(|s| s.to_string()),
+    })
+}
+
+/// Parses a comma-separated list of numbers for flag `key`.
+fn parse_number_list<T: std::str::FromStr>(key: &str, value: &str) -> Result<Vec<T>, CliError> {
+    let items: Vec<T> = value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_number(key, s))
+        .collect::<Result<_, _>>()?;
+    if items.is_empty() {
+        return Err(CliError::Usage(format!(
+            "flag --{key} expects a non-empty comma-separated list, got '{value}'"
+        )));
+    }
+    Ok(items)
+}
+
+fn parse_sweep(rest: &[&String]) -> Result<Command, CliError> {
+    let map = flag_map(rest)?;
+    let algorithms = match map.get("algorithms") {
+        Some(value) => {
+            let names: Vec<&str> = value.split(',').filter(|s| !s.is_empty()).collect();
+            if names.is_empty() {
+                return Err(CliError::Usage(format!(
+                    "flag --algorithms expects a non-empty comma-separated list, got '{value}'"
+                )));
+            }
+            names
+                .into_iter()
+                .map(Algorithm::parse)
+                .collect::<Result<_, _>>()?
+        }
+        None => vec![Algorithm::KEcss],
+    };
+    Ok(Command::Sweep {
+        family: Family::parse(required(&map, "family")?)?,
+        ns: parse_number_list("n", required(&map, "n")?)?,
+        k: map
+            .get("k")
+            .map(|v| parse_number("k", v))
+            .transpose()?
+            .unwrap_or(2),
+        max_weight: map
+            .get("max-weight")
+            .map(|v| parse_number("max-weight", v))
+            .transpose()?
+            .unwrap_or(1),
+        algorithms,
+        seeds: map
+            .get("seeds")
+            .map(|v| parse_number("seeds", v))
+            .transpose()?
+            .unwrap_or(1),
+        base_seed: map
+            .get("base-seed")
+            .map(|v| parse_number("base-seed", v))
+            .transpose()?
+            .unwrap_or(1),
+        threads: map
+            .get("threads")
+            .map(|v| parse_number("threads", v))
+            .transpose()?
+            .unwrap_or(1),
     })
 }
 
@@ -322,6 +422,98 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn solve_parses_threads() {
+        let cmd = parse(&argv(&[
+            "solve",
+            "--input",
+            "g.graph",
+            "--algorithm",
+            "kecss",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Solve { threads, .. } => assert_eq!(threads, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Default is 1 (sequential).
+        match parse(&argv(&["solve", "--input", "g", "--algorithm", "mst"])).unwrap() {
+            Command::Solve { threads, .. } => assert_eq!(threads, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_parses_grid_dimensions() {
+        let cmd = parse(&argv(&[
+            "sweep",
+            "--family",
+            "random",
+            "--n",
+            "32,48,64",
+            "--k",
+            "2",
+            "--algorithms",
+            "2ecss,greedy",
+            "--seeds",
+            "3",
+            "--base-seed",
+            "7",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sweep {
+                family: Family::Random,
+                ns: vec![32, 48, 64],
+                k: 2,
+                max_weight: 1,
+                algorithms: vec![Algorithm::TwoEcss, Algorithm::Greedy],
+                seeds: 3,
+                base_seed: 7,
+                threads: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn sweep_defaults_and_errors() {
+        let cmd = parse(&argv(&["sweep", "--family", "torus", "--n", "64"])).unwrap();
+        match cmd {
+            Command::Sweep {
+                ns,
+                k,
+                algorithms,
+                seeds,
+                base_seed,
+                threads,
+                ..
+            } => {
+                assert_eq!(ns, vec![64]);
+                assert_eq!(k, 2);
+                assert_eq!(algorithms, vec![Algorithm::KEcss]);
+                assert_eq!((seeds, base_seed, threads), (1, 1, 1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv(&["sweep", "--n", "8"])).is_err());
+        assert!(parse(&argv(&["sweep", "--family", "random", "--n", ","])).is_err());
+        assert!(parse(&argv(&[
+            "sweep",
+            "--family",
+            "random",
+            "--n",
+            "8",
+            "--algorithms",
+            "magic"
+        ]))
+        .is_err());
     }
 
     #[test]

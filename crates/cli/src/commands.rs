@@ -6,10 +6,12 @@ use crate::CliError;
 use graphs::{connectivity, generators, mst, EdgeSet, Graph};
 use kecss::baselines::{greedy, thurimella};
 use kecss::{kecss as kecss_alg, lower_bounds, three_ecss, two_ecss};
+use kecss_runtime::{sweep, Executor};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::io::Write;
 use std::path::Path;
+use std::time::Instant;
 
 /// Executes a parsed command, writing human-readable output to `out`.
 ///
@@ -48,10 +50,12 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             algorithm,
             k,
             seed,
+            threads,
             output,
         } => {
             let graph = graph_io::read_graph(Path::new(&input))?;
-            let (edges, rounds, label) = solve(&graph, algorithm, k, seed)?;
+            let exec = Executor::from_threads(threads);
+            let (edges, rounds, label) = solve(&graph, algorithm, k, seed, &exec)?;
             report(out, &graph, &edges, rounds, label, k_for(algorithm, k))?;
             if let Some(path) = output {
                 graph_io::write_solution(Path::new(&path), &graph, &edges)?;
@@ -59,6 +63,26 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             }
             Ok(())
         }
+        Command::Sweep {
+            family,
+            ns,
+            k,
+            max_weight,
+            algorithms,
+            seeds,
+            base_seed,
+            threads,
+        } => run_sweep(
+            out,
+            family,
+            &ns,
+            k,
+            max_weight,
+            &algorithms,
+            seeds,
+            base_seed,
+            threads,
+        ),
         Command::Verify { input, solution, k } => {
             let graph = graph_io::read_graph(Path::new(&input))?;
             let edges = graph_io::read_solution(Path::new(&solution), &graph)?;
@@ -82,6 +106,160 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             }
             Ok(())
         }
+    }
+}
+
+/// Salt applied to a sweep cell's instance seed before it seeds the solver,
+/// so the solver's RNG stream is independent of the one that generated the
+/// instance.
+const SWEEP_SOLVER_SALT: u64 = 0x0005_EED5_01CE;
+
+/// One completed sweep cell.
+struct SweepRow {
+    algorithm: &'static str,
+    n: usize,
+    m: usize,
+    seed: u64,
+    edges: usize,
+    weight: u64,
+    rounds: Option<u64>,
+    valid: bool,
+    millis: u128,
+}
+
+/// Runs the (algorithm × n × seed) grid concurrently over `threads` workers,
+/// printing one table row per cell plus an aggregate line. Every cell
+/// generates its own instance, solves it and verifies the solution; rows come
+/// out in grid order regardless of the thread count.
+#[allow(clippy::too_many_arguments)]
+fn run_sweep<W: Write>(
+    out: &mut W,
+    family: Family,
+    ns: &[usize],
+    k: usize,
+    max_weight: u64,
+    algorithms: &[Algorithm],
+    seeds: u64,
+    base_seed: u64,
+    threads: usize,
+) -> Result<(), CliError> {
+    let exec = Executor::from_threads(threads);
+    let seed_list: Vec<u64> = (0..seeds.max(1)).map(|i| base_seed + i).collect();
+    let cells = sweep::grid3(algorithms, ns, &seed_list);
+    writeln!(
+        out,
+        "sweep     : family={} k={k} max-weight={max_weight} threads={} cells={}",
+        family_name(family),
+        exec.threads(),
+        cells.len()
+    )?;
+    writeln!(
+        out,
+        "{:<14} {:>7} {:>8} {:>8} {:>7} {:>10} {:>9} {:>6} {:>7}",
+        "algorithm", "n", "m", "seed", "edges", "weight", "rounds", "valid", "ms"
+    )?;
+    let started = Instant::now();
+    let results: Vec<Result<SweepRow, CliError>> =
+        sweep::run(&exec, &cells, |&(algorithm, n, seed)| {
+            let cell_start = Instant::now();
+            let graph = generate(family, n, k, max_weight, seed)?;
+            // Cells parallelize across the grid; within a cell the solver
+            // runs sequentially (no nested thread explosion). The solver gets
+            // a salted seed: reusing the instance seed verbatim would replay
+            // the exact RNG stream that chose the topology, correlating the
+            // randomized algorithms' coin flips with the instance.
+            let (edges, rounds, _) = solve(
+                &graph,
+                algorithm,
+                k,
+                seed ^ SWEEP_SOLVER_SALT,
+                &Executor::Sequential,
+            )?;
+            let target = k_for(algorithm, k);
+            let valid = connectivity::is_k_edge_connected_in(&graph, &edges, target.max(1));
+            Ok(SweepRow {
+                algorithm: algorithm_name(algorithm),
+                n: graph.n(),
+                m: graph.m(),
+                seed,
+                edges: edges.len(),
+                weight: graph.weight_of(&edges),
+                rounds,
+                valid,
+                millis: cell_start.elapsed().as_millis(),
+            })
+        });
+    let wall = started.elapsed();
+
+    let mut first_error = None;
+    let mut invalid = 0usize;
+    let mut cells_done = 0usize;
+    let mut total_rounds = 0u64;
+    for result in results {
+        match result {
+            Ok(row) => {
+                if !row.valid {
+                    invalid += 1;
+                }
+                cells_done += 1;
+                total_rounds += row.rounds.unwrap_or(0);
+                writeln!(
+                    out,
+                    "{:<14} {:>7} {:>8} {:>8} {:>7} {:>10} {:>9} {:>6} {:>7}",
+                    row.algorithm,
+                    row.n,
+                    row.m,
+                    row.seed,
+                    row.edges,
+                    row.weight,
+                    row.rounds
+                        .map_or_else(|| "-".to_string(), |r| r.to_string()),
+                    if row.valid { "yes" } else { "NO" },
+                    row.millis
+                )?;
+            }
+            Err(e) => {
+                writeln!(out, "cell FAILED: {e}")?;
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+        }
+    }
+    writeln!(
+        out,
+        "total     : {cells_done} cells, {invalid} invalid, {total_rounds} charged CONGEST rounds, {} ms wall",
+        wall.as_millis()
+    )?;
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    if invalid > 0 {
+        return Err(CliError::Format(format!(
+            "{invalid} sweep cell(s) produced a subgraph that failed verification"
+        )));
+    }
+    Ok(())
+}
+
+fn family_name(family: Family) -> &'static str {
+    match family {
+        Family::Random => "random",
+        Family::RingOfCliques => "ring-of-cliques",
+        Family::Torus => "torus",
+        Family::Harary => "harary",
+    }
+}
+
+fn algorithm_name(algorithm: Algorithm) -> &'static str {
+    match algorithm {
+        Algorithm::TwoEcss => "2ecss",
+        Algorithm::KEcss => "kecss",
+        Algorithm::ThreeEcss => "3ecss",
+        Algorithm::ThreeEcssWeighted => "3ecss-weighted",
+        Algorithm::Greedy => "greedy",
+        Algorithm::Thurimella => "thurimella",
+        Algorithm::MstOnly => "mst",
     }
 }
 
@@ -128,11 +306,16 @@ fn generate(
 
 /// Runs the chosen algorithm; returns the edge set, the charged CONGEST rounds
 /// (`None` for purely sequential baselines) and a display label.
+///
+/// `exec` parallelizes the cut-verification phases of the algorithms that
+/// have them (`kecss`, `greedy`); results are bit-identical for every
+/// executor, so the flag is purely a wall-clock knob.
 fn solve(
     graph: &Graph,
     algorithm: Algorithm,
     k: usize,
     seed: u64,
+    exec: &Executor,
 ) -> Result<(EdgeSet, Option<u64>, &'static str), CliError> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     Ok(match algorithm {
@@ -145,7 +328,7 @@ fn solve(
             )
         }
         Algorithm::KEcss => {
-            let sol = kecss_alg::solve(graph, k, &mut rng)?;
+            let sol = kecss_alg::solve_with_exec(graph, k, &mut rng, exec)?;
             (
                 sol.subgraph,
                 Some(sol.ledger.total()),
@@ -169,7 +352,7 @@ fn solve(
             )
         }
         Algorithm::Greedy => {
-            let sol = greedy::k_ecss(graph, k);
+            let sol = greedy::k_ecss_with_exec(graph, k, exec);
             (sol.edges, None, "sequential greedy k-ECSS")
         }
         Algorithm::Thurimella => {
@@ -265,6 +448,7 @@ mod tests {
             algorithm: Algorithm::TwoEcss,
             k: 2,
             seed: 1,
+            threads: 2,
             output: Some(solution.clone()),
         });
         assert!(text.contains("2-edge-connected ✓"));
@@ -295,6 +479,7 @@ mod tests {
             algorithm: Algorithm::MstOnly,
             k: 1,
             seed: 1,
+            threads: 1,
             output: Some(solution.clone()),
         });
         let mut out = Vec::new();
@@ -334,12 +519,66 @@ mod tests {
                 algorithm,
                 k: 3,
                 seed: 4,
+                threads: 1,
                 output: None,
             });
             assert!(
                 text.contains("solution"),
                 "{algorithm:?} produced no report"
             );
+        }
+    }
+
+    #[test]
+    fn sweep_runs_a_grid_and_reports_every_cell() {
+        let text = run(Command::Sweep {
+            family: Family::Random,
+            ns: vec![16, 24],
+            k: 2,
+            max_weight: 12,
+            algorithms: vec![Algorithm::TwoEcss, Algorithm::Greedy],
+            seeds: 2,
+            base_seed: 3,
+            threads: 4,
+        });
+        // 2 algorithms x 2 sizes x 2 seeds = 8 cells, all valid.
+        assert_eq!(text.matches(" yes ").count(), 8, "{text}");
+        assert!(text.contains("cells=8"));
+        assert!(text.contains("8 cells, 0 invalid"));
+    }
+
+    #[test]
+    fn sweep_rows_are_identical_for_every_thread_count() {
+        let strip_timings = |text: &str| -> Vec<String> {
+            // Drop the per-cell / total wall-clock numbers; everything else
+            // must be bit-identical across thread counts.
+            text.lines()
+                .filter(|l| !l.starts_with("total"))
+                .map(|l| {
+                    let mut cols: Vec<&str> = l.split_whitespace().collect();
+                    if cols.len() == 9 && !l.starts_with("sweep") && !l.starts_with("algorithm") {
+                        cols.pop(); // the ms column
+                    }
+                    cols.join(" ")
+                })
+                .collect()
+        };
+        let make = |threads: usize| Command::Sweep {
+            family: Family::Random,
+            ns: vec![14, 20],
+            k: 2,
+            max_weight: 9,
+            algorithms: vec![Algorithm::TwoEcss],
+            seeds: 2,
+            base_seed: 1,
+            threads,
+        };
+        let sequential = strip_timings(&run(make(1)));
+        for threads in [2, 8] {
+            let mut parallel = strip_timings(&run(make(threads)));
+            // The header names the thread count; normalize it.
+            parallel[0] = parallel[0].replace(&format!("threads={threads}"), "threads=1");
+            assert_eq!(parallel, sequential, "t = {threads}");
         }
     }
 

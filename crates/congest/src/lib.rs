@@ -31,7 +31,7 @@
 //! use congest::{Network, programs::bfs::DistributedBfs};
 //!
 //! let g = generators::cycle(8, 1);
-//! let mut net = Network::new(&g);
+//! let net = Network::new(&g);
 //! let outcome = net.run(DistributedBfs::programs(&g, 0), 100).expect("bfs terminates");
 //! // The BFS tree of a cycle has depth n/2 and construction takes Theta(D) rounds.
 //! assert!(outcome.report.rounds >= 4 && outcome.report.rounds <= 8);
@@ -47,6 +47,18 @@ pub mod node;
 pub mod programs;
 
 pub use accounting::{CostModel, RoundLedger};
-pub use message::Message;
+pub use message::{Incoming, Message};
 pub use network::{Network, NetworkError, Outcome, RunReport};
 pub use node::{NodeContext, NodeProgram, Outgoing, StepResult};
+
+// The `kecss_runtime` parallel round engine shares the network and moves
+// messages between worker threads; lock the auto-trait guarantees in at
+// compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Network>();
+    assert_send_sync::<NodeContext>();
+    assert_send_sync::<Message>();
+    assert_send_sync::<Incoming>();
+    assert_send_sync::<RunReport>();
+};

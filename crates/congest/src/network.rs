@@ -15,7 +15,22 @@ pub struct RunReport {
     /// Total number of words across all messages.
     pub words: u64,
     /// The largest message observed, in words.
-    pub max_message_words: usize,
+    pub max_message_words: u64,
+}
+
+impl RunReport {
+    /// Folds another report into this one: the counters add up and the maxima
+    /// take the maximum.
+    ///
+    /// This is the aggregation used by the `kecss_runtime` parallel engine
+    /// (merging per-chunk message statistics in deterministic chunk order)
+    /// and by sweep drivers (merging per-instance reports into a grid total).
+    pub fn merge(&mut self, other: &RunReport) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.words += other.words;
+        self.max_message_words = self.max_message_words.max(other.max_message_words);
+    }
 }
 
 /// The result of running a set of node programs to completion: the final
@@ -154,8 +169,20 @@ impl Network {
         &self.contexts[v]
     }
 
+    /// All per-vertex contexts, indexed by vertex id.
+    ///
+    /// This is the executor seam used by the `kecss_runtime` parallel round
+    /// engine: workers borrow the contexts of their chunk while the network
+    /// itself stays shared and immutable.
+    pub fn contexts(&self) -> &[NodeContext] {
+        &self.contexts
+    }
+
     /// Runs one program per vertex until all have terminated or `max_rounds`
     /// is reached.
+    ///
+    /// Takes `&self`: a run never mutates the topology, so one `Network` can
+    /// drive many (including concurrent) runs without cloning.
     ///
     /// # Errors
     ///
@@ -163,7 +190,7 @@ impl Network {
     /// CONGEST constraints (sends to a non-neighbor or exceeds the word
     /// budget), or termination does not happen within `max_rounds`.
     pub fn run<P: NodeProgram>(
-        &mut self,
+        &self,
         mut programs: Vec<P>,
         max_rounds: u64,
     ) -> Result<Outcome<P>, NetworkError> {
@@ -245,7 +272,7 @@ impl Network {
             }
             report.messages += 1;
             report.words += words as u64;
-            report.max_message_words = report.max_message_words.max(words);
+            report.max_message_words = report.max_message_words.max(words as u64);
             pending[to].push(Incoming {
                 from,
                 message: out.message,
@@ -301,7 +328,7 @@ mod tests {
     #[test]
     fn token_relay_along_path_takes_n_minus_one_rounds() {
         let g = generators::path(6, 1);
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let programs = (0..6).map(|_| Relay { has_token: false }).collect();
         let outcome = net.run(programs, 100).expect("relay terminates");
         assert!(outcome.nodes.iter().all(|p| p.has_token));
@@ -313,7 +340,7 @@ mod tests {
     #[test]
     fn wrong_program_count_is_rejected() {
         let g = generators::path(3, 1);
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let programs: Vec<Relay> = vec![];
         let err = net.run(programs, 10).unwrap_err();
         assert!(matches!(
@@ -343,7 +370,7 @@ mod tests {
     #[test]
     fn oversized_messages_are_rejected() {
         let g = generators::path(2, 1);
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let err = net.run(vec![TooChatty, TooChatty], 10).unwrap_err();
         assert!(matches!(
             err,
@@ -368,7 +395,7 @@ mod tests {
     #[test]
     fn sending_to_non_neighbor_is_rejected() {
         let g = generators::path(3, 1); // 0-1-2: vertex 2 is not adjacent to 0.
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let programs = vec![SendsToStranger, SendsToStranger, SendsToStranger];
         let err = net.run(programs, 10).unwrap_err();
         assert_eq!(err, NetworkError::NotANeighbor { from: 0, to: 2 });
@@ -384,7 +411,7 @@ mod tests {
     #[test]
     fn round_limit_is_enforced() {
         let g = generators::path(2, 1);
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let err = net.run(vec![NeverHalts, NeverHalts], 7).unwrap_err();
         assert_eq!(err, NetworkError::RoundLimitExceeded { limit: 7 });
     }

@@ -19,13 +19,13 @@ use graphs::{Graph, NodeId};
 /// use congest::{Network, programs::bfs::DistributedBfs};
 ///
 /// let g = generators::path(5, 1);
-/// let mut net = Network::new(&g);
+/// let net = Network::new(&g);
 /// let outcome = net.run(DistributedBfs::programs(&g, 0), 50).unwrap();
 /// let (parents, dists) = DistributedBfs::extract(&outcome);
 /// assert_eq!(dists, vec![0, 1, 2, 3, 4]);
 /// assert_eq!(parents[4], Some(3));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DistributedBfs {
     root: NodeId,
     /// Distance from the root once joined.
@@ -129,7 +129,7 @@ mod tests {
     #[test]
     fn bfs_on_path_matches_sequential() {
         let g = generators::path(7, 1);
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let outcome = net.run(DistributedBfs::programs(&g, 0), 100).unwrap();
         let (_, dists) = DistributedBfs::extract(&outcome);
         let reference = seq_bfs::bfs(&g, 0);
@@ -145,7 +145,7 @@ mod tests {
         // A 4x25 torus-like grid: n = 100 but diameter ~ 14.
         let g = generators::grid(4, 25, 1);
         let d = seq_bfs::diameter(&g).unwrap();
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let outcome = net.run(DistributedBfs::programs(&g, 0), 10_000).unwrap();
         assert!(outcome.report.rounds as usize <= d + 2);
     }
@@ -153,7 +153,7 @@ mod tests {
     #[test]
     fn bfs_parents_form_a_tree() {
         let g = generators::torus(4, 4, 1);
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let outcome = net.run(DistributedBfs::programs(&g, 3), 100).unwrap();
         let (parents, dists) = DistributedBfs::extract(&outcome);
         assert_eq!(parents.iter().filter(|p| p.is_none()).count(), 1);
@@ -172,7 +172,7 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
         let g = generators::random_k_edge_connected(24, 2, 20, &mut rng);
         for root in [0, 5, 23] {
-            let mut net = Network::new(&g);
+            let net = Network::new(&g);
             let outcome = net.run(DistributedBfs::programs(&g, root), 1000).unwrap();
             let (_, dists) = DistributedBfs::extract(&outcome);
             let reference = seq_bfs::bfs(&g, root);

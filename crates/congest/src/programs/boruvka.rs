@@ -25,7 +25,7 @@ const INFINITY: EdgeKey = (u64::MAX, u64::MAX);
 /// After the run, [`DistributedBoruvka::mst_edges`] collects the edge set of
 /// the unique MST under the `(weight, edge id)` ordering, which matches
 /// [`graphs::mst::kruskal`] exactly.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DistributedBoruvka {
     /// Current fragment identifier (starts as the vertex's own id).
     fragment: u64,
@@ -242,7 +242,7 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn run_boruvka(g: &Graph) -> EdgeSet {
-        let mut net = Network::new(g);
+        let net = Network::new(g);
         let budget = DistributedBoruvka::round_budget(g) + 10;
         let outcome = net
             .run(DistributedBoruvka::programs(g), budget)
@@ -296,7 +296,7 @@ mod tests {
     #[test]
     fn messages_respect_congest_budget() {
         let g = generators::torus(3, 4, 1);
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let budget = DistributedBoruvka::round_budget(&g) + 10;
         let outcome = net.run(DistributedBoruvka::programs(&g), budget).unwrap();
         assert!(outcome.report.max_message_words <= 2);

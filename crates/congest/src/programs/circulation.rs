@@ -26,7 +26,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// Per-node program computing the circulation labels of its incident edges.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CirculationLabeling {
     /// Tree parent (`None` for the root).
     parent: Option<NodeId>,
@@ -207,7 +207,7 @@ mod tests {
     fn run_labelling(graph: &Graph, h: &EdgeSet, seed: u64) -> (Vec<Option<u64>>, u64) {
         let bfs = graphs::bfs::bfs_in(graph, h, 0);
         let tree = RootedTree::new(graph, &bfs.tree_edges(graph), 0);
-        let mut net = Network::new(graph);
+        let net = Network::new(graph);
         let programs = CirculationLabeling::programs(graph, h, &tree, 64, seed);
         let outcome = net.run(programs, 10_000).expect("labelling terminates");
         (
@@ -249,7 +249,7 @@ mod tests {
         let h = g.full_edge_set();
         let bfs = graphs::bfs::bfs_in(&g, &h, 0);
         let tree = RootedTree::new(&g, &bfs.tree_edges(&g), 0);
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let programs = CirculationLabeling::programs(&g, &h, &tree, 64, 3);
         let outcome = net.run(programs, 10_000).unwrap();
         assert!(
@@ -281,7 +281,7 @@ mod tests {
         let h = g.full_edge_set();
         let bfs = graphs::bfs::bfs_in(&g, &h, 0);
         let tree = RootedTree::new(&g, &bfs.tree_edges(&g), 0);
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let programs = CirculationLabeling::programs(&g, &h, &tree, 4, 9);
         let outcome = net.run(programs, 1000).unwrap();
         let labels = CirculationLabeling::collect_labels(&outcome, &g);

@@ -14,7 +14,7 @@ use graphs::{EdgeSet, Graph, NodeId, RootedTree};
 
 /// Tree structure local to one vertex: its parent and children in a rooted
 /// spanning tree, as supplied to the collective programs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LocalTree {
     /// Parent in the tree, `None` for the root.
     pub parent: Option<NodeId>,
@@ -43,12 +43,12 @@ pub fn local_trees(tree: &RootedTree, n: usize) -> Vec<LocalTree> {
 ///
 /// let g = generators::cycle(6, 1);
 /// let t = RootedTree::new(&g, &mst::kruskal(&g), 0);
-/// let mut net = Network::new(&g);
+/// let net = Network::new(&g);
 /// let programs = PipelinedBroadcast::programs(&local_trees(&t, g.n()), vec![10, 20, 30]);
 /// let outcome = net.run(programs, 100).unwrap();
 /// assert!(outcome.nodes.iter().all(|p| p.received() == &[10, 20, 30]));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PipelinedBroadcast {
     tree: LocalTree,
     /// Items still to forward to children (in order).
@@ -129,7 +129,7 @@ impl NodeProgram for PipelinedBroadcast {
 /// Convergecast of a sum towards the root: every vertex holds a value, and at
 /// the end the root knows the sum over all vertices. Takes `height + O(1)`
 /// rounds.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SumConvergecast {
     tree: LocalTree,
     pending_children: usize,
@@ -228,7 +228,7 @@ mod tests {
         let g = generators::path(6, 1);
         let t = tree_of(&g);
         let items = vec![5, 6, 7, 8];
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let programs = PipelinedBroadcast::programs(&local_trees(&t, g.n()), items.clone());
         let outcome = net.run(programs, 200).unwrap();
         for p in &outcome.nodes {
@@ -242,7 +242,7 @@ mod tests {
         let t = tree_of(&g);
         let depth = t.height() as u64;
         let items: Vec<u64> = (0..15).collect();
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let programs = PipelinedBroadcast::programs(&local_trees(&t, g.n()), items.clone());
         let outcome = net.run(programs, 1000).unwrap();
         let rounds = outcome.report.rounds;
@@ -256,7 +256,7 @@ mod tests {
     fn broadcast_of_empty_item_list_terminates() {
         let g = generators::cycle(5, 1);
         let t = tree_of(&g);
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let programs = PipelinedBroadcast::programs(&local_trees(&t, g.n()), vec![]);
         let outcome = net.run(programs, 50).unwrap();
         assert!(outcome.nodes.iter().all(|p| p.received().is_empty()));
@@ -268,7 +268,7 @@ mod tests {
         let t = tree_of(&g);
         let values: Vec<u64> = (0..g.n() as u64).collect();
         let expected: u64 = values.iter().sum();
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let programs = SumConvergecast::programs(&local_trees(&t, g.n()), &values);
         let outcome = net.run(programs, 200).unwrap();
         assert_eq!(SumConvergecast::root_total(&outcome), expected);
@@ -279,7 +279,7 @@ mod tests {
         let g = generators::path(30, 1);
         let t = tree_of(&g);
         let values = vec![1u64; g.n()];
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let programs = SumConvergecast::programs(&local_trees(&t, g.n()), &values);
         let outcome = net.run(programs, 500).unwrap();
         assert_eq!(SumConvergecast::root_total(&outcome), 30);

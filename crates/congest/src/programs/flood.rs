@@ -14,7 +14,7 @@ use crate::node::{NodeContext, NodeProgram, Outgoing, StepResult};
 /// worst case but far less in practice; the round complexity is exactly the
 /// round budget, `n` (a safe upper bound on the diameter), because vertices
 /// cannot detect quiescence locally.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FloodMinElection {
     best: u64,
     rounds_budget: u64,
@@ -82,7 +82,7 @@ mod tests {
     #[test]
     fn every_vertex_elects_vertex_zero() {
         let g = generators::cycle(9, 1);
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let outcome = net.run(FloodMinElection::programs(g.n()), 100).unwrap();
         assert!(outcome.nodes.iter().all(|p| p.leader() == 0));
     }
@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn election_works_on_ring_of_cliques() {
         let g = generators::ring_of_cliques(4, 3, 2, 1);
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let outcome = net.run(FloodMinElection::programs(g.n()), 200).unwrap();
         assert!(outcome.nodes.iter().all(|p| p.leader() == 0));
         // Round complexity is the fixed budget n.
@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn messages_are_single_word() {
         let g = generators::complete(6, 1);
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let outcome = net.run(FloodMinElection::programs(g.n()), 100).unwrap();
         assert_eq!(outcome.report.max_message_words, 1);
     }

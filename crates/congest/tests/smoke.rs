@@ -33,7 +33,7 @@ fn ledger_accounting_adds_up() {
 #[test]
 fn bfs_program_runs_on_a_cycle() {
     let g = generators::cycle(8, 1);
-    let mut net = Network::new(&g);
+    let net = Network::new(&g);
     let outcome = net
         .run(DistributedBfs::programs(&g, 0), 100)
         .expect("bfs terminates");

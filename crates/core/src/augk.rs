@@ -32,6 +32,7 @@ use crate::cuts::{self, CutFamily};
 use crate::error::{Error, Result};
 use congest::{CostModel, RoundLedger};
 use graphs::{connectivity, mst, EdgeId, EdgeSet, Graph};
+use kecss_runtime::Executor;
 use rand::Rng;
 
 /// The phase-length multiplier `M` of the probability schedule: the activation
@@ -123,6 +124,25 @@ pub fn augment<R: Rng>(graph: &Graph, h: &EdgeSet, k: usize, rng: &mut R) -> Res
     augment_with_model(graph, h, k, CostModel::new(graph.n(), diameter), rng)
 }
 
+/// Same as [`augment`], running the cut enumeration/verification and the
+/// per-candidate coverage counting through `exec`. Those computations are
+/// pure (they never touch `rng`), so for a fixed seed the result is
+/// bit-identical to [`augment`] for every executor.
+///
+/// # Errors
+///
+/// Same conditions as [`augment`].
+pub fn augment_with_exec<R: Rng>(
+    graph: &Graph,
+    h: &EdgeSet,
+    k: usize,
+    rng: &mut R,
+    exec: &Executor,
+) -> Result<AugkSolution> {
+    let diameter = graphs::bfs::diameter(graph).unwrap_or(graph.n());
+    augment_with_model_exec(graph, h, k, CostModel::new(graph.n(), diameter), rng, exec)
+}
+
 /// Same as [`augment`] with an explicit cost model.
 ///
 /// # Errors
@@ -135,6 +155,22 @@ pub fn augment_with_model<R: Rng>(
     model: CostModel,
     rng: &mut R,
 ) -> Result<AugkSolution> {
+    augment_with_model_exec(graph, h, k, model, rng, &Executor::Sequential)
+}
+
+/// The most general entry point: explicit cost model *and* executor.
+///
+/// # Errors
+///
+/// Same conditions as [`augment`].
+pub fn augment_with_model_exec<R: Rng>(
+    graph: &Graph,
+    h: &EdgeSet,
+    k: usize,
+    model: CostModel,
+    rng: &mut R,
+    exec: &Executor,
+) -> Result<AugkSolution> {
     validate(graph, h, k)?;
     let mut ledger = RoundLedger::new(model);
 
@@ -142,8 +178,10 @@ pub fn augment_with_model<R: Rng>(
     ledger.charge("augk/learn_h", model.broadcast(h.len() as u64));
 
     // The cuts of size k-1 of H; with full knowledge of H every vertex can
-    // enumerate them locally (local computation is free in CONGEST).
-    let family = CutFamily::enumerate(graph, h, k - 1);
+    // enumerate them locally (local computation is free in CONGEST). The
+    // candidate removal tests are independent per candidate, so they run
+    // through the executor.
+    let family = CutFamily::enumerate_with(graph, h, k - 1, exec);
     let mut covered = vec![false; family.len()];
     let mut uncovered = family.len();
 
@@ -160,15 +198,13 @@ pub fn augment_with_model<R: Rng>(
     // Per-candidate counts of *uncovered* cuts crossed. Maintained
     // incrementally: when a cut becomes covered, every candidate crossing it
     // is decremented, so the total maintenance cost over the whole run is
-    // O(#cuts · #candidates) instead of that much per iteration.
-    let mut coverage: Vec<usize> = candidates_pool
-        .iter()
-        .map(|&(_, u, v, _)| {
-            (0..family.len())
-                .filter(|&c| family.crossed_by(c, u, v))
-                .count()
-        })
-        .collect();
+    // O(#cuts · #candidates) instead of that much per iteration. The initial
+    // counting is independent per candidate and runs through the executor.
+    let mut coverage: Vec<usize> = exec.map(&candidates_pool, |&(_, u, v, _)| {
+        (0..family.len())
+            .filter(|&c| family.crossed_by(c, u, v))
+            .count()
+    });
 
     while uncovered > 0 {
         assert!(
@@ -435,6 +471,25 @@ mod tests {
         assert!(sol.ledger.phase("augk/learn_h") > 0);
         assert!(sol.ledger.phase("augk/mst") > 0);
         assert!(sol.ledger.total() > 0);
+    }
+
+    #[test]
+    fn parallel_augmentation_is_bit_identical_for_a_fixed_seed() {
+        // The executor only parallelizes pure verification work, so with the
+        // same seed every thread count must produce the same solution.
+        let mut seed_rng = ChaCha8Rng::seed_from_u64(21);
+        let g = generators::random_weighted_k_edge_connected(24, 2, 40, 30, &mut seed_rng);
+        let h = mst::kruskal(&g);
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let sequential = augment(&g, &h, 2, &mut rng).unwrap();
+        for threads in [2, 4, 8] {
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            let exec = Executor::from_threads(threads);
+            let parallel = augment_with_exec(&g, &h, 2, &mut rng, &exec).unwrap();
+            assert_eq!(parallel.added, sequential.added, "t = {threads}");
+            assert_eq!(parallel.weight, sequential.weight, "t = {threads}");
+            assert_eq!(parallel.iterations, sequential.iterations, "t = {threads}");
+        }
     }
 
     #[test]

@@ -134,10 +134,25 @@ pub fn augment_cuts(graph: &Graph, h: &EdgeSet, family: &CutFamily) -> BaselineS
 /// Panics if the graph is not k-edge-connected or `k - 1` exceeds
 /// [`crate::cuts::MAX_CUT_SIZE`].
 pub fn k_ecss(graph: &Graph, k: usize) -> BaselineSolution {
+    k_ecss_with_exec(graph, k, &kecss_runtime::Executor::Sequential)
+}
+
+/// Same as [`k_ecss`], running the per-level cut enumeration through `exec`.
+/// Bit-identical to [`k_ecss`] for every executor (the greedy selection
+/// itself is deterministic and stays sequential).
+///
+/// # Panics
+///
+/// Same conditions as [`k_ecss`].
+pub fn k_ecss_with_exec(
+    graph: &Graph,
+    k: usize,
+    exec: &kecss_runtime::Executor,
+) -> BaselineSolution {
     assert!(k >= 1, "k must be at least 1");
     let mut h = graphs::mst::kruskal(graph);
     for level in 2..=k {
-        let family = CutFamily::enumerate(graph, &h, level - 1);
+        let family = CutFamily::enumerate_with(graph, &h, level - 1, exec);
         let added = augment_cuts(graph, &h, &family);
         h.union_with(&added.edges);
     }

@@ -20,6 +20,7 @@
 
 use crate::cycle_space::Circulation;
 use graphs::{connectivity, EdgeId, EdgeSet, Graph, NodeId, RootedTree};
+use kecss_runtime::Executor;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -60,6 +61,19 @@ pub fn covers(graph: &Graph, h: &EdgeSet, cut: &[EdgeId], e: EdgeId) -> bool {
 /// Panics if `size` is 0 or greater than [`MAX_CUT_SIZE`], or if `h` is
 /// disconnected.
 pub fn cuts_of_size(graph: &Graph, h: &EdgeSet, size: usize) -> Vec<Cut> {
+    cuts_of_size_with(graph, h, size, &Executor::Sequential)
+}
+
+/// Same as [`cuts_of_size`], verifying the label-filtered candidates through
+/// `exec`: the removal test of each candidate is independent, so candidates
+/// are checked in parallel. The result is bit-identical to the sequential
+/// enumeration for every executor (candidates are generated, verified and
+/// collected in a fixed order).
+///
+/// # Panics
+///
+/// Same conditions as [`cuts_of_size`].
+pub fn cuts_of_size_with(graph: &Graph, h: &EdgeSet, size: usize, exec: &Executor) -> Vec<Cut> {
     assert!(
         (1..=MAX_CUT_SIZE).contains(&size),
         "cut size {size} unsupported"
@@ -73,10 +87,26 @@ pub fn cuts_of_size(graph: &Graph, h: &EdgeSet, size: usize) -> Vec<Cut> {
             .into_iter()
             .map(|b| vec![b])
             .collect(),
-        2 => cut_pairs(graph, h),
-        3 => cut_triples(graph, h),
+        2 => cut_pairs(graph, h, exec),
+        3 => cut_triples(graph, h, exec),
         _ => unreachable!("guarded by the assertion above"),
     }
+}
+
+/// Keeps the candidates whose removal disconnects `(V, h)`, running the
+/// (independent) removal tests through `exec` in batches.
+fn verify_candidates(
+    graph: &Graph,
+    h: &EdgeSet,
+    candidates: Vec<Cut>,
+    exec: &Executor,
+) -> Vec<Cut> {
+    let verdicts = exec.map(&candidates, |cut| disconnects(graph, h, cut));
+    candidates
+        .into_iter()
+        .zip(verdicts)
+        .filter_map(|(cut, is_cut)| is_cut.then_some(cut))
+        .collect()
 }
 
 fn labels_for(graph: &Graph, h: &EdgeSet) -> Circulation {
@@ -90,25 +120,23 @@ fn labels_for(graph: &Graph, h: &EdgeSet) -> Circulation {
 }
 
 /// All cuts of size exactly 2 (cut pairs) of the connected subgraph `(V, h)`.
-fn cut_pairs(graph: &Graph, h: &EdgeSet) -> Vec<Cut> {
+fn cut_pairs(graph: &Graph, h: &EdgeSet, exec: &Executor) -> Vec<Cut> {
     let circulation = labels_for(graph, h);
-    let mut out = Vec::new();
+    let mut candidates = Vec::new();
     for class in circulation.label_classes(h) {
         for i in 0..class.len() {
             for j in (i + 1)..class.len() {
-                let cut = vec![class[i], class[j]];
-                if disconnects(graph, h, &cut) {
-                    out.push(cut);
-                }
+                candidates.push(vec![class[i], class[j]]);
             }
         }
     }
+    let mut out = verify_candidates(graph, h, candidates, exec);
     out.sort();
     out
 }
 
 /// All cuts of size exactly 3 of the connected subgraph `(V, h)`.
-fn cut_triples(graph: &Graph, h: &EdgeSet) -> Vec<Cut> {
+fn cut_triples(graph: &Graph, h: &EdgeSet, exec: &Executor) -> Vec<Cut> {
     let circulation = labels_for(graph, h);
     let ids: Vec<EdgeId> = h.iter().collect();
     // label -> edges with that label, for completing pairs into XOR-zero triples.
@@ -120,26 +148,24 @@ fn cut_triples(graph: &Graph, h: &EdgeSet) -> Vec<Cut> {
             .or_default()
             .push(id);
     }
-    let mut out = Vec::new();
+    let mut candidates = Vec::new();
     for i in 0..ids.len() {
         for j in (i + 1)..ids.len() {
             let a = ids[i];
             let b = ids[j];
             let want = circulation.label(a).unwrap() ^ circulation.label(b).unwrap();
-            let Some(candidates) = by_label.get(&want) else {
+            let Some(completions) = by_label.get(&want) else {
                 continue;
             };
-            for &c in candidates {
+            for &c in completions {
                 if c <= b {
                     continue;
                 }
-                let cut = vec![a, b, c];
-                if disconnects(graph, h, &cut) {
-                    out.push(cut);
-                }
+                candidates.push(vec![a, b, c]);
             }
         }
     }
+    let mut out = verify_candidates(graph, h, candidates, exec);
     out.sort();
     out
 }
@@ -167,8 +193,20 @@ impl CutFamily {
     /// enumerated cut does not split `H` into exactly two components (which
     /// cannot happen for minimum cuts of a `(size)`-edge-connected `H`).
     pub fn enumerate(graph: &Graph, h: &EdgeSet, size: usize) -> Self {
-        let cuts = cuts_of_size(graph, h, size);
-        let sides = cuts.iter().map(|cut| bipartition(graph, h, cut)).collect();
+        Self::enumerate_with(graph, h, size, &Executor::Sequential)
+    }
+
+    /// Same as [`CutFamily::enumerate`], running both the candidate removal
+    /// tests and the per-cut bipartitions through `exec` (each cut's
+    /// bipartition is an independent connected-components computation).
+    /// Bit-identical to the sequential enumeration for every executor.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CutFamily::enumerate`].
+    pub fn enumerate_with(graph: &Graph, h: &EdgeSet, size: usize, exec: &Executor) -> Self {
+        let cuts = cuts_of_size_with(graph, h, size, exec);
+        let sides = exec.map(&cuts, |cut| bipartition(graph, h, cut));
         CutFamily { cuts, sides }
     }
 
@@ -367,6 +405,38 @@ mod tests {
     fn no_cut_pairs_in_three_connected_graph() {
         let g = generators::harary(3, 8, 1);
         assert!(cuts_of_size(&g, &g.full_edge_set(), 2).is_empty());
+    }
+
+    #[test]
+    fn parallel_enumeration_is_bit_identical_to_sequential() {
+        use rand::SeedableRng;
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for (n, k, size) in [(12, 2, 1), (12, 2, 2), (10, 3, 3)] {
+            let g = generators::random_k_edge_connected(n, k, 4, &mut rng);
+            let mut h = g.full_edge_set();
+            if size < k {
+                // Drop one edge so smaller cuts exist without disconnecting.
+                let id = h.iter().next().unwrap();
+                let mut candidate = h.clone();
+                candidate.remove(id);
+                if connectivity::is_connected_in(&g, &candidate) {
+                    h = candidate;
+                }
+            }
+            let sequential = cuts_of_size(&g, &h, size);
+            for threads in [2, 4, 8] {
+                let exec = Executor::from_threads(threads);
+                assert_eq!(
+                    cuts_of_size_with(&g, &h, size, &exec),
+                    sequential,
+                    "size = {size}, t = {threads}"
+                );
+                let fam_seq = CutFamily::enumerate(&g, &h, size);
+                let fam_par = CutFamily::enumerate_with(&g, &h, size, &exec);
+                assert_eq!(fam_par.cuts, fam_seq.cuts);
+                assert_eq!(fam_par.sides, fam_seq.sides);
+            }
+        }
     }
 
     #[test]

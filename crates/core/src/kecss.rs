@@ -12,6 +12,7 @@ use crate::cuts;
 use crate::error::{Error, Result};
 use congest::{CostModel, RoundLedger};
 use graphs::{connectivity, mst, EdgeSet, Graph};
+use kecss_runtime::Executor;
 use rand::Rng;
 
 /// The largest `k` supported by the cut enumeration
@@ -57,6 +58,23 @@ pub fn solve<R: Rng>(graph: &Graph, k: usize, rng: &mut R) -> Result<KEcssSoluti
     solve_with_model(graph, k, CostModel::new(graph.n(), diameter), rng)
 }
 
+/// Same as [`solve`], running the per-level cut verification through `exec`
+/// (see [`augk::augment_with_exec`]). Bit-identical to [`solve`] for a fixed
+/// seed, for every executor.
+///
+/// # Errors
+///
+/// Same conditions as [`solve`].
+pub fn solve_with_exec<R: Rng>(
+    graph: &Graph,
+    k: usize,
+    rng: &mut R,
+    exec: &Executor,
+) -> Result<KEcssSolution> {
+    let diameter = graphs::bfs::diameter(graph).unwrap_or(graph.n());
+    solve_with_model_exec(graph, k, CostModel::new(graph.n(), diameter), rng, exec)
+}
+
 /// Same as [`solve`] with an explicit cost model.
 ///
 /// # Errors
@@ -67,6 +85,21 @@ pub fn solve_with_model<R: Rng>(
     k: usize,
     model: CostModel,
     rng: &mut R,
+) -> Result<KEcssSolution> {
+    solve_with_model_exec(graph, k, model, rng, &Executor::Sequential)
+}
+
+/// The most general entry point: explicit cost model *and* executor.
+///
+/// # Errors
+///
+/// Same conditions as [`solve`].
+pub fn solve_with_model_exec<R: Rng>(
+    graph: &Graph,
+    k: usize,
+    model: CostModel,
+    rng: &mut R,
+    exec: &Executor,
 ) -> Result<KEcssSolution> {
     if k == 0 {
         return Err(Error::ZeroK);
@@ -96,7 +129,7 @@ pub fn solve_with_model<R: Rng>(
 
     // Levels 2..=k: Aug_i.
     for level in 2..=k {
-        let aug = augk::augment_with_model(graph, &h, level, model, rng)?;
+        let aug = augk::augment_with_model_exec(graph, &h, level, model, rng, exec)?;
         levels.push(LevelReport {
             level,
             edges_added: aug.added.len(),

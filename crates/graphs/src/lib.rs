@@ -49,3 +49,14 @@ pub mod tree;
 
 pub use graph::{Edge, EdgeId, EdgeSet, Graph, NodeId, Weight};
 pub use tree::RootedTree;
+
+// The `kecss_runtime` executor shares graphs, edge sets and trees across
+// worker threads by reference; lock the auto-trait guarantees in at compile
+// time so a future field change cannot silently lose them.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Graph>();
+    assert_send_sync::<Edge>();
+    assert_send_sync::<EdgeSet>();
+    assert_send_sync::<RootedTree>();
+};

@@ -1,0 +1,117 @@
+//! Concurrent workload sweeps: run a grid of independent cells (instances ×
+//! algorithms × seeds) across an [`Executor`] and aggregate the results.
+//!
+//! A sweep cell must be a pure function of its configuration (each cell
+//! creates its own RNG from its own seed), which makes the grid
+//! embarrassingly parallel *and* scheduling-independent: the result vector is
+//! in grid order for every thread count.
+
+use crate::executor::Executor;
+use congest::RunReport;
+
+/// Runs `f` on every cell of the grid concurrently (per `exec`), returning
+/// the results in grid order.
+///
+/// This is a thin, intention-revealing wrapper over [`Executor::map`]; it
+/// exists so sweep call sites read as sweeps and pick up any future
+/// sweep-specific policy (e.g. per-cell time budgets) in one place.
+pub fn run<C, R, F>(exec: &Executor, cells: &[C], f: F) -> Vec<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(&C) -> R + Sync,
+{
+    exec.map(cells, f)
+}
+
+/// The cartesian product of two dimensions, in row-major order.
+pub fn grid<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for x in a {
+        for y in b {
+            out.push((x.clone(), y.clone()));
+        }
+    }
+    out
+}
+
+/// The cartesian product of three dimensions, in row-major order.
+pub fn grid3<A: Clone, B: Clone, C: Clone>(a: &[A], b: &[B], c: &[C]) -> Vec<(A, B, C)> {
+    let mut out = Vec::with_capacity(a.len() * b.len() * c.len());
+    for x in a {
+        for y in b {
+            for z in c {
+                out.push((x.clone(), y.clone(), z.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Merges per-cell [`RunReport`]s into a grid total via [`RunReport::merge`]:
+/// rounds, messages and words add up; `max_message_words` takes the maximum.
+pub fn aggregate<'a, I>(reports: I) -> RunReport
+where
+    I: IntoIterator<Item = &'a RunReport>,
+{
+    let mut total = RunReport::default();
+    for report in reports {
+        total.merge(report);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_are_row_major() {
+        assert_eq!(
+            grid(&[1, 2], &["a", "b"]),
+            vec![(1, "a"), (1, "b"), (2, "a"), (2, "b")]
+        );
+        assert_eq!(grid3(&[1], &[2, 3], &[4]), vec![(1, 2, 4), (1, 3, 4)]);
+    }
+
+    #[test]
+    fn sweep_results_are_in_grid_order_for_every_thread_count() {
+        let cells = grid(&[10u64, 20, 30], &[1u64, 2]);
+        let expected: Vec<u64> = cells.iter().map(|&(a, b)| a + b).collect();
+        for threads in [1, 2, 4, 8] {
+            let exec = Executor::from_threads(threads);
+            assert_eq!(
+                run(&exec, &cells, |&(a, b)| a + b),
+                expected,
+                "t = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_merges_counters_and_maxima() {
+        let a = RunReport {
+            rounds: 5,
+            messages: 10,
+            words: 20,
+            max_message_words: 3,
+        };
+        let b = RunReport {
+            rounds: 7,
+            messages: 1,
+            words: 2,
+            max_message_words: 1,
+        };
+        let total = aggregate([&a, &b]);
+        assert_eq!(
+            total,
+            RunReport {
+                rounds: 12,
+                messages: 11,
+                words: 22,
+                max_message_words: 3,
+            }
+        );
+        assert_eq!(aggregate([]), RunReport::default());
+    }
+}

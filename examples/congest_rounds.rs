@@ -32,7 +32,7 @@ fn main() {
         "primitive", "measured", "model charge"
     );
 
-    let mut net = Network::new(&g);
+    let net = Network::new(&g);
     let bfs = net.run(DistributedBfs::programs(&g, 0), 10_000).unwrap();
     println!(
         "{:<28} {:>10} {:>14}",
@@ -41,7 +41,7 @@ fn main() {
         model.bfs_construction()
     );
 
-    let mut net = Network::new(&g);
+    let net = Network::new(&g);
     let election = net.run(FloodMinElection::programs(g.n()), 10_000).unwrap();
     println!(
         "{:<28} {:>10} {:>14}",
@@ -52,7 +52,7 @@ fn main() {
 
     let tree = RootedTree::new(&g, &mst::kruskal(&g), 0);
     let items: Vec<u64> = (0..20).collect();
-    let mut net = Network::new(&g);
+    let net = Network::new(&g);
     let bcast = net
         .run(
             PipelinedBroadcast::programs(&local_trees(&tree, g.n()), items.clone()),
@@ -66,7 +66,7 @@ fn main() {
         model.broadcast(items.len() as u64)
     );
 
-    let mut net = Network::new(&g);
+    let net = Network::new(&g);
     let boruvka = net
         .run(
             DistributedBoruvka::programs(&g),

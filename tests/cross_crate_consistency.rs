@@ -17,7 +17,7 @@ fn distributed_bfs_matches_sequential_bfs_and_the_cost_model() {
     for n in [16usize, 36, 64] {
         let g = generators::random_k_edge_connected(n, 2, n, &mut rng);
         let reference = bfs::bfs(&g, 0);
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let outcome = net.run(DistributedBfs::programs(&g, 0), 10_000).unwrap();
         let (_, dists) = DistributedBfs::extract(&outcome);
         for (v, &d) in dists.iter().enumerate() {
@@ -36,7 +36,7 @@ fn distributed_boruvka_matches_kruskal() {
     let mut rng = ChaCha8Rng::seed_from_u64(2);
     for n in [10usize, 18, 30] {
         let g = generators::random_weighted_k_edge_connected(n, 2, n, 100, &mut rng);
-        let mut net = Network::new(&g);
+        let net = Network::new(&g);
         let budget = DistributedBoruvka::round_budget(&g) + 10;
         let outcome = net.run(DistributedBoruvka::programs(&g), budget).unwrap();
         let dist_mst = DistributedBoruvka::mst_edges(&outcome, &g);
@@ -57,7 +57,7 @@ fn pipelined_broadcast_round_count_matches_the_model_charge() {
     let tree = RootedTree::new(&g, &mst::kruskal(&g), 0);
     let items: Vec<u64> = (0..25).collect();
     let model = CostModel::new(g.n(), bfs::diameter(&g).unwrap());
-    let mut net = Network::new(&g);
+    let net = Network::new(&g);
     let outcome = net
         .run(
             PipelinedBroadcast::programs(&local_trees(&tree, g.n()), items.clone()),
@@ -80,7 +80,7 @@ fn convergecast_totals_match_a_direct_sum() {
     let tree = RootedTree::new(&g, &mst::kruskal(&g), 0);
     let values: Vec<u64> = (0..g.n() as u64).map(|v| v * 3 + 1).collect();
     let expected: u64 = values.iter().sum();
-    let mut net = Network::new(&g);
+    let net = Network::new(&g);
     let outcome = net
         .run(
             SumConvergecast::programs(&local_trees(&tree, g.n()), &values),
@@ -93,17 +93,17 @@ fn convergecast_totals_match_a_direct_sum() {
 #[test]
 fn congest_message_budget_is_respected_by_all_programs() {
     let g = generators::torus(4, 4, 1);
-    let mut net = Network::new(&g);
+    let net = Network::new(&g);
     let bfs_run = net.run(DistributedBfs::programs(&g, 0), 1_000).unwrap();
-    assert!(bfs_run.report.max_message_words <= congest::Message::DEFAULT_WORD_BUDGET);
-    let mut net = Network::new(&g);
+    assert!(bfs_run.report.max_message_words <= congest::Message::DEFAULT_WORD_BUDGET as u64);
+    let net = Network::new(&g);
     let boruvka = net
         .run(
             DistributedBoruvka::programs(&g),
             DistributedBoruvka::round_budget(&g) + 5,
         )
         .unwrap();
-    assert!(boruvka.report.max_message_words <= congest::Message::DEFAULT_WORD_BUDGET);
+    assert!(boruvka.report.max_message_words <= congest::Message::DEFAULT_WORD_BUDGET as u64);
 }
 
 #[test]
@@ -137,7 +137,7 @@ fn message_level_circulation_labels_classify_like_the_centralized_sampler() {
     let tree = RootedTree::new(&g, &bfs_tree.tree_edges(&g), 0);
 
     // Message-level labels.
-    let mut net = Network::new(&g);
+    let net = Network::new(&g);
     let programs = CirculationLabeling::programs(&g, &h, &tree, 64, 0xC0FFEE);
     let outcome = net.run(programs, 10_000).expect("labelling terminates");
     let distributed = CirculationLabeling::collect_labels(&outcome, &g);
@@ -159,6 +159,6 @@ fn message_level_circulation_labels_classify_like_the_centralized_sampler() {
         }
     }
     // The labelling run respects the CONGEST constraints and depth bound.
-    assert!(outcome.report.max_message_words <= congest::Message::DEFAULT_WORD_BUDGET);
+    assert!(outcome.report.max_message_words <= congest::Message::DEFAULT_WORD_BUDGET as u64);
     assert!(outcome.report.rounds <= tree.height() as u64 + 3);
 }
