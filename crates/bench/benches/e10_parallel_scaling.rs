@@ -88,10 +88,12 @@ fn cuts_table() {
     let h = g.full_edge_set();
 
     let mut table = Table::new(["threads", "wall ms", "speedup", "cuts"]);
-    let (base, reference) = best_of(2, || kecss::cuts::cuts_of_size(&g, &h, 2));
+    let (base, reference) = best_of(2, || kecss::cuts::cuts_of_size(&g, &h, 2).unwrap());
     for threads in THREADS {
         let exec = Executor::from_threads(threads);
-        let (elapsed, cuts) = best_of(2, || kecss::cuts::cuts_of_size_with(&g, &h, 2, &exec));
+        let (elapsed, cuts) = best_of(2, || {
+            kecss::cuts::cuts_of_size_with(&g, &h, 2, &exec).unwrap()
+        });
         assert_eq!(cuts, reference, "t = {threads}");
         table.push([
             threads.to_string(),

@@ -1,0 +1,123 @@
+//! E11 — the pluggable cut-enumerator strategies beyond the former `k ≤ 4`
+//! cap (DESIGN.md §5/§6).
+//!
+//! For `k ∈ {4, 6, 8}` the last `Aug_k` level enumerates the cuts of size
+//! `k - 1` of a `(k-1)`-edge-connected `H`. This bench runs that enumeration
+//! on two known-structure families — `harary(k-1, n)` (minimum
+//! `(k-1)`-edge-connected circulants) and `hypercube(k-1)` (edge connectivity
+//! exactly `k-1`, so the size-`(k-1)` cuts include every vertex star) — with
+//! each applicable strategy:
+//!
+//! * `exact` — only defined for sizes `1..=3`, i.e. `k = 4`;
+//! * `label` — the general XOR-zero subset enumerator, deterministically
+//!   complete but with `O(binom(m, k-2))` candidate generation (an enlarged
+//!   budget is used here so the table can show the cost growing);
+//! * `contract` — Karger-style contraction with the default trial count.
+//!
+//! Strategies that produce a result must agree cut-for-cut (they are all
+//! exactly verified); the table reports wall time, candidate counts and the
+//! agreement check, then Criterion times one representative configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphs::generators;
+use kecss::cuts::{ContractEnumerator, Cut, CutEnumerator, ExactEnumerator, LabelEnumerator};
+use kecss_bench::table::Table;
+use kecss_runtime::Executor;
+use std::time::{Duration, Instant};
+
+/// The label budget used for the table: large enough that `label` completes
+/// everywhere except the genuinely explosive hypercube `k = 8` row, which
+/// documents the fallback regime.
+const TABLE_LABEL_BUDGET: u64 = 100_000_000;
+
+fn run_strategy(
+    name: &str,
+    enumerator: &dyn CutEnumerator,
+    g: &graphs::Graph,
+    size: usize,
+) -> (String, String, Option<Vec<Cut>>) {
+    let h = g.full_edge_set();
+    let start = Instant::now();
+    match enumerator.cuts(g, &h, size, 0, &Executor::Sequential) {
+        Ok(cuts) => {
+            let ms = start.elapsed().as_millis();
+            (format!("{ms}"), cuts.len().to_string(), Some(cuts))
+        }
+        Err(kecss::Error::InvalidCutRequest { .. }) => ("-".into(), "n/a".into(), None),
+        Err(kecss::Error::CandidateOverflow { .. }) => ("-".into(), "overflow".into(), None),
+        Err(e) => panic!("{name}: unexpected enumeration error: {e}"),
+    }
+}
+
+fn print_series() {
+    let mut table = Table::new([
+        "family", "k", "size", "n", "m", "strategy", "wall ms", "cuts", "agree",
+    ]);
+    for k in [4usize, 6, 8] {
+        let size = k - 1;
+        let instances: Vec<(&str, graphs::Graph)> = vec![
+            ("harary", generators::harary(size, 16, 1)),
+            ("hypercube", generators::hypercube(size, 1)),
+        ];
+        for (family, g) in instances {
+            let exact = ExactEnumerator;
+            let label = LabelEnumerator::with_budget(TABLE_LABEL_BUDGET);
+            let contract = ContractEnumerator::default();
+            let strategies: [(&str, &dyn CutEnumerator); 3] = [
+                ("exact", &exact),
+                ("label", &label),
+                ("contract", &contract),
+            ];
+            let mut reference: Option<Vec<Cut>> = None;
+            for (name, enumerator) in strategies {
+                let (ms, cuts, result) = run_strategy(name, enumerator, &g, size);
+                let agree = match (&reference, &result) {
+                    (Some(r), Some(c)) => {
+                        assert_eq!(r, c, "{family} k={k}: {name} disagrees");
+                        "yes".to_string()
+                    }
+                    (None, Some(_)) => {
+                        reference = result.clone();
+                        "ref".to_string()
+                    }
+                    _ => "-".to_string(),
+                };
+                table.push([
+                    family.to_string(),
+                    k.to_string(),
+                    size.to_string(),
+                    g.n().to_string(),
+                    g.m().to_string(),
+                    name.to_string(),
+                    ms,
+                    cuts,
+                    agree,
+                ]);
+            }
+        }
+    }
+    table.print("E11: cut-enumerator strategies at k in {4, 6, 8} (cuts of size k-1)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    // Representative configuration: the contraction enumerator on Q_5
+    // (size-5 cuts, the first size the exact specializations cannot reach).
+    let g = generators::hypercube(5, 1);
+    let h = g.full_edge_set();
+    c.bench_function("e11/contract_q5_size5", |b| {
+        b.iter(|| {
+            ContractEnumerator::default()
+                .cuts(&g, &h, 5, 0, &Executor::Sequential)
+                .unwrap()
+                .len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -258,7 +258,7 @@ mod tests {
         let stride = 4;
         let g = chorded_cycle(n, stride);
         assert!(connectivity::is_k_edge_connected(&g, 2));
-        let cuts = kecss::cuts::cuts_of_size(&g, &g.full_edge_set(), 2);
+        let cuts = kecss::cuts::cuts_of_size(&g, &g.full_edge_set(), 2).unwrap();
         assert_eq!(cuts.len(), (n / stride) * stride * (stride - 1) / 2);
     }
 

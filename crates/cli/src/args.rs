@@ -2,6 +2,7 @@
 //! of flags).
 
 use crate::CliError;
+use kecss::cuts::EnumeratorPolicy;
 
 /// The instance families the generator supports.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -14,6 +15,8 @@ pub enum Family {
     Torus,
     /// Harary graph (minimum k-edge-connected graph).
     Harary,
+    /// Hypercube `Q_d` (edge connectivity exactly `log2 n`).
+    Hypercube,
 }
 
 impl Family {
@@ -23,11 +26,21 @@ impl Family {
             "ring" | "ring-of-cliques" => Ok(Family::RingOfCliques),
             "torus" => Ok(Family::Torus),
             "harary" => Ok(Family::Harary),
+            "hypercube" | "cube" => Ok(Family::Hypercube),
             other => Err(CliError::Usage(format!(
-                "unknown family '{other}' (expected random, ring, torus or harary)"
+                "unknown family '{other}' (expected random, ring, torus, harary or hypercube)"
             ))),
         }
     }
+}
+
+/// Parses the `--enumerator` flag into a [`EnumeratorPolicy`].
+fn parse_enumerator(s: &str) -> Result<EnumeratorPolicy, CliError> {
+    EnumeratorPolicy::parse(s).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown enumerator '{s}' (expected exact, label, contract or auto)"
+        ))
+    })
 }
 
 /// The algorithms `solve` can run.
@@ -100,6 +113,9 @@ pub enum Command {
         /// that have one (`kecss`, `greedy`; the others ignore the flag).
         /// Results are bit-identical for every thread count.
         threads: usize,
+        /// Cut-enumeration strategy for the algorithms that enumerate cuts
+        /// (`kecss`, `greedy`; the others ignore the flag).
+        enumerator: EnumeratorPolicy,
         /// Optional path to write the selected edge list to.
         output: Option<String>,
     },
@@ -121,6 +137,8 @@ pub enum Command {
         base_seed: u64,
         /// Worker threads the grid cells are spread over.
         threads: usize,
+        /// Cut-enumeration strategy used by the solving algorithms.
+        enumerator: EnumeratorPolicy,
     },
     /// Verify that a solution file is a k-edge-connected spanning subgraph of
     /// an instance file.
@@ -162,10 +180,10 @@ pub const USAGE: &str = "\
 kecss — distributed approximation of minimum k-edge-connected spanning subgraphs
 
 USAGE:
-    kecss generate --family <random|ring|torus|harary> --n <N> [--k <K>] [--max-weight <W>] [--seed <S>] --output <FILE>
-    kecss solve    --input <FILE> --algorithm <2ecss|kecss|3ecss|3ecss-weighted|greedy|thurimella|mst> [--k <K>] [--seed <S>] [--threads <T>] [--output <FILE>]
+    kecss generate --family <random|ring|torus|harary|hypercube> --n <N> [--k <K>] [--max-weight <W>] [--seed <S>] --output <FILE>
+    kecss solve    --input <FILE> --algorithm <2ecss|kecss|3ecss|3ecss-weighted|greedy|thurimella|mst> [--k <K>] [--seed <S>] [--threads <T>] [--enumerator <E>] [--output <FILE>]
     kecss verify   --input <FILE> --solution <FILE> --k <K>
-    kecss sweep    --family <random|ring|torus|harary> --n <N1,N2,...> [--k <K>] [--max-weight <W>] [--algorithms <A1,A2,...>] [--seeds <S>] [--base-seed <B>] [--threads <T>]
+    kecss sweep    --family <random|ring|torus|harary|hypercube> --n <N1,N2,...> [--k <K>] [--max-weight <W>] [--algorithms <A1,A2,...>] [--seeds <S>] [--base-seed <B>] [--threads <T>] [--enumerator <E>]
     kecss help
 
 `solve --threads T` parallelizes the cut-verification phase of the
@@ -173,6 +191,16 @@ algorithms that have one (kecss, greedy); the other algorithms ignore the
 flag. `sweep` runs every (n, algorithm, seed) cell of the grid concurrently
 over T worker threads and verifies each solution. Results are bit-identical
 for every thread count.
+
+`--enumerator <exact|label|contract|auto>` picks the cut-enumeration
+strategy for kecss and greedy (default auto). 'exact' is the specialized
+size-1..3 enumerator (so k <= 4); 'label' enumerates XOR-zero cycle-space
+subsets of any size; 'contract' is randomized Karger-style contraction;
+'auto' uses exact below size 4, then label, falling back to contract when
+the candidate pool explodes. Any k is supported with label/contract/auto.
+
+The 'hypercube' family rounds --n to the next power of two and has edge
+connectivity exactly log2 n, giving ground truth for high-k runs.
 
 The instance file format is plain text: the first non-comment line is the
 number of vertices, every following line is 'u v weight'. Lines starting with
@@ -257,6 +285,11 @@ fn parse_solve(rest: &[&String]) -> Result<Command, CliError> {
             .map(|v| parse_number("threads", v))
             .transpose()?
             .unwrap_or(1),
+        enumerator: map
+            .get("enumerator")
+            .map(|v| parse_enumerator(v))
+            .transpose()?
+            .unwrap_or_default(),
         output: map.get("output").map(|s| s.to_string()),
     })
 }
@@ -322,6 +355,11 @@ fn parse_sweep(rest: &[&String]) -> Result<Command, CliError> {
             .map(|v| parse_number("threads", v))
             .transpose()?
             .unwrap_or(1),
+        enumerator: map
+            .get("enumerator")
+            .map(|v| parse_enumerator(v))
+            .transpose()?
+            .unwrap_or_default(),
     })
 }
 
@@ -478,8 +516,89 @@ mod tests {
                 seeds: 3,
                 base_seed: 7,
                 threads: 4,
+                enumerator: EnumeratorPolicy::Auto,
             }
         );
+    }
+
+    #[test]
+    fn solve_and_sweep_parse_enumerator() {
+        for (name, expected) in [
+            ("exact", EnumeratorPolicy::Exact),
+            ("label", EnumeratorPolicy::Label),
+            ("contract", EnumeratorPolicy::Contract),
+            ("auto", EnumeratorPolicy::Auto),
+        ] {
+            let cmd = parse(&argv(&[
+                "solve",
+                "--input",
+                "g.graph",
+                "--algorithm",
+                "kecss",
+                "--enumerator",
+                name,
+            ]))
+            .unwrap();
+            match cmd {
+                Command::Solve { enumerator, .. } => assert_eq!(enumerator, expected),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Default is auto.
+        match parse(&argv(&["solve", "--input", "g", "--algorithm", "kecss"])).unwrap() {
+            Command::Solve { enumerator, .. } => assert_eq!(enumerator, EnumeratorPolicy::Auto),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv(&[
+            "sweep",
+            "--family",
+            "hypercube",
+            "--n",
+            "64",
+            "--enumerator",
+            "contract",
+        ]))
+        .unwrap()
+        {
+            Command::Sweep {
+                family, enumerator, ..
+            } => {
+                assert_eq!(family, Family::Hypercube);
+                assert_eq!(enumerator, EnumeratorPolicy::Contract);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv(&[
+            "solve",
+            "--input",
+            "g",
+            "--algorithm",
+            "kecss",
+            "--enumerator",
+            "magic"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn generate_parses_hypercube_family() {
+        let cmd = parse(&argv(&[
+            "generate",
+            "--family",
+            "hypercube",
+            "--n",
+            "64",
+            "--output",
+            "q.graph",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Generate { family, n, .. } => {
+                assert_eq!(family, Family::Hypercube);
+                assert_eq!(n, 64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

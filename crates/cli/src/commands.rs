@@ -5,6 +5,7 @@ use crate::graph_io;
 use crate::CliError;
 use graphs::{connectivity, generators, mst, EdgeSet, Graph};
 use kecss::baselines::{greedy, thurimella};
+use kecss::cuts::EnumeratorPolicy;
 use kecss::{kecss as kecss_alg, lower_bounds, three_ecss, two_ecss};
 use kecss_runtime::{sweep, Executor};
 use rand::SeedableRng;
@@ -51,11 +52,12 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             k,
             seed,
             threads,
+            enumerator,
             output,
         } => {
             let graph = graph_io::read_graph(Path::new(&input))?;
             let exec = Executor::from_threads(threads);
-            let (edges, rounds, label) = solve(&graph, algorithm, k, seed, &exec)?;
+            let (edges, rounds, label) = solve(&graph, algorithm, k, seed, &exec, enumerator)?;
             report(out, &graph, &edges, rounds, label, k_for(algorithm, k))?;
             if let Some(path) = output {
                 graph_io::write_solution(Path::new(&path), &graph, &edges)?;
@@ -72,6 +74,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             seeds,
             base_seed,
             threads,
+            enumerator,
         } => run_sweep(
             out,
             family,
@@ -82,6 +85,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             seeds,
             base_seed,
             threads,
+            enumerator,
         ),
         Command::Verify { input, solution, k } => {
             let graph = graph_io::read_graph(Path::new(&input))?;
@@ -142,14 +146,16 @@ fn run_sweep<W: Write>(
     seeds: u64,
     base_seed: u64,
     threads: usize,
+    enumerator: EnumeratorPolicy,
 ) -> Result<(), CliError> {
     let exec = Executor::from_threads(threads);
     let seed_list: Vec<u64> = (0..seeds.max(1)).map(|i| base_seed + i).collect();
     let cells = sweep::grid3(algorithms, ns, &seed_list);
     writeln!(
         out,
-        "sweep     : family={} k={k} max-weight={max_weight} threads={} cells={}",
+        "sweep     : family={} k={k} max-weight={max_weight} enumerator={} threads={} cells={}",
         family_name(family),
+        enumerator.name(),
         exec.threads(),
         cells.len()
     )?;
@@ -174,6 +180,7 @@ fn run_sweep<W: Write>(
                 k,
                 seed ^ SWEEP_SOLVER_SALT,
                 &Executor::Sequential,
+                enumerator,
             )?;
             let target = k_for(algorithm, k);
             let valid = connectivity::is_k_edge_connected_in(&graph, &edges, target.max(1));
@@ -248,6 +255,7 @@ fn family_name(family: Family) -> &'static str {
         Family::RingOfCliques => "ring-of-cliques",
         Family::Torus => "torus",
         Family::Harary => "harary",
+        Family::Hypercube => "hypercube",
     }
 }
 
@@ -297,6 +305,18 @@ fn generate(
             generators::torus(side, side, 1)
         }
         Family::Harary => generators::harary(k, n, 1),
+        Family::Hypercube => {
+            // Round n up to the next power of two; the dimension is its log.
+            let dim = (n.max(2).next_power_of_two().trailing_zeros() as usize).max(1);
+            if k > dim {
+                return Err(CliError::Usage(format!(
+                    "a hypercube with n = {} vertices has edge connectivity exactly {dim}; \
+                     lower --k or raise --n",
+                    1usize << dim
+                )));
+            }
+            generators::hypercube(dim, 1)
+        }
     };
     if max_weight > 1 {
         generators::randomize_weights(&mut graph, max_weight, &mut rng);
@@ -309,13 +329,16 @@ fn generate(
 ///
 /// `exec` parallelizes the cut-verification phases of the algorithms that
 /// have them (`kecss`, `greedy`); results are bit-identical for every
-/// executor, so the flag is purely a wall-clock knob.
+/// executor, so the flag is purely a wall-clock knob. `policy` picks the
+/// cut-enumeration strategy for the same two algorithms (the others never
+/// enumerate cuts).
 fn solve(
     graph: &Graph,
     algorithm: Algorithm,
     k: usize,
     seed: u64,
     exec: &Executor,
+    policy: EnumeratorPolicy,
 ) -> Result<(EdgeSet, Option<u64>, &'static str), CliError> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     Ok(match algorithm {
@@ -328,7 +351,14 @@ fn solve(
             )
         }
         Algorithm::KEcss => {
-            let sol = kecss_alg::solve_with_exec(graph, k, &mut rng, exec)?;
+            let enumerator = policy.build();
+            let sol = kecss_alg::solve_with_exec_enumerator(
+                graph,
+                k,
+                &mut rng,
+                exec,
+                enumerator.as_ref(),
+            )?;
             (
                 sol.subgraph,
                 Some(sol.ledger.total()),
@@ -352,7 +382,8 @@ fn solve(
             )
         }
         Algorithm::Greedy => {
-            let sol = greedy::k_ecss_with_exec(graph, k, exec);
+            let enumerator = policy.build();
+            let sol = greedy::k_ecss_with_enumerator(graph, k, exec, enumerator.as_ref())?;
             (sol.edges, None, "sequential greedy k-ECSS")
         }
         Algorithm::Thurimella => {
@@ -449,6 +480,7 @@ mod tests {
             k: 2,
             seed: 1,
             threads: 2,
+            enumerator: EnumeratorPolicy::Auto,
             output: Some(solution.clone()),
         });
         assert!(text.contains("2-edge-connected ✓"));
@@ -480,6 +512,7 @@ mod tests {
             k: 1,
             seed: 1,
             threads: 1,
+            enumerator: EnumeratorPolicy::Auto,
             output: Some(solution.clone()),
         });
         let mut out = Vec::new();
@@ -520,12 +553,123 @@ mod tests {
                 k: 3,
                 seed: 4,
                 threads: 1,
+                enumerator: EnumeratorPolicy::Auto,
                 output: None,
             });
             assert!(
                 text.contains("solution"),
                 "{algorithm:?} produced no report"
             );
+        }
+    }
+
+    #[test]
+    fn hypercube_roundtrip_past_the_former_k_cap() {
+        // Q_5 has edge connectivity exactly 5; k = 5 was unreachable before
+        // the pluggable enumerators. generate -> solve -> verify end to end.
+        let instance = tmp("q5.graph");
+        let solution = tmp("q5.edges");
+        let text = run(Command::Generate {
+            family: Family::Hypercube,
+            n: 32,
+            k: 5,
+            max_weight: 1,
+            seed: 1,
+            output: instance.clone(),
+        });
+        assert!(text.contains("n = 32"));
+        let text = run(Command::Solve {
+            input: instance.clone(),
+            algorithm: Algorithm::KEcss,
+            k: 5,
+            seed: 7,
+            threads: 1,
+            enumerator: EnumeratorPolicy::Auto,
+            output: Some(solution.clone()),
+        });
+        assert!(text.contains("5-edge-connected ✓"), "{text}");
+        let text = run(Command::Verify {
+            input: instance,
+            solution,
+            k: 5,
+        });
+        assert!(text.contains("VALID 5-edge-connected"), "{text}");
+    }
+
+    #[test]
+    fn hypercube_generate_rejects_oversized_k() {
+        let mut out = Vec::new();
+        let err = execute(
+            Command::Generate {
+                family: Family::Hypercube,
+                n: 16,
+                k: 6,
+                max_weight: 1,
+                seed: 1,
+                output: tmp("q4-bad.graph"),
+            },
+            &mut out,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn explicit_enumerators_solve_and_exact_rejects_high_k() {
+        let instance = tmp("enum.graph");
+        run(Command::Generate {
+            family: Family::Hypercube,
+            n: 16,
+            k: 4,
+            max_weight: 1,
+            seed: 2,
+            output: instance.clone(),
+        });
+        for enumerator in [
+            EnumeratorPolicy::Label,
+            EnumeratorPolicy::Contract,
+            EnumeratorPolicy::Auto,
+        ] {
+            let text = run(Command::Solve {
+                input: instance.clone(),
+                algorithm: Algorithm::KEcss,
+                k: 4,
+                seed: 3,
+                threads: 1,
+                enumerator,
+                output: None,
+            });
+            assert!(
+                text.contains("4-edge-connected ✓"),
+                "{enumerator:?}: {text}"
+            );
+        }
+        // `exact` cannot enumerate size-4 cuts: k = 5 must be a clean error,
+        // not an abort.
+        let q5 = tmp("enum-q5.graph");
+        run(Command::Generate {
+            family: Family::Hypercube,
+            n: 32,
+            k: 5,
+            max_weight: 1,
+            seed: 2,
+            output: q5.clone(),
+        });
+        let mut out = Vec::new();
+        let err = execute(
+            Command::Solve {
+                input: q5,
+                algorithm: Algorithm::KEcss,
+                k: 5,
+                seed: 3,
+                threads: 1,
+                enumerator: EnumeratorPolicy::Exact,
+                output: None,
+            },
+            &mut out,
+        );
+        match err {
+            Err(CliError::Solver(kecss::Error::InvalidCutRequest { .. })) => {}
+            other => panic!("expected an InvalidCutRequest solver error, got {other:?}"),
         }
     }
 
@@ -540,6 +684,7 @@ mod tests {
             seeds: 2,
             base_seed: 3,
             threads: 4,
+            enumerator: EnumeratorPolicy::Auto,
         });
         // 2 algorithms x 2 sizes x 2 seeds = 8 cells, all valid.
         assert_eq!(text.matches(" yes ").count(), 8, "{text}");
@@ -572,6 +717,7 @@ mod tests {
             seeds: 2,
             base_seed: 1,
             threads,
+            enumerator: EnumeratorPolicy::Auto,
         };
         let sequential = strip_timings(&run(make(1)));
         for threads in [2, 8] {

@@ -28,7 +28,7 @@
 //! `n_i ≤ n` newly added edges.
 
 use crate::cover::Rounded;
-use crate::cuts::{self, CutFamily};
+use crate::cuts::{AutoEnumerator, CutEnumerator, CutFamily};
 use crate::error::{Error, Result};
 use congest::{CostModel, RoundLedger};
 use graphs::{connectivity, mst, EdgeId, EdgeSet, Graph};
@@ -44,6 +44,13 @@ pub const PHASE_MULTIPLIER: u64 = 2;
 
 /// Safety cap on iterations (`O(log³ n)` is expected; the cap flags bugs).
 const ITERATION_SAFETY_CAP: u64 = 500_000;
+
+/// How many times the exact post-certification re-enumerates with fresh
+/// randomness before giving up with [`Error::IncompleteEnumeration`]. The
+/// deterministic enumerators certify on the first attempt; the contraction
+/// enumerator doubles its trial count per attempt, so the total work stays
+/// bounded while the miss probability vanishes geometrically.
+const MAX_ENUMERATION_ATTEMPTS: u64 = 8;
 
 /// The result of one `Aug_k` run.
 #[derive(Clone, Debug)]
@@ -114,7 +121,8 @@ impl ProbabilitySchedule {
 ///
 /// # Errors
 ///
-/// * [`Error::ZeroK`] / [`Error::UnsupportedK`] for out-of-range `k`;
+/// * [`Error::ZeroK`] / [`Error::UnsupportedK`] for `k < 2` (there is no
+///   upper limit on `k`: the cut enumerators handle arbitrary sizes);
 /// * [`Error::InvalidSubgraph`] if `h` is not a spanning `(k-1)`-edge-connected
 ///   subgraph;
 /// * [`Error::InsufficientConnectivity`] if `graph` itself is not
@@ -158,7 +166,8 @@ pub fn augment_with_model<R: Rng>(
     augment_with_model_exec(graph, h, k, model, rng, &Executor::Sequential)
 }
 
-/// The most general entry point: explicit cost model *and* executor.
+/// The most general entry point: explicit cost model *and* executor, with
+/// the default [`AutoEnumerator`] cut strategy.
 ///
 /// # Errors
 ///
@@ -171,19 +180,38 @@ pub fn augment_with_model_exec<R: Rng>(
     rng: &mut R,
     exec: &Executor,
 ) -> Result<AugkSolution> {
+    augment_with_enumerator(graph, h, k, model, rng, exec, &AutoEnumerator::default())
+}
+
+/// [`augment_with_model_exec`] with an explicit [`CutEnumerator`] strategy.
+///
+/// Randomized enumerators (contraction) may miss cuts; this driver is
+/// nevertheless *exact*: after the covering loop it certifies
+/// `H ∪ A` k-edge-connected with the max-flow verifier, and on a miss it
+/// re-enumerates with a fresh salt (escalating the enumerator's effort),
+/// covers the missed cuts and re-certifies, up to a bounded number of
+/// attempts. Deterministic enumerators certify on the first attempt, so the
+/// legacy `k ≤ 4` behavior is unchanged bit for bit.
+///
+/// # Errors
+///
+/// Same conditions as [`augment`], plus whatever the enumerator reports
+/// ([`Error::InvalidCutRequest`], [`Error::CandidateOverflow`]) and
+/// [`Error::IncompleteEnumeration`] if certification keeps failing.
+pub fn augment_with_enumerator<R: Rng>(
+    graph: &Graph,
+    h: &EdgeSet,
+    k: usize,
+    model: CostModel,
+    rng: &mut R,
+    exec: &Executor,
+    enumerator: &dyn CutEnumerator,
+) -> Result<AugkSolution> {
     validate(graph, h, k)?;
     let mut ledger = RoundLedger::new(model);
 
     // All vertices learn the complete structure of H (|H| = O(kn) edges).
     ledger.charge("augk/learn_h", model.broadcast(h.len() as u64));
-
-    // The cuts of size k-1 of H; with full knowledge of H every vertex can
-    // enumerate them locally (local computation is free in CONGEST). The
-    // candidate removal tests are independent per candidate, so they run
-    // through the executor.
-    let family = CutFamily::enumerate_with(graph, h, k - 1, exec);
-    let mut covered = vec![false; family.len()];
-    let mut uncovered = family.len();
 
     let candidates_pool: Vec<(EdgeId, usize, usize, u64)> = graph
         .edges()
@@ -194,13 +222,102 @@ pub fn augment_with_model_exec<R: Rng>(
     let mut added = graph.empty_edge_set();
     let mut schedule = ProbabilitySchedule::new(graph.n(), graph.m());
     let mut iterations = 0u64;
+    let mut cuts_covered = 0usize;
+
+    let mut attempt = 0u64;
+    loop {
+        // The cuts of size k-1 of H; with full knowledge of H every vertex
+        // can enumerate them locally (local computation is free in CONGEST).
+        // The candidate removal tests are independent per candidate, so they
+        // run through the executor.
+        let family = if attempt == 0 {
+            CutFamily::enumerate_with_enumerator(graph, h, k - 1, enumerator, 0, exec)?
+        } else {
+            // Certification failed: re-enumerate with a fresh salt and keep
+            // only the cuts A does not already cover (their precomputed
+            // bipartitions carry over).
+            let mut fresh =
+                CutFamily::enumerate_with_enumerator(graph, h, k - 1, enumerator, attempt, exec)?;
+            let already_covered: Vec<bool> = (0..fresh.len())
+                .map(|c| {
+                    added.iter().any(|id| {
+                        let e = graph.edge(id);
+                        fresh.crossed_by(c, e.u, e.v)
+                    })
+                })
+                .collect();
+            fresh.retain(|c| !already_covered[c]);
+            fresh
+        };
+        cuts_covered += family.len();
+
+        cover_family(
+            graph,
+            h,
+            k,
+            &candidates_pool,
+            &family,
+            &mut added,
+            &mut schedule,
+            &mut iterations,
+            &mut ledger,
+            model,
+            rng,
+            exec,
+        )?;
+
+        // Exact post-certification: H ∪ A is k-edge-connected iff every
+        // induced (k-1)-cut of H is covered, so a pass proves the (possibly
+        // randomized) enumeration missed nothing that matters.
+        if connectivity::is_k_edge_connected_in(graph, &h.union(&added), k) {
+            break;
+        }
+        attempt += 1;
+        if attempt >= MAX_ENUMERATION_ATTEMPTS {
+            return Err(Error::IncompleteEnumeration {
+                size: k - 1,
+                attempts: attempt,
+            });
+        }
+    }
+
+    let weight = graph.weight_of(&added);
+    Ok(AugkSolution {
+        added,
+        weight,
+        iterations,
+        cuts_covered,
+        ledger,
+    })
+}
+
+/// The covering loop of Section 4 for one enumerated cut family: iterate the
+/// probability-guessing candidate activation and reweighted-MST selection
+/// until every cut of `family` is covered by `added`.
+#[allow(clippy::too_many_arguments)]
+fn cover_family<R: Rng>(
+    graph: &Graph,
+    h: &EdgeSet,
+    k: usize,
+    candidates_pool: &[(EdgeId, usize, usize, u64)],
+    family: &CutFamily,
+    added: &mut EdgeSet,
+    schedule: &mut ProbabilitySchedule,
+    iterations: &mut u64,
+    ledger: &mut RoundLedger,
+    model: CostModel,
+    rng: &mut R,
+    exec: &Executor,
+) -> Result<()> {
+    let mut covered = vec![false; family.len()];
+    let mut uncovered = family.len();
 
     // Per-candidate counts of *uncovered* cuts crossed. Maintained
     // incrementally: when a cut becomes covered, every candidate crossing it
     // is decremented, so the total maintenance cost over the whole run is
     // O(#cuts · #candidates) instead of that much per iteration. The initial
     // counting is independent per candidate and runs through the executor.
-    let mut coverage: Vec<usize> = exec.map(&candidates_pool, |&(_, u, v, _)| {
+    let mut coverage: Vec<usize> = exec.map(candidates_pool, |&(_, u, v, _)| {
         (0..family.len())
             .filter(|&c| family.crossed_by(c, u, v))
             .count()
@@ -208,10 +325,10 @@ pub fn augment_with_model_exec<R: Rng>(
 
     while uncovered > 0 {
         assert!(
-            iterations < ITERATION_SAFETY_CAP,
+            *iterations < ITERATION_SAFETY_CAP,
             "Aug_k exceeded the iteration safety cap; this indicates a bug"
         );
-        iterations += 1;
+        *iterations += 1;
 
         // Lines 1-2: rounded cost-effectiveness and the maximum class.
         let mut best_class: Option<Rounded> = None;
@@ -298,15 +415,7 @@ pub fn augment_with_model_exec<R: Rng>(
         ledger.charge("augk/broadcast_added", model.broadcast(n_i));
         ledger.charge("augk/termination", model.convergecast(1));
     }
-
-    let weight = graph.weight_of(&added);
-    Ok(AugkSolution {
-        added,
-        weight,
-        iterations,
-        cuts_covered: family.len(),
-        ledger,
-    })
+    Ok(())
 }
 
 fn validate(graph: &Graph, h: &EdgeSet, k: usize) -> Result<()> {
@@ -314,15 +423,9 @@ fn validate(graph: &Graph, h: &EdgeSet, k: usize) -> Result<()> {
         return Err(Error::ZeroK);
     }
     if k < 2 {
-        return Err(Error::InvalidSubgraph {
-            reason: "Aug_k is defined for k >= 2; use an MST for the first level".into(),
-        });
-    }
-    if k - 1 > cuts::MAX_CUT_SIZE {
-        return Err(Error::UnsupportedK {
-            k,
-            max: cuts::MAX_CUT_SIZE + 1,
-        });
+        // Aug_k is defined for k >= 2; use an MST for the first level. There
+        // is no upper limit: the pluggable enumerators handle any cut size.
+        return Err(Error::UnsupportedK { k, min: 2 });
     }
     if !connectivity::is_k_edge_connected_in(graph, h, k - 1) {
         return Err(Error::InvalidSubgraph {
@@ -374,6 +477,43 @@ mod tests {
     }
 
     #[test]
+    fn augments_past_the_former_cap() {
+        // k = 5 needs size-4 cut enumeration, which the hardcoded
+        // pre-refactor enumerators could not do.
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let g = generators::random_k_edge_connected(12, 5, 10, &mut rng);
+        let h = baselines::thurimella::sparse_certificate(&g, 4).edges;
+        assert!(connectivity::is_k_edge_connected_in(&g, &h, 4));
+        let sol = augment(&g, &h, 5, &mut rng).unwrap();
+        let union = h.union(&sol.added);
+        assert!(connectivity::is_k_edge_connected_in(&g, &union, 5));
+    }
+
+    #[test]
+    fn contraction_enumerator_is_certified_exact() {
+        // Even with a laughably small trial count, the post-certification
+        // loop keeps escalating until the result is exactly k-edge-connected.
+        use crate::cuts::ContractEnumerator;
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let g = generators::random_k_edge_connected(12, 5, 8, &mut rng);
+        let h = baselines::thurimella::sparse_certificate(&g, 4).edges;
+        let model = CostModel::new(g.n(), graphs::bfs::diameter(&g).unwrap_or(g.n()));
+        let enumerator = ContractEnumerator::with_trials(8);
+        let sol = augment_with_enumerator(
+            &g,
+            &h,
+            5,
+            model,
+            &mut rng,
+            &Executor::Sequential,
+            &enumerator,
+        )
+        .unwrap();
+        let union = h.union(&sol.added);
+        assert!(connectivity::is_k_edge_connected_in(&g, &union, 5));
+    }
+
+    #[test]
     fn augmentation_is_forest_like() {
         // Claim 4.1: the added edge set never contains a cycle, so it has at
         // most n - 1 edges.
@@ -409,7 +549,7 @@ mod tests {
             let g = generators::random_weighted_k_edge_connected(16, 2, 24, 20, &mut rng);
             let h = mst::kruskal(&g);
             let sol = augment(&g, &h, 2, &mut rng).unwrap();
-            let family = CutFamily::enumerate(&g, &h, 1);
+            let family = CutFamily::enumerate(&g, &h, 1).unwrap();
             let greedy = baselines::greedy::augment_cuts(&g, &h, &family);
             if greedy.weight > 0 {
                 worst = worst.max(sol.weight as f64 / greedy.weight as f64);
@@ -442,11 +582,13 @@ mod tests {
         assert_eq!(augment(&g, &h, 0, &mut rng).unwrap_err(), Error::ZeroK);
         assert!(matches!(
             augment(&g, &h, 1, &mut rng).unwrap_err(),
-            Error::InvalidSubgraph { .. }
+            Error::UnsupportedK { k: 1, min: 2 }
         ));
+        // k = 9 is no longer capped: the cycle simply is not 8-edge-connected,
+        // so the subgraph validation rejects it.
         assert!(matches!(
             augment(&g, &h, 9, &mut rng).unwrap_err(),
-            Error::UnsupportedK { k: 9, .. }
+            Error::InvalidSubgraph { .. }
         ));
         // The cycle is not 3-edge-connected.
         assert!(matches!(

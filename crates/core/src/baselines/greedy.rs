@@ -8,8 +8,9 @@
 
 use super::BaselineSolution;
 use crate::cover;
-use crate::cuts::CutFamily;
-use graphs::{EdgeSet, Graph, RootedTree};
+use crate::cuts::{AutoEnumerator, CutEnumerator, CutFamily};
+use crate::error::{Error, Result};
+use graphs::{connectivity, EdgeSet, Graph, RootedTree};
 
 /// Greedy weighted TAP: cover all tree edges of `tree_edges` with non-tree
 /// edges, always picking the edge maximizing (newly covered) / weight.
@@ -128,11 +129,12 @@ pub fn augment_cuts(graph: &Graph, h: &EdgeSet, family: &CutFamily) -> BaselineS
 
 /// Greedy weighted k-ECSS: MST for the first connectivity level, then greedy
 /// cut augmentation level by level (the sequential analogue of Claim 2.1).
+/// Any `k >= 1` is supported (the pluggable cut enumerators lifted the former
+/// `k <= 4` cap).
 ///
 /// # Panics
 ///
-/// Panics if the graph is not k-edge-connected or `k - 1` exceeds
-/// [`crate::cuts::MAX_CUT_SIZE`].
+/// Panics if the graph is not k-edge-connected or the cut enumeration fails.
 pub fn k_ecss(graph: &Graph, k: usize) -> BaselineSolution {
     k_ecss_with_exec(graph, k, &kecss_runtime::Executor::Sequential)
 }
@@ -149,15 +151,61 @@ pub fn k_ecss_with_exec(
     k: usize,
     exec: &kecss_runtime::Executor,
 ) -> BaselineSolution {
+    k_ecss_with_enumerator(graph, k, exec, &AutoEnumerator::default())
+        .expect("greedy k-ECSS on a k-edge-connected graph cannot fail with the auto enumerator")
+}
+
+/// The most general greedy entry point: explicit executor and
+/// [`CutEnumerator`] strategy. Like `Aug_k`, each level's cover is certified
+/// exactly and re-enumerated with a fresh salt if a randomized enumerator
+/// missed a cut, so the returned subgraph is always genuinely
+/// k-edge-connected.
+///
+/// # Errors
+///
+/// Whatever the enumerator reports, plus [`Error::IncompleteEnumeration`] if
+/// certification keeps failing.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the graph is not k-edge-connected (some cut has no
+/// covering edge).
+pub fn k_ecss_with_enumerator(
+    graph: &Graph,
+    k: usize,
+    exec: &kecss_runtime::Executor,
+    enumerator: &dyn CutEnumerator,
+) -> Result<BaselineSolution> {
     assert!(k >= 1, "k must be at least 1");
+    const MAX_ATTEMPTS: u64 = 8;
     let mut h = graphs::mst::kruskal(graph);
     for level in 2..=k {
-        let family = CutFamily::enumerate_with(graph, &h, level - 1, exec);
-        let added = augment_cuts(graph, &h, &family);
-        h.union_with(&added.edges);
+        let mut attempt = 0u64;
+        loop {
+            let family = CutFamily::enumerate_with_enumerator(
+                graph,
+                &h,
+                level - 1,
+                enumerator,
+                attempt,
+                exec,
+            )?;
+            let added = augment_cuts(graph, &h, &family);
+            h.union_with(&added.edges);
+            if connectivity::is_k_edge_connected_in(graph, &h, level) {
+                break;
+            }
+            attempt += 1;
+            if attempt >= MAX_ATTEMPTS {
+                return Err(Error::IncompleteEnumeration {
+                    size: level - 1,
+                    attempts: attempt,
+                });
+            }
+        }
     }
     let weight = graph.weight_of(&h);
-    BaselineSolution { edges: h, weight }
+    Ok(BaselineSolution { edges: h, weight })
 }
 
 #[cfg(test)]
@@ -228,6 +276,13 @@ mod tests {
     }
 
     #[test]
+    fn greedy_k_ecss_works_past_the_former_cap() {
+        let g = generators::harary(5, 12, 1);
+        let sol = k_ecss(&g, 5);
+        assert!(connectivity::is_k_edge_connected_in(&g, &sol.edges, 5));
+    }
+
+    #[test]
     fn augment_cuts_covers_the_family() {
         let g = generators::cycle(8, 1);
         // H = the cycle; cover all its cut pairs to reach 3-edge-connectivity…
@@ -236,7 +291,7 @@ mod tests {
         let g2 = generators::random_k_edge_connected(10, 3, 5, &mut rng);
         let h = mst::kruskal(&g2);
         // Augment connectivity 1 -> 2: cover all bridges of H.
-        let family = CutFamily::enumerate(&g2, &h, 1);
+        let family = CutFamily::enumerate(&g2, &h, 1).unwrap();
         let sol = augment_cuts(&g2, &h, &family);
         let union = h.union(&sol.edges);
         assert!(connectivity::is_two_edge_connected_in(&g2, &union));

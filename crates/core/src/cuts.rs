@@ -1,32 +1,57 @@
-//! Enumeration of the small cuts that the augmentation algorithms must cover.
+//! Enumeration of the small cuts that the augmentation algorithms must cover,
+//! behind a pluggable [`CutEnumerator`] strategy architecture.
 //!
 //! `Aug_k` (Section 4) covers all cuts of size `k - 1` of a
-//! `(k-1)`-edge-connected spanning subgraph `H`. This module enumerates those
-//! cuts exactly:
+//! `(k-1)`-edge-connected spanning subgraph `H`. Three strategies enumerate
+//! those cuts, all sharing one contract — every candidate is *verified* by an
+//! exact removal test (batch-parallel through a [`kecss_runtime::Executor`]),
+//! so reported cuts are exact rather than w.h.p.:
 //!
-//! * size 1 — bridges (Tarjan);
-//! * size 2 — cut pairs, found through cycle-space label classes (Section
-//!   5.2) and then *verified* by an explicit removal test, so the result is
-//!   exact rather than w.h.p.;
-//! * size 3 — label triples XOR-ing to zero (the general induced-cut
-//!   characterization of Corollary 5.3), verified the same way.
+//! * [`ExactEnumerator`] — the specialized enumerators for sizes 1–3:
+//!   bridges (Tarjan), cut pairs via cycle-space label classes (Section 5.2),
+//!   and label triples XOR-ing to zero (Corollary 5.3).
+//! * [`LabelEnumerator`] — the *general* label-class enumerator for arbitrary
+//!   size: sample a random cycle-space labelling
+//!   ([`Circulation::xor_zero_subsets`]) and enumerate the size-`s` edge
+//!   subsets whose labels XOR to zero. An induced cut XORs to zero with
+//!   certainty (a circulation crosses every cut evenly), so after
+//!   verification this enumerator is **deterministically complete** for the
+//!   induced cuts — its only failure mode is combinatorial cost, bounded by a
+//!   candidate budget.
+//! * [`ContractEnumerator`] — a randomized-contraction fallback
+//!   (Karger-style repeated contraction, plus deterministic vertex-star and
+//!   edge-pair seeds) for when the label-class candidate pool explodes.
+//!   Complete w.h.p.; `Aug_k` additionally certifies the augmented subgraph
+//!   exactly and re-enumerates with fresh randomness on a miss, so the
+//!   pipeline's *output* is always exact.
+//!
+//! [`AutoEnumerator`] picks per size: exact specializations for `1..=3`, the
+//! label enumerator above that, contraction when the label budget trips.
+//! This lifts the former `k <= 4` cap of the whole k-ECSS pipeline: any `k`
+//! is now reachable (DESIGN.md §6).
 //!
 //! Because a `(k-1)`-edge-connected graph has at most `binom(n, 2)` minimum
-//! cuts (the paper cites [19, 6]), the enumeration is polynomial; the
-//! verification step only runs on label-filtered candidates, so false
-//! positives cost little. Supported cut sizes are `1..=MAX_CUT_SIZE`, i.e.
-//! `k <= 4` for the full k-ECSS pipeline, which covers the regimes the
-//! evaluation exercises (DESIGN.md §6).
+//! cuts (the paper cites [19, 6]), the enumeration is polynomial in the
+//! regime the driver uses it in (`size = λ(H)`); the verification step only
+//! runs on filtered candidates, so false positives cost little.
 
 use crate::cycle_space::Circulation;
-use graphs::{connectivity, EdgeId, EdgeSet, Graph, NodeId, RootedTree};
+use crate::error::{Error, Result};
+use graphs::{connectivity, dsu::DisjointSets, EdgeId, EdgeSet, Graph, NodeId, RootedTree};
 use kecss_runtime::Executor;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-/// The largest cut size [`cuts_of_size`] can enumerate (so the largest
-/// supported `k` for the k-ECSS driver is `MAX_CUT_SIZE + 1`).
-pub const MAX_CUT_SIZE: usize = 3;
+/// The largest cut size the [`ExactEnumerator`] specializations handle.
+/// Larger sizes go through [`LabelEnumerator`] / [`ContractEnumerator`]
+/// (which is what [`AutoEnumerator`] arranges), so this is **not** a cap on
+/// the pipeline's `k` any more.
+pub const EXACT_MAX_CUT_SIZE: usize = 3;
+
+/// Default budget on label-class candidate visits before the pool counts as
+/// "exploded" and [`AutoEnumerator`] falls back to contraction.
+pub const DEFAULT_LABEL_BUDGET: u64 = 4_000_000;
 
 /// A single cut: the edge ids, sorted.
 pub type Cut = Vec<EdgeId>;
@@ -48,49 +73,109 @@ pub fn covers(graph: &Graph, h: &EdgeSet, cut: &[EdgeId], e: EdgeId) -> bool {
     connectivity::is_connected_in(graph, &sub)
 }
 
-/// Enumerates every cut of exactly `size` edges of the connected subgraph
-/// `(V, h)`.
+/// A strategy for enumerating the cuts of exactly `size` edges of a connected
+/// subgraph `(V, h)`.
 ///
-/// The subgraph must be `size`-edge-connected *or better is not required*:
-/// cuts smaller than `size` may exist and are not reported; the augmentation
-/// driver always calls this with `size = k - 1` on a `(k-1)`-edge-connected
-/// `H`, where the reported cuts are exactly the minimum cuts.
+/// # Contract
 ///
-/// # Panics
+/// * The result is sorted (each cut's ids ascending, cuts in lexicographic
+///   order) and every reported cut is *verified*: its removal genuinely
+///   disconnects `(V, h)`.
+/// * When `h` is `size`-edge-connected — the regime the `Aug_k` driver always
+///   calls from — the cuts of size `size` are exactly the minimum cuts, and
+///   every implementation aims to report all of them ([`ExactEnumerator`] and
+///   [`LabelEnumerator`] deterministically, [`ContractEnumerator`] w.h.p.).
+///   When `h` has smaller cuts, non-induced edge subsets that happen to
+///   disconnect (e.g. a bridge plus an arbitrary edge) are *not* reported,
+///   matching the pre-refactor behavior.
+/// * `salt` perturbs any internal randomness; implementations must be
+///   deterministic functions of `(graph, h, size, salt)` and must keep all
+///   RNG draws on the calling thread, so results are bit-identical for every
+///   `exec` (DESIGN.md §8). Retrying with a fresh `salt` re-rolls a
+///   randomized enumerator; deterministic enumerators may ignore it.
 ///
-/// Panics if `size` is 0 or greater than [`MAX_CUT_SIZE`], or if `h` is
-/// disconnected.
-pub fn cuts_of_size(graph: &Graph, h: &EdgeSet, size: usize) -> Vec<Cut> {
-    cuts_of_size_with(graph, h, size, &Executor::Sequential)
+/// # Errors
+///
+/// * [`Error::InvalidCutRequest`] if `size == 0`, `h` is disconnected, or the
+///   strategy does not implement the requested size;
+/// * [`Error::CandidateOverflow`] if a candidate budget was exceeded.
+pub trait CutEnumerator: Sync {
+    /// The strategy's display name (`exact`, `label`, `contract`, `auto`).
+    fn name(&self) -> &'static str;
+
+    /// Enumerates every cut of exactly `size` edges of `(V, h)`, verifying
+    /// the candidates' removal tests through `exec`.
+    fn cuts(
+        &self,
+        graph: &Graph,
+        h: &EdgeSet,
+        size: usize,
+        salt: u64,
+        exec: &Executor,
+    ) -> Result<Vec<Cut>>;
 }
 
-/// Same as [`cuts_of_size`], verifying the label-filtered candidates through
-/// `exec`: the removal test of each candidate is independent, so candidates
-/// are checked in parallel. The result is bit-identical to the sequential
-/// enumeration for every executor (candidates are generated, verified and
-/// collected in a fixed order).
-///
-/// # Panics
-///
-/// Same conditions as [`cuts_of_size`].
-pub fn cuts_of_size_with(graph: &Graph, h: &EdgeSet, size: usize, exec: &Executor) -> Vec<Cut> {
-    assert!(
-        (1..=MAX_CUT_SIZE).contains(&size),
-        "cut size {size} unsupported"
-    );
-    assert!(
-        connectivity::is_connected_in(graph, h),
-        "cut enumeration requires a connected subgraph"
-    );
-    match size {
-        1 => connectivity::bridges_in(graph, h)
-            .into_iter()
-            .map(|b| vec![b])
-            .collect(),
-        2 => cut_pairs(graph, h, exec),
-        3 => cut_triples(graph, h, exec),
-        _ => unreachable!("guarded by the assertion above"),
+/// Which [`CutEnumerator`] strategy to use; the CLI's `--enumerator` flag
+/// parses into this.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EnumeratorPolicy {
+    /// [`ExactEnumerator`]: sizes 1–3 only.
+    Exact,
+    /// [`LabelEnumerator`]: any size, bounded by the candidate budget.
+    Label,
+    /// [`ContractEnumerator`]: any size, randomized.
+    Contract,
+    /// [`AutoEnumerator`]: exact below 4, label above, contraction fallback.
+    #[default]
+    Auto,
+}
+
+impl EnumeratorPolicy {
+    /// Parses a policy name as used by the CLI flag.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "exact" => Some(EnumeratorPolicy::Exact),
+            "label" => Some(EnumeratorPolicy::Label),
+            "contract" => Some(EnumeratorPolicy::Contract),
+            "auto" => Some(EnumeratorPolicy::Auto),
+            _ => None,
+        }
     }
+
+    /// The policy's canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnumeratorPolicy::Exact => "exact",
+            EnumeratorPolicy::Label => "label",
+            EnumeratorPolicy::Contract => "contract",
+            EnumeratorPolicy::Auto => "auto",
+        }
+    }
+
+    /// Builds the corresponding enumerator with default parameters.
+    pub fn build(self) -> Box<dyn CutEnumerator + Send + Sync> {
+        match self {
+            EnumeratorPolicy::Exact => Box::new(ExactEnumerator),
+            EnumeratorPolicy::Label => Box::new(LabelEnumerator::default()),
+            EnumeratorPolicy::Contract => Box::new(ContractEnumerator::default()),
+            EnumeratorPolicy::Auto => Box::new(AutoEnumerator::default()),
+        }
+    }
+}
+
+/// Validates the common preconditions shared by every enumerator.
+fn check_request(graph: &Graph, h: &EdgeSet, size: usize) -> Result<()> {
+    if size == 0 {
+        return Err(Error::InvalidCutRequest {
+            reason: "cut size must be at least 1".into(),
+        });
+    }
+    if !connectivity::is_connected_in(graph, h) {
+        return Err(Error::InvalidCutRequest {
+            reason: "cut enumeration requires a connected subgraph".into(),
+        });
+    }
+    Ok(())
 }
 
 /// Keeps the candidates whose removal disconnects `(V, h)`, running the
@@ -109,19 +194,64 @@ fn verify_candidates(
         .collect()
 }
 
-fn labels_for(graph: &Graph, h: &EdgeSet) -> Circulation {
+/// The base seed of the enumeration labellings. With `salt = 0` the sampled
+/// circulation is bit-identical to the pre-refactor enumerators'.
+const LABEL_SEED: u64 = 0x6b65_6373_735f_6375;
+
+fn labels_for(graph: &Graph, h: &EdgeSet, salt: u64) -> Circulation {
     // The seed is arbitrary: label equality is only used to *filter*
-    // candidates, every candidate is verified exactly, and real cuts always
-    // pass the filter (one-sided error).
-    let mut rng = ChaCha8Rng::seed_from_u64(0x6b65_6373_735f_6375);
+    // candidates, every candidate is verified exactly, and real induced cuts
+    // always pass the filter (one-sided error). `salt` re-rolls the labels on
+    // certification retries.
+    let mut rng = ChaCha8Rng::seed_from_u64(LABEL_SEED ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let bfs = graphs::bfs::bfs_in(graph, h, 0);
     let tree = RootedTree::new(graph, &bfs.tree_edges(graph), bfs.root);
     Circulation::sample(graph, h, &tree, 64, &mut rng)
 }
 
+/// The exact specializations for cut sizes 1–3 (the pre-refactor
+/// enumerators): bridges, label-class cut pairs, XOR-zero label triples.
+///
+/// Deterministically complete on its sizes; requests for size > 3 return
+/// [`Error::InvalidCutRequest`] — use [`LabelEnumerator`],
+/// [`ContractEnumerator`] or [`AutoEnumerator`] instead.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactEnumerator;
+
+impl CutEnumerator for ExactEnumerator {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn cuts(
+        &self,
+        graph: &Graph,
+        h: &EdgeSet,
+        size: usize,
+        salt: u64,
+        exec: &Executor,
+    ) -> Result<Vec<Cut>> {
+        check_request(graph, h, size)?;
+        match size {
+            1 => Ok(connectivity::bridges_in(graph, h)
+                .into_iter()
+                .map(|b| vec![b])
+                .collect()),
+            2 => Ok(cut_pairs(graph, h, salt, exec)),
+            3 => Ok(cut_triples(graph, h, salt, exec)),
+            _ => Err(Error::InvalidCutRequest {
+                reason: format!(
+                    "the exact enumerator handles cut sizes 1..={EXACT_MAX_CUT_SIZE}, \
+                     got {size}; use the 'label', 'contract' or 'auto' strategy"
+                ),
+            }),
+        }
+    }
+}
+
 /// All cuts of size exactly 2 (cut pairs) of the connected subgraph `(V, h)`.
-fn cut_pairs(graph: &Graph, h: &EdgeSet, exec: &Executor) -> Vec<Cut> {
-    let circulation = labels_for(graph, h);
+fn cut_pairs(graph: &Graph, h: &EdgeSet, salt: u64, exec: &Executor) -> Vec<Cut> {
+    let circulation = labels_for(graph, h, salt);
     let mut candidates = Vec::new();
     for class in circulation.label_classes(h) {
         for i in 0..class.len() {
@@ -136,8 +266,8 @@ fn cut_pairs(graph: &Graph, h: &EdgeSet, exec: &Executor) -> Vec<Cut> {
 }
 
 /// All cuts of size exactly 3 of the connected subgraph `(V, h)`.
-fn cut_triples(graph: &Graph, h: &EdgeSet, exec: &Executor) -> Vec<Cut> {
-    let circulation = labels_for(graph, h);
+fn cut_triples(graph: &Graph, h: &EdgeSet, salt: u64, exec: &Executor) -> Vec<Cut> {
+    let circulation = labels_for(graph, h, salt);
     let ids: Vec<EdgeId> = h.iter().collect();
     // label -> edges with that label, for completing pairs into XOR-zero triples.
     let mut by_label: std::collections::HashMap<u64, Vec<EdgeId>> =
@@ -170,6 +300,273 @@ fn cut_triples(graph: &Graph, h: &EdgeSet, exec: &Executor) -> Vec<Cut> {
     out
 }
 
+/// The general cycle-space label enumerator for arbitrary cut size
+/// (Corollary 5.3 generalized): enumerate the size-`s` edge subsets of `h`
+/// whose sampled 64-bit labels XOR to zero, then verify each by an exact
+/// removal test. Induced cuts XOR to zero with certainty, so the result is
+/// deterministically complete for the induced cuts of `(V, h)` — at a
+/// combinatorial candidate-generation cost of `O(binom(|h|, size - 1))`,
+/// bounded by `budget`.
+#[derive(Clone, Copy, Debug)]
+pub struct LabelEnumerator {
+    /// Maximum candidate visits before [`Error::CandidateOverflow`].
+    pub budget: u64,
+}
+
+impl Default for LabelEnumerator {
+    fn default() -> Self {
+        LabelEnumerator {
+            budget: DEFAULT_LABEL_BUDGET,
+        }
+    }
+}
+
+impl LabelEnumerator {
+    /// A label enumerator with an explicit candidate budget.
+    pub fn with_budget(budget: u64) -> Self {
+        LabelEnumerator { budget }
+    }
+}
+
+impl CutEnumerator for LabelEnumerator {
+    fn name(&self) -> &'static str {
+        "label"
+    }
+
+    fn cuts(
+        &self,
+        graph: &Graph,
+        h: &EdgeSet,
+        size: usize,
+        salt: u64,
+        exec: &Executor,
+    ) -> Result<Vec<Cut>> {
+        check_request(graph, h, size)?;
+        let circulation = labels_for(graph, h, salt);
+        let Some(candidates) = circulation.xor_zero_subsets(h, size, self.budget) else {
+            return Err(Error::CandidateOverflow {
+                size,
+                budget: self.budget,
+            });
+        };
+        let mut out = verify_candidates(graph, h, candidates, exec);
+        out.sort();
+        Ok(out)
+    }
+}
+
+/// The base seed of the contraction trials (mixed with the salt).
+const CONTRACT_SEED: u64 = 0xc027_7ac7_10e5_eed5;
+
+/// Karger-style randomized contraction for arbitrary cut size: repeatedly
+/// contract uniformly random edges of `h` until two super-vertices remain;
+/// the crossing edges form an induced cut, kept when its size matches. Two
+/// deterministic candidate seeds — vertex stars `δ(v)` and adjacent-pair
+/// boundaries `δ({u, v})` of the right size — cover the common minimum cuts
+/// of near-regular graphs before any random trial runs. Every candidate is
+/// still verified by the exact removal test.
+///
+/// With `trials = Θ(n² log n)` every minimum cut is found w.h.p. (each
+/// survives one contraction with probability `≥ 2/(n(n-1))`); the default
+/// trial count uses that formula. The `salt` doubles the trial count on each
+/// certification retry (up to 32×) in addition to re-seeding the RNG, so the
+/// `Aug_k` retry loop escalates rather than replays.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ContractEnumerator {
+    /// Number of contraction trials; `None` uses [`ContractEnumerator::default_trials`].
+    pub trials: Option<u64>,
+}
+
+impl ContractEnumerator {
+    /// A contraction enumerator with an explicit trial count.
+    pub fn with_trials(trials: u64) -> Self {
+        ContractEnumerator {
+            trials: Some(trials),
+        }
+    }
+
+    /// The default trial count for an `n`-vertex subgraph: `2 n² ⌈ln n⌉`,
+    /// at least 512.
+    pub fn default_trials(n: usize) -> u64 {
+        let n = n as u64;
+        let ln = (n.max(2) as f64).ln().ceil() as u64;
+        (2 * n * n * ln).max(512)
+    }
+}
+
+impl CutEnumerator for ContractEnumerator {
+    fn name(&self) -> &'static str {
+        "contract"
+    }
+
+    fn cuts(
+        &self,
+        graph: &Graph,
+        h: &EdgeSet,
+        size: usize,
+        salt: u64,
+        exec: &Executor,
+    ) -> Result<Vec<Cut>> {
+        check_request(graph, h, size)?;
+        let n = graph.n();
+        let ids: Vec<EdgeId> = h.iter().collect();
+        // BTreeSet: dedups across trials and yields candidates in sorted
+        // (deterministic) order for the batch verification.
+        let mut candidates: std::collections::BTreeSet<Cut> = std::collections::BTreeSet::new();
+
+        // Deterministic seed 1: vertex stars δ(v) with |δ(v)| == size.
+        let star = |v: NodeId| -> Vec<EdgeId> {
+            graph
+                .neighbors(v)
+                .iter()
+                .filter(|(_, id)| h.contains(*id))
+                .map(|&(_, id)| id)
+                .collect()
+        };
+        for v in 0..n {
+            let mut s = star(v);
+            if s.len() == size {
+                s.sort();
+                candidates.insert(s);
+            }
+        }
+        // Deterministic seed 2: adjacent-pair boundaries δ({u, v}) for every
+        // edge {u, v} of h.
+        for &id in &ids {
+            let e = graph.edge(id);
+            let mut boundary: Vec<EdgeId> = star(e.u)
+                .into_iter()
+                .chain(star(e.v))
+                .filter(|&b| {
+                    let be = graph.edge(b);
+                    !(be.has_endpoint(e.u) && be.has_endpoint(e.v))
+                })
+                .collect();
+            if boundary.len() == size {
+                boundary.sort();
+                candidates.insert(boundary);
+            }
+        }
+
+        // Randomized contraction trials. All RNG draws stay on the calling
+        // thread (DESIGN.md §8); only the removal verification parallelizes.
+        let base = self.trials.unwrap_or_else(|| Self::default_trials(n));
+        let trials = base.saturating_mul(1u64 << salt.min(5));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(CONTRACT_SEED ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut order: Vec<usize> = (0..ids.len()).collect();
+        for _ in 0..trials {
+            order.shuffle(&mut rng);
+            let mut dsu = DisjointSets::new(n);
+            for &i in &order {
+                if dsu.component_count() == 2 {
+                    break;
+                }
+                let e = graph.edge(ids[i]);
+                dsu.union(e.u, e.v);
+            }
+            if dsu.component_count() != 2 {
+                continue;
+            }
+            let cut: Cut = ids
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let e = graph.edge(id);
+                    dsu.find(e.u) != dsu.find(e.v)
+                })
+                .collect();
+            if cut.len() == size {
+                candidates.insert(cut);
+            }
+        }
+
+        let candidates: Vec<Cut> = candidates.into_iter().collect();
+        let mut out = verify_candidates(graph, h, candidates, exec);
+        out.sort();
+        Ok(out)
+    }
+}
+
+/// The per-size policy: [`ExactEnumerator`] for sizes `1..=3`,
+/// [`LabelEnumerator`] above, and the [`ContractEnumerator`] fallback when
+/// the label-class candidate pool explodes. This is the default everywhere.
+#[derive(Clone, Copy, Debug)]
+pub struct AutoEnumerator {
+    /// Budget for the label stage (see [`LabelEnumerator`]).
+    pub label_budget: u64,
+    /// Trial override for the contraction fallback (see [`ContractEnumerator`]).
+    pub trials: Option<u64>,
+}
+
+impl Default for AutoEnumerator {
+    fn default() -> Self {
+        AutoEnumerator {
+            label_budget: DEFAULT_LABEL_BUDGET,
+            trials: None,
+        }
+    }
+}
+
+impl CutEnumerator for AutoEnumerator {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+
+    fn cuts(
+        &self,
+        graph: &Graph,
+        h: &EdgeSet,
+        size: usize,
+        salt: u64,
+        exec: &Executor,
+    ) -> Result<Vec<Cut>> {
+        if size <= EXACT_MAX_CUT_SIZE {
+            return ExactEnumerator.cuts(graph, h, size, salt, exec);
+        }
+        match LabelEnumerator::with_budget(self.label_budget).cuts(graph, h, size, salt, exec) {
+            Err(Error::CandidateOverflow { .. }) => ContractEnumerator {
+                trials: self.trials,
+            }
+            .cuts(graph, h, size, salt, exec),
+            other => other,
+        }
+    }
+}
+
+/// Enumerates every cut of exactly `size` edges of the connected subgraph
+/// `(V, h)` with the default [`AutoEnumerator`] policy.
+///
+/// The subgraph being `size`-edge-connected *or better is not required*:
+/// cuts smaller than `size` may exist and are not reported; the augmentation
+/// driver always calls this with `size = k - 1` on a `(k-1)`-edge-connected
+/// `H`, where the reported cuts are exactly the minimum cuts.
+///
+/// # Errors
+///
+/// [`Error::InvalidCutRequest`] if `size` is 0 or `h` is disconnected.
+pub fn cuts_of_size(graph: &Graph, h: &EdgeSet, size: usize) -> Result<Vec<Cut>> {
+    cuts_of_size_with(graph, h, size, &Executor::Sequential)
+}
+
+/// Same as [`cuts_of_size`], verifying the filtered candidates through
+/// `exec`: the removal test of each candidate is independent, so candidates
+/// are checked in parallel. The result is bit-identical to the sequential
+/// enumeration for every executor (candidates are generated, verified and
+/// collected in a fixed order).
+///
+/// # Errors
+///
+/// Same conditions as [`cuts_of_size`].
+pub fn cuts_of_size_with(
+    graph: &Graph,
+    h: &EdgeSet,
+    size: usize,
+    exec: &Executor,
+) -> Result<Vec<Cut>> {
+    AutoEnumerator::default().cuts(graph, h, size, 0, exec)
+}
+
 /// A family of cuts of a subgraph `H`, with the bipartition of each cut
 /// precomputed so that "does edge `e` cover cut `C`?" is an `O(1)` query.
 ///
@@ -184,15 +581,19 @@ pub struct CutFamily {
 }
 
 impl CutFamily {
-    /// Enumerates all cuts of exactly `size` edges of `(V, h)` and
-    /// precomputes their bipartitions.
+    /// Enumerates all cuts of exactly `size` edges of `(V, h)` with the
+    /// default [`AutoEnumerator`] and precomputes their bipartitions.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`cuts_of_size`].
     ///
     /// # Panics
     ///
-    /// Same conditions as [`cuts_of_size`]; additionally panics if some
-    /// enumerated cut does not split `H` into exactly two components (which
-    /// cannot happen for minimum cuts of a `(size)`-edge-connected `H`).
-    pub fn enumerate(graph: &Graph, h: &EdgeSet, size: usize) -> Self {
+    /// Panics if some enumerated cut does not split `H` into exactly two
+    /// components (which cannot happen for minimum cuts of a
+    /// `size`-edge-connected `H`).
+    pub fn enumerate(graph: &Graph, h: &EdgeSet, size: usize) -> Result<Self> {
         Self::enumerate_with(graph, h, size, &Executor::Sequential)
     }
 
@@ -201,13 +602,34 @@ impl CutFamily {
     /// bipartition is an independent connected-components computation).
     /// Bit-identical to the sequential enumeration for every executor.
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// Same conditions as [`CutFamily::enumerate`].
-    pub fn enumerate_with(graph: &Graph, h: &EdgeSet, size: usize, exec: &Executor) -> Self {
-        let cuts = cuts_of_size_with(graph, h, size, exec);
-        let sides = exec.map(&cuts, |cut| bipartition(graph, h, cut));
-        CutFamily { cuts, sides }
+    pub fn enumerate_with(
+        graph: &Graph,
+        h: &EdgeSet,
+        size: usize,
+        exec: &Executor,
+    ) -> Result<Self> {
+        Self::enumerate_with_enumerator(graph, h, size, &AutoEnumerator::default(), 0, exec)
+    }
+
+    /// The most general entry point: enumerate through an explicit
+    /// [`CutEnumerator`] strategy and `salt`.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `enumerator` returns for the request.
+    pub fn enumerate_with_enumerator(
+        graph: &Graph,
+        h: &EdgeSet,
+        size: usize,
+        enumerator: &dyn CutEnumerator,
+        salt: u64,
+        exec: &Executor,
+    ) -> Result<Self> {
+        let cuts = enumerator.cuts(graph, h, size, salt, exec)?;
+        Ok(Self::from_cuts_with(graph, h, cuts, exec))
     }
 
     /// Builds a family from explicitly provided cuts.
@@ -216,8 +638,34 @@ impl CutFamily {
     ///
     /// Panics if some cut does not split `(V, h)` into exactly two components.
     pub fn from_cuts(graph: &Graph, h: &EdgeSet, cuts: Vec<Cut>) -> Self {
-        let sides = cuts.iter().map(|cut| bipartition(graph, h, cut)).collect();
+        Self::from_cuts_with(graph, h, cuts, &Executor::Sequential)
+    }
+
+    /// Same as [`CutFamily::from_cuts`], computing the bipartitions through
+    /// `exec`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CutFamily::from_cuts`].
+    pub fn from_cuts_with(graph: &Graph, h: &EdgeSet, cuts: Vec<Cut>, exec: &Executor) -> Self {
+        let sides = exec.map(&cuts, |cut| bipartition(graph, h, cut));
         CutFamily { cuts, sides }
+    }
+
+    /// Keeps only the cuts whose index satisfies `keep`, carrying their
+    /// precomputed bipartitions along (no recomputation).
+    pub fn retain(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        let flags: Vec<bool> = (0..self.cuts.len()).map(&mut keep).collect();
+        let mut cut_index = 0;
+        self.cuts.retain(|_| {
+            cut_index += 1;
+            flags[cut_index - 1]
+        });
+        let mut side_index = 0;
+        self.sides.retain(|_| {
+            side_index += 1;
+            flags[side_index - 1]
+        });
     }
 
     /// Number of cuts in the family.
@@ -277,6 +725,43 @@ mod tests {
     use super::*;
     use graphs::generators;
 
+    /// Exhaustive ground truth: all `size`-subsets of `h` that disconnect
+    /// and are *induced* (split into exactly two components).
+    fn naive_induced_cuts(g: &Graph, h: &EdgeSet, size: usize) -> Vec<Cut> {
+        let ids: Vec<EdgeId> = h.iter().collect();
+        let mut out = Vec::new();
+        fn rec(
+            g: &Graph,
+            h: &EdgeSet,
+            ids: &[EdgeId],
+            size: usize,
+            start: usize,
+            subset: &mut Vec<EdgeId>,
+            out: &mut Vec<Cut>,
+        ) {
+            if subset.len() == size {
+                let mut sub = h.clone();
+                for c in subset.iter() {
+                    sub.remove(*c);
+                }
+                let (_, count) = connectivity::connected_components_in(g, &sub);
+                if count == 2 {
+                    out.push(subset.clone());
+                }
+                return;
+            }
+            for i in start..ids.len() {
+                subset.push(ids[i]);
+                rec(g, h, ids, size, i + 1, subset, out);
+                subset.pop();
+            }
+        }
+        let mut buf = Vec::new();
+        rec(g, h, &ids, size, 0, &mut buf, &mut out);
+        out.sort();
+        out
+    }
+
     #[test]
     fn bridges_are_the_size_one_cuts() {
         let mut g = Graph::new(4);
@@ -284,14 +769,14 @@ mod tests {
         g.add_edge(1, 2, 1);
         g.add_edge(2, 0, 1);
         let bridge = g.add_edge(2, 3, 1);
-        let cuts = cuts_of_size(&g, &g.full_edge_set(), 1);
+        let cuts = cuts_of_size(&g, &g.full_edge_set(), 1).unwrap();
         assert_eq!(cuts, vec![vec![bridge]]);
     }
 
     #[test]
     fn cycle_has_all_pairs_as_cuts() {
         let g = generators::cycle(5, 1);
-        let cuts = cuts_of_size(&g, &g.full_edge_set(), 2);
+        let cuts = cuts_of_size(&g, &g.full_edge_set(), 2).unwrap();
         assert_eq!(cuts.len(), 5 * 4 / 2);
     }
 
@@ -302,7 +787,7 @@ mod tests {
         for n in [8, 12] {
             let g = generators::random_k_edge_connected(n, 2, 4, &mut rng);
             let h = g.full_edge_set();
-            let fast = cuts_of_size(&g, &h, 2);
+            let fast = cuts_of_size(&g, &h, 2).unwrap();
             let ids: Vec<EdgeId> = h.iter().collect();
             let mut naive = Vec::new();
             for i in 0..ids.len() {
@@ -324,7 +809,7 @@ mod tests {
         let g = generators::complete(4, 1);
         let h = g.full_edge_set();
         assert_eq!(connectivity::edge_connectivity(&g), 3);
-        let cuts = cuts_of_size(&g, &h, 3);
+        let cuts = cuts_of_size(&g, &h, 3).unwrap();
         assert_eq!(cuts.len(), 4);
         for cut in &cuts {
             assert!(disconnects(&g, &h, cut));
@@ -341,7 +826,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let g = generators::random_k_edge_connected(10, 3, 2, &mut rng);
         let h = g.full_edge_set();
-        let fast = cuts_of_size(&g, &h, 3);
+        let fast = cuts_of_size(&g, &h, 3).unwrap();
         let ids: Vec<EdgeId> = h.iter().collect();
         let mut naive = Vec::new();
         for i in 0..ids.len() {
@@ -378,7 +863,7 @@ mod tests {
         let chord = g.add_edge(0, 3, 1);
         let mut h = g.full_edge_set();
         h.remove(chord);
-        let family = CutFamily::enumerate(&g, &h, 2);
+        let family = CutFamily::enumerate(&g, &h, 2).unwrap();
         assert_eq!(family.len(), 6 * 5 / 2);
         assert!(!family.is_empty());
         for i in 0..family.len() {
@@ -395,23 +880,141 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unsupported")]
-    fn oversized_cut_requests_are_rejected() {
+    fn zero_size_and_disconnected_requests_are_errors() {
         let g = generators::cycle(4, 1);
-        cuts_of_size(&g, &g.full_edge_set(), 4);
+        let err = cuts_of_size(&g, &g.full_edge_set(), 0).unwrap_err();
+        assert!(matches!(err, Error::InvalidCutRequest { .. }));
+        let mut disconnected = Graph::new(4);
+        disconnected.add_edge(0, 1, 1);
+        disconnected.add_edge(2, 3, 1);
+        let err = cuts_of_size(&disconnected, &disconnected.full_edge_set(), 1).unwrap_err();
+        assert!(matches!(err, Error::InvalidCutRequest { .. }));
+    }
+
+    #[test]
+    fn exact_enumerator_rejects_large_sizes_but_auto_handles_them() {
+        let g = generators::torus(3, 4, 1);
+        let h = g.full_edge_set();
+        let exec = Executor::Sequential;
+        let err = ExactEnumerator.cuts(&g, &h, 4, 0, &exec).unwrap_err();
+        assert!(matches!(err, Error::InvalidCutRequest { .. }));
+        // The 3x4 torus is 4-edge-connected; auto must enumerate its 4-cuts.
+        let cuts = cuts_of_size(&g, &h, 4).unwrap();
+        assert!(!cuts.is_empty());
+        assert_eq!(cuts, naive_induced_cuts(&g, &h, 4));
+    }
+
+    #[test]
+    fn label_enumerator_matches_naive_induced_cuts_size_four() {
+        use rand::SeedableRng;
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let g = generators::random_k_edge_connected(9, 4, 3, &mut rng);
+        let h = g.full_edge_set();
+        let cuts = LabelEnumerator::default()
+            .cuts(&g, &h, 4, 0, &Executor::Sequential)
+            .unwrap();
+        assert_eq!(cuts, naive_induced_cuts(&g, &h, 4));
+    }
+
+    #[test]
+    fn contract_enumerator_matches_naive_induced_cuts_size_four() {
+        use rand::SeedableRng;
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let g = generators::random_k_edge_connected(9, 4, 3, &mut rng);
+        let h = g.full_edge_set();
+        let cuts = ContractEnumerator::default()
+            .cuts(&g, &h, 4, 0, &Executor::Sequential)
+            .unwrap();
+        assert_eq!(cuts, naive_induced_cuts(&g, &h, 4));
+    }
+
+    #[test]
+    fn label_budget_overflow_is_reported_and_auto_falls_back() {
+        let g = generators::torus(3, 4, 1);
+        let h = g.full_edge_set();
+        let exec = Executor::Sequential;
+        let tiny = LabelEnumerator::with_budget(8);
+        let err = tiny.cuts(&g, &h, 4, 0, &exec).unwrap_err();
+        assert!(matches!(err, Error::CandidateOverflow { size: 4, .. }));
+        let auto = AutoEnumerator {
+            label_budget: 8,
+            trials: None,
+        };
+        let via_fallback = auto.cuts(&g, &h, 4, 0, &exec).unwrap();
+        assert_eq!(via_fallback, naive_induced_cuts(&g, &h, 4));
+    }
+
+    #[test]
+    fn strategies_agree_on_legacy_sizes() {
+        use rand::SeedableRng;
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let exec = Executor::Sequential;
+        for (n, k, size) in [(10, 2, 1), (10, 2, 2), (10, 3, 3)] {
+            let g = generators::random_k_edge_connected(n, k, 4, &mut rng);
+            let mut h = g.full_edge_set();
+            if size < k {
+                let id = h.iter().next().unwrap();
+                let mut candidate = h.clone();
+                candidate.remove(id);
+                if connectivity::is_connected_in(&g, &candidate) {
+                    h = candidate;
+                }
+            }
+            let exact = ExactEnumerator.cuts(&g, &h, size, 0, &exec).unwrap();
+            let label = LabelEnumerator::default()
+                .cuts(&g, &h, size, 0, &exec)
+                .unwrap();
+            let contract = ContractEnumerator::default()
+                .cuts(&g, &h, size, 0, &exec)
+                .unwrap();
+            assert_eq!(label, exact, "label vs exact, size {size}");
+            assert_eq!(contract, exact, "contract vs exact, size {size}");
+        }
+    }
+
+    #[test]
+    fn salt_changes_labels_but_not_results() {
+        let g = generators::torus(3, 4, 1);
+        let h = g.full_edge_set();
+        let exec = Executor::Sequential;
+        let base = LabelEnumerator::default()
+            .cuts(&g, &h, 4, 0, &exec)
+            .unwrap();
+        for salt in 1..4 {
+            let salted = LabelEnumerator::default()
+                .cuts(&g, &h, 4, salt, &exec)
+                .unwrap();
+            assert_eq!(salted, base, "salt {salt}");
+        }
+    }
+
+    #[test]
+    fn policy_parse_and_build_round_trip() {
+        for (name, policy) in [
+            ("exact", EnumeratorPolicy::Exact),
+            ("label", EnumeratorPolicy::Label),
+            ("contract", EnumeratorPolicy::Contract),
+            ("auto", EnumeratorPolicy::Auto),
+        ] {
+            assert_eq!(EnumeratorPolicy::parse(name), Some(policy));
+            assert_eq!(policy.name(), name);
+            assert_eq!(policy.build().name(), name);
+        }
+        assert_eq!(EnumeratorPolicy::parse("magic"), None);
+        assert_eq!(EnumeratorPolicy::default(), EnumeratorPolicy::Auto);
     }
 
     #[test]
     fn no_cut_pairs_in_three_connected_graph() {
         let g = generators::harary(3, 8, 1);
-        assert!(cuts_of_size(&g, &g.full_edge_set(), 2).is_empty());
+        assert!(cuts_of_size(&g, &g.full_edge_set(), 2).unwrap().is_empty());
     }
 
     #[test]
     fn parallel_enumeration_is_bit_identical_to_sequential() {
         use rand::SeedableRng;
         let mut rng = ChaCha8Rng::seed_from_u64(6);
-        for (n, k, size) in [(12, 2, 1), (12, 2, 2), (10, 3, 3)] {
+        for (n, k, size) in [(12, 2, 1), (12, 2, 2), (10, 3, 3), (9, 4, 4)] {
             let g = generators::random_k_edge_connected(n, k, 4, &mut rng);
             let mut h = g.full_edge_set();
             if size < k {
@@ -423,19 +1026,34 @@ mod tests {
                     h = candidate;
                 }
             }
-            let sequential = cuts_of_size(&g, &h, size);
+            let sequential = cuts_of_size(&g, &h, size).unwrap();
             for threads in [2, 4, 8] {
                 let exec = Executor::from_threads(threads);
                 assert_eq!(
-                    cuts_of_size_with(&g, &h, size, &exec),
+                    cuts_of_size_with(&g, &h, size, &exec).unwrap(),
                     sequential,
                     "size = {size}, t = {threads}"
                 );
-                let fam_seq = CutFamily::enumerate(&g, &h, size);
-                let fam_par = CutFamily::enumerate_with(&g, &h, size, &exec);
+                let fam_seq = CutFamily::enumerate(&g, &h, size).unwrap();
+                let fam_par = CutFamily::enumerate_with(&g, &h, size, &exec).unwrap();
                 assert_eq!(fam_par.cuts, fam_seq.cuts);
                 assert_eq!(fam_par.sides, fam_seq.sides);
             }
+        }
+    }
+
+    #[test]
+    fn retain_keeps_cuts_and_sides_in_lockstep() {
+        let g = generators::cycle(5, 1);
+        let h = g.full_edge_set();
+        let mut family = CutFamily::enumerate(&g, &h, 2).unwrap();
+        let full = family.clone();
+        assert_eq!(family.len(), 10);
+        family.retain(|i| i % 3 == 0);
+        assert_eq!(family.len(), 4);
+        for (kept, original) in [(0usize, 0usize), (1, 3), (2, 6), (3, 9)] {
+            assert_eq!(family.cut(kept), full.cut(original));
+            assert_eq!(family.sides[kept], full.sides[original]);
         }
     }
 

@@ -137,6 +137,134 @@ impl Circulation {
         }
         pairs
     }
+
+    /// Enumerates every subset of exactly `size` edges of `h` whose labels
+    /// XOR to zero — the generalized label-class characterization of
+    /// Corollary 5.3: an *induced* cut always XORs to zero (a circulation
+    /// crosses every cut an even number of times, with certainty), and a
+    /// non-cut XORs to zero only with probability `2^{-bits}` per subset.
+    /// The size-2 case degenerates to the label classes of
+    /// [`Circulation::label_classes`]; size 3 to XOR-completing triples.
+    ///
+    /// Subsets are generated in lexicographic edge-id order: the first
+    /// `size - 1` edges are chosen in increasing id order and the last edge
+    /// is found by a label lookup, so the total work is
+    /// `O(binom(|h|, size - 1))` plus the matches. `budget` caps the number
+    /// of visited partial subsets and candidate completions; `None` is
+    /// returned when the cap is exceeded (the candidate pool "explodes"),
+    /// signalling the caller to fall back to a sampling enumerator.
+    pub fn xor_zero_subsets(
+        &self,
+        h: &EdgeSet,
+        size: usize,
+        budget: u64,
+    ) -> Option<Vec<Vec<EdgeId>>> {
+        assert!(size >= 1, "subset size must be at least 1");
+        let ids: Vec<EdgeId> = h.iter().collect();
+        let labels: Vec<u64> = ids
+            .iter()
+            .map(|&id| self.label(id).expect("edge of h has a label"))
+            .collect();
+        let mut visited = 0u64;
+        let mut out = Vec::new();
+        if size == 1 {
+            for (i, &label) in labels.iter().enumerate() {
+                visited += 1;
+                if visited > budget {
+                    return None;
+                }
+                if label == 0 {
+                    out.push(vec![ids[i]]);
+                }
+            }
+            return Some(out);
+        }
+        // label -> indices into `ids` (increasing), for completing a prefix of
+        // `size - 1` edges into an XOR-zero subset with one lookup.
+        let mut by_label: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, &label) in labels.iter().enumerate() {
+            by_label.entry(label).or_default().push(i);
+        }
+        let mut prefix = Vec::with_capacity(size);
+        let complete = extend_prefix(
+            &ids,
+            &labels,
+            &by_label,
+            size,
+            0,
+            0,
+            &mut prefix,
+            &mut visited,
+            budget,
+            &mut out,
+        );
+        complete.then_some(out)
+    }
+}
+
+/// Recursive helper of [`Circulation::xor_zero_subsets`]: extends `prefix`
+/// (already XOR-ing to `acc`) with edges at indices `>= start`, completing it
+/// via the label lookup once `size - 1` edges are chosen. Returns `false` as
+/// soon as `budget` visits are exceeded.
+#[allow(clippy::too_many_arguments)]
+fn extend_prefix(
+    ids: &[EdgeId],
+    labels: &[u64],
+    by_label: &std::collections::HashMap<u64, Vec<usize>>,
+    size: usize,
+    start: usize,
+    acc: u64,
+    prefix: &mut Vec<EdgeId>,
+    visited: &mut u64,
+    budget: u64,
+    out: &mut Vec<Vec<EdgeId>>,
+) -> bool {
+    if prefix.len() == size - 1 {
+        // The last edge must carry label `acc` and come after the prefix.
+        if let Some(completions) = by_label.get(&acc) {
+            for &j in completions {
+                *visited += 1;
+                if *visited > budget {
+                    return false;
+                }
+                if j >= start {
+                    let mut subset = prefix.clone();
+                    subset.push(ids[j]);
+                    out.push(subset);
+                }
+            }
+        }
+        return true;
+    }
+    let needed = size - prefix.len(); // including the completing edge
+    if ids.len() < needed {
+        return true;
+    }
+    for i in start..=(ids.len() - needed) {
+        *visited += 1;
+        if *visited > budget {
+            return false;
+        }
+        prefix.push(ids[i]);
+        let ok = extend_prefix(
+            ids,
+            labels,
+            by_label,
+            size,
+            i + 1,
+            acc ^ labels[i],
+            prefix,
+            visited,
+            budget,
+            out,
+        );
+        prefix.pop();
+        if !ok {
+            return false;
+        }
+    }
+    true
 }
 
 /// The number of CONGEST rounds charged for computing the labels

@@ -13,14 +13,15 @@ pub enum Error {
         /// The actual edge connectivity of the input (or of the subgraph `H`).
         actual: usize,
     },
-    /// The requested connectivity target is unsupported by this implementation
-    /// (cut enumeration is implemented for cuts of size at most
-    /// [`crate::cuts::MAX_CUT_SIZE`], i.e. `k - 1 <= MAX_CUT_SIZE`).
+    /// The requested connectivity target is below what the algorithm is
+    /// defined for (`Aug_k` needs `k >= 2`; the first connectivity level is
+    /// an MST). There is no upper limit on `k` any more: the pluggable
+    /// [`crate::cuts::CutEnumerator`] strategies handle arbitrary cut sizes.
     UnsupportedK {
         /// The requested `k`.
         k: usize,
-        /// The largest supported `k`.
-        max: usize,
+        /// The smallest supported `k`.
+        min: usize,
     },
     /// The provided spanning subgraph is not spanning or is not a subgraph of
     /// the input graph.
@@ -30,6 +31,34 @@ pub enum Error {
     },
     /// `k` must be at least 1.
     ZeroK,
+    /// A cut enumeration request was malformed: zero cut size, a disconnected
+    /// subgraph, or a size outside what the chosen
+    /// [`crate::cuts::CutEnumerator`] strategy implements.
+    InvalidCutRequest {
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// The cycle-space label-class candidate pool for the requested cut size
+    /// outgrew the enumeration budget. The caller should fall back to the
+    /// randomized-contraction enumerator (the `auto` policy does this
+    /// automatically).
+    CandidateOverflow {
+        /// The requested cut size.
+        size: usize,
+        /// The exceeded budget (number of candidate visits).
+        budget: u64,
+    },
+    /// A randomized cut enumerator kept missing cuts: the augmentation's
+    /// exact post-certification failed even after re-enumerating with fresh
+    /// randomness. This indicates far too few contraction trials (or a bug);
+    /// it does not occur with the `exact`/`label` strategies, which are
+    /// deterministically complete on their supported sizes.
+    IncompleteEnumeration {
+        /// The cut size being enumerated.
+        size: usize,
+        /// Number of enumeration attempts that were certified incomplete.
+        attempts: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -39,11 +68,25 @@ impl fmt::Display for Error {
                 f,
                 "input graph is only {actual}-edge-connected but the problem requires {required}-edge-connectivity"
             ),
-            Error::UnsupportedK { k, max } => {
-                write!(f, "k = {k} is not supported (cut enumeration handles k <= {max})")
+            Error::UnsupportedK { k, min } => {
+                write!(f, "k = {k} is not supported (augmentation requires k >= {min})")
             }
             Error::InvalidSubgraph { reason } => write!(f, "invalid subgraph: {reason}"),
             Error::ZeroK => write!(f, "connectivity target k must be at least 1"),
+            Error::InvalidCutRequest { reason } => {
+                write!(f, "invalid cut enumeration request: {reason}")
+            }
+            Error::CandidateOverflow { size, budget } => write!(
+                f,
+                "label-class candidate pool for cuts of size {size} exceeded the budget of \
+                 {budget} visits; use the contraction enumerator (enumerator policy 'contract' \
+                 or 'auto')"
+            ),
+            Error::IncompleteEnumeration { size, attempts } => write!(
+                f,
+                "randomized enumeration of cuts of size {size} was still incomplete after \
+                 {attempts} certified attempts; increase the contraction trial count"
+            ),
         }
     }
 }
@@ -65,13 +108,30 @@ mod tests {
         };
         assert!(e.to_string().contains("3"));
         assert!(e.to_string().contains("1"));
-        let e = Error::UnsupportedK { k: 9, max: 4 };
-        assert!(e.to_string().contains("9"));
+        let e = Error::UnsupportedK { k: 1, min: 2 };
+        assert!(e.to_string().contains("k = 1"));
+        assert!(e.to_string().contains(">= 2"));
         let e = Error::InvalidSubgraph {
             reason: "not spanning".into(),
         };
         assert!(e.to_string().contains("not spanning"));
         assert!(Error::ZeroK.to_string().contains("at least 1"));
+        let e = Error::InvalidCutRequest {
+            reason: "cut size must be at least 1".into(),
+        };
+        assert!(e.to_string().contains("cut size"));
+        let e = Error::CandidateOverflow {
+            size: 5,
+            budget: 1000,
+        };
+        assert!(e.to_string().contains("size 5"));
+        assert!(e.to_string().contains("1000"));
+        let e = Error::IncompleteEnumeration {
+            size: 6,
+            attempts: 3,
+        };
+        assert!(e.to_string().contains("size 6"));
+        assert!(e.to_string().contains("3"));
     }
 
     #[test]

@@ -8,16 +8,12 @@
 //! `O(k (D log³ n + n))`.
 
 use crate::augk;
-use crate::cuts;
+use crate::cuts::{AutoEnumerator, CutEnumerator};
 use crate::error::{Error, Result};
 use congest::{CostModel, RoundLedger};
 use graphs::{connectivity, mst, EdgeSet, Graph};
 use kecss_runtime::Executor;
 use rand::Rng;
-
-/// The largest `k` supported by the cut enumeration
-/// (see [`cuts::MAX_CUT_SIZE`]).
-pub const MAX_K: usize = cuts::MAX_CUT_SIZE + 1;
 
 /// Per-level statistics of a k-ECSS run.
 #[derive(Clone, Debug)]
@@ -50,8 +46,8 @@ pub struct KEcssSolution {
 ///
 /// # Errors
 ///
-/// * [`Error::ZeroK`] if `k == 0`;
-/// * [`Error::UnsupportedK`] if `k` exceeds [`MAX_K`];
+/// * [`Error::ZeroK`] if `k == 0` (any `k >= 1` is supported: the pluggable
+///   [`CutEnumerator`] strategies lifted the former `k <= 4` cap);
 /// * [`Error::InsufficientConnectivity`] if the graph is not k-edge-connected.
 pub fn solve<R: Rng>(graph: &Graph, k: usize, rng: &mut R) -> Result<KEcssSolution> {
     let diameter = graphs::bfs::diameter(graph).unwrap_or(graph.n());
@@ -75,6 +71,30 @@ pub fn solve_with_exec<R: Rng>(
     solve_with_model_exec(graph, k, CostModel::new(graph.n(), diameter), rng, exec)
 }
 
+/// Same as [`solve_with_exec`] with an explicit [`CutEnumerator`] strategy,
+/// inferring the cost model from the graph diameter (the CLI's entry point).
+///
+/// # Errors
+///
+/// Same conditions as [`solve`], plus whatever the enumerator reports.
+pub fn solve_with_exec_enumerator<R: Rng>(
+    graph: &Graph,
+    k: usize,
+    rng: &mut R,
+    exec: &Executor,
+    enumerator: &dyn CutEnumerator,
+) -> Result<KEcssSolution> {
+    let diameter = graphs::bfs::diameter(graph).unwrap_or(graph.n());
+    solve_with_enumerator(
+        graph,
+        k,
+        CostModel::new(graph.n(), diameter),
+        rng,
+        exec,
+        enumerator,
+    )
+}
+
 /// Same as [`solve`] with an explicit cost model.
 ///
 /// # Errors
@@ -89,7 +109,8 @@ pub fn solve_with_model<R: Rng>(
     solve_with_model_exec(graph, k, model, rng, &Executor::Sequential)
 }
 
-/// The most general entry point: explicit cost model *and* executor.
+/// Explicit cost model *and* executor, with the default [`AutoEnumerator`]
+/// cut strategy.
 ///
 /// # Errors
 ///
@@ -101,11 +122,26 @@ pub fn solve_with_model_exec<R: Rng>(
     rng: &mut R,
     exec: &Executor,
 ) -> Result<KEcssSolution> {
+    solve_with_enumerator(graph, k, model, rng, exec, &AutoEnumerator::default())
+}
+
+/// The most general entry point: explicit cost model, executor *and*
+/// [`CutEnumerator`] strategy (see [`augk::augment_with_enumerator`] for how
+/// randomized strategies are certified exact).
+///
+/// # Errors
+///
+/// Same conditions as [`solve`], plus whatever the enumerator reports.
+pub fn solve_with_enumerator<R: Rng>(
+    graph: &Graph,
+    k: usize,
+    model: CostModel,
+    rng: &mut R,
+    exec: &Executor,
+    enumerator: &dyn CutEnumerator,
+) -> Result<KEcssSolution> {
     if k == 0 {
         return Err(Error::ZeroK);
-    }
-    if k > MAX_K {
-        return Err(Error::UnsupportedK { k, max: MAX_K });
     }
     if !connectivity::is_k_edge_connected(graph, k) {
         return Err(Error::InsufficientConnectivity {
@@ -129,7 +165,7 @@ pub fn solve_with_model_exec<R: Rng>(
 
     // Levels 2..=k: Aug_i.
     for level in 2..=k {
-        let aug = augk::augment_with_model_exec(graph, &h, level, model, rng, exec)?;
+        let aug = augk::augment_with_enumerator(graph, &h, level, model, rng, exec, enumerator)?;
         levels.push(LevelReport {
             level,
             edges_added: aug.added.len(),
@@ -226,10 +262,14 @@ mod tests {
         let g = generators::cycle(8, 1);
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         assert_eq!(solve(&g, 0, &mut rng).unwrap_err(), Error::ZeroK);
-        assert!(matches!(
+        // k = 10 is no longer capped; the cycle simply is not 10-edge-connected.
+        assert_eq!(
             solve(&g, 10, &mut rng).unwrap_err(),
-            Error::UnsupportedK { .. }
-        ));
+            Error::InsufficientConnectivity {
+                required: 10,
+                actual: 2
+            }
+        );
         assert_eq!(
             solve(&g, 3, &mut rng).unwrap_err(),
             Error::InsufficientConnectivity {
@@ -237,6 +277,18 @@ mod tests {
                 actual: 2
             }
         );
+    }
+
+    #[test]
+    fn solves_past_the_former_k_cap() {
+        // k = 6 was impossible before the pluggable enumerators; H_{6,12} is
+        // exactly 6-edge-connected, so the solution must use size-4 and
+        // size-5 cut enumeration along the way.
+        let g = generators::harary(6, 12, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let sol = solve(&g, 6, &mut rng).unwrap();
+        assert!(connectivity::is_k_edge_connected_in(&g, &sol.subgraph, 6));
+        assert_eq!(sol.levels.len(), 6);
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! The supporting machinery is also public:
 //!
 //! * [`cycle_space`] — Pritchard–Thurimella cycle-space sampling (Section 5.1).
-//! * [`cuts`] — enumeration of the small cuts that must be covered.
+//! * [`cuts`] — pluggable [`cuts::CutEnumerator`] strategies (exact
+//!   specializations, general label classes, randomized contraction) for the
+//!   cuts that must be covered, at *any* cut size.
 //! * [`decomposition`] — the segment / skeleton-tree decomposition of the MST
 //!   (Section 3.2, Figure 1).
 //! * [`cover`] — cost-effectiveness and its rounding (Section 2.1).

@@ -15,6 +15,9 @@
 //!   from the `O(h_MST + sqrt(n))` baseline of [1].
 //! * [`torus`] gives 4-edge-connected bounded-degree graphs with diameter
 //!   `Theta(sqrt(n))`.
+//! * [`hypercube`] gives `log2(n)`-regular graphs with edge connectivity
+//!   exactly `log2(n)` — the known-ground-truth family for high-`k` cut
+//!   enumeration and the `k > 4` pipeline.
 
 use crate::graph::{Graph, NodeId, Weight};
 use rand::seq::SliceRandom;
@@ -138,6 +141,34 @@ pub fn harary(k: usize, n: usize, w: Weight) -> Graph {
         }
         for i in 0..n / 2 {
             g.add_edge(i, i + n / 2, w);
+        }
+    }
+    g
+}
+
+/// The `dim`-dimensional hypercube `Q_dim`: `2^dim` vertices, one per
+/// `dim`-bit string, joined when the strings differ in exactly one bit. All
+/// edges have weight `w`.
+///
+/// `Q_dim` is `dim`-regular with edge connectivity exactly `dim`, which makes
+/// it the ground-truth family for high-`k` cut enumeration: a `k`-ECSS run
+/// with `k = dim` is feasible and must keep (close to) all edges, and the
+/// minimum cuts of size `dim` include every vertex star.
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or `dim > 20` (the vertex count is `2^dim`).
+pub fn hypercube(dim: usize, w: Weight) -> Graph {
+    assert!(dim >= 1, "hypercube requires dimension >= 1");
+    assert!(dim <= 20, "hypercube dimension {dim} is unreasonably large");
+    let n = 1usize << dim;
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        for b in 0..dim {
+            let u = v ^ (1 << b);
+            if v < u {
+                g.add_edge(v, u, w);
+            }
         }
     }
     g
@@ -346,6 +377,32 @@ mod tests {
     #[should_panic(expected = "odd k requires even n")]
     fn harary_rejects_odd_k_odd_n() {
         harary(3, 7, 1);
+    }
+
+    #[test]
+    fn hypercube_connectivity_is_the_dimension() {
+        for dim in 1..=5 {
+            let g = hypercube(dim, 1);
+            assert_eq!(g.n(), 1 << dim);
+            assert_eq!(g.m(), dim << (dim - 1), "Q_{dim} has dim * 2^(dim-1) edges");
+            assert_eq!(
+                connectivity::edge_connectivity(&g),
+                dim,
+                "Q_{dim} must be exactly {dim}-edge-connected"
+            );
+        }
+    }
+
+    #[test]
+    fn hypercube_diameter_is_the_dimension() {
+        let g = hypercube(4, 1);
+        assert_eq!(crate::bfs::diameter(&g), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension >= 1")]
+    fn hypercube_rejects_dimension_zero() {
+        hypercube(0, 1);
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //!    equals vertex order — into the next round's inboxes and into the
 //!    [`RunReport`].
 //!
+//! Inbox vectors are *recycled* between rounds: each worker clears its
+//! chunk's inboxes after stepping and sends the (capacity-retaining) vectors
+//! back with its round result, and the coordinator restores them into the
+//! double buffer before refilling. This removes the per-round allocation
+//! churn the E10a measurement attributed most of the engine's ~1.7x
+//! message-heavy overhead to; it moves only capacity, never contents, so
+//! determinism is unaffected.
+//!
 //! # Why the result is bit-identical to the sequential executor
 //!
 //! * Chunks are contiguous and merged in chunk order, so the next round's
@@ -64,6 +72,13 @@ struct ChunkRound {
     stats: RunReport,
     /// Number of not-yet-terminated nodes left in this chunk.
     active: usize,
+    /// The drained (cleared, capacity-retaining) inbox vectors of this
+    /// chunk's vertex range, handed back so the coordinator can refill them
+    /// next round instead of allocating fresh ones. Recycling only moves
+    /// capacity around — contents and ordering are unaffected, so the
+    /// bit-identical-to-sequential guarantee is untouched (EXPERIMENTS.md
+    /// E10a measured ~1.7x per-round overhead before this reuse).
+    recycled: Vec<Vec<Incoming>>,
 }
 
 /// Runs one program per vertex of `net` until all have terminated or
@@ -221,10 +236,20 @@ fn exchange(
     let mut live = 0;
     // Every worker must be drained even after an error so the barrier stays
     // aligned; chunk order guarantees the kept error is the sequential one.
-    for rx in from_workers {
+    for (rx, range) in from_workers.iter().zip(ranges) {
         match rx.recv() {
             Ok(Ok(chunk)) => {
                 if first_error.is_none() {
+                    // Put the chunk's drained inbox vectors back into their
+                    // `pending` slots so next round refills them in place
+                    // (buffer reuse). Earlier chunks may already have pushed
+                    // messages for these vertices this round; `append` moves
+                    // them into the recycled buffer without reordering.
+                    for (slot, mut buf) in pending[range.clone()].iter_mut().zip(chunk.recycled) {
+                        debug_assert!(buf.is_empty(), "recycled inboxes arrive cleared");
+                        buf.append(slot);
+                        *slot = buf;
+                    }
                     for (to, incoming) in chunk.outgoing {
                         pending[to].push(incoming);
                     }
@@ -263,6 +288,7 @@ fn worker<P: NodeProgram>(
             outgoing: Vec::new(),
             stats: RunReport::default(),
             active: 0,
+            recycled: Vec::new(),
         };
         let mut error: Option<NetworkError> = None;
         'vertices: for (i, program) in programs.iter_mut().enumerate() {
@@ -311,6 +337,12 @@ fn worker<P: NodeProgram>(
             }
         }
         out.active = done.iter().filter(|&&d| !d).count();
+        // Hand the drained inbox vectors back for reuse (cleared in place so
+        // their allocations survive the round trip).
+        for inbox in &mut inboxes {
+            inbox.clear();
+        }
+        out.recycled = inboxes;
         let reply = match error {
             None => Ok(out),
             Some(e) => Err(e),

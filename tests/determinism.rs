@@ -15,6 +15,7 @@ use congest::programs::collective::{local_trees, PipelinedBroadcast, SumConverge
 use congest::programs::flood::FloodMinElection;
 use congest::{Network, NodeProgram};
 use graphs::{bfs, generators, mst, RootedTree};
+use kecss::cuts::{ContractEnumerator, CutEnumerator, ExactEnumerator, LabelEnumerator};
 use kecss_runtime::{engine, Executor};
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -143,8 +144,64 @@ fn circulation_labelling_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// The small seeded graph shapes the enumerator-agreement proptests draw
+/// from: random, ring-of-cliques, torus and Harary instances.
+fn agreement_graph(shape: u8, seed: u64) -> (&'static str, graphs::Graph) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    match shape % 4 {
+        0 => (
+            "random",
+            generators::random_k_edge_connected(8 + (seed % 5) as usize, 2, 4, &mut rng),
+        ),
+        1 => ("ring", generators::ring_of_cliques(3, 4, 2, 1)),
+        2 => ("torus", generators::torus(3, 3, 1)),
+        _ => ("harary", generators::harary(3, 8, 1)),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The general label enumerator and the contraction enumerator agree
+    /// with the legacy size-1..=3 specializations on seeded
+    /// random/ring/torus/harary graphs: after exact verification all three
+    /// report exactly the induced cuts of each size.
+    #[test]
+    fn general_enumerators_agree_with_exact_specializations(
+        shape in 0u8..4,
+        seed in 0u64..500,
+        size in 1usize..=3,
+    ) {
+        let (label, g) = agreement_graph(shape, seed);
+        let h = g.full_edge_set();
+        let exec = Executor::Sequential;
+        let exact = ExactEnumerator.cuts(&g, &h, size, 0, &exec).unwrap();
+        let by_label = LabelEnumerator::default().cuts(&g, &h, size, 0, &exec).unwrap();
+        let by_contract = ContractEnumerator::default().cuts(&g, &h, size, 0, &exec).unwrap();
+        prop_assert_eq!(&by_label, &exact, "label vs exact on {} size {}", label, size);
+        prop_assert_eq!(&by_contract, &exact, "contract vs exact on {} size {}", label, size);
+    }
+
+    /// `Threaded(4)` enumeration is bit-identical to `Sequential` for every
+    /// strategy, including the new general ones at size 4.
+    #[test]
+    fn threaded_enumeration_is_bit_identical(shape in 0u8..4, seed in 0u64..500) {
+        let (label, g) = agreement_graph(shape, seed);
+        let h = g.full_edge_set();
+        let threaded = Executor::from_threads(4);
+        for size in 1..=4usize {
+            let enumerators: [&dyn CutEnumerator; 2] =
+                [&LabelEnumerator::default(), &ContractEnumerator::default()];
+            for e in enumerators {
+                let sequential = e.cuts(&g, &h, size, 0, &Executor::Sequential).unwrap();
+                let parallel = e.cuts(&g, &h, size, 0, &threaded).unwrap();
+                prop_assert_eq!(
+                    &parallel, &sequential,
+                    "{} on {} size {}", e.name(), label, size
+                );
+            }
+        }
+    }
 
     /// Parallel and sequential `Aug_k` cut verification agree: the
     /// enumerated cut families are identical for every thread count.
@@ -153,10 +210,10 @@ proptest! {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let g = generators::random_k_edge_connected(n, 2, 4, &mut rng);
         let h = g.full_edge_set();
-        let sequential = kecss::cuts::cuts_of_size(&g, &h, 2);
+        let sequential = kecss::cuts::cuts_of_size(&g, &h, 2).unwrap();
         for threads in THREAD_COUNTS {
             let exec = Executor::from_threads(threads);
-            let parallel = kecss::cuts::cuts_of_size_with(&g, &h, 2, &exec);
+            let parallel = kecss::cuts::cuts_of_size_with(&g, &h, 2, &exec).unwrap();
             prop_assert_eq!(&parallel, &sequential, "t = {}", threads);
         }
     }

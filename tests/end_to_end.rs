@@ -59,6 +59,33 @@ fn k_ecss_pipeline_produces_certified_subgraphs_for_k_up_to_four() {
 }
 
 #[test]
+fn k_ecss_pipeline_reaches_k_six_on_the_hypercube() {
+    // Q_6 has edge connectivity exactly 6 — ground truth for the lifted k
+    // cap (the pre-refactor pipeline stopped at k = 4). The auto enumerator
+    // uses the exact specializations for sizes 1..=3, the general label
+    // enumerator for size 4 and falls back to randomized contraction when
+    // the label pool explodes; the result is exactly certified either way.
+    let graph = generators::hypercube(6, 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let sol = kecss_alg::solve(&graph, 6, &mut rng).expect("Q_6 is 6-edge-connected");
+    assert!(
+        connectivity::is_k_edge_connected_in(&graph, &sol.subgraph, 6),
+        "k = 6 solution must certify"
+    );
+    assert_eq!(sol.levels.len(), 6);
+    // Q_6 is 6-regular, so the only 6-ECSS is the full edge set.
+    assert_eq!(sol.subgraph.len(), graph.m());
+
+    // The greedy baseline must reach the same connectivity.
+    let greedy_sol = greedy::k_ecss(&graph, 6);
+    assert!(connectivity::is_k_edge_connected_in(
+        &graph,
+        &greedy_sol.edges,
+        6
+    ));
+}
+
+#[test]
 fn three_ecss_pipeline_is_competitive_with_the_general_algorithm() {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let graph = generators::random_k_edge_connected(40, 3, 80, &mut rng);
