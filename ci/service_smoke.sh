@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Service smoke test for CI: start `kecss serve` in the background, drive two
+# jobs through `kecss submit` concurrently (a ring at k=2 and a hypercube at
+# k=6 with the auto enumerator), check both results verified, exercise
+# SHUTDOWN, and fail if the server hangs or leaks. The caller wraps this
+# script in `timeout`; we still keep our own bounded waits so failures are
+# attributed, not just killed.
+set -euo pipefail
+
+KECSS="${KECSS:-target/release/kecss}"
+WORKDIR="$(mktemp -d)"
+trap 'cleanup' EXIT
+
+SERVER_PID=""
+cleanup() {
+  if [[ -n "${SERVER_PID}" ]] && kill -0 "${SERVER_PID}" 2>/dev/null; then
+    kill "${SERVER_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORKDIR}"
+}
+
+echo "== starting kecss serve on an ephemeral port"
+"${KECSS}" serve --addr 127.0.0.1:0 --threads 2 --queue-depth 8 \
+  >"${WORKDIR}/serve.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the listening line and extract the bound address.
+ADDR=""
+for _ in $(seq 1 100); do
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "server exited prematurely:"; cat "${WORKDIR}/serve.log"; exit 1
+  fi
+  ADDR="$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "${WORKDIR}/serve.log" | head -n1)"
+  [[ -n "${ADDR}" ]] && break
+  sleep 0.1
+done
+if [[ -z "${ADDR}" ]]; then
+  echo "server never reported its address:"; cat "${WORKDIR}/serve.log"; exit 1
+fi
+echo "== server is listening on ${ADDR}"
+
+echo "== submitting ring (k=2) and hypercube (k=6, auto enumerator) concurrently"
+"${KECSS}" submit --addr "${ADDR}" --instance ring:32 --k 2 --algorithm kecss \
+  --enumerator auto --seed 1 >"${WORKDIR}/ring.out" 2>&1 &
+RING_PID=$!
+"${KECSS}" submit --addr "${ADDR}" --instance hypercube:64 --k 6 --algorithm kecss \
+  --enumerator auto --seed 3 >"${WORKDIR}/cube.out" 2>&1 &
+CUBE_PID=$!
+
+wait "${RING_PID}" || { echo "ring submit failed:"; cat "${WORKDIR}/ring.out"; exit 1; }
+wait "${CUBE_PID}" || { echo "cube submit failed:"; cat "${WORKDIR}/cube.out"; exit 1; }
+
+grep -q "verified k=2 yes" "${WORKDIR}/ring.out" \
+  || { echo "ring result not verified:"; cat "${WORKDIR}/ring.out"; exit 1; }
+grep -q "verified k=6 yes" "${WORKDIR}/cube.out" \
+  || { echo "cube result not verified:"; cat "${WORKDIR}/cube.out"; exit 1; }
+echo "== both results verified"
+
+echo "== shutting the server down"
+"${KECSS}" submit --addr "${ADDR}" --shutdown true
+
+# The server must exit on its own (drain + return), within a bounded wait.
+for _ in $(seq 1 100); do
+  kill -0 "${SERVER_PID}" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "${SERVER_PID}" 2>/dev/null; then
+  echo "server is still running after SHUTDOWN (hang/leak):"; cat "${WORKDIR}/serve.log"
+  exit 1
+fi
+SERVER_PID=""
+
+grep -q "served 2 jobs: 2 completed, 0 failed" "${WORKDIR}/serve.log" \
+  || { echo "unexpected serve summary:"; cat "${WORKDIR}/serve.log"; exit 1; }
+echo "== service smoke OK: $(grep 'served' "${WORKDIR}/serve.log")"

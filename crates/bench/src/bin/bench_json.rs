@@ -1,0 +1,197 @@
+//! `kecss-bench-json` — the machine-readable bench trajectory emitter.
+//!
+//! Runs a quick-mode subset of the experiment workloads (E10 parallel
+//! scaling's solver kernel, E11's general cut enumeration, E12's service
+//! throughput) and writes median nanoseconds per workload as JSON, so CI can
+//! upload a `BENCH_PR<N>.json` artifact and successive PRs accumulate a
+//! comparable perf trajectory.
+//!
+//! Usage: `kecss-bench-json [--out FILE] [--samples N]`
+//!
+//! The JSON is hand-rendered (no serde in the offline vendor set):
+//!
+//! ```json
+//! {
+//!   "schema": "kecss-bench-v1",
+//!   "workloads": [
+//!     { "name": "...", "median_ns": 123, "samples": 7 },
+//!     ...
+//!   ]
+//! }
+//! ```
+
+use kecss::cuts::{ContractEnumerator, CutEnumerator, EnumeratorPolicy};
+use kecss_runtime::Executor;
+use kecss_server::instance::InstanceSpec;
+use kecss_server::job::{Algorithm, JobSpec};
+use kecss_server::scheduler::{Outcome, Scheduler};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// One measured workload.
+struct Measurement {
+    name: &'static str,
+    median_ns: u128,
+    samples: usize,
+}
+
+/// Times `routine` `samples` times and returns the median duration in ns.
+fn median_ns<F: FnMut()>(samples: usize, mut routine: F) -> u128 {
+    // One untimed warm-up iteration.
+    routine();
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            routine();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// E10's solver kernel: a full k-ECSS solve (k = 4) on a seeded random
+/// instance, sequential executor.
+fn e10_kecss_solve(samples: usize) -> Measurement {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let g = graphs::generators::random_k_edge_connected(48, 4, 96, &mut rng);
+    Measurement {
+        name: "e10_parallel_scaling/kecss_k4_random48",
+        median_ns: median_ns(samples, || {
+            let mut solve_rng = ChaCha8Rng::seed_from_u64(7);
+            let sol = kecss::kecss::solve_with_exec(&g, 4, &mut solve_rng, &Executor::Sequential)
+                .expect("instance is 4-edge-connected");
+            assert!(!sol.subgraph.is_empty());
+        }),
+        samples,
+    }
+}
+
+/// E11's representative enumeration: contraction enumerator on Q_5, cut size
+/// 5 (the first size beyond the exact specializations).
+fn e11_contract_q5(samples: usize) -> Measurement {
+    let g = graphs::generators::hypercube(5, 1);
+    let h = g.full_edge_set();
+    Measurement {
+        name: "e11_general_cuts/contract_q5_size5",
+        median_ns: median_ns(samples, || {
+            let cuts = ContractEnumerator::default()
+                .cuts(&g, &h, 5, 0, &Executor::Sequential)
+                .expect("enumeration succeeds");
+            assert!(!cuts.is_empty());
+        }),
+        samples,
+    }
+}
+
+/// E12's service path: one real solver job through the in-process scheduler
+/// (submit → pool dispatch → job runner → payload), queue depth 1.
+fn e12_submit_to_result(samples: usize) -> Measurement {
+    let scheduler = Scheduler::new(2, 1);
+    let spec = JobSpec {
+        instance: InstanceSpec::parse("ring:20").unwrap(),
+        k: 2,
+        algorithm: Algorithm::TwoEcss,
+        enumerator: EnumeratorPolicy::Auto,
+        seed: 1,
+    };
+    let median = median_ns(samples, || {
+        let id = scheduler
+            .submit(spec.clone())
+            .expect("depth-1 queue is free");
+        match scheduler.wait(id) {
+            Some(Outcome::Done(payload)) => assert!(!payload.is_empty()),
+            other => panic!("job {id} did not complete: {other:?}"),
+        }
+    });
+    scheduler.shutdown();
+    Measurement {
+        name: "e12_service_throughput/submit_ring20_depth1",
+        median_ns: median,
+        samples,
+    }
+}
+
+/// E12's scheduling floor: a batch of 8 trivial jobs through the scheduler at
+/// queue depth 8 (pure dispatch overhead, no solving).
+fn e12_scheduler_overhead(samples: usize) -> Measurement {
+    let scheduler = Scheduler::new(2, 8);
+    let median = median_ns(samples, || {
+        let ids: Vec<u64> = (0..8)
+            .map(|_| {
+                scheduler
+                    .submit_with(Box::new(|| Ok(Vec::new())))
+                    .expect("batch fits the depth")
+            })
+            .collect();
+        for id in ids {
+            assert!(matches!(scheduler.wait(id), Some(Outcome::Done(_))));
+        }
+    });
+    scheduler.shutdown();
+    Measurement {
+        name: "e12_service_throughput/trivial_batch8_depth8",
+        median_ns: median,
+        samples,
+    }
+}
+
+fn render_json(measurements: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"kecss-bench-v1\",\n  \"workloads\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"median_ns\": {}, \"samples\": {} }}{}\n",
+            m.name,
+            m.median_ns,
+            m.samples,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH.json".to_string();
+    let mut samples = 7usize;
+    let mut i = 0;
+    while i < args.len() {
+        match (args[i].as_str(), args.get(i + 1)) {
+            ("--out", Some(path)) => out_path = path.clone(),
+            ("--samples", Some(n)) => {
+                samples = n.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --samples expects a number");
+                    std::process::exit(2);
+                })
+            }
+            (flag, _) => {
+                eprintln!("error: unknown or valueless flag '{flag}'");
+                eprintln!("usage: kecss-bench-json [--out FILE] [--samples N]");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    let measurements = [
+        e10_kecss_solve(samples),
+        e11_contract_q5(samples),
+        e12_submit_to_result(samples),
+        e12_scheduler_overhead(samples),
+    ];
+    for m in &measurements {
+        println!(
+            "{:<50} median {:>14} ns   ({} samples)",
+            m.name, m.median_ns, m.samples
+        );
+    }
+    let json = render_json(&measurements);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+}

@@ -1,37 +1,34 @@
 //! Hand-rolled argument parsing (no external dependency needed for a handful
 //! of flags).
+//!
+//! The instance-family and algorithm vocabularies are shared with the service
+//! layer ([`kecss_server::instance`] / [`kecss_server::job`]), so a name
+//! accepted here means the same thing on the wire.
 
 use crate::CliError;
 use kecss::cuts::EnumeratorPolicy;
+use kecss_server::instance::InstanceSpec;
 
-/// The instance families the generator supports.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Family {
-    /// Random k-edge-connected graph (Harary base + random extras).
-    Random,
-    /// Ring of cliques (high diameter).
-    RingOfCliques,
-    /// Torus grid.
-    Torus,
-    /// Harary graph (minimum k-edge-connected graph).
-    Harary,
-    /// Hypercube `Q_d` (edge connectivity exactly `log2 n`).
-    Hypercube,
+pub use kecss_server::instance::Family;
+pub use kecss_server::job::Algorithm;
+
+/// Parses a `--family` flag value.
+fn parse_family(s: &str) -> Result<Family, CliError> {
+    Family::parse(s).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown family '{s}' (expected random, ring, torus, harary or hypercube)"
+        ))
+    })
 }
 
-impl Family {
-    fn parse(s: &str) -> Result<Self, CliError> {
-        match s {
-            "random" => Ok(Family::Random),
-            "ring" | "ring-of-cliques" => Ok(Family::RingOfCliques),
-            "torus" => Ok(Family::Torus),
-            "harary" => Ok(Family::Harary),
-            "hypercube" | "cube" => Ok(Family::Hypercube),
-            other => Err(CliError::Usage(format!(
-                "unknown family '{other}' (expected random, ring, torus, harary or hypercube)"
-            ))),
-        }
-    }
+/// Parses an `--algorithm` flag value.
+fn parse_algorithm(s: &str) -> Result<Algorithm, CliError> {
+    Algorithm::parse(s).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown algorithm '{s}' (expected 2ecss, kecss, 3ecss, 3ecss-weighted, greedy, \
+             thurimella or mst)"
+        ))
+    })
 }
 
 /// Parses the `--enumerator` flag into a [`EnumeratorPolicy`].
@@ -41,42 +38,6 @@ fn parse_enumerator(s: &str) -> Result<EnumeratorPolicy, CliError> {
             "unknown enumerator '{s}' (expected exact, label, contract or auto)"
         ))
     })
-}
-
-/// The algorithms `solve` can run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Algorithm {
-    /// Weighted 2-ECSS (Theorem 1.1).
-    TwoEcss,
-    /// Weighted k-ECSS (Theorem 1.2); uses `--k`.
-    KEcss,
-    /// Unweighted 3-ECSS (Theorem 1.3).
-    ThreeEcss,
-    /// Weighted 3-ECSS (Section 5.4 remark).
-    ThreeEcssWeighted,
-    /// Sequential greedy k-ECSS baseline.
-    Greedy,
-    /// Thurimella sparse-certificate baseline (unweighted 2-approximation).
-    Thurimella,
-    /// Minimum spanning tree only (no fault tolerance; for comparison).
-    MstOnly,
-}
-
-impl Algorithm {
-    fn parse(s: &str) -> Result<Self, CliError> {
-        match s {
-            "2ecss" => Ok(Algorithm::TwoEcss),
-            "kecss" => Ok(Algorithm::KEcss),
-            "3ecss" => Ok(Algorithm::ThreeEcss),
-            "3ecss-weighted" => Ok(Algorithm::ThreeEcssWeighted),
-            "greedy" => Ok(Algorithm::Greedy),
-            "thurimella" => Ok(Algorithm::Thurimella),
-            "mst" => Ok(Algorithm::MstOnly),
-            other => Err(CliError::Usage(format!(
-                "unknown algorithm '{other}' (expected 2ecss, kecss, 3ecss, 3ecss-weighted, greedy, thurimella or mst)"
-            ))),
-        }
-    }
 }
 
 /// A parsed command line.
@@ -150,6 +111,47 @@ pub enum Command {
         /// Connectivity to verify.
         k: usize,
     },
+    /// Run the long-running solver service (blocks until `SHUTDOWN`).
+    Serve {
+        /// Address to bind (`host:port`; port 0 picks an ephemeral port).
+        addr: String,
+        /// Scheduler pool workers.
+        threads: usize,
+        /// Maximum jobs in flight (queued + running) before `BUSY`.
+        queue_depth: usize,
+    },
+    /// Submit a job to a running service and (by default) wait for its
+    /// verified result.
+    Submit {
+        /// The server address (`host:port`).
+        addr: String,
+        /// What to submit: a job, or a shutdown request.
+        action: SubmitAction,
+    },
+}
+
+/// The two things `kecss submit` can ask of a server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitAction {
+    /// Submit a solver job.
+    Job {
+        /// The instance spec (`family:n[:max-weight]` or `inline:...`).
+        instance: InstanceSpec,
+        /// Connectivity target.
+        k: usize,
+        /// Algorithm to run.
+        algorithm: Algorithm,
+        /// Cut-enumeration strategy.
+        enumerator: EnumeratorPolicy,
+        /// Job seed.
+        seed: u64,
+        /// Print the job id and return instead of waiting for the result.
+        no_wait: bool,
+        /// Give up waiting after this many seconds.
+        timeout_secs: u64,
+    },
+    /// Ask the server to drain and exit.
+    Shutdown,
 }
 
 /// Parses a full argument vector (without the program name).
@@ -169,6 +171,8 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "solve" => parse_solve(&rest),
         "verify" => parse_verify(&rest),
         "sweep" => parse_sweep(&rest),
+        "serve" => parse_serve(&rest),
+        "submit" => parse_submit(&rest),
         other => Err(CliError::Usage(format!(
             "unknown command '{other}'; try 'kecss help'"
         ))),
@@ -184,6 +188,9 @@ USAGE:
     kecss solve    --input <FILE> --algorithm <2ecss|kecss|3ecss|3ecss-weighted|greedy|thurimella|mst> [--k <K>] [--seed <S>] [--threads <T>] [--enumerator <E>] [--output <FILE>]
     kecss verify   --input <FILE> --solution <FILE> --k <K>
     kecss sweep    --family <random|ring|torus|harary|hypercube> --n <N1,N2,...> [--k <K>] [--max-weight <W>] [--algorithms <A1,A2,...>] [--seeds <S>] [--base-seed <B>] [--threads <T>] [--enumerator <E>]
+    kecss serve    [--addr <HOST:PORT>] [--threads <T>] [--queue-depth <Q>]
+    kecss submit   --addr <HOST:PORT> --instance <SPEC> [--k <K>] [--algorithm <A>] [--enumerator <E>] [--seed <S>] [--timeout-secs <T>] [--no-wait true]
+    kecss submit   --addr <HOST:PORT> --shutdown true
     kecss help
 
 `solve --threads T` parallelizes the cut-verification phase of the
@@ -201,6 +208,15 @@ the candidate pool explodes. Any k is supported with label/contract/auto.
 
 The 'hypercube' family rounds --n to the next power of two and has edge
 connectivity exactly log2 n, giving ground truth for high-k runs.
+
+`serve` runs the long-running solver service: a TCP front-end (DESIGN.md §9)
+accepting SUBMIT/STATUS/RESULT/CANCEL/SHUTDOWN requests, scheduling jobs onto
+a worker pool with at most --queue-depth jobs in flight (BUSY beyond that),
+and streaming back byte-deterministic, exactly-verified result payloads.
+`submit` is the matching client: it submits one job spec — '<family>:<n>',
+'<family>:<n>:<max-weight>' or 'inline:<n>:<u>-<v>-<w>,...' — waits for the
+result (unless --no-wait true) and fails unless the server verified the
+solution. '--shutdown true' asks the server to drain and exit instead.
 
 The instance file format is plain text: the first non-comment line is the
 number of vertices, every following line is 'u v weight'. Lines starting with
@@ -244,7 +260,7 @@ fn parse_number<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, CliEr
 fn parse_generate(rest: &[&String]) -> Result<Command, CliError> {
     let map = flag_map(rest)?;
     Ok(Command::Generate {
-        family: Family::parse(required(&map, "family")?)?,
+        family: parse_family(required(&map, "family")?)?,
         n: parse_number("n", required(&map, "n")?)?,
         k: map
             .get("k")
@@ -269,7 +285,7 @@ fn parse_solve(rest: &[&String]) -> Result<Command, CliError> {
     let map = flag_map(rest)?;
     Ok(Command::Solve {
         input: required(&map, "input")?.to_string(),
-        algorithm: Algorithm::parse(required(&map, "algorithm")?)?,
+        algorithm: parse_algorithm(required(&map, "algorithm")?)?,
         k: map
             .get("k")
             .map(|v| parse_number("k", v))
@@ -321,13 +337,13 @@ fn parse_sweep(rest: &[&String]) -> Result<Command, CliError> {
             }
             names
                 .into_iter()
-                .map(Algorithm::parse)
+                .map(parse_algorithm)
                 .collect::<Result<_, _>>()?
         }
         None => vec![Algorithm::KEcss],
     };
     Ok(Command::Sweep {
-        family: Family::parse(required(&map, "family")?)?,
+        family: parse_family(required(&map, "family")?)?,
         ns: parse_number_list("n", required(&map, "n")?)?,
         k: map
             .get("k")
@@ -360,6 +376,88 @@ fn parse_sweep(rest: &[&String]) -> Result<Command, CliError> {
             .map(|v| parse_enumerator(v))
             .transpose()?
             .unwrap_or_default(),
+    })
+}
+
+/// Parses an optional boolean flag (`--flag true|false`); absent means
+/// `false`. Every flag takes a value in this CLI, so a bare `--shutdown`
+/// already errors in `flag_map`; this additionally rejects values other than
+/// `true`/`false` instead of treating them all as `true` (a templated
+/// `--shutdown "$FLAG"` with `FLAG=false` must not shut a server down).
+fn parse_bool_flag(
+    map: &std::collections::HashMap<&str, &str>,
+    key: &str,
+) -> Result<bool, CliError> {
+    match map.get(key) {
+        None => Ok(false),
+        Some(&"true") => Ok(true),
+        Some(&"false") => Ok(false),
+        Some(other) => Err(CliError::Usage(format!(
+            "flag --{key} expects 'true' or 'false', got '{other}'"
+        ))),
+    }
+}
+
+fn parse_serve(rest: &[&String]) -> Result<Command, CliError> {
+    let map = flag_map(rest)?;
+    Ok(Command::Serve {
+        addr: map
+            .get("addr")
+            .map_or_else(|| "127.0.0.1:7461".to_string(), |s| s.to_string()),
+        threads: map
+            .get("threads")
+            .map(|v| parse_number("threads", v))
+            .transpose()?
+            .unwrap_or(1),
+        queue_depth: map
+            .get("queue-depth")
+            .map(|v| parse_number("queue-depth", v))
+            .transpose()?
+            .unwrap_or(16),
+    })
+}
+
+fn parse_submit(rest: &[&String]) -> Result<Command, CliError> {
+    let map = flag_map(rest)?;
+    let addr = required(&map, "addr")?.to_string();
+    if parse_bool_flag(&map, "shutdown")? {
+        return Ok(Command::Submit {
+            addr,
+            action: SubmitAction::Shutdown,
+        });
+    }
+    let instance = InstanceSpec::parse(required(&map, "instance")?).map_err(CliError::Usage)?;
+    Ok(Command::Submit {
+        addr,
+        action: SubmitAction::Job {
+            instance,
+            k: map
+                .get("k")
+                .map(|v| parse_number("k", v))
+                .transpose()?
+                .unwrap_or(2),
+            algorithm: map
+                .get("algorithm")
+                .map(|v| parse_algorithm(v))
+                .transpose()?
+                .unwrap_or(Algorithm::KEcss),
+            enumerator: map
+                .get("enumerator")
+                .map(|v| parse_enumerator(v))
+                .transpose()?
+                .unwrap_or_default(),
+            seed: map
+                .get("seed")
+                .map(|v| parse_number("seed", v))
+                .transpose()?
+                .unwrap_or(1),
+            no_wait: parse_bool_flag(&map, "no-wait")?,
+            timeout_secs: map
+                .get("timeout-secs")
+                .map(|v| parse_number("timeout-secs", v))
+                .transpose()?
+                .unwrap_or(600),
+        },
     })
 }
 
@@ -657,6 +755,126 @@ mod tests {
                 k: 3
             }
         );
+    }
+
+    #[test]
+    fn serve_parses_with_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv(&["serve"])).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7461".into(),
+                threads: 1,
+                queue_depth: 16,
+            }
+        );
+        assert_eq!(
+            parse(&argv(&[
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--threads",
+                "4",
+                "--queue-depth",
+                "32",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                threads: 4,
+                queue_depth: 32,
+            }
+        );
+        assert!(parse(&argv(&["serve", "--threads", "x"])).is_err());
+    }
+
+    #[test]
+    fn submit_parses_jobs_and_shutdown() {
+        let cmd = parse(&argv(&[
+            "submit",
+            "--addr",
+            "127.0.0.1:7461",
+            "--instance",
+            "hypercube:64",
+            "--k",
+            "6",
+            "--enumerator",
+            "auto",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Submit {
+                addr,
+                action:
+                    SubmitAction::Job {
+                        instance,
+                        k,
+                        algorithm,
+                        enumerator,
+                        seed,
+                        no_wait,
+                        timeout_secs,
+                    },
+            } => {
+                assert_eq!(addr, "127.0.0.1:7461");
+                assert_eq!(instance.canonical(), "hypercube:64");
+                assert_eq!((k, seed), (6, 3));
+                assert_eq!(algorithm, Algorithm::KEcss);
+                assert_eq!(enumerator, EnumeratorPolicy::Auto);
+                assert!(!no_wait);
+                assert_eq!(timeout_secs, 600);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse(&argv(&[
+                "submit",
+                "--addr",
+                "127.0.0.1:7461",
+                "--shutdown",
+                "true"
+            ]))
+            .unwrap(),
+            Command::Submit {
+                addr: "127.0.0.1:7461".into(),
+                action: SubmitAction::Shutdown,
+            }
+        );
+        // Boolean flags take a literal true/false: '--shutdown false' must
+        // NOT shut the server down, and junk values are usage errors.
+        match parse(&argv(&[
+            "submit",
+            "--addr",
+            "x:1",
+            "--instance",
+            "ring:20",
+            "--shutdown",
+            "false",
+        ]))
+        .unwrap()
+        {
+            Command::Submit {
+                action: SubmitAction::Job { .. },
+                ..
+            } => {}
+            other => panic!("--shutdown false must submit a job, got {other:?}"),
+        }
+        assert!(parse(&argv(&["submit", "--addr", "x:1", "--shutdown", "maybe"])).is_err());
+        assert!(parse(&argv(&[
+            "submit",
+            "--addr",
+            "x:1",
+            "--instance",
+            "ring:20",
+            "--no-wait",
+            "yes"
+        ]))
+        .is_err());
+        // --addr and --instance are required (unless shutting down).
+        assert!(parse(&argv(&["submit", "--instance", "ring:20"])).is_err());
+        assert!(parse(&argv(&["submit", "--addr", "x:1"])).is_err());
+        assert!(parse(&argv(&["submit", "--addr", "x:1", "--instance", "nope:20"])).is_err());
     }
 
     #[test]

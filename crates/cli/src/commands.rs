@@ -1,18 +1,19 @@
 //! Execution of the parsed CLI commands.
 
-use crate::args::{Algorithm, Command, Family};
+use crate::args::{Algorithm, Command, Family, SubmitAction};
 use crate::graph_io;
 use crate::CliError;
-use graphs::{connectivity, generators, mst, EdgeSet, Graph};
-use kecss::baselines::{greedy, thurimella};
+use graphs::{connectivity, EdgeSet, Graph};
 use kecss::cuts::EnumeratorPolicy;
-use kecss::{kecss as kecss_alg, lower_bounds, three_ecss, two_ecss};
+use kecss::lower_bounds;
 use kecss_runtime::{sweep, Executor};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use kecss_server::client::Client;
+use kecss_server::instance;
+use kecss_server::job::{self, JobSpec};
+use kecss_server::server::{summary_line, Server, ServerConfig};
 use std::io::Write;
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Executes a parsed command, writing human-readable output to `out`.
 ///
@@ -57,8 +58,9 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
         } => {
             let graph = graph_io::read_graph(Path::new(&input))?;
             let exec = Executor::from_threads(threads);
-            let (edges, rounds, label) = solve(&graph, algorithm, k, seed, &exec, enumerator)?;
-            report(out, &graph, &edges, rounds, label, k_for(algorithm, k))?;
+            let (edges, rounds, label) =
+                job::dispatch(&graph, algorithm, k, seed, &exec, enumerator)?;
+            report(out, &graph, &edges, rounds, label, algorithm.certified_k(k))?;
             if let Some(path) = output {
                 graph_io::write_solution(Path::new(&path), &graph, &edges)?;
                 writeln!(out, "solution written to {path}")?;
@@ -87,6 +89,28 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             threads,
             enumerator,
         ),
+        Command::Serve {
+            addr,
+            threads,
+            queue_depth,
+        } => {
+            let server = Server::bind(&ServerConfig {
+                addr,
+                threads,
+                queue_depth,
+            })?;
+            writeln!(
+                out,
+                "kecss serve listening on {} (threads={}, queue-depth={})",
+                server.local_addr(),
+                threads.max(1),
+                queue_depth.max(1)
+            )?;
+            let summary = server.run();
+            writeln!(out, "{}", summary_line(&summary))?;
+            Ok(())
+        }
+        Command::Submit { addr, action } => run_submit(out, &addr, action),
         Command::Verify { input, solution, k } => {
             let graph = graph_io::read_graph(Path::new(&input))?;
             let edges = graph_io::read_solution(Path::new(&solution), &graph)?;
@@ -113,10 +137,67 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
     }
 }
 
-/// Salt applied to a sweep cell's instance seed before it seeds the solver,
-/// so the solver's RNG stream is independent of the one that generated the
-/// instance.
-const SWEEP_SOLVER_SALT: u64 = 0x0005_EED5_01CE;
+/// Submits one job (or a shutdown request) to a running service and reports
+/// the outcome. A job submission fails the command unless the server returned
+/// a payload whose exact verification accepted the solution.
+fn run_submit<W: Write>(out: &mut W, addr: &str, action: SubmitAction) -> Result<(), CliError> {
+    let mut client = Client::connect(addr).map_err(|e| CliError::Service(e.to_string()))?;
+    let service = |e: kecss_server::client::ClientError| CliError::Service(e.to_string());
+    match action {
+        SubmitAction::Shutdown => {
+            client.shutdown().map_err(service)?;
+            writeln!(out, "server at {addr} acknowledged shutdown")?;
+            Ok(())
+        }
+        SubmitAction::Job {
+            instance,
+            k,
+            algorithm,
+            enumerator,
+            seed,
+            no_wait,
+            timeout_secs,
+        } => {
+            let spec = JobSpec {
+                instance,
+                k,
+                algorithm,
+                enumerator,
+                seed,
+            };
+            let id = match client.submit(&spec).map_err(service)? {
+                Ok(id) => id,
+                Err(depth) => {
+                    return Err(CliError::Solver(kecss::Error::JobQueueFull { depth }));
+                }
+            };
+            writeln!(out, "job {id} queued at {addr}: {}", spec.canonical())?;
+            if no_wait {
+                return Ok(());
+            }
+            let payload = client
+                .wait_result(
+                    id,
+                    Duration::from_millis(50),
+                    Duration::from_secs(timeout_secs),
+                )
+                .map_err(service)?;
+            let text = String::from_utf8(payload)
+                .map_err(|_| CliError::Service("result payload is not UTF-8".into()))?;
+            out.write_all(text.as_bytes())?;
+            let target = algorithm.certified_k(k).max(1);
+            if text.contains(&format!("verified k={target} yes")) {
+                writeln!(out, "job {id}: verified {target}-edge-connected ✓")?;
+                Ok(())
+            } else {
+                Err(CliError::Service(format!(
+                    "job {id} returned a payload that failed {target}-edge-connectivity \
+                     verification"
+                )))
+            }
+        }
+    }
+}
 
 /// One completed sweep cell.
 struct SweepRow {
@@ -154,7 +235,7 @@ fn run_sweep<W: Write>(
     writeln!(
         out,
         "sweep     : family={} k={k} max-weight={max_weight} enumerator={} threads={} cells={}",
-        family_name(family),
+        family.name(),
         enumerator.name(),
         exec.threads(),
         cells.len()
@@ -165,8 +246,11 @@ fn run_sweep<W: Write>(
         "algorithm", "n", "m", "seed", "edges", "weight", "rounds", "valid", "ms"
     )?;
     let started = Instant::now();
+    // Job-granular scheduling: cells of a grid can differ in cost by orders
+    // of magnitude (n is a grid dimension), so workers claim one cell at a
+    // time instead of a fixed chunk. Rows still come out in grid order.
     let results: Vec<Result<SweepRow, CliError>> =
-        sweep::run(&exec, &cells, |&(algorithm, n, seed)| {
+        sweep::run_jobs(&exec, &cells, |&(algorithm, n, seed)| {
             let cell_start = Instant::now();
             let graph = generate(family, n, k, max_weight, seed)?;
             // Cells parallelize across the grid; within a cell the solver
@@ -174,18 +258,18 @@ fn run_sweep<W: Write>(
             // a salted seed: reusing the instance seed verbatim would replay
             // the exact RNG stream that chose the topology, correlating the
             // randomized algorithms' coin flips with the instance.
-            let (edges, rounds, _) = solve(
+            let (edges, rounds, _) = job::dispatch(
                 &graph,
                 algorithm,
                 k,
-                seed ^ SWEEP_SOLVER_SALT,
+                seed ^ job::SOLVER_SEED_SALT,
                 &Executor::Sequential,
                 enumerator,
             )?;
-            let target = k_for(algorithm, k);
+            let target = algorithm.certified_k(k);
             let valid = connectivity::is_k_edge_connected_in(&graph, &edges, target.max(1));
             Ok(SweepRow {
-                algorithm: algorithm_name(algorithm),
+                algorithm: algorithm.name(),
                 n: graph.n(),
                 m: graph.m(),
                 seed,
@@ -249,37 +333,8 @@ fn run_sweep<W: Write>(
     Ok(())
 }
 
-fn family_name(family: Family) -> &'static str {
-    match family {
-        Family::Random => "random",
-        Family::RingOfCliques => "ring-of-cliques",
-        Family::Torus => "torus",
-        Family::Harary => "harary",
-        Family::Hypercube => "hypercube",
-    }
-}
-
-fn algorithm_name(algorithm: Algorithm) -> &'static str {
-    match algorithm {
-        Algorithm::TwoEcss => "2ecss",
-        Algorithm::KEcss => "kecss",
-        Algorithm::ThreeEcss => "3ecss",
-        Algorithm::ThreeEcssWeighted => "3ecss-weighted",
-        Algorithm::Greedy => "greedy",
-        Algorithm::Thurimella => "thurimella",
-        Algorithm::MstOnly => "mst",
-    }
-}
-
-fn k_for(algorithm: Algorithm, k: usize) -> usize {
-    match algorithm {
-        Algorithm::TwoEcss => 2,
-        Algorithm::ThreeEcss | Algorithm::ThreeEcssWeighted => 3,
-        Algorithm::MstOnly => 1,
-        Algorithm::KEcss | Algorithm::Greedy | Algorithm::Thurimella => k,
-    }
-}
-
+/// Builds a family instance via the shared family policy
+/// ([`instance::build_family`]), mapping rejections to usage errors.
 fn generate(
     family: Family,
     n: usize,
@@ -287,115 +342,7 @@ fn generate(
     max_weight: u64,
     seed: u64,
 ) -> Result<Graph, CliError> {
-    if n < 3 {
-        return Err(CliError::Usage("instances need at least 3 vertices".into()));
-    }
-    if k == 0 {
-        return Err(CliError::Usage("--k must be at least 1".into()));
-    }
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut graph = match family {
-        Family::Random => generators::random_k_edge_connected(n, k, 2 * n, &mut rng),
-        Family::RingOfCliques => {
-            let clique = (k + 2).max(4);
-            generators::ring_of_cliques((n / clique).max(3), clique, k.max(2), 1)
-        }
-        Family::Torus => {
-            let side = ((n as f64).sqrt().round() as usize).max(3);
-            generators::torus(side, side, 1)
-        }
-        Family::Harary => generators::harary(k, n, 1),
-        Family::Hypercube => {
-            // Round n up to the next power of two; the dimension is its log.
-            let dim = (n.max(2).next_power_of_two().trailing_zeros() as usize).max(1);
-            if k > dim {
-                return Err(CliError::Usage(format!(
-                    "a hypercube with n = {} vertices has edge connectivity exactly {dim}; \
-                     lower --k or raise --n",
-                    1usize << dim
-                )));
-            }
-            generators::hypercube(dim, 1)
-        }
-    };
-    if max_weight > 1 {
-        generators::randomize_weights(&mut graph, max_weight, &mut rng);
-    }
-    Ok(graph)
-}
-
-/// Runs the chosen algorithm; returns the edge set, the charged CONGEST rounds
-/// (`None` for purely sequential baselines) and a display label.
-///
-/// `exec` parallelizes the cut-verification phases of the algorithms that
-/// have them (`kecss`, `greedy`); results are bit-identical for every
-/// executor, so the flag is purely a wall-clock knob. `policy` picks the
-/// cut-enumeration strategy for the same two algorithms (the others never
-/// enumerate cuts).
-fn solve(
-    graph: &Graph,
-    algorithm: Algorithm,
-    k: usize,
-    seed: u64,
-    exec: &Executor,
-    policy: EnumeratorPolicy,
-) -> Result<(EdgeSet, Option<u64>, &'static str), CliError> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    Ok(match algorithm {
-        Algorithm::TwoEcss => {
-            let sol = two_ecss::solve(graph, &mut rng)?;
-            (
-                sol.subgraph,
-                Some(sol.ledger.total()),
-                "weighted 2-ECSS (Theorem 1.1)",
-            )
-        }
-        Algorithm::KEcss => {
-            let enumerator = policy.build();
-            let sol = kecss_alg::solve_with_exec_enumerator(
-                graph,
-                k,
-                &mut rng,
-                exec,
-                enumerator.as_ref(),
-            )?;
-            (
-                sol.subgraph,
-                Some(sol.ledger.total()),
-                "weighted k-ECSS (Theorem 1.2)",
-            )
-        }
-        Algorithm::ThreeEcss => {
-            let sol = three_ecss::solve(graph, &mut rng)?;
-            (
-                sol.subgraph,
-                Some(sol.ledger.total()),
-                "unweighted 3-ECSS (Theorem 1.3)",
-            )
-        }
-        Algorithm::ThreeEcssWeighted => {
-            let sol = three_ecss::solve_weighted(graph, &mut rng)?;
-            (
-                sol.subgraph,
-                Some(sol.ledger.total()),
-                "weighted 3-ECSS (Section 5.4)",
-            )
-        }
-        Algorithm::Greedy => {
-            let enumerator = policy.build();
-            let sol = greedy::k_ecss_with_enumerator(graph, k, exec, enumerator.as_ref())?;
-            (sol.edges, None, "sequential greedy k-ECSS")
-        }
-        Algorithm::Thurimella => {
-            let sol = thurimella::sparse_certificate(graph, k);
-            (
-                sol.edges,
-                Some(sol.ledger.total()),
-                "Thurimella sparse certificate [36]",
-            )
-        }
-        Algorithm::MstOnly => (mst::kruskal(graph), None, "minimum spanning tree"),
-    })
+    instance::build_family(family, n, k, max_weight, seed).map_err(CliError::Usage)
 }
 
 fn report<W: Write>(

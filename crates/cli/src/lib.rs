@@ -33,6 +33,9 @@ pub enum CliError {
     Format(String),
     /// The solver rejected the instance.
     Solver(kecss::Error),
+    /// A service interaction (`kecss submit`) failed: connection trouble, a
+    /// protocol violation, a failed job, or a result that did not verify.
+    Service(String),
 }
 
 impl fmt::Display for CliError {
@@ -42,6 +45,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Format(msg) => write!(f, "format error: {msg}"),
             CliError::Solver(e) => write!(f, "solver error: {e}"),
+            CliError::Service(msg) => write!(f, "service error: {msg}"),
         }
     }
 }

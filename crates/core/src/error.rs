@@ -48,6 +48,21 @@ pub enum Error {
         /// The exceeded budget (number of candidate visits).
         budget: u64,
     },
+    /// A solver job submitted to a scheduling front-end (the `kecss_serve`
+    /// service) was cancelled before it ran; its result will never exist.
+    JobCancelled {
+        /// The job's service-assigned id.
+        job: u64,
+    },
+    /// A solver job was rejected because the scheduling front-end's bounded
+    /// job queue was full (backpressure). The caller should retry later.
+    JobQueueFull {
+        /// The queue depth that was exceeded.
+        depth: usize,
+    },
+    /// A solver job was rejected because the scheduling front-end is
+    /// shutting down: already-accepted jobs drain, new ones are refused.
+    ServiceShuttingDown,
     /// A randomized cut enumerator kept missing cuts: the augmentation's
     /// exact post-certification failed even after re-enumerating with fresh
     /// randomness. This indicates far too few contraction trials (or a bug);
@@ -81,6 +96,17 @@ impl fmt::Display for Error {
                 "label-class candidate pool for cuts of size {size} exceeded the budget of \
                  {budget} visits; use the contraction enumerator (enumerator policy 'contract' \
                  or 'auto')"
+            ),
+            Error::JobCancelled { job } => {
+                write!(f, "job {job} was cancelled before it ran")
+            }
+            Error::JobQueueFull { depth } => write!(
+                f,
+                "the service job queue is full (depth {depth}); retry after in-flight jobs drain"
+            ),
+            Error::ServiceShuttingDown => write!(
+                f,
+                "the service is shutting down; accepted jobs drain but no new jobs are admitted"
             ),
             Error::IncompleteEnumeration { size, attempts } => write!(
                 f,
@@ -132,6 +158,13 @@ mod tests {
         };
         assert!(e.to_string().contains("size 6"));
         assert!(e.to_string().contains("3"));
+        let e = Error::JobCancelled { job: 42 };
+        assert!(e.to_string().contains("job 42"));
+        let e = Error::JobQueueFull { depth: 8 };
+        assert!(e.to_string().contains("depth 8"));
+        assert!(Error::ServiceShuttingDown
+            .to_string()
+            .contains("shutting down"));
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   behavior and [`congest::RunReport`] accounting of
 //!   [`congest::Network::run`].
 //! * [`sweep`] — concurrent grids of independent cells (instances ×
-//!   algorithms × seeds) with [`congest::RunReport`] aggregation.
+//!   algorithms × seeds) with [`congest::RunReport`] aggregation, plus the
+//!   job-granular scheduling seam ([`sweep::run_jobs`] for fixed grids,
+//!   [`JobPool`] for open-ended job streams such as the `kecss_serve`
+//!   front-end).
 //!
 //! # Example
 //!
@@ -51,3 +54,4 @@ pub mod executor;
 pub mod sweep;
 
 pub use executor::Executor;
+pub use sweep::JobPool;

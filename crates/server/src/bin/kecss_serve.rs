@@ -1,0 +1,65 @@
+//! Standalone server binary: `kecss_serve [--addr A] [--threads T]
+//! [--queue-depth Q]`. The `kecss serve` CLI subcommand is the same server
+//! with the rest of the toolchain around it; this binary exists so a
+//! deployment can ship the service alone.
+
+use kecss_server::server::{summary_line, Server, ServerConfig};
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).map(String::as_str);
+        let need = |v: Option<&str>, flag: &str| -> String {
+            v.unwrap_or_else(|| {
+                eprintln!("error: flag {flag} is missing a value");
+                std::process::exit(2);
+            })
+            .to_string()
+        };
+        match args[i].as_str() {
+            "--addr" => config.addr = need(value, "--addr"),
+            "--threads" => {
+                config.threads = need(value, "--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --threads expects a number");
+                    std::process::exit(2);
+                })
+            }
+            "--queue-depth" => {
+                config.queue_depth = need(value, "--queue-depth").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --queue-depth expects a number");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!(
+                    "kecss_serve — long-running k-ECSS solver service\n\n\
+                     USAGE: kecss_serve [--addr HOST:PORT] [--threads T] [--queue-depth Q]\n\n\
+                     Protocol: see DESIGN.md §9 (SUBMIT/STATUS/RESULT/CANCEL/SHUTDOWN)."
+                );
+                return;
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    let server = match Server::bind(&config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "kecss_serve listening on {} (threads={}, queue-depth={})",
+        server.local_addr(),
+        config.threads.max(1),
+        config.queue_depth.max(1)
+    );
+    let summary = server.run();
+    println!("{}", summary_line(&summary));
+}

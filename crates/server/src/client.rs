@@ -1,0 +1,265 @@
+//! A blocking client for the service protocol (used by `kecss submit`, the
+//! integration tests and the CI smoke script).
+
+use crate::job::JobSpec;
+use crate::protocol::Request;
+use crate::scheduler::JobId;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A parsed server response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// `OK ...` — the words after `OK`.
+    Ok(Vec<String>),
+    /// `BUSY <depth>` — the submission was rejected by backpressure.
+    Busy {
+        /// The server's configured queue depth.
+        depth: usize,
+    },
+    /// `WAIT <id> <state>` — the result is not ready yet.
+    Wait {
+        /// The job id.
+        id: JobId,
+        /// The job's current state word.
+        state: String,
+    },
+    /// `RESULT <id> <len>` + payload — the finished result.
+    Result {
+        /// The job id.
+        id: JobId,
+        /// The payload bytes.
+        payload: Vec<u8>,
+    },
+    /// `ERR <message>`.
+    Err(String),
+}
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// Errors surfaced by the client helpers.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or broke.
+    Io(std::io::Error),
+    /// The server sent something outside the protocol grammar.
+    Protocol(String),
+    /// The server answered, but with an error or an unexpected reply.
+    Server(String),
+    /// [`Client::wait_result`] ran out of time.
+    Timeout {
+        /// The job that did not finish in time.
+        id: JobId,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Timeout { id } => write!(f, "timed out waiting for job {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(value: std::io::Error) -> Self {
+        ClientError::Io(value)
+    }
+}
+
+impl Client {
+    /// Connects to a server address (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection failure.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line and parses the reply (the seam the
+    /// malformed-request tests use).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and protocol violations.
+    pub fn request_line(&mut self, line: &str) -> Result<Reply, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.read_reply()
+    }
+
+    /// Sends a typed request.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and protocol violations.
+    pub fn request(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        self.request_line(&request.to_line())
+    }
+
+    /// Submits a job spec: `Ok(Ok(id))` when queued, `Ok(Err(depth))` when
+    /// the server answered `BUSY`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, protocol violations, and server-side `ERR` replies.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<Result<JobId, usize>, ClientError> {
+        match self.request(&Request::Submit(spec.clone()))? {
+            Reply::Ok(words) => {
+                let id = words
+                    .first()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| ClientError::Protocol("OK reply without a job id".into()))?;
+                Ok(Ok(id))
+            }
+            Reply::Busy { depth } => Ok(Err(depth)),
+            Reply::Err(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Queries a job's state word (`QUEUED`, `RUNNING`, ...).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, protocol violations, and server-side `ERR` replies.
+    pub fn status(&mut self, id: JobId) -> Result<String, ClientError> {
+        match self.request(&Request::Status(id))? {
+            Reply::Ok(words) => words
+                .get(1)
+                .cloned()
+                .ok_or_else(|| ClientError::Protocol("OK status without a state".into())),
+            Reply::Err(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Fetches a result: `Some(payload)` when done, `None` while in flight.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, protocol violations, and server-side `ERR` replies
+    /// (including failed and cancelled jobs).
+    pub fn result(&mut self, id: JobId) -> Result<Option<Vec<u8>>, ClientError> {
+        match self.request(&Request::Result(id))? {
+            Reply::Result { payload, .. } => Ok(Some(payload)),
+            Reply::Wait { .. } => Ok(None),
+            Reply::Err(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Polls `RESULT` until the payload is available.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Client::result`] can return, plus
+    /// [`ClientError::Timeout`].
+    pub fn wait_result(
+        &mut self,
+        id: JobId,
+        poll: Duration,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(payload) = self.result(id)? {
+                return Ok(payload);
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout { id });
+            }
+            std::thread::sleep(poll);
+        }
+    }
+
+    /// Cancels a queued job.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, protocol violations, and server-side `ERR` replies
+    /// (running or finished jobs).
+    pub fn cancel(&mut self, id: JobId) -> Result<(), ClientError> {
+        match self.request(&Request::Cancel(id))? {
+            Reply::Ok(_) => Ok(()),
+            Reply::Err(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Requests a server shutdown (drain + exit).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and protocol violations.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Reply::Ok(_) => Ok(()),
+            Reply::Err(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    fn read_reply(&mut self) -> Result<Reply, ClientError> {
+        let mut line = String::new();
+        let read = self.reader.read_line(&mut line)?;
+        if read == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        let line = line.trim_end();
+        let (verb, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match verb {
+            "OK" => Ok(Reply::Ok(
+                rest.split_whitespace().map(String::from).collect(),
+            )),
+            "BUSY" => {
+                let depth = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| ClientError::Protocol(format!("malformed BUSY '{line}'")))?;
+                Ok(Reply::Busy { depth })
+            }
+            "WAIT" => {
+                let mut words = rest.split_whitespace();
+                let id = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| ClientError::Protocol(format!("malformed WAIT '{line}'")))?;
+                let state = words.next().unwrap_or("UNKNOWN").to_string();
+                Ok(Reply::Wait { id, state })
+            }
+            "RESULT" => {
+                let mut words = rest.split_whitespace();
+                let id: JobId = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| ClientError::Protocol(format!("malformed RESULT '{line}'")))?;
+                let len: usize = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| ClientError::Protocol(format!("malformed RESULT '{line}'")))?;
+                let mut payload = vec![0u8; len];
+                self.reader.read_exact(&mut payload)?;
+                Ok(Reply::Result { id, payload })
+            }
+            "ERR" => Ok(Reply::Err(rest.to_string())),
+            _ => Err(ClientError::Protocol(format!("unknown reply '{line}'"))),
+        }
+    }
+}

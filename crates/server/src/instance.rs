@@ -1,0 +1,409 @@
+//! Instance specifications: the `<family>:<n>` / `inline:` grammar of the
+//! service protocol, and the shared family-level generation policy.
+//!
+//! This module is the single source of truth for how an instance family name
+//! plus a vertex count turns into a concrete [`Graph`]: the CLI's `generate`
+//! command and the service's `SUBMIT` handler both call [`build_family`], so a
+//! `ring:32` submitted over the wire is byte-for-byte the instance that
+//! `kecss generate --family ring --n 32` writes to disk (for equal `k`,
+//! `max-weight` and seed).
+
+use graphs::{generators, Graph};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// The instance families the generator supports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Random k-edge-connected graph (Harary base + random extras).
+    Random,
+    /// Ring of cliques (high diameter).
+    RingOfCliques,
+    /// Torus grid.
+    Torus,
+    /// Harary graph (minimum k-edge-connected graph).
+    Harary,
+    /// Hypercube `Q_d` (edge connectivity exactly `log2 n`).
+    Hypercube,
+}
+
+impl Family {
+    /// Parses a family name as used by the CLI flags and the wire protocol.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "random" => Some(Family::Random),
+            "ring" | "ring-of-cliques" => Some(Family::RingOfCliques),
+            "torus" => Some(Family::Torus),
+            "harary" => Some(Family::Harary),
+            "hypercube" | "cube" => Some(Family::Hypercube),
+            _ => None,
+        }
+    }
+
+    /// The canonical family name (inverse of [`Family::parse`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Random => "random",
+            Family::RingOfCliques => "ring",
+            Family::Torus => "torus",
+            Family::Harary => "harary",
+            Family::Hypercube => "hypercube",
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds a family instance: `n` vertices (approximate for grid-like
+/// families), at least `k`-edge-connected, weights uniform in
+/// `1..=max_weight` when `max_weight > 1`.
+///
+/// This is the family-level policy shared by the CLI and the service; the
+/// result is a pure function of the four arguments.
+///
+/// # Errors
+///
+/// Returns a human-readable message for undersized instances, `k == 0`, or a
+/// hypercube whose rounded size cannot be k-edge-connected.
+pub fn build_family(
+    family: Family,
+    n: usize,
+    k: usize,
+    max_weight: u64,
+    seed: u64,
+) -> Result<Graph, String> {
+    if n < 3 {
+        return Err("instances need at least 3 vertices".into());
+    }
+    if k == 0 {
+        return Err("the connectivity target k must be at least 1".into());
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut graph = match family {
+        Family::Random => generators::random_k_edge_connected(n, k, 2 * n, &mut rng),
+        Family::RingOfCliques => {
+            let clique = (k + 2).max(4);
+            generators::ring_of_cliques((n / clique).max(3), clique, k.max(2), 1)
+        }
+        Family::Torus => {
+            let side = ((n as f64).sqrt().round() as usize).max(3);
+            generators::torus(side, side, 1)
+        }
+        Family::Harary => generators::harary(k, n, 1),
+        Family::Hypercube => {
+            // Round n up to the next power of two; the dimension is its log.
+            let dim = (n.max(2).next_power_of_two().trailing_zeros() as usize).max(1);
+            if k > dim {
+                return Err(format!(
+                    "a hypercube with n = {} vertices has edge connectivity exactly {dim}; \
+                     lower k or raise n",
+                    1usize << dim
+                ));
+            }
+            generators::hypercube(dim, 1)
+        }
+    };
+    if max_weight > 1 {
+        generators::randomize_weights(&mut graph, max_weight, &mut rng);
+    }
+    Ok(graph)
+}
+
+/// The largest vertex count a submitted instance may request. A `SUBMIT`
+/// line is attacker-controlled input to a long-running process, and
+/// `Graph::new(n)` allocates per-vertex adjacency storage up front, so an
+/// unbounded `n` would let one request OOM the server. 2²⁰ vertices keeps
+/// the ROADMAP's "10⁶-vertex sweeps" ambition reachable while bounding a
+/// single job's instance at tens of MB.
+pub const MAX_INSTANCE_N: usize = 1 << 20;
+
+/// A parsed instance field of a `SUBMIT` request.
+///
+/// Grammar (no whitespace inside the field):
+///
+/// ```text
+/// <family>:<n>[:<max-weight>]          e.g.  hypercube:64   random:48:30
+/// inline:<n>:<u>-<v>-<w>[,<u>-<v>-<w>...]   e.g.  inline:3:0-1-1,1-2-1,2-0-1
+/// ```
+///
+/// `n` is capped at [`MAX_INSTANCE_N`] in both forms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InstanceSpec {
+    /// A generated family instance.
+    Family {
+        /// The instance family.
+        family: Family,
+        /// Requested vertex count (approximate for grid-like families).
+        n: usize,
+        /// Maximum edge weight (1 = unweighted).
+        max_weight: u64,
+    },
+    /// An explicit edge list shipped in the request itself.
+    Inline {
+        /// The vertex count.
+        n: usize,
+        /// The edges as `(u, v, weight)` triples, in submission order.
+        edges: Vec<(usize, usize, u64)>,
+    },
+}
+
+impl InstanceSpec {
+    /// Parses the instance field of a `SUBMIT` request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message describing the malformed part.
+    pub fn parse(field: &str) -> Result<Self, String> {
+        let check_n = |n: usize| -> Result<usize, String> {
+            if n > MAX_INSTANCE_N {
+                Err(format!(
+                    "requested vertex count {n} exceeds the service bound of {MAX_INSTANCE_N}"
+                ))
+            } else {
+                Ok(n)
+            }
+        };
+        let mut parts = field.split(':');
+        let head = parts.next().unwrap_or_default();
+        if head == "inline" {
+            let n: usize = check_n(
+                parts
+                    .next()
+                    .ok_or("inline instance is missing the vertex count")?
+                    .parse()
+                    .map_err(|_| "inline instance has a malformed vertex count".to_string())?,
+            )?;
+            let list = parts
+                .next()
+                .ok_or("inline instance is missing the edge list")?;
+            if parts.next().is_some() {
+                return Err("inline instance has trailing ':' fields".into());
+            }
+            let mut edges = Vec::new();
+            for (i, item) in list.split(',').filter(|s| !s.is_empty()).enumerate() {
+                let nums: Vec<&str> = item.split('-').collect();
+                let [u, v, w] = nums.as_slice() else {
+                    return Err(format!(
+                        "inline edge {i} must be '<u>-<v>-<w>', got '{item}'"
+                    ));
+                };
+                let parse = |s: &str, what: &str| -> Result<u64, String> {
+                    s.parse()
+                        .map_err(|_| format!("inline edge {i}: malformed {what} '{s}'"))
+                };
+                let u = parse(u, "endpoint")? as usize;
+                let v = parse(v, "endpoint")? as usize;
+                let w = parse(w, "weight")?;
+                if u >= n || v >= n || u == v {
+                    return Err(format!(
+                        "inline edge {i}: invalid endpoints {u} {v} for n = {n}"
+                    ));
+                }
+                edges.push((u, v, w));
+            }
+            if edges.is_empty() {
+                return Err("inline instance has no edges".into());
+            }
+            Ok(InstanceSpec::Inline { n, edges })
+        } else {
+            let family = Family::parse(head).ok_or_else(|| {
+                format!(
+                    "unknown family '{head}' (expected random, ring, torus, harary, hypercube \
+                     or inline:...)"
+                )
+            })?;
+            let n: usize = check_n(
+                parts
+                    .next()
+                    .ok_or_else(|| format!("family instance '{head}' is missing ':<n>'"))?
+                    .parse()
+                    .map_err(|_| {
+                        format!("family instance '{head}' has a malformed vertex count")
+                    })?,
+            )?;
+            let max_weight: u64 = match parts.next() {
+                Some(w) => w
+                    .parse()
+                    .map_err(|_| format!("family instance '{head}' has a malformed max weight"))?,
+                None => 1,
+            };
+            if parts.next().is_some() {
+                return Err(format!("family instance '{head}' has trailing ':' fields"));
+            }
+            Ok(InstanceSpec::Family {
+                family,
+                n,
+                max_weight,
+            })
+        }
+    }
+
+    /// The canonical wire form (parses back to an equal spec).
+    pub fn canonical(&self) -> String {
+        match self {
+            InstanceSpec::Family {
+                family,
+                n,
+                max_weight,
+            } => {
+                if *max_weight > 1 {
+                    format!("{family}:{n}:{max_weight}")
+                } else {
+                    format!("{family}:{n}")
+                }
+            }
+            InstanceSpec::Inline { n, edges } => {
+                let list: Vec<String> = edges
+                    .iter()
+                    .map(|(u, v, w)| format!("{u}-{v}-{w}"))
+                    .collect();
+                format!("inline:{n}:{}", list.join(","))
+            }
+        }
+    }
+
+    /// Materializes the instance graph. A pure function of `(self, k, seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`build_family`] for family instances; inline
+    /// instances only require 3 vertices.
+    pub fn build(&self, k: usize, seed: u64) -> Result<Graph, String> {
+        match self {
+            InstanceSpec::Family {
+                family,
+                n,
+                max_weight,
+            } => build_family(*family, *n, k, *max_weight, seed),
+            InstanceSpec::Inline { n, edges } => {
+                if *n < 3 {
+                    return Err("instances need at least 3 vertices".into());
+                }
+                let mut graph = Graph::new(*n);
+                for &(u, v, w) in edges {
+                    graph.add_edge(u, v, w);
+                }
+                Ok(graph)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_names_round_trip() {
+        for family in [
+            Family::Random,
+            Family::RingOfCliques,
+            Family::Torus,
+            Family::Harary,
+            Family::Hypercube,
+        ] {
+            assert_eq!(Family::parse(family.name()), Some(family));
+        }
+        assert_eq!(Family::parse("cube"), Some(Family::Hypercube));
+        assert_eq!(Family::parse("nope"), None);
+    }
+
+    #[test]
+    fn family_specs_parse_and_round_trip() {
+        let spec = InstanceSpec::parse("hypercube:64").unwrap();
+        assert_eq!(
+            spec,
+            InstanceSpec::Family {
+                family: Family::Hypercube,
+                n: 64,
+                max_weight: 1
+            }
+        );
+        assert_eq!(spec.canonical(), "hypercube:64");
+        let spec = InstanceSpec::parse("random:48:30").unwrap();
+        assert_eq!(spec.canonical(), "random:48:30");
+        assert_eq!(
+            InstanceSpec::parse(spec.canonical().as_str()).unwrap(),
+            spec
+        );
+    }
+
+    #[test]
+    fn inline_specs_parse_and_build() {
+        let spec = InstanceSpec::parse("inline:3:0-1-1,1-2-1,2-0-5").unwrap();
+        assert_eq!(spec.canonical(), "inline:3:0-1-1,1-2-1,2-0-5");
+        let g = spec.build(2, 1).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.total_weight(), 7);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "",
+            "nope:8",
+            "random",
+            "random:abc",
+            "random:8:x",
+            "random:8:1:9",
+            "inline:3",
+            "inline:x:0-1-1",
+            "inline:3:0-1",
+            "inline:3:0-1-1-7",
+            "inline:3:0-9-1",
+            "inline:3:1-1-1",
+            "inline:3:",
+            "inline:3:0-1-1:extra",
+        ] {
+            assert!(
+                InstanceSpec::parse(bad).is_err(),
+                "'{bad}' should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_vertex_counts_are_rejected_at_parse_time() {
+        let over = MAX_INSTANCE_N + 1;
+        for bad in [
+            format!("random:{over}"),
+            format!("hypercube:{over}"),
+            format!("inline:{over}:0-1-1"),
+            "random:9999999999999999".to_string(),
+        ] {
+            let err = InstanceSpec::parse(&bad).unwrap_err();
+            assert!(
+                err.contains("exceeds") || err.contains("malformed"),
+                "'{bad}': {err}"
+            );
+        }
+        // The bound itself is accepted (parsing allocates nothing).
+        assert!(InstanceSpec::parse(&format!("random:{MAX_INSTANCE_N}")).is_ok());
+    }
+
+    #[test]
+    fn build_is_deterministic_and_validates() {
+        let spec = InstanceSpec::parse("random:24:10").unwrap();
+        let a = spec.build(2, 7).unwrap();
+        let b = spec.build(2, 7).unwrap();
+        assert_eq!(a, b);
+        assert!(spec.build(0, 7).is_err(), "k = 0 must be rejected");
+        assert!(InstanceSpec::parse("random:2")
+            .unwrap()
+            .build(2, 1)
+            .is_err());
+        assert!(
+            InstanceSpec::parse("hypercube:16")
+                .unwrap()
+                .build(6, 1)
+                .is_err(),
+            "Q_4 cannot be 6-edge-connected"
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! `kecss_server` — a long-running solver service over the `kecss_runtime`
+//! pool.
+//!
+//! The workspace's solvers are batch functions; this crate turns them into an
+//! always-on request-serving layer (ROADMAP "Async / service front-end"):
+//!
+//! * [`protocol`] — the line-framed wire protocol (`SUBMIT`, `STATUS`,
+//!   `RESULT`, `CANCEL`, `SHUTDOWN`) with length-prefixed result payloads.
+//! * [`instance`] — the `<family>:<n>` / `inline:` instance grammar and the
+//!   family-generation policy shared with the CLI.
+//! * [`job`] — job specs and the **pure job runner**: build instance → solve
+//!   → verify exactly → serialize a canonical payload. Purity in the spec is
+//!   what makes concurrent serving byte-deterministic (DESIGN.md §9).
+//! * [`scheduler`] — a bounded job table over [`kecss_runtime::JobPool`]:
+//!   at most `queue_depth` jobs in flight, `BUSY` beyond that, cancellation
+//!   of queued jobs, drain-on-shutdown.
+//! * [`server`] — the TCP accept loop (`kecss serve` / the `kecss_serve`
+//!   binary).
+//! * [`client`] — a blocking client (`kecss submit`, tests, CI smoke).
+//!
+//! # Example (in-process, ephemeral port)
+//!
+//! ```
+//! use kecss_server::client::Client;
+//! use kecss_server::protocol::Request;
+//! use kecss_server::server::{Server, ServerConfig};
+//! use std::time::Duration;
+//!
+//! let server = Server::bind(&ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     threads: 2,
+//!     queue_depth: 8,
+//! })
+//! .unwrap();
+//! let handle = server.spawn();
+//! let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+//! let Request::Submit(spec) = Request::parse("SUBMIT ring:20 2 2ecss auto 1").unwrap() else {
+//!     unreachable!()
+//! };
+//! let id = client.submit(&spec).unwrap().expect("queue has room");
+//! let payload = client
+//!     .wait_result(id, Duration::from_millis(10), Duration::from_secs(60))
+//!     .unwrap();
+//! assert!(String::from_utf8(payload).unwrap().contains("verified k=2 yes"));
+//! client.shutdown().unwrap();
+//! assert_eq!(handle.join().completed, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod instance;
+pub mod job;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use scheduler::{JobId, JobStatus, Outcome, Scheduler, ServeSummary};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,172 @@
+//! The wire protocol: line-framed requests, length-prefixed result payloads.
+//!
+//! Every request is a single UTF-8 line (terminated by `\n`); every response
+//! is a single header line, except a successful `RESULT` whose header
+//! `RESULT <id> <len>` is followed by exactly `<len>` payload bytes. The full
+//! grammar lives in DESIGN.md §9; in short:
+//!
+//! ```text
+//! SUBMIT <instance> <k> <algorithm> <enumerator> <seed>   -> OK <id> QUEUED | BUSY <depth> | ERR <msg>
+//! STATUS <id>                                             -> OK <id> <STATE> | ERR <msg>
+//! RESULT <id>    -> RESULT <id> <len>\n<payload> | WAIT <id> <STATE> | ERR <msg>
+//! CANCEL <id>                                             -> OK <id> CANCELLED | ERR <msg>
+//! SHUTDOWN                                                -> OK SHUTDOWN
+//! ```
+//!
+//! `<STATE>` is one of `QUEUED`, `RUNNING`, `DONE`, `FAILED`, `CANCELLED`.
+
+use crate::instance::InstanceSpec;
+use crate::job::{Algorithm, JobSpec};
+use kecss::cuts::EnumeratorPolicy;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a job for scheduling.
+    Submit(JobSpec),
+    /// Query a job's lifecycle state.
+    Status(u64),
+    /// Fetch a finished job's result payload.
+    Result(u64),
+    /// Cancel a queued job (running jobs complete; done jobs are immutable).
+    Cancel(u64),
+    /// Drain the queue and stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line (without the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Returns the human-readable message the server sends back as
+    /// `ERR <msg>`.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let mut words = line.split_whitespace();
+        let verb = words.next().ok_or("empty request")?;
+        let rest: Vec<&str> = words.collect();
+        match verb {
+            "SUBMIT" => {
+                let [instance, k, algorithm, enumerator, seed] = rest.as_slice() else {
+                    return Err(format!(
+                        "SUBMIT expects 5 fields '<instance> <k> <algorithm> <enumerator> \
+                         <seed>', got {}",
+                        rest.len()
+                    ));
+                };
+                let instance = InstanceSpec::parse(instance)?;
+                let k: usize = k
+                    .parse()
+                    .map_err(|_| format!("SUBMIT: malformed k '{k}'"))?;
+                let algorithm = Algorithm::parse(algorithm)
+                    .ok_or_else(|| format!("SUBMIT: unknown algorithm '{algorithm}'"))?;
+                let enumerator = EnumeratorPolicy::parse(enumerator)
+                    .ok_or_else(|| format!("SUBMIT: unknown enumerator '{enumerator}'"))?;
+                let seed: u64 = seed
+                    .parse()
+                    .map_err(|_| format!("SUBMIT: malformed seed '{seed}'"))?;
+                Ok(Request::Submit(JobSpec {
+                    instance,
+                    k,
+                    algorithm,
+                    enumerator,
+                    seed,
+                }))
+            }
+            "STATUS" | "RESULT" | "CANCEL" => {
+                let [id] = rest.as_slice() else {
+                    return Err(format!("{verb} expects exactly one job id"));
+                };
+                let id: u64 = id
+                    .parse()
+                    .map_err(|_| format!("{verb}: malformed job id '{id}'"))?;
+                Ok(match verb {
+                    "STATUS" => Request::Status(id),
+                    "RESULT" => Request::Result(id),
+                    _ => Request::Cancel(id),
+                })
+            }
+            "SHUTDOWN" => {
+                if rest.is_empty() {
+                    Ok(Request::Shutdown)
+                } else {
+                    Err("SHUTDOWN takes no arguments".into())
+                }
+            }
+            other => Err(format!(
+                "unknown request '{other}' (expected SUBMIT, STATUS, RESULT, CANCEL or SHUTDOWN)"
+            )),
+        }
+    }
+
+    /// The canonical request line (inverse of [`Request::parse`]).
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Submit(spec) => format!("SUBMIT {}", spec.canonical()),
+            Request::Status(id) => format!("STATUS {id}"),
+            Request::Result(id) => format!("RESULT {id}"),
+            Request::Cancel(id) => format!("CANCEL {id}"),
+            Request::Shutdown => "SHUTDOWN".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Family;
+
+    #[test]
+    fn submit_round_trips() {
+        let line = "SUBMIT hypercube:64 6 kecss auto 3";
+        let req = Request::parse(line).unwrap();
+        match &req {
+            Request::Submit(spec) => {
+                assert_eq!(
+                    spec.instance,
+                    InstanceSpec::Family {
+                        family: Family::Hypercube,
+                        n: 64,
+                        max_weight: 1
+                    }
+                );
+                assert_eq!((spec.k, spec.seed), (6, 3));
+                assert_eq!(spec.algorithm, Algorithm::KEcss);
+                assert_eq!(spec.enumerator, EnumeratorPolicy::Auto);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(req.to_line(), line);
+    }
+
+    #[test]
+    fn control_requests_round_trip() {
+        for line in ["STATUS 7", "RESULT 0", "CANCEL 12", "SHUTDOWN"] {
+            let req = Request::parse(line).unwrap();
+            assert_eq!(req.to_line(), line, "{line}");
+        }
+        assert_eq!(Request::parse("STATUS 7").unwrap(), Request::Status(7));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_messages() {
+        for (line, needle) in [
+            ("", "empty"),
+            ("FROBNICATE", "unknown request"),
+            ("SUBMIT", "5 fields"),
+            ("SUBMIT ring:20 2 kecss auto", "5 fields"),
+            ("SUBMIT nope:20 2 kecss auto 1", "unknown family"),
+            ("SUBMIT ring:20 x kecss auto 1", "malformed k"),
+            ("SUBMIT ring:20 2 magic auto 1", "unknown algorithm"),
+            ("SUBMIT ring:20 2 kecss magic 1", "unknown enumerator"),
+            ("SUBMIT ring:20 2 kecss auto x", "malformed seed"),
+            ("STATUS", "one job id"),
+            ("STATUS seven", "malformed job id"),
+            ("RESULT 1 2", "one job id"),
+            ("SHUTDOWN now", "no arguments"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "'{line}': {err}");
+        }
+    }
+}

@@ -1,0 +1,537 @@
+//! The job scheduler: a bounded job table dispatching onto a
+//! [`kecss_runtime::JobPool`].
+//!
+//! Backpressure is enforced at submission: at most `queue_depth` jobs may be
+//! *in flight* (queued or running) at once; submissions beyond that are
+//! rejected with [`kecss::Error::JobQueueFull`] — the server turns this into
+//! a `BUSY` response — **without touching the jobs already in flight**.
+//!
+//! Determinism: the scheduler stores whatever bytes [`crate::job::run`]
+//! produced. Since that function is pure in the job spec, the scheduler's
+//! concurrency (worker count, dispatch order, interleaving) cannot influence
+//! result payloads — only *when* they become available. See DESIGN.md §9.
+
+use crate::job::{self, JobSpec};
+use kecss_runtime::{Executor, JobPool};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A job's service-assigned identifier (dense, starting at 1).
+pub type JobId = u64;
+
+/// The lifecycle state of a job, as reported by `STATUS`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// Claimed by a worker.
+    Running,
+    /// Finished with a result payload.
+    Done,
+    /// Finished with an error.
+    Failed,
+    /// Cancelled while still queued.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// The protocol's upper-case state word.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "QUEUED",
+            JobStatus::Running => "RUNNING",
+            JobStatus::Done => "DONE",
+            JobStatus::Failed => "FAILED",
+            JobStatus::Cancelled => "CANCELLED",
+        }
+    }
+
+    /// Whether the job can no longer change state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled
+        )
+    }
+}
+
+/// A job's terminal outcome, as fetched by `RESULT`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The result payload (shared, since several clients may fetch it).
+    Done(Arc<Vec<u8>>),
+    /// The failure message.
+    Failed(String),
+    /// The job was cancelled before it ran.
+    Cancelled,
+}
+
+/// One slot of the job table.
+enum Slot {
+    Queued(Box<JobFn>),
+    Running,
+    Finished(Outcome),
+}
+
+/// The work a queued job will perform when a worker claims it.
+type JobFn = dyn FnOnce() -> Result<Vec<u8>, String> + Send;
+
+/// Aggregate counters, returned by [`Scheduler::summary`] and printed by the
+/// server on exit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs that finished with a payload.
+    pub completed: u64,
+    /// Jobs that finished with an error.
+    pub failed: u64,
+    /// Jobs cancelled while queued.
+    pub cancelled: u64,
+    /// Submissions rejected with `BUSY`.
+    pub rejected: u64,
+}
+
+struct Table {
+    next_id: JobId,
+    slots: HashMap<JobId, Slot>,
+    /// Jobs queued or running; the quantity the depth bound applies to.
+    inflight: usize,
+    /// Set by [`Scheduler::close`]: no further submissions are admitted.
+    /// Checked under the same lock that admits jobs, so a drain that starts
+    /// after `close` can never miss a concurrently-admitted job.
+    closed: bool,
+    summary: ServeSummary,
+}
+
+/// Instrumentation invoked on a pool worker right after it claims a job
+/// (status `Running`) and before the job's work runs. Production servers pass
+/// `None`; the integration tests use it to hold a worker deterministically so
+/// backpressure and cancellation can be exercised without timing races.
+pub type StartHook = Arc<dyn Fn(JobId) + Send + Sync>;
+
+struct State {
+    table: Mutex<Table>,
+    /// Signalled whenever a job reaches a terminal state.
+    changed: Condvar,
+    queue_depth: usize,
+    start_hook: Option<StartHook>,
+}
+
+/// The scheduler: job table + worker pool. Cheap to share via `Arc`.
+pub struct Scheduler {
+    state: Arc<State>,
+    pool: JobPool,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with `threads` pool workers and an in-flight bound
+    /// of `queue_depth` jobs (both at least 1).
+    pub fn new(threads: usize, queue_depth: usize) -> Self {
+        Scheduler::with_start_hook(threads, queue_depth, None)
+    }
+
+    /// Same as [`Scheduler::new`] with a [`StartHook`] attached.
+    pub fn with_start_hook(
+        threads: usize,
+        queue_depth: usize,
+        start_hook: Option<StartHook>,
+    ) -> Self {
+        Scheduler {
+            state: Arc::new(State {
+                table: Mutex::new(Table {
+                    next_id: 1,
+                    slots: HashMap::new(),
+                    inflight: 0,
+                    closed: false,
+                    summary: ServeSummary::default(),
+                }),
+                changed: Condvar::new(),
+                queue_depth: queue_depth.max(1),
+                start_hook,
+            }),
+            pool: JobPool::new(threads),
+        }
+    }
+
+    /// The in-flight bound.
+    pub fn queue_depth(&self) -> usize {
+        self.state.queue_depth
+    }
+
+    /// Submits a solver job. Every job runs [`job::run`] with a sequential
+    /// within-job executor: the service parallelizes *across* jobs (one pool
+    /// worker each), which keeps worker counts predictable and results
+    /// byte-deterministic either way.
+    ///
+    /// # Errors
+    ///
+    /// [`kecss::Error::JobQueueFull`] when `queue_depth` jobs are already in
+    /// flight.
+    pub fn submit(&self, spec: JobSpec) -> kecss::error::Result<JobId> {
+        self.submit_with(Box::new(move || job::run(&spec, &Executor::Sequential)))
+    }
+
+    /// Submits an arbitrary job closure (the seam the tests and benches use
+    /// to inject blocking or instant jobs).
+    ///
+    /// # Errors
+    ///
+    /// [`kecss::Error::JobQueueFull`] when `queue_depth` jobs are already in
+    /// flight.
+    pub fn submit_with(&self, work: Box<JobFn>) -> kecss::error::Result<JobId> {
+        let id = {
+            let mut table = self.state.table.lock().expect("scheduler lock poisoned");
+            if table.closed {
+                return Err(kecss::Error::ServiceShuttingDown);
+            }
+            if table.inflight >= self.state.queue_depth {
+                table.summary.rejected += 1;
+                return Err(kecss::Error::JobQueueFull {
+                    depth: self.state.queue_depth,
+                });
+            }
+            let id = table.next_id;
+            table.next_id += 1;
+            table.inflight += 1;
+            table.summary.submitted += 1;
+            table.slots.insert(id, Slot::Queued(work));
+            id
+        };
+        let state = Arc::clone(&self.state);
+        self.pool.submit(Box::new(move || execute(&state, id)));
+        Ok(id)
+    }
+
+    /// The job's current lifecycle state, or `None` for an unknown id.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let table = self.state.table.lock().expect("scheduler lock poisoned");
+        table.slots.get(&id).map(|slot| match slot {
+            Slot::Queued(_) => JobStatus::Queued,
+            Slot::Running => JobStatus::Running,
+            Slot::Finished(Outcome::Done(_)) => JobStatus::Done,
+            Slot::Finished(Outcome::Failed(_)) => JobStatus::Failed,
+            Slot::Finished(Outcome::Cancelled) => JobStatus::Cancelled,
+        })
+    }
+
+    /// The job's terminal outcome, or `None` while it is still in flight (or
+    /// for an unknown id — disambiguate with [`Scheduler::status`]).
+    pub fn outcome(&self, id: JobId) -> Option<Outcome> {
+        let table = self.state.table.lock().expect("scheduler lock poisoned");
+        match table.slots.get(&id) {
+            Some(Slot::Finished(outcome)) => Some(outcome.clone()),
+            _ => None,
+        }
+    }
+
+    /// Blocks until the job reaches a terminal state and returns its outcome
+    /// (`None` for an unknown id).
+    pub fn wait(&self, id: JobId) -> Option<Outcome> {
+        let mut table = self.state.table.lock().expect("scheduler lock poisoned");
+        loop {
+            match table.slots.get(&id) {
+                None => return None,
+                Some(Slot::Finished(outcome)) => return Some(outcome.clone()),
+                Some(_) => {
+                    table = self
+                        .state
+                        .changed
+                        .wait(table)
+                        .expect("scheduler lock poisoned");
+                }
+            }
+        }
+    }
+
+    /// Cancels a queued job. Running jobs are left to complete (results are
+    /// never torn); terminal jobs are immutable.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the state that prevented cancellation.
+    pub fn cancel(&self, id: JobId) -> Result<(), String> {
+        let mut table = self.state.table.lock().expect("scheduler lock poisoned");
+        match table.slots.get_mut(&id) {
+            None => Err(format!("unknown job {id}")),
+            Some(slot @ Slot::Queued(_)) => {
+                *slot = Slot::Finished(Outcome::Cancelled);
+                table.inflight -= 1;
+                table.summary.cancelled += 1;
+                drop(table);
+                self.state.changed.notify_all();
+                Ok(())
+            }
+            Some(Slot::Running) => Err(format!("job {id} is already running")),
+            Some(Slot::Finished(_)) => Err(format!("job {id} already finished")),
+        }
+    }
+
+    /// Refuses all further submissions (they fail with
+    /// [`kecss::Error::ServiceShuttingDown`]). Taken under the admission
+    /// lock, so after `close` returns, the set of admitted jobs is final and
+    /// a subsequent [`Scheduler::drain`] waits for exactly that set — no
+    /// submission can slip between the shutdown decision and the drain.
+    pub fn close(&self) {
+        self.state
+            .table
+            .lock()
+            .expect("scheduler lock poisoned")
+            .closed = true;
+    }
+
+    /// Blocks until no job is queued or running.
+    pub fn drain(&self) {
+        let mut table = self.state.table.lock().expect("scheduler lock poisoned");
+        while table.inflight > 0 {
+            table = self
+                .state
+                .changed
+                .wait(table)
+                .expect("scheduler lock poisoned");
+        }
+    }
+
+    /// A snapshot of the aggregate counters.
+    pub fn summary(&self) -> ServeSummary {
+        self.state
+            .table
+            .lock()
+            .expect("scheduler lock poisoned")
+            .summary
+    }
+
+    /// Drains in-flight jobs, stops the pool workers and returns the final
+    /// counters.
+    pub fn shutdown(self) -> ServeSummary {
+        self.drain();
+        let summary = self.summary();
+        self.pool.shutdown();
+        summary
+    }
+}
+
+/// The pool-side half of a job: claim the slot (unless it was cancelled
+/// while queued), run the work outside the lock, store the outcome.
+fn execute(state: &State, id: JobId) {
+    let work = {
+        let mut table = state.table.lock().expect("scheduler lock poisoned");
+        match table.slots.get_mut(&id) {
+            // Cancelled (or somehow vanished) while queued: nothing to run.
+            Some(slot @ Slot::Queued(_)) => {
+                let Slot::Queued(work) = std::mem::replace(slot, Slot::Running) else {
+                    unreachable!("matched Slot::Queued above")
+                };
+                work
+            }
+            _ => return,
+        }
+    };
+    if let Some(hook) = &state.start_hook {
+        hook(id);
+    }
+    // A panicking job must not take the worker (and with it the scheduler's
+    // in-flight accounting) down: catch the unwind and record it as a
+    // failure. The job closure is moved in whole, so no shared state can be
+    // observed in a torn intermediate state.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(work));
+    let outcome = match result {
+        Ok(Ok(payload)) => Outcome::Done(Arc::new(payload)),
+        Ok(Err(message)) => Outcome::Failed(message),
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into());
+            Outcome::Failed(format!("job panicked: {message}"))
+        }
+    };
+    let mut table = state.table.lock().expect("scheduler lock poisoned");
+    match &outcome {
+        Outcome::Done(_) => table.summary.completed += 1,
+        Outcome::Failed(_) => table.summary.failed += 1,
+        Outcome::Cancelled => {}
+    }
+    table.slots.insert(id, Slot::Finished(outcome));
+    table.inflight -= 1;
+    drop(table);
+    state.changed.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    /// A job that blocks until the returned sender is dropped or signalled.
+    fn blocking_job(scheduler: &Scheduler) -> (JobId, mpsc::Sender<()>) {
+        let (tx, rx) = mpsc::channel::<()>();
+        let id = scheduler
+            .submit_with(Box::new(move || {
+                // Returns on signal or on sender drop; either unblocks.
+                let _ = rx.recv();
+                Ok(b"blocked-job".to_vec())
+            }))
+            .unwrap();
+        (id, tx)
+    }
+
+    /// Spin-waits until the job has been claimed by a worker (submission and
+    /// claiming race, so tests that assert on `Running` must wait for it).
+    fn wait_until_running(scheduler: &Scheduler, id: JobId) {
+        while scheduler.status(id) != Some(JobStatus::Running) {
+            assert!(
+                !scheduler.status(id).unwrap().is_terminal(),
+                "job {id} finished before it could be observed running"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn jobs_run_and_results_are_fetchable() {
+        let scheduler = Scheduler::new(2, 8);
+        let id = scheduler
+            .submit_with(Box::new(|| Ok(b"payload".to_vec())))
+            .unwrap();
+        match scheduler.wait(id) {
+            Some(Outcome::Done(bytes)) => assert_eq!(bytes.as_slice(), b"payload"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(scheduler.status(id), Some(JobStatus::Done));
+        assert_eq!(scheduler.status(999), None);
+        let summary = scheduler.shutdown();
+        assert_eq!(summary.submitted, 1);
+        assert_eq!(summary.completed, 1);
+    }
+
+    #[test]
+    fn queue_overflow_rejects_without_touching_inflight_jobs() {
+        let scheduler = Scheduler::new(1, 2);
+        let (a, tx_a) = blocking_job(&scheduler);
+        let (b, tx_b) = blocking_job(&scheduler);
+        // Depth 2 is exhausted: the third submission must bounce.
+        let err = scheduler
+            .submit_with(Box::new(|| Ok(Vec::new())))
+            .unwrap_err();
+        assert_eq!(err, kecss::Error::JobQueueFull { depth: 2 });
+        // The in-flight jobs are unaffected and still complete.
+        drop(tx_a);
+        drop(tx_b);
+        assert!(matches!(scheduler.wait(a), Some(Outcome::Done(_))));
+        assert!(matches!(scheduler.wait(b), Some(Outcome::Done(_))));
+        let summary = scheduler.shutdown();
+        assert_eq!(summary.submitted, 2);
+        assert_eq!(summary.rejected, 1);
+        assert_eq!(summary.completed, 2);
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_frees_its_slot() {
+        let scheduler = Scheduler::new(1, 2);
+        let (running, tx) = blocking_job(&scheduler);
+        let (queued, _tx_queued) = blocking_job(&scheduler);
+        // The single worker is blocked on `running`, so `queued` is still
+        // queued and cancellable; `running` is not.
+        wait_until_running(&scheduler, running);
+        scheduler.cancel(queued).unwrap();
+        assert_eq!(scheduler.status(queued), Some(JobStatus::Cancelled));
+        assert_eq!(scheduler.wait(queued), Some(Outcome::Cancelled));
+        assert!(scheduler.cancel(running).is_err());
+        assert!(scheduler.cancel(42).is_err());
+        // The freed slot accepts a new job immediately.
+        let c = scheduler
+            .submit_with(Box::new(|| Ok(b"after-cancel".to_vec())))
+            .unwrap();
+        drop(tx);
+        assert!(matches!(scheduler.wait(c), Some(Outcome::Done(_))));
+        assert!(scheduler.cancel(c).is_err(), "terminal jobs are immutable");
+        let summary = scheduler.shutdown();
+        assert_eq!(summary.cancelled, 1);
+        assert_eq!(summary.completed, 2);
+    }
+
+    #[test]
+    fn panicking_jobs_fail_without_wedging_the_scheduler() {
+        let scheduler = Scheduler::new(1, 4);
+        let id = scheduler.submit_with(Box::new(|| panic!("boom"))).unwrap();
+        match scheduler.wait(id) {
+            Some(Outcome::Failed(msg)) => {
+                assert!(msg.contains("panicked") && msg.contains("boom"), "{msg}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The worker survived: later jobs run, and drain/shutdown return.
+        let ok = scheduler
+            .submit_with(Box::new(|| Ok(b"after-panic".to_vec())))
+            .unwrap();
+        assert!(matches!(scheduler.wait(ok), Some(Outcome::Done(_))));
+        let summary = scheduler.shutdown();
+        assert_eq!(summary.failed, 1);
+        assert_eq!(summary.completed, 1);
+    }
+
+    #[test]
+    fn closed_scheduler_refuses_submissions_but_drains_accepted_jobs() {
+        let scheduler = Scheduler::new(1, 4);
+        let (id, tx) = blocking_job(&scheduler);
+        scheduler.close();
+        assert_eq!(
+            scheduler
+                .submit_with(Box::new(|| Ok(Vec::new())))
+                .unwrap_err(),
+            kecss::Error::ServiceShuttingDown
+        );
+        drop(tx);
+        assert!(matches!(scheduler.wait(id), Some(Outcome::Done(_))));
+        let summary = scheduler.shutdown();
+        assert_eq!(summary.submitted, 1);
+        assert_eq!(summary.completed, 1);
+    }
+
+    #[test]
+    fn failed_jobs_store_their_message() {
+        let scheduler = Scheduler::new(1, 4);
+        let id = scheduler
+            .submit_with(Box::new(|| Err("no such instance".into())))
+            .unwrap();
+        assert_eq!(
+            scheduler.wait(id),
+            Some(Outcome::Failed("no such instance".into()))
+        );
+        assert_eq!(scheduler.status(id), Some(JobStatus::Failed));
+        assert_eq!(scheduler.shutdown().failed, 1);
+    }
+
+    #[test]
+    fn drain_waits_for_all_inflight_jobs() {
+        let scheduler = Scheduler::new(4, 64);
+        for _ in 0..32 {
+            scheduler
+                .submit_with(Box::new(|| {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    Ok(Vec::new())
+                }))
+                .unwrap();
+        }
+        scheduler.drain();
+        let summary = scheduler.summary();
+        assert_eq!(summary.completed, 32);
+        // After a drain, the full depth is available again.
+        assert!(scheduler.submit_with(Box::new(|| Ok(Vec::new()))).is_ok());
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn outcome_is_none_while_in_flight() {
+        let scheduler = Scheduler::new(1, 2);
+        let (id, tx) = blocking_job(&scheduler);
+        assert_eq!(scheduler.outcome(id), None);
+        assert!(!scheduler.status(id).unwrap().is_terminal());
+        drop(tx);
+        assert!(scheduler.wait(id).is_some());
+        assert!(scheduler.status(id).unwrap().is_terminal());
+        scheduler.shutdown();
+    }
+}

@@ -1,0 +1,252 @@
+//! The TCP front-end: accept loop, per-connection request handling, and the
+//! shutdown/drain lifecycle.
+//!
+//! One OS thread per connection keeps the implementation std-only and the
+//! request path trivially ordered: a connection's requests are answered in
+//! submission order, while the actual solving happens on the scheduler's
+//! worker pool. `SHUTDOWN` stops the accept loop and refuses further
+//! submissions, then [`Server::run`] drains the in-flight jobs before
+//! returning — nothing that was accepted is ever dropped.
+
+use crate::protocol::Request;
+use crate::scheduler::{Outcome, Scheduler, ServeSummary};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Server configuration (the CLI's `kecss serve` flags).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// The address to bind, e.g. `127.0.0.1:7461` (port 0 picks one).
+    pub addr: String,
+    /// Scheduler pool workers.
+    pub threads: usize,
+    /// Maximum jobs in flight (queued + running) before `BUSY`.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7461".into(),
+            threads: 1,
+            queue_depth: 16,
+        }
+    }
+}
+
+/// A bound, not-yet-running server. Splitting bind from run lets callers
+/// learn the ephemeral port (`--addr 127.0.0.1:0`) before the blocking accept
+/// loop starts.
+pub struct Server {
+    listener: TcpListener,
+    scheduler: Arc<Scheduler>,
+    shutting_down: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and spins up the scheduler pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
+        Server::bind_with(config, Scheduler::new(config.threads, config.queue_depth))
+    }
+
+    /// Same as [`Server::bind`] with a caller-constructed scheduler (the seam
+    /// the integration tests use to attach a
+    /// [`crate::scheduler::StartHook`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_with(config: &ServerConfig, scheduler: Scheduler) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            scheduler: Arc::new(scheduler),
+            shutting_down: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS cannot report the bound address (it just bound it).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("listener has an address")
+    }
+
+    /// Runs the accept loop until a `SHUTDOWN` request arrives, then drains
+    /// the in-flight jobs and returns the final counters.
+    pub fn run(self) -> ServeSummary {
+        let addr = self.local_addr();
+        for stream in self.listener.incoming() {
+            if self.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let scheduler = Arc::clone(&self.scheduler);
+            let shutting_down = Arc::clone(&self.shutting_down);
+            // Connection threads are detached: they end when their client
+            // disconnects, and they never outlive useful work (after the
+            // drain below, every request they can still make is answered
+            // from the immutable job table or refused).
+            std::thread::spawn(move || {
+                handle_connection(stream, &scheduler, &shutting_down, addr);
+            });
+        }
+        self.scheduler.drain();
+        self.scheduler.summary()
+    }
+
+    /// Spawns [`Server::run`] on a background thread (the form the tests and
+    /// the in-process harness use).
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle { addr, thread }
+    }
+}
+
+/// A running background server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<ServeSummary>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to shut down (send `SHUTDOWN` first) and returns
+    /// its final counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server thread panicked.
+    pub fn join(self) -> ServeSummary {
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+/// The longest request line the server will buffer (inline instances are the
+/// only long requests; at [`crate::instance::MAX_INSTANCE_N`] edges-per-line
+/// granularity this is generous). Bounding it keeps a malicious client from
+/// growing the line buffer without ever sending a newline.
+const MAX_REQUEST_LINE: u64 = 1 << 20;
+
+/// Serves one connection: a loop of line-framed requests. Returns when the
+/// client disconnects or after acknowledging `SHUTDOWN`.
+fn handle_connection(
+    stream: TcpStream,
+    scheduler: &Scheduler,
+    shutting_down: &AtomicBool,
+    server_addr: SocketAddr,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = write_half;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::Read::take(&mut reader, MAX_REQUEST_LINE).read_line(&mut line) {
+            Ok(0) | Err(_) => return, // disconnected
+            Ok(_) => {}
+        }
+        if !line.ends_with('\n') && line.len() as u64 >= MAX_REQUEST_LINE {
+            // The limit cut the line short: refuse and drop the connection
+            // (resynchronizing mid-line is not worth the ambiguity).
+            let _ = writer.write_all(b"ERR request line exceeds the size limit\n");
+            return;
+        }
+        let request = match Request::parse(line.trim_end()) {
+            Ok(request) => request,
+            Err(message) => {
+                if writer
+                    .write_all(format!("ERR {message}\n").as_bytes())
+                    .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+        let is_shutdown = request == Request::Shutdown;
+        let response = respond(request, scheduler, shutting_down);
+        if writer.write_all(&response).is_err() {
+            return;
+        }
+        if is_shutdown {
+            // Wake the accept loop so it observes the flag. The dummy
+            // connection is accepted, sees the flag, and is dropped.
+            let _ = TcpStream::connect(server_addr);
+            return;
+        }
+    }
+}
+
+/// Computes the full response bytes (header line, plus payload for RESULT).
+fn respond(request: Request, scheduler: &Scheduler, shutting_down: &AtomicBool) -> Vec<u8> {
+    match request {
+        Request::Submit(spec) => {
+            // Admission control lives in the scheduler, under its table lock:
+            // after a SHUTDOWN closes the scheduler, this returns
+            // `ServiceShuttingDown`, and any submission admitted before the
+            // close is visible to the shutdown drain. No check against the
+            // (advisory, accept-loop-only) atomic flag here — that would race
+            // with the drain.
+            match scheduler.submit(spec) {
+                Ok(id) => format!("OK {id} QUEUED\n").into_bytes(),
+                Err(kecss::Error::JobQueueFull { depth }) => format!("BUSY {depth}\n").into_bytes(),
+                Err(other) => format!("ERR {other}\n").into_bytes(),
+            }
+        }
+        Request::Status(id) => match scheduler.status(id) {
+            Some(status) => format!("OK {id} {}\n", status.wire_name()).into_bytes(),
+            None => format!("ERR unknown job {id}\n").into_bytes(),
+        },
+        Request::Result(id) => match (scheduler.status(id), scheduler.outcome(id)) {
+            (None, _) => format!("ERR unknown job {id}\n").into_bytes(),
+            (Some(status), None) => format!("WAIT {id} {}\n", status.wire_name()).into_bytes(),
+            (_, Some(Outcome::Done(payload))) => {
+                let mut out = format!("RESULT {id} {}\n", payload.len()).into_bytes();
+                out.extend_from_slice(&payload);
+                out
+            }
+            (_, Some(Outcome::Failed(message))) => {
+                format!("ERR job {id} failed: {message}\n").into_bytes()
+            }
+            (_, Some(Outcome::Cancelled)) => {
+                format!("ERR {}\n", kecss::Error::JobCancelled { job: id }).into_bytes()
+            }
+        },
+        Request::Cancel(id) => match scheduler.cancel(id) {
+            Ok(()) => format!("OK {id} CANCELLED\n").into_bytes(),
+            Err(message) => format!("ERR {message}\n").into_bytes(),
+        },
+        Request::Shutdown => {
+            // Close the scheduler first (authoritative, under the admission
+            // lock), then flag the accept loop. Everything admitted up to the
+            // close is drained by `Server::run`; everything after is refused.
+            scheduler.close();
+            shutting_down.store(true, Ordering::SeqCst);
+            b"OK SHUTDOWN\n".to_vec()
+        }
+    }
+}
+
+/// Formats a one-line human summary (used by the CLI and the binary).
+pub fn summary_line(summary: &ServeSummary) -> String {
+    format!(
+        "served {} jobs: {} completed, {} failed, {} cancelled, {} rejected busy",
+        summary.submitted, summary.completed, summary.failed, summary.cancelled, summary.rejected
+    )
+}

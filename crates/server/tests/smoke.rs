@@ -1,0 +1,39 @@
+//! Crate seam smoke test: a real server on an ephemeral port, one job end to
+//! end, clean shutdown. (The workspace-level `tests/service.rs` suite covers
+//! concurrency, backpressure, cancellation and malformed requests.)
+
+use kecss_server::client::Client;
+use kecss_server::protocol::Request;
+use kecss_server::server::{Server, ServerConfig};
+use std::time::Duration;
+
+#[test]
+fn submit_solve_fetch_shutdown() {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        queue_depth: 4,
+    })
+    .expect("bind an ephemeral port");
+    let handle = server.spawn();
+    let addr = handle.addr().to_string();
+
+    let mut client = Client::connect(&addr).unwrap();
+    let Request::Submit(spec) = Request::parse("SUBMIT harary:12 3 kecss auto 7").unwrap() else {
+        unreachable!()
+    };
+    let id = client.submit(&spec).unwrap().expect("queue has room");
+    let payload = client
+        .wait_result(id, Duration::from_millis(10), Duration::from_secs(120))
+        .unwrap();
+    let text = String::from_utf8(payload).unwrap();
+    assert!(text.contains("verified k=3 yes"), "{text}");
+    assert!(text.contains("spec harary:12 3 kecss auto 7"), "{text}");
+    assert_eq!(client.status(id).unwrap(), "DONE");
+
+    client.shutdown().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.submitted, 1);
+    assert_eq!(summary.completed, 1);
+    assert_eq!(summary.failed, 0);
+}

@@ -1,4 +1,4 @@
-//! The workspace determinism suite (DESIGN.md §8).
+//! The workspace determinism suite (DESIGN.md §8, §9).
 //!
 //! The `kecss_runtime` parallel engine promises that `Threaded(n)` produces
 //! **bit-identical** `Outcome` states and `RunReport`s to `Sequential` for
@@ -6,7 +6,9 @@
 //! exactly with the sequential enumeration. This suite asserts both across
 //! every `congest::programs` program (flood, bfs, collective, boruvka,
 //! circulation) on seeded random graphs, plus a property test for the cut
-//! machinery.
+//! machinery, plus the service-layer promise: result payloads produced by the
+//! `kecss_server` scheduler under concurrent submission are byte-identical to
+//! the same jobs run sequentially through `kecss::solve_with_exec`.
 
 use congest::programs::bfs::DistributedBfs;
 use congest::programs::boruvka::DistributedBoruvka;
@@ -216,6 +218,85 @@ proptest! {
             let parallel = kecss::cuts::cuts_of_size_with(&g, &h, 2, &exec).unwrap();
             prop_assert_eq!(&parallel, &sequential, "t = {}", threads);
         }
+    }
+
+    /// N concurrent submissions through the `kecss_server` scheduler produce
+    /// byte-identical result payloads to the same jobs run sequentially
+    /// through `kecss::solve_with_exec` (DESIGN.md §9): the scheduler's
+    /// worker count and dispatch interleaving never reach the bytes.
+    #[test]
+    fn concurrent_service_jobs_match_sequential_solves(
+        base_seed in 0u64..200,
+        jobs in 2usize..6,
+    ) {
+        use kecss::cuts::EnumeratorPolicy;
+        use kecss_server::instance::InstanceSpec;
+        use kecss_server::job::{self, Algorithm, JobSpec};
+        use kecss_server::scheduler::{Outcome, Scheduler};
+
+        let specs: Vec<JobSpec> = (0..jobs as u64)
+            .map(|i| JobSpec {
+                instance: InstanceSpec::parse(if i % 2 == 0 { "ring:20" } else { "harary:10:7" })
+                    .unwrap(),
+                k: 2 + (i % 2) as usize,
+                algorithm: Algorithm::KEcss,
+                enumerator: EnumeratorPolicy::Auto,
+                seed: base_seed + i,
+            })
+            .collect();
+
+        // Sequential ground truth: build the instance, run the solver through
+        // `solve_with_exec` directly, verify, and encode with the same pure
+        // encoder the service uses.
+        let expected: Vec<Vec<u8>> = specs
+            .iter()
+            .map(|spec| {
+                let g = spec.instance.build(spec.k, spec.seed).unwrap();
+                let mut rng = ChaCha8Rng::seed_from_u64(spec.seed ^ job::SOLVER_SEED_SALT);
+                let sol = kecss::kecss::solve_with_exec(&g, spec.k, &mut rng, &Executor::Sequential)
+                    .unwrap();
+                prop_assert!(graphs::connectivity::is_k_edge_connected_in(
+                    &g, &sol.subgraph, spec.k
+                ));
+                let payload = job::run(spec, &Executor::Sequential).unwrap();
+                // The payload embeds exactly the `solve_with_exec` solution.
+                let text = String::from_utf8(payload.clone()).unwrap();
+                prop_assert!(
+                    text.contains(&format!(
+                        "solution edges={} weight={}",
+                        sol.subgraph.len(),
+                        sol.weight
+                    )),
+                    "payload does not embed the solve_with_exec solution: {}",
+                    text
+                );
+                Ok(payload)
+            })
+            .collect::<Result<_, String>>()?;
+
+        // Concurrent service run: all jobs in flight at once on 4 workers.
+        let scheduler = Scheduler::new(4, specs.len());
+        let ids: Vec<u64> = specs
+            .iter()
+            .map(|spec| scheduler.submit(spec.clone()).unwrap())
+            .collect();
+        for (spec, (id, want)) in specs.iter().zip(ids.iter().zip(&expected)) {
+            match scheduler.wait(*id) {
+                Some(Outcome::Done(got)) => prop_assert_eq!(
+                    got.as_slice(),
+                    want.as_slice(),
+                    "spec '{}' diverged under concurrency",
+                    spec.canonical()
+                ),
+                other => {
+                    return Err(format!(
+                        "job {id} ({}) did not complete: {other:?}",
+                        spec.canonical()
+                    ))
+                }
+            }
+        }
+        scheduler.shutdown();
     }
 
     /// Parallel and sequential `Aug_k` agree end to end for a fixed seed:

@@ -1,0 +1,312 @@
+//! The workspace service suite: a real `kecss_server` on an ephemeral port,
+//! driven through the wire protocol (DESIGN.md §9).
+//!
+//! Covered here: concurrent submissions returning verified, byte-identical
+//! payloads; queue overflow answering `BUSY` without disturbing in-flight
+//! jobs; cancellation of queued jobs; malformed requests; and `SHUTDOWN`
+//! draining every accepted job before the server exits.
+
+use kecss_server::client::{Client, ClientError, Reply};
+use kecss_server::protocol::Request;
+use kecss_server::scheduler::Scheduler;
+use kecss_server::server::{Server, ServerConfig, ServerHandle};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+const POLL: Duration = Duration::from_millis(20);
+const DEADLINE: Duration = Duration::from_secs(300);
+
+fn spawn(threads: usize, queue_depth: usize) -> ServerHandle {
+    Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads,
+        queue_depth,
+    })
+    .expect("bind an ephemeral port")
+    .spawn()
+}
+
+/// A gate the scheduler's start hook blocks on: lets a test hold job 1 on the
+/// single pool worker deterministically (no timing races) while it probes
+/// backpressure or cancellation, then release it.
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Spawns a server whose single worker blocks on `gate` before running job 1.
+fn spawn_gated(queue_depth: usize, gate: &Arc<Gate>) -> ServerHandle {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+        queue_depth,
+    };
+    let hook_gate = Arc::clone(gate);
+    let scheduler = Scheduler::with_start_hook(
+        config.threads,
+        config.queue_depth,
+        Some(Arc::new(move |id| {
+            if id == 1 {
+                hook_gate.wait();
+            }
+        })),
+    );
+    Server::bind_with(&config, scheduler)
+        .expect("bind an ephemeral port")
+        .spawn()
+}
+
+fn submit_spec(client: &mut Client, line: &str) -> u64 {
+    let Request::Submit(spec) = Request::parse(line).unwrap() else {
+        panic!("not a SUBMIT line: {line}")
+    };
+    client
+        .submit(&spec)
+        .unwrap()
+        .unwrap_or_else(|depth| panic!("unexpected BUSY (depth {depth}) for {line}"))
+}
+
+#[test]
+fn concurrent_submissions_return_verified_byte_identical_results() {
+    let handle = spawn(2, 32);
+    let addr = handle.addr().to_string();
+    // A mixed batch: two families, two algorithms, three seeds each. Every
+    // spec is submitted twice, concurrently, from separate connections.
+    let specs: Vec<String> = [1u64, 2, 3]
+        .iter()
+        .flat_map(|seed| {
+            vec![
+                format!("SUBMIT ring:20 2 2ecss auto {seed}"),
+                format!("SUBMIT harary:12:9 3 kecss auto {seed}"),
+            ]
+        })
+        .collect();
+
+    let payload_pairs: Vec<(String, Vec<u8>, Vec<u8>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|line| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut a = Client::connect(&addr).unwrap();
+                    let mut b = Client::connect(&addr).unwrap();
+                    let id_a = submit_spec(&mut a, line);
+                    let id_b = submit_spec(&mut b, line);
+                    let bytes_a = a.wait_result(id_a, POLL, DEADLINE).unwrap();
+                    let bytes_b = b.wait_result(id_b, POLL, DEADLINE).unwrap();
+                    (line.clone(), bytes_a, bytes_b)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (line, a, b) in &payload_pairs {
+        assert_eq!(a, b, "duplicate submissions of '{line}' must agree");
+        let text = String::from_utf8(a.clone()).unwrap();
+        assert!(text.contains("verified k="), "{line}: {text}");
+        assert!(
+            !text.contains(" NO\n"),
+            "{line} failed verification: {text}"
+        );
+    }
+    // Distinct specs must not collide.
+    let first: Vec<&Vec<u8>> = payload_pairs.iter().map(|(_, a, _)| a).collect();
+    for i in 0..first.len() {
+        for j in (i + 1)..first.len() {
+            assert_ne!(first[i], first[j], "specs {i} and {j} produced equal bytes");
+        }
+    }
+
+    let mut control = Client::connect(&addr).unwrap();
+    control.shutdown().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.submitted, 2 * specs.len() as u64);
+    assert_eq!(summary.completed, 2 * specs.len() as u64);
+    assert_eq!(summary.failed, 0);
+}
+
+#[test]
+fn queue_overflow_returns_busy_without_dropping_inflight_jobs() {
+    // One worker held on job 1 by the gate, depth 2: job 2 queues behind it,
+    // so the third submission must bounce with BUSY — deterministically.
+    let gate = Gate::new();
+    let handle = spawn_gated(2, &gate);
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let a = submit_spec(&mut client, "SUBMIT harary:16 4 kecss auto 1");
+    let b = submit_spec(&mut client, "SUBMIT harary:16 4 kecss auto 2");
+    let Request::Submit(third) = Request::parse("SUBMIT ring:20 2 2ecss auto 3").unwrap() else {
+        unreachable!()
+    };
+    match client.submit(&third).unwrap() {
+        Err(depth) => assert_eq!(depth, 2, "BUSY must echo the configured depth"),
+        Ok(id) => panic!("expected BUSY, got job {id}"),
+    }
+
+    // The rejected submission disturbed nothing: both in-flight jobs still
+    // produce verified payloads once the gate opens.
+    gate.release();
+    for id in [a, b] {
+        let text = String::from_utf8(client.wait_result(id, POLL, DEADLINE).unwrap()).unwrap();
+        assert!(text.contains("verified k=4 yes"), "job {id}: {text}");
+    }
+    // With the queue drained, the same spec is accepted.
+    assert!(client.submit(&third).unwrap().is_ok());
+
+    client.shutdown().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.rejected, 1);
+    assert_eq!(summary.submitted, 3);
+    assert_eq!(summary.completed, 3);
+}
+
+#[test]
+fn queued_jobs_can_be_cancelled_and_report_job_cancelled() {
+    // One worker held on job 1 by the gate: job 2 stays queued and
+    // cancellable for as long as the test needs.
+    let gate = Gate::new();
+    let handle = spawn_gated(8, &gate);
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let a = submit_spec(&mut client, "SUBMIT harary:16 4 kecss auto 5");
+    let b = submit_spec(&mut client, "SUBMIT ring:20 2 2ecss auto 5");
+    client.cancel(b).expect("a queued job is cancellable");
+    assert_eq!(client.status(b).unwrap(), "CANCELLED");
+    match client.result(b) {
+        Err(ClientError::Server(msg)) => {
+            assert!(msg.contains(&format!("job {b} was cancelled")), "{msg}");
+        }
+        other => panic!("RESULT of a cancelled job must be an ERR, got {other:?}"),
+    }
+    // Cancelling twice is an error; the in-flight job is untouched.
+    assert!(client.cancel(b).is_err());
+    gate.release();
+    let text = String::from_utf8(client.wait_result(a, POLL, DEADLINE).unwrap()).unwrap();
+    assert!(text.contains("verified k=4 yes"), "{text}");
+
+    client.shutdown().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.cancelled, 1);
+    assert_eq!(summary.completed, 1);
+}
+
+#[test]
+fn malformed_requests_get_err_replies_and_do_not_kill_the_connection() {
+    let handle = spawn(1, 4);
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    for (line, needle) in [
+        ("FROBNICATE", "unknown request"),
+        ("SUBMIT", "5 fields"),
+        ("SUBMIT nope:20 2 kecss auto 1", "unknown family"),
+        ("SUBMIT ring:20 2 magic auto 1", "unknown algorithm"),
+        ("SUBMIT inline:3:0-1 2 kecss auto 1", "inline edge"),
+        ("STATUS notanumber", "malformed job id"),
+        ("STATUS 999", "unknown job 999"),
+        ("RESULT 999", "unknown job 999"),
+        ("CANCEL 999", "unknown job 999"),
+        ("SHUTDOWN please", "no arguments"),
+    ] {
+        match client.request_line(line).unwrap() {
+            Reply::Err(msg) => assert!(msg.contains(needle), "'{line}': {msg}"),
+            other => panic!("'{line}' should be ERR, got {other:?}"),
+        }
+    }
+
+    // After ten bad requests the same connection still serves a good one.
+    let id = submit_spec(
+        &mut client,
+        "SUBMIT inline:4:0-1-1,1-2-1,2-3-1,3-0-1 2 kecss auto 1",
+    );
+    let text = String::from_utf8(client.wait_result(id, POLL, DEADLINE).unwrap()).unwrap();
+    assert!(text.contains("verified k=2 yes"), "{text}");
+
+    // A job-level failure (instance not 3-edge-connected) is an ERR on
+    // RESULT, not a dead server.
+    let f = submit_spec(
+        &mut client,
+        "SUBMIT inline:4:0-1-1,1-2-1,2-3-1,3-0-1 3 kecss auto 1",
+    );
+    loop {
+        match client.result(f) {
+            Ok(None) => std::thread::sleep(POLL),
+            Ok(Some(payload)) => panic!("job {f} should fail, got {payload:?}"),
+            Err(ClientError::Server(msg)) => {
+                assert!(msg.contains(&format!("job {f} failed")), "{msg}");
+                break;
+            }
+            Err(other) => panic!("unexpected {other}"),
+        }
+    }
+
+    client.shutdown().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.submitted, 2);
+    assert_eq!(summary.completed, 1);
+    assert_eq!(summary.failed, 1);
+}
+
+#[test]
+fn shutdown_drains_accepted_jobs_and_refuses_new_ones() {
+    let handle = spawn(2, 16);
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Fill the server with work, then shut down without fetching results:
+    // the drain must still run every accepted job to completion.
+    let mut ids = Vec::new();
+    for seed in 0..6u64 {
+        ids.push(submit_spec(
+            &mut client,
+            &format!("SUBMIT ring:20 2 2ecss auto {seed}"),
+        ));
+    }
+    client.shutdown().unwrap();
+
+    // Submissions after SHUTDOWN are refused (on a fresh connection, since
+    // the accept loop may answer one last queued connection attempt).
+    let Request::Submit(spec) = Request::parse("SUBMIT ring:20 2 2ecss auto 9").unwrap() else {
+        unreachable!()
+    };
+    if let Ok(mut late) = Client::connect(&addr) {
+        match late.submit(&spec) {
+            Err(_) => {}     // connection refused/reset: fine
+            Ok(Err(_)) => {} // BUSY: also a refusal
+            Ok(Ok(id)) => panic!("post-shutdown submission was accepted as job {id}"),
+        }
+    }
+
+    let summary = handle.join();
+    assert_eq!(summary.submitted, ids.len() as u64);
+    assert_eq!(
+        summary.completed,
+        ids.len() as u64,
+        "SHUTDOWN must drain accepted jobs, not drop them"
+    );
+    assert_eq!(summary.failed, 0);
+}
