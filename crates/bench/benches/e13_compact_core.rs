@@ -1,0 +1,195 @@
+//! E13 — the compact graph core: binary vs text instance parsing, and the
+//! word-packed removal-test kernel vs the naive byte-per-edge model it
+//! replaced (DESIGN.md §10, EXPERIMENTS.md E13).
+//!
+//! Two tables:
+//!
+//! * **Parse throughput** — encode one large ring-of-cliques instance in
+//!   both on-disk formats, then decode each; the binary decode is a single
+//!   fixed-stride pass (no integer parsing), so the table reports bytes,
+//!   wall time, edges/s and the binary/text speedup. The acceptance bar for
+//!   this PR is a ≥5× parse speedup.
+//! * **Removal kernel** — `connectivity::is_connected_after_removal` is the
+//!   innermost loop of exact cut verification, and the `Aug_k` driver always
+//!   calls it with a *sparse* subgraph `H` (a certificate of ~`k·n` edges)
+//!   masked over a much larger instance. The table compares the shipped
+//!   word-wise implementation against the naive model (per-edge `Vec<bool>`
+//!   scan with a `removed.contains` probe per edge) in exactly that regime,
+//!   sweeping all single-edge removals of the certificate.
+//!
+//! Criterion then times one representative of each: binary parse, text
+//! parse, and the packed removal kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use graphs::{connectivity, dsu::DisjointSets, EdgeId, Graph};
+use kecss_bench::table::Table;
+use kecss_bench::workloads;
+use std::time::{Duration, Instant};
+
+/// The large parse-throughput instance: 30k cliques of 4 = 120k vertices,
+/// 240k edges (the scale the ROADMAP's "instance files at scale" item names).
+/// Shared with `kecss-bench-json` via [`workloads::e13_parse_instance`].
+fn large_instance() -> Graph {
+    workloads::e13_parse_instance(30_000)
+}
+
+/// The pre-refactor removal test: iterate every set edge (the old `Vec<bool>`
+/// enumerate-filter scan) and probe the removed slice per edge.
+fn naive_removal_model(graph: &Graph, h: &[bool], removed: &[EdgeId]) -> bool {
+    let mut dsu = DisjointSets::new(graph.n());
+    for (i, &in_h) in h.iter().enumerate() {
+        if !in_h {
+            continue;
+        }
+        let id = EdgeId(i);
+        if removed.contains(&id) {
+            continue;
+        }
+        let e = graph.edge(id);
+        dsu.union(e.u, e.v);
+    }
+    dsu.component_count() == 1
+}
+
+fn print_parse_table() {
+    let g = large_instance();
+    let mut text = Vec::new();
+    graphs::io::write_text(&mut text, &g).expect("encode text");
+    let mut binary = Vec::new();
+    graphs::io::write_binary(&mut binary, &g).expect("encode binary");
+
+    let time_parse = |f: &dyn Fn() -> Graph| -> (Graph, Duration) {
+        // Median of 5 runs keeps the table stable on a noisy CI machine.
+        let mut best: Vec<(Duration, Graph)> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                let parsed = f();
+                (start.elapsed(), parsed)
+            })
+            .collect();
+        best.sort_by_key(|(d, _)| *d);
+        let (d, parsed) = best.swap_remove(2);
+        (parsed, d)
+    };
+    let text_str = std::str::from_utf8(&text).expect("text is UTF-8");
+    let (from_text, text_wall) = time_parse(&|| graphs::io::read_text(text_str).unwrap());
+    let (from_binary, binary_wall) = time_parse(&|| graphs::io::read_binary(&binary).unwrap());
+    assert_eq!(from_text, g, "text decode must reproduce the instance");
+    assert_eq!(from_binary, g, "binary decode must reproduce the instance");
+
+    let eps = |d: Duration| g.m() as f64 / d.as_secs_f64();
+    let mut table = Table::new(["format", "bytes", "parse ms", "edges/s", "speedup"]);
+    table.push([
+        "text".into(),
+        text.len().to_string(),
+        format!("{:.2}", text_wall.as_secs_f64() * 1e3),
+        format!("{:.2e}", eps(text_wall)),
+        "1.0x".into(),
+    ]);
+    table.push([
+        "binary".into(),
+        binary.len().to_string(),
+        format!("{:.2}", binary_wall.as_secs_f64() * 1e3),
+        format!("{:.2e}", eps(binary_wall)),
+        format!(
+            "{:.1}x",
+            text_wall.as_secs_f64() / binary_wall.as_secs_f64()
+        ),
+    ]);
+    table.print(&format!(
+        "E13a: instance parse throughput, ring-of-cliques n = {}, m = {}",
+        g.n(),
+        g.m()
+    ));
+}
+
+fn print_removal_table() {
+    let (g, h) = workloads::e13_kernel_instance();
+    let h_bools: Vec<bool> = (0..g.m()).map(|i| h.contains(EdgeId(i))).collect();
+    let candidates: Vec<EdgeId> = h.iter().collect();
+
+    // Sweep all single-edge removals of the certificate (none disconnects a
+    // 4-edge-connected H; the verdicts must agree everywhere).
+    let start = Instant::now();
+    let mut packed_connected = 0usize;
+    for &id in &candidates {
+        if connectivity::is_connected_after_removal(&g, &h, &[id]) {
+            packed_connected += 1;
+        }
+    }
+    let packed_wall = start.elapsed();
+
+    let start = Instant::now();
+    let mut naive_connected = 0usize;
+    for &id in &candidates {
+        if naive_removal_model(&g, &h_bools, &[id]) {
+            naive_connected += 1;
+        }
+    }
+    let naive_wall = start.elapsed();
+    assert_eq!(packed_connected, naive_connected, "kernels must agree");
+    assert_eq!(packed_connected, candidates.len(), "H is 4-edge-connected");
+
+    let per_test = |d: Duration| d.as_secs_f64() * 1e6 / candidates.len() as f64;
+    let mut table = Table::new(["kernel", "tests", "wall ms", "us/test", "speedup"]);
+    table.push([
+        "naive Vec<bool>".into(),
+        candidates.len().to_string(),
+        format!("{:.1}", naive_wall.as_secs_f64() * 1e3),
+        format!("{:.2}", per_test(naive_wall)),
+        "1.0x".into(),
+    ]);
+    table.push([
+        "packed words".into(),
+        candidates.len().to_string(),
+        format!("{:.1}", packed_wall.as_secs_f64() * 1e3),
+        format!("{:.2}", per_test(packed_wall)),
+        format!(
+            "{:.1}x",
+            naive_wall.as_secs_f64() / packed_wall.as_secs_f64()
+        ),
+    ]);
+    table.print(&format!(
+        "E13b: exact removal-test kernel, |H| = {} certificate edges masked over m = {}",
+        candidates.len(),
+        g.m()
+    ));
+}
+
+fn bench(c: &mut Criterion) {
+    print_parse_table();
+    print_removal_table();
+
+    // Criterion representatives on a smaller instance so the timed loops
+    // stay snappy: 30k vertices, 60k edges.
+    let g = workloads::e13_parse_instance(7_500);
+    let mut text = Vec::new();
+    graphs::io::write_text(&mut text, &g).expect("encode text");
+    let text = String::from_utf8(text).expect("text is UTF-8");
+    let mut binary = Vec::new();
+    graphs::io::write_binary(&mut binary, &g).expect("encode binary");
+    c.bench_function("e13/parse_text_60k_edges", |b| {
+        b.iter(|| graphs::io::read_text(black_box(&text)).unwrap().m())
+    });
+    c.bench_function("e13/parse_binary_60k_edges", |b| {
+        b.iter(|| graphs::io::read_binary(black_box(&binary)).unwrap().m())
+    });
+
+    let (kernel, h) = workloads::e13_kernel_instance();
+    let probe: Vec<EdgeId> = h.iter().take(64).collect();
+    c.bench_function("e13/removal_test_sparse_mask_64x", |b| {
+        b.iter(|| {
+            probe
+                .iter()
+                .filter(|&&id| connectivity::is_connected_after_removal(&kernel, &h, &[id]))
+                .count()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

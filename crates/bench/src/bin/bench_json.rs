@@ -2,9 +2,10 @@
 //!
 //! Runs a quick-mode subset of the experiment workloads (E10 parallel
 //! scaling's solver kernel, E11's general cut enumeration, E12's service
-//! throughput) and writes median nanoseconds per workload as JSON, so CI can
-//! upload a `BENCH_PR<N>.json` artifact and successive PRs accumulate a
-//! comparable perf trajectory.
+//! throughput, E13's compact-core parse and removal kernels) and writes
+//! median nanoseconds per workload as JSON, so CI can upload a
+//! `BENCH_PR<N>.json` artifact and successive PRs accumulate a comparable
+//! perf trajectory.
 //!
 //! Usage: `kecss-bench-json [--out FILE] [--samples N]`
 //!
@@ -137,6 +138,56 @@ fn e12_scheduler_overhead(samples: usize) -> Measurement {
     }
 }
 
+/// E13a's parse kernels: decode a 30k-vertex / 60k-edge ring-of-cliques
+/// instance from each on-disk format (the binary one is the new `KGB1`
+/// fixed-stride decode; text is the seed's line parser). The fixture is
+/// [`kecss_bench::workloads::e13_parse_instance`], shared with the Criterion
+/// bench so the trajectory and the series measure the same workload.
+fn e13_parse(samples: usize) -> (Measurement, Measurement) {
+    let g = kecss_bench::workloads::e13_parse_instance(7_500);
+    let mut text = Vec::new();
+    graphs::io::write_text(&mut text, &g).expect("encode text");
+    let text = String::from_utf8(text).expect("text is UTF-8");
+    let mut binary = Vec::new();
+    graphs::io::write_binary(&mut binary, &g).expect("encode binary");
+    let text_m = Measurement {
+        name: "e13_compact_core/parse_text_60k_edges",
+        median_ns: median_ns(samples, || {
+            assert_eq!(graphs::io::read_text(&text).unwrap().m(), g.m());
+        }),
+        samples,
+    };
+    let binary_m = Measurement {
+        name: "e13_compact_core/parse_binary_60k_edges",
+        median_ns: median_ns(samples, || {
+            assert_eq!(graphs::io::read_binary(&binary).unwrap().m(), g.m());
+        }),
+        samples,
+    };
+    (text_m, binary_m)
+}
+
+/// E13b's removal kernel: 64 word-wise exact removal tests of a sparse
+/// 4-connected certificate masked over a dense instance — the innermost loop
+/// of cut-candidate verification, in the mask shape `Aug_k` probes. Fixture
+/// shared with the Criterion bench
+/// ([`kecss_bench::workloads::e13_kernel_instance`]).
+fn e13_removal_kernel(samples: usize) -> Measurement {
+    let (g, h) = kecss_bench::workloads::e13_kernel_instance();
+    let probe: Vec<graphs::EdgeId> = h.iter().take(64).collect();
+    Measurement {
+        name: "e13_compact_core/removal_test_sparse_mask_64x",
+        median_ns: median_ns(samples, || {
+            let connected = probe
+                .iter()
+                .filter(|&&id| graphs::connectivity::is_connected_after_removal(&g, &h, &[id]))
+                .count();
+            assert_eq!(connected, probe.len(), "H is 4-edge-connected");
+        }),
+        samples,
+    }
+}
+
 fn render_json(measurements: &[Measurement]) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"kecss-bench-v1\",\n  \"workloads\": [\n");
@@ -176,11 +227,15 @@ fn main() {
         i += 2;
     }
 
+    let (e13_text, e13_binary) = e13_parse(samples);
     let measurements = [
         e10_kecss_solve(samples),
         e11_contract_q5(samples),
         e12_submit_to_result(samples),
         e12_scheduler_overhead(samples),
+        e13_text,
+        e13_binary,
+        e13_removal_kernel(samples),
     ];
     for m in &measurements {
         println!(

@@ -1,7 +1,7 @@
 //! Shared infrastructure for the benchmark harness.
 //!
 //! Every benchmark target under `benches/` corresponds to one experiment of
-//! EXPERIMENTS.md (E1–E12). The benches print the experiment's series/rows
+//! EXPERIMENTS.md (E1–E13). The benches print the experiment's series/rows
 //! (the "table the paper would have had") before handing a representative
 //! configuration to Criterion for wall-clock timing. This module provides the
 //! two things they share: instance families ([`workloads`]) and fixed-width

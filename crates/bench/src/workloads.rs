@@ -11,7 +11,7 @@
 //! * [`Topology::Torus`] — bounded-degree, `D = Θ(√n)` instances.
 
 use congest::{Incoming, Message, NodeContext, NodeProgram, Outcome, Outgoing, StepResult};
-use graphs::{generators, Graph, Weight};
+use graphs::{generators, EdgeSet, Graph, Weight};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -201,6 +201,33 @@ pub fn report_diameter(graph: &Graph) -> usize {
     } else {
         graphs::bfs::approx_diameter(graph).unwrap_or(graph.n())
     }
+}
+
+/// E13's parse-throughput fixture: a ring-of-cliques instance with `2 m`
+/// edges per `m` requested clique count (4-vertex cliques, 2 links). Shared
+/// by `benches/e13_compact_core.rs` and `kecss-bench-json` so the Criterion
+/// series and the `BENCH_PR<N>.json` trajectory measure the same workload.
+pub fn e13_parse_instance(cliques: usize) -> Graph {
+    generators::ring_of_cliques(cliques, 4, 2, 1)
+}
+
+/// E13's removal-kernel fixture: a dense 4-edge-connected random graph
+/// (n = 2000, m = 64 000) with a sparse 4-connected certificate `H` (union
+/// of 4 maximal spanning forests, ~8 k edges ≈ 12% of the universe) — the
+/// mask shape the `Aug_k` cut-verification loop actually probes. Shared by
+/// the E13 bench and `kecss-bench-json` (same seed, same sizes) so both
+/// report the same kernel.
+pub fn e13_kernel_instance() -> (Graph, EdgeSet) {
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let g = generators::random_k_edge_connected(2_000, 4, 60_000, &mut rng);
+    let mut remaining = g.full_edge_set();
+    let mut h = g.empty_edge_set();
+    for _ in 0..4 {
+        let forest = graphs::mst::maximal_spanning_forest_in(&g, &remaining);
+        h.union_with(&forest);
+        remaining.difference_with(&forest);
+    }
+    (g, h)
 }
 
 /// Deterministic per-experiment RNG.

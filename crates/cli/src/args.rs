@@ -80,12 +80,19 @@ pub enum Command {
         /// Optional path to write the selected edge list to.
         output: Option<String>,
     },
+    /// Translate an instance file between the text and `KGB1` binary formats
+    /// (the direction is inferred from the two extensions).
+    Convert {
+        /// Path of the existing instance (either format).
+        input: String,
+        /// Path to write (either format; `.graphb` = binary).
+        output: String,
+    },
     /// Run a grid of instances × algorithms × seeds concurrently.
     Sweep {
-        /// Instance family.
-        family: Family,
-        /// Vertex counts, one grid dimension.
-        ns: Vec<usize>,
+        /// Where the instances come from: a generated family grid, or one
+        /// instance file (text or binary).
+        source: SweepSource,
         /// Connectivity target for generation and solving.
         k: usize,
         /// Maximum edge weight (1 = unweighted).
@@ -130,6 +137,21 @@ pub enum Command {
     },
 }
 
+/// What a sweep iterates over.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SweepSource {
+    /// Generate one instance per `(family, n, seed)` grid cell.
+    Grid {
+        /// Instance family.
+        family: Family,
+        /// Vertex counts, one grid dimension.
+        ns: Vec<usize>,
+    },
+    /// Load one instance file (text or `.graphb` binary) and sweep
+    /// algorithms × seeds over it.
+    File(String),
+}
+
 /// The two things `kecss submit` can ask of a server.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SubmitAction {
@@ -170,6 +192,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "generate" => parse_generate(&rest),
         "solve" => parse_solve(&rest),
         "verify" => parse_verify(&rest),
+        "convert" => parse_convert(&rest),
         "sweep" => parse_sweep(&rest),
         "serve" => parse_serve(&rest),
         "submit" => parse_submit(&rest),
@@ -187,7 +210,8 @@ USAGE:
     kecss generate --family <random|ring|torus|harary|hypercube> --n <N> [--k <K>] [--max-weight <W>] [--seed <S>] --output <FILE>
     kecss solve    --input <FILE> --algorithm <2ecss|kecss|3ecss|3ecss-weighted|greedy|thurimella|mst> [--k <K>] [--seed <S>] [--threads <T>] [--enumerator <E>] [--output <FILE>]
     kecss verify   --input <FILE> --solution <FILE> --k <K>
-    kecss sweep    --family <random|ring|torus|harary|hypercube> --n <N1,N2,...> [--k <K>] [--max-weight <W>] [--algorithms <A1,A2,...>] [--seeds <S>] [--base-seed <B>] [--threads <T>] [--enumerator <E>]
+    kecss convert  --input <FILE> --output <FILE>
+    kecss sweep    (--family <F> --n <N1,N2,...> | --input <FILE>) [--k <K>] [--max-weight <W>] [--algorithms <A1,A2,...>] [--seeds <S>] [--base-seed <B>] [--threads <T>] [--enumerator <E>]
     kecss serve    [--addr <HOST:PORT>] [--threads <T>] [--queue-depth <Q>]
     kecss submit   --addr <HOST:PORT> --instance <SPEC> [--k <K>] [--algorithm <A>] [--enumerator <E>] [--seed <S>] [--timeout-secs <T>] [--no-wait true]
     kecss submit   --addr <HOST:PORT> --shutdown true
@@ -218,9 +242,15 @@ and streaming back byte-deterministic, exactly-verified result payloads.
 result (unless --no-wait true) and fails unless the server verified the
 solution. '--shutdown true' asks the server to drain and exit instead.
 
-The instance file format is plain text: the first non-comment line is the
-number of vertices, every following line is 'u v weight'. Lines starting with
-'#' are ignored.
+Instance files come in two formats, picked by extension everywhere a file is
+read or written: plain text (the first non-comment line is the number of
+vertices, every following line is 'u v weight'; '#' lines are ignored) and
+the KGB1 binary format ('.graphb': the \"KGB1\" magic, little-endian u64
+vertex and edge counts, then one 16-byte 'u32 u, u32 v, u64 weight' record
+per edge — DESIGN.md §10). Both encode the edge list in the same order, so
+edge ids — and therefore solver outputs — are identical for both. `convert`
+translates between them; `sweep --input` and the service's 'file:<path>'
+instance spec accept either.
 ";
 
 fn flag_map<'a>(
@@ -325,6 +355,14 @@ fn parse_number_list<T: std::str::FromStr>(key: &str, value: &str) -> Result<Vec
     Ok(items)
 }
 
+fn parse_convert(rest: &[&String]) -> Result<Command, CliError> {
+    let map = flag_map(rest)?;
+    Ok(Command::Convert {
+        input: required(&map, "input")?.to_string(),
+        output: required(&map, "output")?.to_string(),
+    })
+}
+
 fn parse_sweep(rest: &[&String]) -> Result<Command, CliError> {
     let map = flag_map(rest)?;
     let algorithms = match map.get("algorithms") {
@@ -342,9 +380,22 @@ fn parse_sweep(rest: &[&String]) -> Result<Command, CliError> {
         }
         None => vec![Algorithm::KEcss],
     };
+    let source = match map.get("input") {
+        Some(path) => {
+            if map.contains_key("family") || map.contains_key("n") {
+                return Err(CliError::Usage(
+                    "sweep takes either --input FILE or --family/--n, not both".into(),
+                ));
+            }
+            SweepSource::File(path.to_string())
+        }
+        None => SweepSource::Grid {
+            family: parse_family(required(&map, "family")?)?,
+            ns: parse_number_list("n", required(&map, "n")?)?,
+        },
+    };
     Ok(Command::Sweep {
-        family: parse_family(required(&map, "family")?)?,
-        ns: parse_number_list("n", required(&map, "n")?)?,
+        source,
         k: map
             .get("k")
             .map(|v| parse_number("k", v))
@@ -606,8 +657,10 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Sweep {
-                family: Family::Random,
-                ns: vec![32, 48, 64],
+                source: SweepSource::Grid {
+                    family: Family::Random,
+                    ns: vec![32, 48, 64],
+                },
                 k: 2,
                 max_weight: 1,
                 algorithms: vec![Algorithm::TwoEcss, Algorithm::Greedy],
@@ -617,6 +670,40 @@ mod tests {
                 enumerator: EnumeratorPolicy::Auto,
             }
         );
+    }
+
+    #[test]
+    fn sweep_parses_file_source() {
+        let cmd = parse(&argv(&["sweep", "--input", "big.graphb", "--k", "2"])).unwrap();
+        match cmd {
+            Command::Sweep { source, k, .. } => {
+                assert_eq!(source, SweepSource::File("big.graphb".into()));
+                assert_eq!(k, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // --input excludes the grid flags.
+        assert!(parse(&argv(&[
+            "sweep", "--input", "a.graph", "--family", "random", "--n", "8"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&["sweep", "--input", "a.graph", "--n", "8"])).is_err());
+    }
+
+    #[test]
+    fn convert_requires_both_paths() {
+        assert_eq!(
+            parse(&argv(&[
+                "convert", "--input", "a.graph", "--output", "a.graphb"
+            ]))
+            .unwrap(),
+            Command::Convert {
+                input: "a.graph".into(),
+                output: "a.graphb".into(),
+            }
+        );
+        assert!(parse(&argv(&["convert", "--input", "a.graph"])).is_err());
+        assert!(parse(&argv(&["convert", "--output", "a.graphb"])).is_err());
     }
 
     #[test]
@@ -659,9 +746,15 @@ mod tests {
         .unwrap()
         {
             Command::Sweep {
-                family, enumerator, ..
+                source, enumerator, ..
             } => {
-                assert_eq!(family, Family::Hypercube);
+                assert_eq!(
+                    source,
+                    SweepSource::Grid {
+                        family: Family::Hypercube,
+                        ns: vec![64],
+                    }
+                );
                 assert_eq!(enumerator, EnumeratorPolicy::Contract);
             }
             other => panic!("unexpected {other:?}"),
@@ -704,7 +797,7 @@ mod tests {
         let cmd = parse(&argv(&["sweep", "--family", "torus", "--n", "64"])).unwrap();
         match cmd {
             Command::Sweep {
-                ns,
+                source,
                 k,
                 algorithms,
                 seeds,
@@ -712,7 +805,13 @@ mod tests {
                 threads,
                 ..
             } => {
-                assert_eq!(ns, vec![64]);
+                assert_eq!(
+                    source,
+                    SweepSource::Grid {
+                        family: Family::Torus,
+                        ns: vec![64],
+                    }
+                );
                 assert_eq!(k, 2);
                 assert_eq!(algorithms, vec![Algorithm::KEcss]);
                 assert_eq!((seeds, base_seed, threads), (1, 1, 1));

@@ -1,6 +1,6 @@
 //! Execution of the parsed CLI commands.
 
-use crate::args::{Algorithm, Command, Family, SubmitAction};
+use crate::args::{Algorithm, Command, Family, SubmitAction, SweepSource};
 use crate::graph_io;
 use crate::CliError;
 use graphs::{connectivity, EdgeSet, Graph};
@@ -67,9 +67,20 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             }
             Ok(())
         }
+        Command::Convert { input, output } => {
+            let graph = graph_io::read_graph(Path::new(&input))?;
+            graph_io::write_graph(Path::new(&output), &graph)?;
+            writeln!(
+                out,
+                "converted {input} -> {output}: n = {}, m = {}, total weight {}",
+                graph.n(),
+                graph.m(),
+                graph.total_weight()
+            )?;
+            Ok(())
+        }
         Command::Sweep {
-            family,
-            ns,
+            source,
             k,
             max_weight,
             algorithms,
@@ -79,8 +90,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             enumerator,
         } => run_sweep(
             out,
-            family,
-            &ns,
+            &source,
             k,
             max_weight,
             &algorithms,
@@ -214,13 +224,13 @@ struct SweepRow {
 
 /// Runs the (algorithm × n × seed) grid concurrently over `threads` workers,
 /// printing one table row per cell plus an aggregate line. Every cell
-/// generates its own instance, solves it and verifies the solution; rows come
-/// out in grid order regardless of the thread count.
+/// generates its own instance — or, for a [`SweepSource::File`], shares the
+/// one loaded instance (either on-disk format) — solves it and verifies the
+/// solution; rows come out in grid order regardless of the thread count.
 #[allow(clippy::too_many_arguments)]
 fn run_sweep<W: Write>(
     out: &mut W,
-    family: Family,
-    ns: &[usize],
+    source: &SweepSource,
     k: usize,
     max_weight: u64,
     algorithms: &[Algorithm],
@@ -231,11 +241,27 @@ fn run_sweep<W: Write>(
 ) -> Result<(), CliError> {
     let exec = Executor::from_threads(threads);
     let seed_list: Vec<u64> = (0..seeds.max(1)).map(|i| base_seed + i).collect();
-    let cells = sweep::grid3(algorithms, ns, &seed_list);
+    // For a file source, load once and freeze: every cell reads the same
+    // instance through a shared reference (Graph is Sync).
+    let loaded: Option<Graph> = match source {
+        SweepSource::Grid { .. } => None,
+        SweepSource::File(path) => {
+            let graph = graph_io::read_graph(Path::new(path))?;
+            graph.freeze();
+            Some(graph)
+        }
+    };
+    let (source_label, ns): (String, Vec<usize>) = match source {
+        SweepSource::Grid { family, ns } => (format!("family={}", family.name()), ns.clone()),
+        SweepSource::File(path) => (
+            format!("input={path}"),
+            vec![loaded.as_ref().expect("file source is loaded").n()],
+        ),
+    };
+    let cells = sweep::grid3(algorithms, &ns, &seed_list);
     writeln!(
         out,
-        "sweep     : family={} k={k} max-weight={max_weight} enumerator={} threads={} cells={}",
-        family.name(),
+        "sweep     : {source_label} k={k} max-weight={max_weight} enumerator={} threads={} cells={}",
         enumerator.name(),
         exec.threads(),
         cells.len()
@@ -246,20 +272,29 @@ fn run_sweep<W: Write>(
         "algorithm", "n", "m", "seed", "edges", "weight", "rounds", "valid", "ms"
     )?;
     let started = Instant::now();
+    let loaded = loaded.as_ref();
     // Job-granular scheduling: cells of a grid can differ in cost by orders
     // of magnitude (n is a grid dimension), so workers claim one cell at a
     // time instead of a fixed chunk. Rows still come out in grid order.
     let results: Vec<Result<SweepRow, CliError>> =
         sweep::run_jobs(&exec, &cells, |&(algorithm, n, seed)| {
             let cell_start = Instant::now();
-            let graph = generate(family, n, k, max_weight, seed)?;
+            let generated;
+            let graph: &Graph = match (source, loaded) {
+                (_, Some(shared)) => shared,
+                (SweepSource::Grid { family, .. }, None) => {
+                    generated = generate(*family, n, k, max_weight, seed)?;
+                    &generated
+                }
+                (SweepSource::File(_), None) => unreachable!("file sources are preloaded"),
+            };
             // Cells parallelize across the grid; within a cell the solver
             // runs sequentially (no nested thread explosion). The solver gets
             // a salted seed: reusing the instance seed verbatim would replay
             // the exact RNG stream that chose the topology, correlating the
             // randomized algorithms' coin flips with the instance.
             let (edges, rounds, _) = job::dispatch(
-                &graph,
+                graph,
                 algorithm,
                 k,
                 seed ^ job::SOLVER_SEED_SALT,
@@ -267,7 +302,7 @@ fn run_sweep<W: Write>(
                 enumerator,
             )?;
             let target = algorithm.certified_k(k);
-            let valid = connectivity::is_k_edge_connected_in(&graph, &edges, target.max(1));
+            let valid = connectivity::is_k_edge_connected_in(graph, &edges, target.max(1));
             Ok(SweepRow {
                 algorithm: algorithm.name(),
                 n: graph.n(),
@@ -623,8 +658,10 @@ mod tests {
     #[test]
     fn sweep_runs_a_grid_and_reports_every_cell() {
         let text = run(Command::Sweep {
-            family: Family::Random,
-            ns: vec![16, 24],
+            source: SweepSource::Grid {
+                family: Family::Random,
+                ns: vec![16, 24],
+            },
             k: 2,
             max_weight: 12,
             algorithms: vec![Algorithm::TwoEcss, Algorithm::Greedy],
@@ -656,8 +693,10 @@ mod tests {
                 .collect()
         };
         let make = |threads: usize| Command::Sweep {
-            family: Family::Random,
-            ns: vec![14, 20],
+            source: SweepSource::Grid {
+                family: Family::Random,
+                ns: vec![14, 20],
+            },
             k: 2,
             max_weight: 9,
             algorithms: vec![Algorithm::TwoEcss],
@@ -673,6 +712,99 @@ mod tests {
             parallel[0] = parallel[0].replace(&format!("threads={threads}"), "threads=1");
             assert_eq!(parallel, sequential, "t = {threads}");
         }
+    }
+
+    #[test]
+    fn convert_round_trips_both_directions() {
+        let text_path = tmp("convert.graph");
+        let bin_path = tmp("convert.graphb");
+        let back_path = tmp("convert-back.graph");
+        run(Command::Generate {
+            family: Family::Random,
+            n: 20,
+            k: 2,
+            max_weight: 17,
+            seed: 9,
+            output: text_path.clone(),
+        });
+        let report = run(Command::Convert {
+            input: text_path.clone(),
+            output: bin_path.clone(),
+        });
+        assert!(report.contains("n = 20"), "{report}");
+        run(Command::Convert {
+            input: bin_path.clone(),
+            output: back_path.clone(),
+        });
+        // text -> binary -> text is the identity on the file bytes.
+        assert_eq!(
+            std::fs::read(&text_path).unwrap(),
+            std::fs::read(&back_path).unwrap()
+        );
+    }
+
+    #[test]
+    fn solve_is_byte_identical_across_instance_formats() {
+        let text_path = tmp("fmt.graph");
+        let bin_path = tmp("fmt.graphb");
+        let sol_a = tmp("fmt-text.edges");
+        let sol_b = tmp("fmt-bin.edges");
+        run(Command::Generate {
+            family: Family::Random,
+            n: 22,
+            k: 2,
+            max_weight: 13,
+            seed: 11,
+            output: text_path.clone(),
+        });
+        run(Command::Convert {
+            input: text_path.clone(),
+            output: bin_path.clone(),
+        });
+        for (input, output) in [(&text_path, &sol_a), (&bin_path, &sol_b)] {
+            run(Command::Solve {
+                input: input.clone(),
+                algorithm: Algorithm::KEcss,
+                k: 2,
+                seed: 5,
+                threads: 1,
+                enumerator: EnumeratorPolicy::Auto,
+                output: Some(output.clone()),
+            });
+        }
+        // Identical EdgeId assignment in both formats => identical solver
+        // randomness => byte-identical solution files.
+        assert_eq!(
+            std::fs::read(&sol_a).unwrap(),
+            std::fs::read(&sol_b).unwrap()
+        );
+    }
+
+    #[test]
+    fn sweep_accepts_an_instance_file_in_either_format() {
+        let bin_path = tmp("sweep-input.graphb");
+        run(Command::Generate {
+            family: Family::Random,
+            n: 18,
+            k: 2,
+            max_weight: 7,
+            seed: 2,
+            output: bin_path.clone(),
+        });
+        let text = run(Command::Sweep {
+            source: SweepSource::File(bin_path.clone()),
+            k: 2,
+            max_weight: 1,
+            algorithms: vec![Algorithm::TwoEcss, Algorithm::Greedy],
+            seeds: 2,
+            base_seed: 1,
+            threads: 2,
+            enumerator: EnumeratorPolicy::Auto,
+        });
+        // 2 algorithms x 1 instance x 2 seeds = 4 cells, all valid.
+        assert_eq!(text.matches(" yes ").count(), 4, "{text}");
+        assert!(text.contains(&format!("input={bin_path}")), "{text}");
+        assert!(text.contains("4 cells, 0 invalid"), "{text}");
     }
 
     #[test]

@@ -1,24 +1,40 @@
-//! Plain-text instance and solution files.
+//! Instance and solution files, in both on-disk formats.
 //!
-//! Instance format (`.graph`): comment lines start with `#`; the first data
-//! line is the number of vertices; every further data line is `u v weight`.
-//! Solution format (`.edges`): one `u v weight` line per selected edge
-//! (weights are informational; edges are matched to the instance by
-//! endpoints, cheapest unused edge first).
+//! The codecs themselves live in [`graphs::io`] (shared with the service's
+//! `file:` instance specs); this module adapts them to [`CliError`]:
+//!
+//! * Instances: plain text (`.graph` — comment lines start with `#`, first
+//!   data line is the vertex count, then `u v weight` lines) or `KGB1`
+//!   binary (`.graphb`, DESIGN.md §10). [`read_graph`] / [`write_graph`]
+//!   autodetect from the extension; `kecss convert` translates between them.
+//! * Solutions (`.edges`): one `u v weight` line per selected edge (weights
+//!   are informational; edges are matched to the instance by endpoints,
+//!   cheapest unused edge first).
+//!
+//! All file writers stream through a [`std::io::BufWriter`] sink — a
+//! 10⁶-edge instance or solution is never built as one in-memory `String`.
 
 use crate::CliError;
+use graphs::io::GraphIoError;
 use graphs::{EdgeSet, Graph};
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
-/// Serializes a graph to the plain-text instance format.
-pub fn to_text(graph: &Graph) -> String {
-    let mut out = String::new();
-    out.push_str("# kecss instance: first line = n, then one 'u v weight' per edge\n");
-    out.push_str(&format!("{}\n", graph.n()));
-    for (_, e) in graph.edges() {
-        out.push_str(&format!("{} {} {}\n", e.u, e.v, e.weight));
+impl From<GraphIoError> for CliError {
+    fn from(value: GraphIoError) -> Self {
+        match value {
+            GraphIoError::Io(e) => CliError::Io(e),
+            GraphIoError::Format(msg) => CliError::Format(msg),
+        }
     }
-    out
+}
+
+/// Serializes a graph to the plain-text instance format (tests and small
+/// instances; file writers stream instead).
+pub fn to_text(graph: &Graph) -> String {
+    let mut out = Vec::new();
+    graphs::io::write_text(&mut out, graph).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("the text format is UTF-8")
 }
 
 /// Parses a graph from the plain-text instance format.
@@ -27,73 +43,44 @@ pub fn to_text(graph: &Graph) -> String {
 ///
 /// Returns [`CliError::Format`] on malformed content.
 pub fn from_text(text: &str) -> Result<Graph, CliError> {
-    let mut lines = text
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'));
-    let n: usize = lines
-        .next()
-        .ok_or_else(|| CliError::Format("empty instance file".into()))?
-        .parse()
-        .map_err(|_| CliError::Format("the first data line must be the vertex count".into()))?;
-    let mut graph = Graph::new(n);
-    for (idx, line) in lines.enumerate() {
-        let mut parts = line.split_whitespace();
-        let parse = |part: Option<&str>, what: &str| -> Result<u64, CliError> {
-            part.ok_or_else(|| CliError::Format(format!("edge line {idx}: missing {what}")))?
-                .parse()
-                .map_err(|_| CliError::Format(format!("edge line {idx}: malformed {what}")))
-        };
-        let u = parse(parts.next(), "endpoint u")? as usize;
-        let v = parse(parts.next(), "endpoint v")? as usize;
-        let w = parse(parts.next(), "weight")?;
-        if u >= n || v >= n || u == v {
-            return Err(CliError::Format(format!(
-                "edge line {idx}: invalid endpoints {u} {v}"
-            )));
-        }
-        graph.add_edge(u, v, w);
-    }
-    Ok(graph)
+    Ok(graphs::io::read_text(text)?)
 }
 
-/// Writes a graph to a file.
+/// Writes a graph to a file, picking text or `KGB1` binary from the
+/// extension (`.graphb` = binary), streaming through a buffered writer.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors.
 pub fn write_graph(path: &Path, graph: &Graph) -> Result<(), CliError> {
-    std::fs::write(path, to_text(graph))?;
-    Ok(())
+    Ok(graphs::io::write_graph(path, graph)?)
 }
 
-/// Reads a graph from a file.
+/// Reads a graph from a file, picking the format from the extension.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors and format errors.
 pub fn read_graph(path: &Path) -> Result<Graph, CliError> {
-    from_text(&std::fs::read_to_string(path)?)
+    Ok(graphs::io::read_graph(path)?)
 }
 
 /// Serializes a solution (edge subset of `graph`) as an edge list.
 pub fn solution_to_text(graph: &Graph, edges: &EdgeSet) -> String {
-    let mut out = String::new();
-    out.push_str("# kecss solution: one 'u v weight' line per selected edge\n");
-    for id in edges.iter() {
-        let e = graph.edge(id);
-        out.push_str(&format!("{} {} {}\n", e.u, e.v, e.weight));
-    }
-    out
+    let mut out = Vec::new();
+    graphs::io::write_solution_text(&mut out, graph, edges).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("the solution format is UTF-8")
 }
 
-/// Writes a solution edge list to a file.
+/// Writes a solution edge list to a file through a buffered stream.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors.
 pub fn write_solution(path: &Path, graph: &Graph, edges: &EdgeSet) -> Result<(), CliError> {
-    std::fs::write(path, solution_to_text(graph, edges))?;
+    let mut sink = BufWriter::new(std::fs::File::create(path)?);
+    graphs::io::write_solution_text(&mut sink, graph, edges)?;
+    sink.flush()?;
     Ok(())
 }
 
@@ -159,6 +146,12 @@ mod tests {
     use super::*;
     use graphs::generators;
 
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("kecss-cli-io-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
     #[test]
     fn graph_round_trips_through_text() {
         let g = generators::random_weighted_k_edge_connected(
@@ -171,6 +164,22 @@ mod tests {
         let text = to_text(&g);
         let parsed = from_text(&text).unwrap();
         assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn graph_round_trips_through_both_file_formats() {
+        let g = generators::random_weighted_k_edge_connected(
+            16,
+            2,
+            10,
+            25,
+            &mut rand_chacha::ChaCha8Rng::seed_from_u64(4),
+        );
+        for name in ["roundtrip.graph", "roundtrip.graphb"] {
+            let path = tmp(name);
+            write_graph(&path, &g).unwrap();
+            assert_eq!(read_graph(&path).unwrap(), g, "{name}");
+        }
     }
 
     #[test]
@@ -189,6 +198,11 @@ mod tests {
         assert!(from_text("3\n0 1\n").is_err());
         assert!(from_text("3\n0 9 1\n").is_err());
         assert!(from_text("3\n1 1 1\n").is_err());
+        // A text file fed to the binary reader (and vice versa) errors
+        // cleanly rather than mis-parsing.
+        let path = tmp("textual.graphb");
+        std::fs::write(&path, "3\n0 1 5\n").unwrap();
+        assert!(matches!(read_graph(&path), Err(CliError::Format(_))));
     }
 
     #[test]

@@ -6,12 +6,15 @@
 //! Supported commands (see `kecss help`):
 //!
 //! * `generate` — write a synthetic k-edge-connected instance to a `.graph`
-//!   file (simple text format, one edge per line).
-//! * `solve` — read an instance, run one of the paper's algorithms
-//!   (`2ecss`, `kecss`, `3ecss`, `3ecss-weighted`, or the baselines), print
-//!   the solution summary and optionally write the chosen edges.
+//!   (text) or `.graphb` (`KGB1` binary, DESIGN.md §10) file; the format is
+//!   picked from the extension everywhere an instance is read or written.
+//! * `solve` — read an instance (either format), run one of the paper's
+//!   algorithms (`2ecss`, `kecss`, `3ecss`, `3ecss-weighted`, or the
+//!   baselines), print the solution summary and optionally write the chosen
+//!   edges.
 //! * `verify` — check a solution file for k-edge-connectivity against its
 //!   instance.
+//! * `convert` — translate an instance between the text and binary formats.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

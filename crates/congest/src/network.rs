@@ -137,6 +137,9 @@ impl Network {
     /// Panics if `word_budget` is zero.
     pub fn with_word_budget(graph: &Graph, word_budget: usize) -> Self {
         assert!(word_budget >= 1, "word budget must be at least one word");
+        // One CSR build up front, then every per-vertex context is filled
+        // from a contiguous adjacency slice.
+        graph.freeze();
         let contexts = (0..graph.n())
             .map(|v| NodeContext {
                 id: v,
@@ -203,6 +206,10 @@ impl Network {
         }
         let mut report = RunReport::default();
         let mut done = vec![false; n];
+        // Live/undelivered counters replace the former O(n) per-round scans
+        // of the done flags and inboxes; the loop condition is equivalent
+        // (`undelivered` counts exactly the messages swapped into `inboxes`).
+        let mut live = n;
         // inboxes[v] = messages to deliver to v at the start of the next round.
         let mut inboxes: Vec<Vec<Incoming>> = vec![Vec::new(); n];
 
@@ -213,11 +220,13 @@ impl Network {
             self.collect(v, result.outgoing, &mut pending, &mut report)?;
             if result.done {
                 done[v] = true;
+                live -= 1;
             }
         }
         std::mem::swap(&mut inboxes, &mut pending);
+        let mut undelivered = report.messages;
 
-        while done.iter().any(|&d| !d) || inboxes.iter().any(|ib| !ib.is_empty()) {
+        while live > 0 || undelivered > 0 {
             if report.rounds >= max_rounds {
                 return Err(NetworkError::RoundLimitExceeded { limit: max_rounds });
             }
@@ -225,6 +234,7 @@ impl Network {
             for ib in pending.iter_mut() {
                 ib.clear();
             }
+            let sent_before = report.messages;
             for v in 0..n {
                 if done[v] && inboxes[v].is_empty() {
                     continue;
@@ -233,14 +243,16 @@ impl Network {
                 let result: StepResult =
                     programs[v].step(&self.contexts[v], report.rounds, &inboxes[v]);
                 self.collect(v, result.outgoing, &mut pending, &mut report)?;
-                if result.done {
+                if result.done && !done[v] {
                     done[v] = true;
+                    live -= 1;
                 }
             }
             for ib in inboxes.iter_mut() {
                 ib.clear();
             }
             std::mem::swap(&mut inboxes, &mut pending);
+            undelivered = report.messages - sent_before;
         }
 
         Ok(Outcome {

@@ -39,8 +39,13 @@ impl From<ThurimellaSolution> for BaselineSolution {
 }
 
 /// Computes the union of `k` successive maximal spanning forests of `graph`.
+///
+/// The cost model's diameter comes from [`graphs::bfs::diameter_hint`]:
+/// exact on test/bench-sized instances, double-sweep approximate beyond
+/// 4096 vertices so that ≥10⁵-vertex instances stay forest-bound instead of
+/// all-pairs-BFS-bound.
 pub fn sparse_certificate(graph: &Graph, k: usize) -> ThurimellaSolution {
-    let diameter = graphs::bfs::diameter(graph).unwrap_or(graph.n());
+    let diameter = graphs::bfs::diameter_hint(graph).unwrap_or(graph.n());
     sparse_certificate_with_model(graph, k, CostModel::new(graph.n(), diameter))
 }
 

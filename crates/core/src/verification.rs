@@ -128,7 +128,9 @@ pub fn verify_exact<R: Rng>(graph: &Graph, h: &EdgeSet, k: usize, rng: &mut R) -
 }
 
 fn default_model(graph: &Graph) -> CostModel {
-    let diameter = graphs::bfs::diameter(graph).unwrap_or(graph.n());
+    // diameter_hint: exact on test-sized graphs, double-sweep beyond 4096
+    // vertices (a server job may legitimately be 10⁵-vertex scale).
+    let diameter = graphs::bfs::diameter_hint(graph).unwrap_or(graph.n());
     CostModel::new(graph.n(), diameter)
 }
 

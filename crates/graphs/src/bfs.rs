@@ -150,6 +150,24 @@ pub fn approx_diameter(graph: &Graph) -> Option<usize> {
     Some(second.eccentricity())
 }
 
+/// The largest vertex count for which [`diameter_hint`] computes the exact
+/// diameter; above it, the double-sweep 2-approximation is used.
+pub const EXACT_DIAMETER_MAX_N: usize = 4096;
+
+/// A diameter figure for round-*accounting* purposes: exact (one BFS per
+/// vertex) up to [`EXACT_DIAMETER_MAX_N`] vertices — which covers every test
+/// and benchmark instance — and the [`approx_diameter`] double sweep beyond,
+/// where `O(n · m)` exact computation would dominate the solve itself
+/// (charged CONGEST rounds stay within a factor 2 of the exact-`D` charge).
+/// Deterministic for a given graph. Returns `None` when disconnected.
+pub fn diameter_hint(graph: &Graph) -> Option<usize> {
+    if graph.n() <= EXACT_DIAMETER_MAX_N {
+        diameter(graph)
+    } else {
+        approx_diameter(graph)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,19 @@
 //! The core undirected weighted multigraph type and edge-set masks.
+//!
+//! Both types are optimized for the workspace's innermost loops:
+//!
+//! * [`Graph`] adjacency is a **frozen CSR** (compressed sparse row): one
+//!   contiguous `(neighbor, edge id)` entry array plus per-vertex offsets,
+//!   built lazily on the first adjacency query (or eagerly via
+//!   [`Graph::freeze`]) and invalidated by [`Graph::add_edge`]. Queries hand
+//!   out plain slices — no per-vertex heap allocations, no pointer chasing.
+//! * [`EdgeSet`] is a **word-packed bitset** over edge ids: 64 edges per
+//!   `u64`, popcount-backed counting, word-wise set algebra and a
+//!   trailing-zeros iterator, so masked scans cost `m / 64` word loads
+//!   instead of `m` byte loads.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Identifier of a vertex. Vertices of a graph with `n` vertices are the
 /// integers `0..n`.
@@ -87,11 +100,59 @@ impl Edge {
     }
 }
 
+/// The frozen adjacency: CSR offsets plus one contiguous entry array. The
+/// `targets` and `edge_ids` columns are interleaved as `(NodeId, EdgeId)`
+/// pairs so one slice lookup serves both (the per-vertex order is exactly the
+/// edge-insertion order the old `Vec<Vec<_>>` representation produced).
+#[derive(Clone, Debug)]
+struct Csr {
+    /// `offsets[v]..offsets[v + 1]` indexes `entries` for vertex `v`.
+    offsets: Vec<usize>,
+    /// `(neighbor, edge id)` pairs, grouped by vertex, edge-id order within a
+    /// vertex.
+    entries: Vec<(NodeId, EdgeId)>,
+}
+
+impl Csr {
+    /// Builds the CSR from the edge list with a counting sort: two passes
+    /// over the edges, no per-vertex allocations. Iterating edges in id order
+    /// reproduces exactly the per-vertex ordering incremental `push`es gave.
+    fn build(n: usize, edges: &[Edge]) -> Csr {
+        let mut offsets = vec![0usize; n + 1];
+        for e in edges {
+            offsets[e.u + 1] += 1;
+            offsets[e.v + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut entries = vec![(0usize, EdgeId(0)); 2 * edges.len()];
+        for (i, e) in edges.iter().enumerate() {
+            entries[cursor[e.u]] = (e.v, EdgeId(i));
+            cursor[e.u] += 1;
+            entries[cursor[e.v]] = (e.u, EdgeId(i));
+            cursor[e.v] += 1;
+        }
+        Csr { offsets, entries }
+    }
+}
+
 /// An undirected, weighted multigraph with `n` vertices and stable edge ids.
 ///
 /// Vertices are `0..n`. Parallel edges and self-loops are permitted by the
 /// representation (the algorithms in this workspace never create self-loops,
 /// and [`Graph::add_edge`] rejects them), which keeps edge identifiers simple.
+///
+/// # Adjacency representation
+///
+/// The edge list is the source of truth; adjacency is served from a frozen
+/// CSR built on the first call to [`Graph::neighbors`] / [`Graph::degree`] /
+/// [`Graph::find_edge`] (or eagerly via [`Graph::freeze`]) and **invalidated
+/// by [`Graph::add_edge`]**. Build-then-query workloads — every workload in
+/// this workspace — therefore build the CSR exactly once; interleaving
+/// `add_edge` with adjacency queries is correct but rebuilds the CSR per
+/// interleaving and should be avoided on hot paths.
 ///
 /// # Example
 ///
@@ -106,12 +167,24 @@ impl Edge {
 /// assert_eq!(g.edge(e).weight, 7);
 /// assert_eq!(g.degree(1), 2);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct Graph {
     n: usize,
     edges: Vec<Edge>,
-    adj: Vec<Vec<(NodeId, EdgeId)>>,
+    /// Lazily built, reset by `add_edge`. `OnceLock` keeps queries `&self`
+    /// (and the graph `Sync`) while guaranteeing a single build per freeze.
+    csr: OnceLock<Csr>,
 }
+
+/// Equality is structural on `(n, edge list)`; whether the CSR cache happens
+/// to be built is not observable.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.edges == other.edges
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     /// Creates a graph with `n` vertices and no edges.
@@ -119,7 +192,7 @@ impl Graph {
         Graph {
             n,
             edges: Vec::new(),
-            adj: vec![Vec::new(); n],
+            csr: OnceLock::new(),
         }
     }
 
@@ -154,6 +227,8 @@ impl Graph {
 
     /// Adds the undirected edge `{u, v}` with the given weight and returns its id.
     ///
+    /// Invalidates the frozen adjacency (rebuilt on the next query).
+    ///
     /// # Panics
     ///
     /// Panics if `u` or `v` is out of range, or if `u == v` (self-loop).
@@ -163,14 +238,31 @@ impl Graph {
         assert_ne!(u, v, "self-loops are not supported");
         let id = EdgeId(self.edges.len());
         self.edges.push(Edge { u, v, weight });
-        self.adj[u].push((v, id));
-        self.adj[v].push((u, id));
+        self.csr = OnceLock::new();
         id
     }
 
     /// Adds an unweighted (weight 1) edge.
     pub fn add_unit_edge(&mut self, u: NodeId, v: NodeId) -> EdgeId {
         self.add_edge(u, v, 1)
+    }
+
+    /// Builds the CSR adjacency now (idempotent). Useful to pay the build
+    /// cost at a chosen time — e.g. before handing the graph to concurrent
+    /// readers — instead of on the first adjacency query.
+    pub fn freeze(&self) {
+        let _ = self.csr();
+    }
+
+    /// Whether the CSR adjacency is currently built (i.e. no `add_edge`
+    /// happened since the last query/freeze).
+    pub fn is_frozen(&self) -> bool {
+        self.csr.get().is_some()
+    }
+
+    #[inline]
+    fn csr(&self) -> &Csr {
+        self.csr.get_or_init(|| Csr::build(self.n, &self.edges))
     }
 
     /// The edge with the given id.
@@ -189,7 +281,8 @@ impl Graph {
         self.edges[id.0].weight
     }
 
-    /// Overwrites the weight of an edge.
+    /// Overwrites the weight of an edge (does not invalidate the adjacency:
+    /// the CSR stores no weights).
     pub fn set_weight(&mut self, id: EdgeId, weight: Weight) {
         self.edges[id.0].weight = weight;
     }
@@ -204,16 +297,20 @@ impl Graph {
         (0..self.edges.len()).map(EdgeId)
     }
 
-    /// Neighbors of `v` as `(neighbor, edge id)` pairs, including parallel edges.
+    /// Neighbors of `v` as `(neighbor, edge id)` pairs, including parallel
+    /// edges, as one contiguous CSR slice. Per-vertex order equals edge
+    /// insertion order.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
-        &self.adj[v]
+        let csr = self.csr();
+        &csr.entries[csr.offsets[v]..csr.offsets[v + 1]]
     }
 
     /// Degree of `v` (counting parallel edges).
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v].len()
+        let csr = self.csr();
+        csr.offsets[v + 1] - csr.offsets[v]
     }
 
     /// Total weight of all edges.
@@ -230,7 +327,7 @@ impl Graph {
     ///
     /// If there are parallel edges the one with the smallest id is returned.
     pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        self.adj[u]
+        self.neighbors(u)
             .iter()
             .filter(|(nbr, _)| *nbr == v)
             .map(|&(_, id)| id)
@@ -256,20 +353,29 @@ impl Graph {
 
     /// An [`EdgeSet`] sized for this graph containing every edge.
     pub fn full_edge_set(&self) -> EdgeSet {
-        let mut s = EdgeSet::new(self.m());
-        for id in self.edge_ids() {
-            s.insert(id);
-        }
-        s
+        EdgeSet::full(self.m())
     }
 }
 
-/// A set of edges of a particular graph, stored as a bitmap over edge ids.
+/// Number of `u64` words covering a universe of `m` bits.
+#[inline]
+const fn words_for(m: usize) -> usize {
+    m.div_ceil(64)
+}
+
+/// A set of edges of a particular graph, stored as a word-packed bitmap over
+/// edge ids (64 edges per `u64`).
 ///
 /// `EdgeSet` is the universal currency for "subgraph" in this workspace: the
 /// spanning subgraph `H`, the augmentation `A`, candidate sets and MSTs are
 /// all edge sets over the original input graph, which keeps edge identifiers
 /// stable across every phase of the algorithms.
+///
+/// Set algebra ([`EdgeSet::union_with`], [`EdgeSet::intersect_with`],
+/// [`EdgeSet::difference_with`], [`EdgeSet::is_subset_of`]) runs word-wise;
+/// [`EdgeSet::len`] is popcount-backed; [`EdgeSet::iter`] scans set words
+/// with trailing-zeros extraction. Invariant: bits at or above
+/// [`EdgeSet::universe`] are always zero.
 ///
 /// # Example
 ///
@@ -285,7 +391,8 @@ impl Graph {
 /// ```
 #[derive(Clone, PartialEq, Eq, Default)]
 pub struct EdgeSet {
-    bits: Vec<bool>,
+    words: Vec<u64>,
+    universe: usize,
     count: usize,
 }
 
@@ -293,9 +400,21 @@ impl EdgeSet {
     /// Creates an empty set over a universe of `m` edges.
     pub fn new(m: usize) -> Self {
         EdgeSet {
-            bits: vec![false; m],
+            words: vec![0; words_for(m)],
+            universe: m,
             count: 0,
         }
+    }
+
+    /// Creates the full set over a universe of `m` edges.
+    pub fn full(m: usize) -> Self {
+        let mut s = EdgeSet {
+            words: vec![!0u64; words_for(m)],
+            universe: m,
+            count: m,
+        };
+        s.mask_tail();
+        s
     }
 
     /// Creates a set over a universe of `m` edges from an iterator of ids.
@@ -310,12 +429,34 @@ impl EdgeSet {
         s
     }
 
-    /// Size of the universe (number of edge ids representable).
-    pub fn universe(&self) -> usize {
-        self.bits.len()
+    /// Zeroes the bits above `universe` in the last word (the invariant all
+    /// word-wise operations rely on).
+    #[inline]
+    fn mask_tail(&mut self) {
+        let tail = self.universe % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
     }
 
-    /// Number of edges in the set.
+    /// Size of the universe (number of edge ids representable).
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The backing `u64` words, 64 edge ids per word, least-significant bit
+    /// first. Bits at or above [`EdgeSet::universe`] are zero. This is the
+    /// raw currency of the word-wise hot paths (e.g. the exact removal test).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of edges in the set (maintained incrementally, recomputed by
+    /// popcount after word-wise bulk operations).
+    #[inline]
     pub fn len(&self) -> usize {
         self.count
     }
@@ -328,7 +469,7 @@ impl EdgeSet {
     /// Whether the set contains `id`.
     #[inline]
     pub fn contains(&self, id: EdgeId) -> bool {
-        self.bits.get(id.0).copied().unwrap_or(false)
+        id.0 < self.universe && (self.words[id.0 >> 6] >> (id.0 & 63)) & 1 == 1
     }
 
     /// Inserts `id`, returning `true` if it was not already present.
@@ -337,11 +478,13 @@ impl EdgeSet {
     ///
     /// Panics if `id` is outside the universe.
     pub fn insert(&mut self, id: EdgeId) -> bool {
-        assert!(id.0 < self.bits.len(), "edge id {id} outside universe");
-        if self.bits[id.0] {
+        assert!(id.0 < self.universe, "edge id {id} outside universe");
+        let word = &mut self.words[id.0 >> 6];
+        let bit = 1u64 << (id.0 & 63);
+        if *word & bit != 0 {
             false
         } else {
-            self.bits[id.0] = true;
+            *word |= bit;
             self.count += 1;
             true
         }
@@ -349,8 +492,13 @@ impl EdgeSet {
 
     /// Removes `id`, returning `true` if it was present.
     pub fn remove(&mut self, id: EdgeId) -> bool {
-        if id.0 < self.bits.len() && self.bits[id.0] {
-            self.bits[id.0] = false;
+        if id.0 >= self.universe {
+            return false;
+        }
+        let word = &mut self.words[id.0 >> 6];
+        let bit = 1u64 << (id.0 & 63);
+        if *word & bit != 0 {
+            *word &= !bit;
             self.count -= 1;
             true
         } else {
@@ -358,32 +506,71 @@ impl EdgeSet {
         }
     }
 
-    /// Iterator over the edge ids in the set, in increasing order.
-    pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        self.bits
-            .iter()
-            .enumerate()
-            .filter(|(_, &b)| b)
-            .map(|(i, _)| EdgeId(i))
+    /// Iterator over the edge ids in the set, in increasing order
+    /// (trailing-zeros extraction over the set words).
+    pub fn iter(&self) -> EdgeSetIter<'_> {
+        EdgeSetIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
-    /// In-place union with another set over the same universe.
+    /// Alias of [`EdgeSet::iter`], named for call sites that want to stress
+    /// they iterate raw ids over set words.
+    pub fn iter_ids(&self) -> EdgeSetIter<'_> {
+        self.iter()
+    }
+
+    /// Recomputes `count` from the words (after a word-wise bulk operation).
+    #[inline]
+    fn recount(&mut self) {
+        self.count = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+
+    #[inline]
+    fn assert_same_universe(&self, other: &EdgeSet) {
+        assert_eq!(self.universe, other.universe, "edge set universes differ");
+    }
+
+    /// In-place union with another set over the same universe (word-wise).
     ///
     /// # Panics
     ///
     /// Panics if the universes differ.
     pub fn union_with(&mut self, other: &EdgeSet) {
-        assert_eq!(
-            self.bits.len(),
-            other.bits.len(),
-            "edge set universes differ"
-        );
-        for (i, &b) in other.bits.iter().enumerate() {
-            if b && !self.bits[i] {
-                self.bits[i] = true;
-                self.count += 1;
-            }
+        self.assert_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
         }
+        self.recount();
+    }
+
+    /// In-place intersection with another set over the same universe
+    /// (word-wise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersect_with(&mut self, other: &EdgeSet) {
+        self.assert_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+        self.recount();
+    }
+
+    /// In-place difference `self \ other` over the same universe (word-wise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn difference_with(&mut self, other: &EdgeSet) {
+        self.assert_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+        self.recount();
     }
 
     /// Returns the union of two sets over the same universe.
@@ -395,44 +582,55 @@ impl EdgeSet {
 
     /// Returns the set difference `self \ other`.
     pub fn difference(&self, other: &EdgeSet) -> EdgeSet {
-        assert_eq!(
-            self.bits.len(),
-            other.bits.len(),
-            "edge set universes differ"
-        );
-        let mut out = EdgeSet::new(self.bits.len());
-        for (i, &b) in self.bits.iter().enumerate() {
-            if b && !other.bits[i] {
-                out.insert(EdgeId(i));
-            }
-        }
+        let mut out = self.clone();
+        out.difference_with(other);
         out
     }
 
     /// Returns the intersection of two sets over the same universe.
     pub fn intersection(&self, other: &EdgeSet) -> EdgeSet {
-        assert_eq!(
-            self.bits.len(),
-            other.bits.len(),
-            "edge set universes differ"
-        );
-        let mut out = EdgeSet::new(self.bits.len());
-        for (i, &b) in self.bits.iter().enumerate() {
-            if b && other.bits[i] {
-                out.insert(EdgeId(i));
-            }
-        }
+        let mut out = self.clone();
+        out.intersect_with(other);
         out
     }
 
-    /// Whether `self` is a subset of `other`.
+    /// Whether `self` is a subset of `other` (word-wise `a & !b == 0`;
+    /// universes may differ — ids beyond `other`'s universe are absent).
     pub fn is_subset_of(&self, other: &EdgeSet) -> bool {
-        self.iter().all(|id| other.contains(id))
+        let shared = self.words.len().min(other.words.len());
+        self.words[..shared]
+            .iter()
+            .zip(&other.words[..shared])
+            .all(|(a, b)| a & !b == 0)
+            && self.words[shared..].iter().all(|&w| w == 0)
     }
 
     /// The edge ids of the set collected into a vector.
     pub fn to_vec(&self) -> Vec<EdgeId> {
         self.iter().collect()
+    }
+}
+
+/// Iterator over the set edge ids of an [`EdgeSet`], in increasing order.
+#[derive(Clone, Debug)]
+pub struct EdgeSetIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for EdgeSetIter<'_> {
+    type Item = EdgeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<EdgeId> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            self.current = *self.words.get(self.word_idx)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(EdgeId((self.word_idx << 6) | bit))
     }
 }
 
@@ -475,6 +673,39 @@ mod tests {
         assert_eq!(g.edge(e01).weight, 5);
         assert_eq!(g.edge(e12).other(2), 1);
         assert_eq!(g.neighbors(0), &[(1, e01)]);
+    }
+
+    #[test]
+    fn freeze_invalidate_contract() {
+        let mut g = Graph::new(3);
+        let a = g.add_edge(0, 1, 1);
+        assert!(!g.is_frozen());
+        g.freeze();
+        assert!(g.is_frozen());
+        assert_eq!(g.neighbors(1), &[(0, a)]);
+        // add_edge invalidates; the next query rebuilds with the new edge.
+        let b = g.add_edge(1, 2, 1);
+        assert!(!g.is_frozen());
+        assert_eq!(g.neighbors(1), &[(0, a), (2, b)]);
+        assert!(g.is_frozen());
+        // Equality ignores the freeze state.
+        let mut h = Graph::new(3);
+        h.add_edge(0, 1, 1);
+        h.add_edge(1, 2, 1);
+        assert_eq!(g, h);
+        h.freeze();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn csr_order_matches_insertion_order_with_parallel_edges() {
+        let mut g = Graph::new(3);
+        let a = g.add_edge(1, 0, 1);
+        let b = g.add_edge(0, 2, 1);
+        let c = g.add_edge(0, 1, 9); // parallel to a, reversed orientation
+        assert_eq!(g.neighbors(0), &[(1, a), (2, b), (1, c)]);
+        assert_eq!(g.neighbors(1), &[(0, a), (0, c)]);
+        assert_eq!(g.neighbors(2), &[(0, b)]);
     }
 
     #[test]
@@ -554,6 +785,50 @@ mod tests {
     }
 
     #[test]
+    fn word_boundaries_are_handled() {
+        // Universe straddling word boundaries: 63, 64, 65 and a big one.
+        for m in [63usize, 64, 65, 130, 1000] {
+            let mut s = EdgeSet::new(m);
+            let picks: Vec<usize> = (0..m).filter(|i| i % 7 == 3).collect();
+            for &i in &picks {
+                assert!(s.insert(EdgeId(i)));
+            }
+            assert_eq!(s.len(), picks.len(), "m = {m}");
+            assert_eq!(
+                s.iter().map(|id| id.0).collect::<Vec<_>>(),
+                picks,
+                "m = {m}"
+            );
+            let full = EdgeSet::full(m);
+            assert_eq!(full.len(), m);
+            assert!(s.is_subset_of(&full));
+            let inverted = full.difference(&s);
+            assert_eq!(inverted.len(), m - picks.len());
+            assert!(inverted.intersection(&s).is_empty());
+            assert_eq!(inverted.union(&s), full);
+        }
+    }
+
+    #[test]
+    fn subset_across_universes_matches_containment_semantics() {
+        let small = EdgeSet::from_ids(3, [EdgeId(1)]);
+        let large = EdgeSet::from_ids(100, [EdgeId(1), EdgeId(70)]);
+        assert!(small.is_subset_of(&large));
+        assert!(!large.is_subset_of(&small));
+        let small_with_all = EdgeSet::from_ids(3, [EdgeId(0), EdgeId(1), EdgeId(2)]);
+        assert!(!small_with_all.is_subset_of(&EdgeSet::from_ids(100, [EdgeId(1)])));
+    }
+
+    #[test]
+    fn contains_and_remove_out_of_universe_are_benign() {
+        let mut s = EdgeSet::new(10);
+        assert!(!s.contains(EdgeId(10)));
+        assert!(!s.contains(EdgeId(1000)));
+        assert!(!s.remove(EdgeId(10)));
+        assert!(!s.remove(EdgeId(1000)));
+    }
+
+    #[test]
     fn edge_subgraph_preserves_weights() {
         let mut g = Graph::new(3);
         let a = g.add_edge(0, 1, 10);
@@ -591,5 +866,12 @@ mod tests {
         let s: EdgeSet = vec![EdgeId(3), EdgeId(1)].into_iter().collect();
         assert_eq!(s.universe(), 4);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn words_expose_the_packed_representation() {
+        let s = EdgeSet::from_ids(70, [EdgeId(0), EdgeId(63), EdgeId(64)]);
+        assert_eq!(s.words(), &[(1u64 << 63) | 1, 1]);
+        assert_eq!(s.iter_ids().count(), 3);
     }
 }

@@ -1,0 +1,425 @@
+//! Instance files: the plain-text format, the `KGB1` binary format, and
+//! extension-based autodetection.
+//!
+//! Two on-disk encodings of the same logical object — an edge list with a
+//! vertex count — with **identical `EdgeId` assignment** (edges are stored in
+//! id order in both), so a graph round-trips bit-exactly through either
+//! format and solvers produce byte-identical output regardless of which one
+//! an instance was loaded from:
+//!
+//! * **Text** (`.graph`, and any other extension): `#` comment lines, one
+//!   data line with the vertex count, then one `u v weight` line per edge.
+//!   Human-readable, diff-able, ~20 bytes and one integer-parse per edge.
+//! * **Binary** (`.graphb`): the `KGB1` magic, little-endian `u64` vertex
+//!   and edge counts, then one fixed-width 16-byte record per edge —
+//!   `u: u32, v: u32, weight: u64`, all little-endian. Length-prefixed and
+//!   fixed-stride, so reading is one bulk I/O pass with no parsing; DESIGN.md
+//!   §10 specifies the layout.
+//!
+//! All writers stream through an [`io::Write`] sink — a 10⁶-edge instance is
+//! never materialized as one in-memory `String`.
+
+use crate::graph::{EdgeSet, Graph};
+use std::fmt;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::Path;
+
+/// The `.graphb` magic: "KGB1" (Kecss Graph Binary, version 1).
+pub const BINARY_MAGIC: [u8; 4] = *b"KGB1";
+
+/// The file extension that selects the binary format.
+pub const BINARY_EXTENSION: &str = "graphb";
+
+/// Size of one binary edge record: `u32 u, u32 v, u64 weight`.
+const RECORD_BYTES: usize = 16;
+
+/// Errors of the instance codecs.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// Malformed content (either format).
+    Format(String),
+}
+
+impl fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphIoError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+impl From<io::Error> for GraphIoError {
+    fn from(value: io::Error) -> Self {
+        GraphIoError::Io(value)
+    }
+}
+
+/// The two on-disk instance encodings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphFormat {
+    /// One `u v weight` line per edge (the seed format).
+    Text,
+    /// `KGB1` fixed-width records (DESIGN.md §10).
+    Binary,
+}
+
+impl GraphFormat {
+    /// Picks the format from a path's extension: `.graphb` is binary,
+    /// everything else (including no extension) is text.
+    pub fn from_path(path: &Path) -> GraphFormat {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some(ext) if ext.eq_ignore_ascii_case(BINARY_EXTENSION) => GraphFormat::Binary,
+            _ => GraphFormat::Text,
+        }
+    }
+}
+
+/// Streams a graph in the text format to `sink`.
+///
+/// # Errors
+///
+/// Propagates sink errors.
+pub fn write_text<W: Write>(sink: &mut W, graph: &Graph) -> io::Result<()> {
+    writeln!(
+        sink,
+        "# kecss instance: first line = n, then one 'u v weight' per edge"
+    )?;
+    writeln!(sink, "{}", graph.n())?;
+    for (_, e) in graph.edges() {
+        writeln!(sink, "{} {} {}", e.u, e.v, e.weight)?;
+    }
+    Ok(())
+}
+
+/// Parses a graph from the text format.
+///
+/// # Errors
+///
+/// Returns [`GraphIoError::Format`] on malformed content.
+pub fn read_text(text: &str) -> Result<Graph, GraphIoError> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let n: usize = lines
+        .next()
+        .ok_or_else(|| GraphIoError::Format("empty instance file".into()))?
+        .parse()
+        .map_err(|_| GraphIoError::Format("the first data line must be the vertex count".into()))?;
+    let mut graph = Graph::new(n);
+    for (idx, line) in lines.enumerate() {
+        let mut parts = line.split_whitespace();
+        let parse = |part: Option<&str>, what: &str| -> Result<u64, GraphIoError> {
+            part.ok_or_else(|| GraphIoError::Format(format!("edge line {idx}: missing {what}")))?
+                .parse()
+                .map_err(|_| GraphIoError::Format(format!("edge line {idx}: malformed {what}")))
+        };
+        let u = parse(parts.next(), "endpoint u")? as usize;
+        let v = parse(parts.next(), "endpoint v")? as usize;
+        let w = parse(parts.next(), "weight")?;
+        if u >= n || v >= n || u == v {
+            return Err(GraphIoError::Format(format!(
+                "edge line {idx}: invalid endpoints {u} {v}"
+            )));
+        }
+        graph.add_edge(u, v, w);
+    }
+    Ok(graph)
+}
+
+/// Streams a graph in the `KGB1` binary format to `sink`.
+///
+/// # Errors
+///
+/// Returns [`GraphIoError::Format`] if an endpoint exceeds `u32` (the record
+/// width), and propagates sink errors.
+pub fn write_binary<W: Write>(sink: &mut W, graph: &Graph) -> Result<(), GraphIoError> {
+    if graph.n() > u32::MAX as usize {
+        return Err(GraphIoError::Format(format!(
+            "binary format stores endpoints as u32; n = {} does not fit",
+            graph.n()
+        )));
+    }
+    sink.write_all(&BINARY_MAGIC)?;
+    sink.write_all(&(graph.n() as u64).to_le_bytes())?;
+    sink.write_all(&(graph.m() as u64).to_le_bytes())?;
+    let mut record = [0u8; RECORD_BYTES];
+    for (_, e) in graph.edges() {
+        record[0..4].copy_from_slice(&(e.u as u32).to_le_bytes());
+        record[4..8].copy_from_slice(&(e.v as u32).to_le_bytes());
+        record[8..16].copy_from_slice(&e.weight.to_le_bytes());
+        sink.write_all(&record)?;
+    }
+    Ok(())
+}
+
+/// Parses a graph from the `KGB1` binary format.
+///
+/// # Errors
+///
+/// Returns [`GraphIoError::Format`] on a bad magic, truncated or oversized
+/// content, or invalid endpoints.
+pub fn read_binary(bytes: &[u8]) -> Result<Graph, GraphIoError> {
+    let header = 4 + 8 + 8;
+    if bytes.len() < header {
+        return Err(GraphIoError::Format(
+            "binary instance is shorter than the KGB1 header".into(),
+        ));
+    }
+    if bytes[0..4] != BINARY_MAGIC {
+        return Err(GraphIoError::Format(format!(
+            "bad magic {:02x?} (expected \"KGB1\"); is this a binary instance?",
+            &bytes[0..4]
+        )));
+    }
+    let le_u64 =
+        |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8-byte slice"));
+    let n = le_u64(4);
+    let m = le_u64(12);
+    // The writer rejects n > u32::MAX (u32 endpoints), so a larger header
+    // value can only be a corrupt or hostile file; reject it before it can
+    // size any allocation.
+    if n > u64::from(u32::MAX) {
+        return Err(GraphIoError::Format(format!(
+            "binary instance declares {n} vertices, beyond the format's u32 endpoint range"
+        )));
+    }
+    let n = n as usize;
+    // Checked arithmetic: a crafted edge count must not overflow the
+    // expected-length computation (wrap would mis-validate the body).
+    let expected = usize::try_from(m)
+        .ok()
+        .and_then(|m| m.checked_mul(RECORD_BYTES))
+        .ok_or_else(|| {
+            GraphIoError::Format(format!(
+                "binary instance declares an implausible edge count {m}"
+            ))
+        })?;
+    let m = m as usize;
+    let body = &bytes[header..];
+    if body.len() != expected {
+        return Err(GraphIoError::Format(format!(
+            "binary instance declares {m} edges ({expected} body bytes) but carries {}",
+            body.len()
+        )));
+    }
+    let mut graph = Graph::new(n);
+    for (idx, record) in body.chunks_exact(RECORD_BYTES).enumerate() {
+        let u = u32::from_le_bytes(record[0..4].try_into().expect("4-byte slice")) as usize;
+        let v = u32::from_le_bytes(record[4..8].try_into().expect("4-byte slice")) as usize;
+        let w = u64::from_le_bytes(record[8..16].try_into().expect("8-byte slice"));
+        if u >= n || v >= n || u == v {
+            return Err(GraphIoError::Format(format!(
+                "edge record {idx}: invalid endpoints {u} {v}"
+            )));
+        }
+        graph.add_edge(u, v, w);
+    }
+    Ok(graph)
+}
+
+/// Writes a graph to `path`, picking the format from the extension
+/// (`.graphb` = binary, anything else = text), through a buffered stream.
+///
+/// # Errors
+///
+/// Propagates I/O and encoding errors.
+pub fn write_graph(path: &Path, graph: &Graph) -> Result<(), GraphIoError> {
+    let mut sink = BufWriter::new(std::fs::File::create(path)?);
+    match GraphFormat::from_path(path) {
+        GraphFormat::Text => write_text(&mut sink, graph)?,
+        GraphFormat::Binary => write_binary(&mut sink, graph)?,
+    }
+    sink.flush()?;
+    Ok(())
+}
+
+/// Reads a graph from `path`, picking the format from the extension.
+///
+/// # Errors
+///
+/// Propagates I/O and format errors.
+pub fn read_graph(path: &Path) -> Result<Graph, GraphIoError> {
+    match GraphFormat::from_path(path) {
+        GraphFormat::Text => read_text(&std::fs::read_to_string(path)?),
+        GraphFormat::Binary => {
+            let mut bytes = Vec::new();
+            std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+            read_binary(&bytes)
+        }
+    }
+}
+
+/// Streams a solution (edge subset of `graph`) as a text edge list to `sink`.
+///
+/// # Errors
+///
+/// Propagates sink errors.
+pub fn write_solution_text<W: Write>(
+    sink: &mut W,
+    graph: &Graph,
+    edges: &EdgeSet,
+) -> io::Result<()> {
+    writeln!(
+        sink,
+        "# kecss solution: one 'u v weight' line per selected edge"
+    )?;
+    for id in edges.iter() {
+        let e = graph.edge(id);
+        writeln!(sink, "{} {} {}", e.u, e.v, e.weight)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::SeedableRng;
+
+    fn sample(seed: u64) -> Graph {
+        generators::random_weighted_k_edge_connected(
+            14,
+            2,
+            9,
+            40,
+            &mut rand_chacha::ChaCha8Rng::seed_from_u64(seed),
+        )
+    }
+
+    #[test]
+    fn text_round_trip_preserves_edge_ids() {
+        let g = sample(1);
+        let mut buf = Vec::new();
+        write_text(&mut buf, &g).unwrap();
+        let parsed = read_text(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_edge_ids() {
+        let g = sample(2);
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &g).unwrap();
+        assert_eq!(&buf[0..4], b"KGB1");
+        assert_eq!(buf.len(), 20 + 16 * g.m());
+        let parsed = read_binary(&buf).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn formats_agree_on_the_same_graph() {
+        let g = sample(3);
+        let mut text = Vec::new();
+        write_text(&mut text, &g).unwrap();
+        let mut binary = Vec::new();
+        write_binary(&mut binary, &g).unwrap();
+        let from_text = read_text(std::str::from_utf8(&text).unwrap()).unwrap();
+        let from_binary = read_binary(&binary).unwrap();
+        assert_eq!(from_text, from_binary);
+    }
+
+    #[test]
+    fn extension_autodetection() {
+        assert_eq!(
+            GraphFormat::from_path(Path::new("a/b/inst.graph")),
+            GraphFormat::Text
+        );
+        assert_eq!(
+            GraphFormat::from_path(Path::new("inst.graphb")),
+            GraphFormat::Binary
+        );
+        assert_eq!(
+            GraphFormat::from_path(Path::new("inst.GRAPHB")),
+            GraphFormat::Binary
+        );
+        assert_eq!(GraphFormat::from_path(Path::new("inst")), GraphFormat::Text);
+        assert_eq!(
+            GraphFormat::from_path(Path::new("inst.edges")),
+            GraphFormat::Text
+        );
+    }
+
+    #[test]
+    fn file_round_trip_in_both_formats() {
+        let dir = std::env::temp_dir().join("kecss-graphs-io-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = sample(4);
+        for name in ["roundtrip.graph", "roundtrip.graphb"] {
+            let path = dir.join(name);
+            write_graph(&path, &g).unwrap();
+            let parsed = read_graph(&path).unwrap();
+            assert_eq!(parsed, g, "{name}");
+        }
+        // The binary file is much denser than the text file.
+        let text_len = std::fs::metadata(dir.join("roundtrip.graph"))
+            .unwrap()
+            .len();
+        let bin_len = std::fs::metadata(dir.join("roundtrip.graphb"))
+            .unwrap()
+            .len();
+        assert!(
+            bin_len < text_len * 3,
+            "binary {bin_len} vs text {text_len}"
+        );
+    }
+
+    #[test]
+    fn malformed_binary_is_rejected() {
+        // Too short.
+        assert!(read_binary(b"KGB1").is_err());
+        // Bad magic.
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample(5)).unwrap();
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(read_binary(&bad).is_err());
+        // Truncated body.
+        assert!(read_binary(&buf[..buf.len() - 1]).is_err());
+        // Trailing garbage.
+        let mut long = buf.clone();
+        long.push(0);
+        assert!(read_binary(&long).is_err());
+        // A crafted edge count must not overflow the expected-length check
+        // (wrap would validate the body against a tiny number).
+        let mut huge_m = buf.clone();
+        huge_m[12..20].copy_from_slice(&((1u64 << 60) + 1).to_le_bytes());
+        assert!(read_binary(&huge_m).is_err());
+        // A vertex count beyond the u32 endpoint range is rejected before it
+        // sizes anything.
+        let mut huge_n = buf.clone();
+        huge_n[4..12].copy_from_slice(&(u64::from(u32::MAX) + 1).to_le_bytes());
+        assert!(read_binary(&huge_n).is_err());
+        // Invalid endpoints (self-loop record).
+        let g = Graph::from_edges(3, [(0, 1, 1)]);
+        let mut enc = Vec::new();
+        write_binary(&mut enc, &g).unwrap();
+        enc[20..24].copy_from_slice(&1u32.to_le_bytes());
+        enc[24..28].copy_from_slice(&1u32.to_le_bytes());
+        assert!(read_binary(&enc).is_err());
+    }
+
+    #[test]
+    fn malformed_text_is_rejected() {
+        assert!(read_text("").is_err());
+        assert!(read_text("three\n").is_err());
+        assert!(read_text("3\n0 1\n").is_err());
+        assert!(read_text("3\n0 9 1\n").is_err());
+        assert!(read_text("3\n1 1 1\n").is_err());
+    }
+
+    #[test]
+    fn solution_text_streams() {
+        let g = sample(6);
+        let set = g.full_edge_set();
+        let mut buf = Vec::new();
+        write_solution_text(&mut buf, &g, &set).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().filter(|l| !l.starts_with('#')).count(), g.m());
+    }
+}

@@ -15,6 +15,8 @@
 //!   queries and tree paths.
 //! * [`dsu`] — union–find.
 //! * [`bfs`] — breadth-first search, eccentricities and diameter.
+//! * [`io`] — instance files: the plain-text format, the `KGB1` binary
+//!   format (DESIGN.md §10) and extension-based autodetection.
 //!
 //! # Example
 //!
@@ -43,6 +45,7 @@ pub mod connectivity;
 pub mod dsu;
 pub mod generators;
 pub mod graph;
+pub mod io;
 pub mod maxflow;
 pub mod mst;
 pub mod tree;

@@ -22,43 +22,67 @@ struct Arc {
 }
 
 /// A reusable unit-capacity max-flow solver over a masked subgraph.
+///
+/// The per-vertex arc lists are stored CSR-style (offsets into one contiguous
+/// arc-index array) so the BFS inner loop walks flat memory: no per-vertex
+/// `Vec`s, built with a counting sort over the masked edge set.
 #[derive(Clone, Debug)]
 pub struct UnitFlow {
     n: usize,
     arcs: Vec<Arc>,
-    head: Vec<Vec<usize>>,
+    /// `head_offsets[v]..head_offsets[v + 1]` indexes `head_arcs` for `v`.
+    head_offsets: Vec<usize>,
+    /// Arc-arena indices, grouped by owning vertex.
+    head_arcs: Vec<usize>,
 }
 
 impl UnitFlow {
     /// Builds the flow network for the subgraph of `graph` given by `edges`.
     pub fn new(graph: &Graph, edges: &EdgeSet) -> Self {
         let n = graph.n();
-        let mut flow = UnitFlow {
-            n,
-            arcs: Vec::new(),
-            head: vec![Vec::new(); n],
-        };
+        let mut head_offsets = vec![0usize; n + 1];
         for id in edges.iter() {
             let e = graph.edge(id);
-            flow.add_undirected(e.u, e.v);
+            head_offsets[e.u + 1] += 1;
+            head_offsets[e.v + 1] += 1;
         }
-        flow
+        for v in 0..n {
+            head_offsets[v + 1] += head_offsets[v];
+        }
+        let mut arcs = Vec::with_capacity(2 * edges.len());
+        let mut head_arcs = vec![0usize; 2 * edges.len()];
+        let mut cursor = head_offsets.clone();
+        for id in edges.iter() {
+            let e = graph.edge(id);
+            let a = arcs.len();
+            // Undirected unit edge: both directions start at capacity 1.
+            arcs.push(Arc {
+                to: e.v,
+                cap: 1,
+                rev: a + 1,
+            });
+            arcs.push(Arc {
+                to: e.u,
+                cap: 1,
+                rev: a,
+            });
+            head_arcs[cursor[e.u]] = a;
+            cursor[e.u] += 1;
+            head_arcs[cursor[e.v]] = a + 1;
+            cursor[e.v] += 1;
+        }
+        UnitFlow {
+            n,
+            arcs,
+            head_offsets,
+            head_arcs,
+        }
     }
 
-    fn add_undirected(&mut self, u: NodeId, v: NodeId) {
-        let a = self.arcs.len();
-        self.arcs.push(Arc {
-            to: v,
-            cap: 1,
-            rev: a + 1,
-        });
-        self.arcs.push(Arc {
-            to: u,
-            cap: 1,
-            rev: a,
-        });
-        self.head[u].push(a);
-        self.head[v].push(a + 1);
+    /// The arc-arena indices incident to `v`.
+    #[inline]
+    fn head(&self, v: NodeId) -> &[usize] {
+        &self.head_arcs[self.head_offsets[v]..self.head_offsets[v + 1]]
     }
 
     fn reset(&mut self) {
@@ -92,7 +116,7 @@ impl UnitFlow {
 
     /// Maximum `s`–`t` flow value (uncapped; bounded by the degree of `s`).
     pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> u32 {
-        let cap = self.head[s].len() as u32;
+        let cap = self.head(s).len() as u32;
         self.max_flow_capped(s, t, cap)
     }
 
@@ -104,7 +128,7 @@ impl UnitFlow {
         let mut queue = VecDeque::new();
         queue.push_back(s);
         'bfs: while let Some(v) = queue.pop_front() {
-            for &ai in &self.head[v] {
+            for &ai in self.head(v) {
                 let arc = self.arcs[ai];
                 if arc.cap > 0 && !seen[arc.to] {
                     seen[arc.to] = true;

@@ -283,6 +283,9 @@ fn worker<P: NodeProgram>(
     let contexts = net.contexts();
     let budget = net.word_budget();
     let mut done = vec![false; programs.len()];
+    // Maintained incrementally: replaces the former per-round scan of the
+    // done flags (the coordinator only needs the count).
+    let mut live = programs.len();
     while let Ok(ToWorker::Round { round, mut inboxes }) = rx.recv() {
         let mut out = ChunkRound {
             outgoing: Vec::new(),
@@ -332,11 +335,12 @@ fn worker<P: NodeProgram>(
                     },
                 ));
             }
-            if step.done {
+            if step.done && !done[i] {
                 done[i] = true;
+                live -= 1;
             }
         }
-        out.active = done.iter().filter(|&&d| !d).count();
+        out.active = live;
         // Hand the drained inbox vectors back for reuse (cleared in place so
         // their allocations survive the round trip).
         for inbox in &mut inboxes {

@@ -32,6 +32,12 @@ pub enum Reply {
         /// The payload bytes.
         payload: Vec<u8>,
     },
+    /// `GONE <id>` — the job completed but its payload was already fetched
+    /// and evicted (results are fetched-once).
+    Gone {
+        /// The job id.
+        id: JobId,
+    },
     /// `ERR <message>`.
     Err(String),
 }
@@ -151,15 +157,20 @@ impl Client {
     }
 
     /// Fetches a result: `Some(payload)` when done, `None` while in flight.
+    /// Results are fetched-once — the server evicts the payload on a
+    /// successful fetch, and a repeat fetch is a `GONE` error.
     ///
     /// # Errors
     ///
-    /// I/O failures, protocol violations, and server-side `ERR` replies
-    /// (including failed and cancelled jobs).
+    /// I/O failures, protocol violations, and server-side `ERR`/`GONE`
+    /// replies (including failed and cancelled jobs).
     pub fn result(&mut self, id: JobId) -> Result<Option<Vec<u8>>, ClientError> {
         match self.request(&Request::Result(id))? {
             Reply::Result { payload, .. } => Ok(Some(payload)),
             Reply::Wait { .. } => Ok(None),
+            Reply::Gone { id } => Err(ClientError::Server(format!(
+                "job {id}: the result was already fetched and evicted (GONE)"
+            ))),
             Reply::Err(msg) => Err(ClientError::Server(msg)),
             other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
         }
@@ -243,6 +254,13 @@ impl Client {
                     .ok_or_else(|| ClientError::Protocol(format!("malformed WAIT '{line}'")))?;
                 let state = words.next().unwrap_or("UNKNOWN").to_string();
                 Ok(Reply::Wait { id, state })
+            }
+            "GONE" => {
+                let id = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| ClientError::Protocol(format!("malformed GONE '{line}'")))?;
+                Ok(Reply::Gone { id })
             }
             "RESULT" => {
                 let mut words = rest.split_whitespace();

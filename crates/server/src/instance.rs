@@ -122,16 +122,29 @@ pub fn build_family(
 /// single job's instance at tens of MB.
 pub const MAX_INSTANCE_N: usize = 1 << 20;
 
+/// The largest instance file a `file:` spec may name, checked against the
+/// file's metadata *before* any byte is read (the readers slurp whole
+/// files). 256 MiB comfortably covers a [`MAX_INSTANCE_N`]-vertex instance
+/// in either format while bounding what one request can make the server
+/// allocate.
+pub const MAX_INSTANCE_FILE_BYTES: u64 = 256 << 20;
+
 /// A parsed instance field of a `SUBMIT` request.
 ///
-/// Grammar (no whitespace inside the field):
+/// Grammar (no whitespace inside the field — the request line is
+/// whitespace-split, so `file:` paths with spaces cannot be submitted):
 ///
 /// ```text
 /// <family>:<n>[:<max-weight>]          e.g.  hypercube:64   random:48:30
 /// inline:<n>:<u>-<v>-<w>[,<u>-<v>-<w>...]   e.g.  inline:3:0-1-1,1-2-1,2-0-1
+/// file:<path>                          e.g.  file:/data/big.graphb
 /// ```
 ///
-/// `n` is capped at [`MAX_INSTANCE_N`] in both forms.
+/// `n` is capped at [`MAX_INSTANCE_N`] in all forms (for `file:` the cap is
+/// enforced after loading). A `file:` path is read **on the server's
+/// filesystem** when the job runs, in either instance format —
+/// extension-based autodetection via [`graphs::io::read_graph`] (`.graphb`
+/// = `KGB1` binary, anything else = text).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum InstanceSpec {
     /// A generated family instance.
@@ -149,6 +162,12 @@ pub enum InstanceSpec {
         n: usize,
         /// The edges as `(u, v, weight)` triples, in submission order.
         edges: Vec<(usize, usize, u64)>,
+    },
+    /// An instance file on the server's filesystem (text or `KGB1` binary,
+    /// autodetected by extension).
+    File {
+        /// The server-local path.
+        path: String,
     },
 }
 
@@ -168,6 +187,17 @@ impl InstanceSpec {
                 Ok(n)
             }
         };
+        if let Some(path) = field.strip_prefix("file:") {
+            // The rest of the field is the path verbatim (it may itself
+            // contain ':'); only emptiness is a parse error — existence and
+            // well-formedness are checked when the job builds the instance.
+            if path.is_empty() {
+                return Err("file instance is missing the path".into());
+            }
+            return Ok(InstanceSpec::File {
+                path: path.to_string(),
+            });
+        }
         let mut parts = field.split(':');
         let head = parts.next().unwrap_or_default();
         if head == "inline" {
@@ -213,8 +243,8 @@ impl InstanceSpec {
         } else {
             let family = Family::parse(head).ok_or_else(|| {
                 format!(
-                    "unknown family '{head}' (expected random, ring, torus, harary, hypercube \
-                     or inline:...)"
+                    "unknown family '{head}' (expected random, ring, torus, harary, hypercube, \
+                     inline:... or file:...)"
                 )
             })?;
             let n: usize = check_n(
@@ -264,15 +294,18 @@ impl InstanceSpec {
                     .collect();
                 format!("inline:{n}:{}", list.join(","))
             }
+            InstanceSpec::File { path } => format!("file:{path}"),
         }
     }
 
-    /// Materializes the instance graph. A pure function of `(self, k, seed)`.
+    /// Materializes the instance graph. A pure function of `(self, k, seed)`
+    /// — and, for `file:` instances, of the file's contents at build time.
     ///
     /// # Errors
     ///
     /// Same conditions as [`build_family`] for family instances; inline
-    /// instances only require 3 vertices.
+    /// instances only require 3 vertices; file instances propagate read and
+    /// format errors and enforce [`MAX_INSTANCE_N`] after loading.
     pub fn build(&self, k: usize, seed: u64) -> Result<Graph, String> {
         match self {
             InstanceSpec::Family {
@@ -287,6 +320,39 @@ impl InstanceSpec {
                 let mut graph = Graph::new(*n);
                 for &(u, v, w) in edges {
                     graph.add_edge(u, v, w);
+                }
+                Ok(graph)
+            }
+            InstanceSpec::File { path } => {
+                // Size-bound the file BEFORE reading: `read_graph` slurps the
+                // whole file, and a `SUBMIT file:` line is attacker-adjacent
+                // input to a long-running process — without this check one
+                // request naming a huge file (or an unbounded special file
+                // like /dev/zero, which is also not a regular file) could
+                // OOM the server or wedge a pool worker.
+                let meta =
+                    std::fs::metadata(path).map_err(|e| format!("instance file '{path}': {e}"))?;
+                if !meta.is_file() {
+                    return Err(format!("instance file '{path}' is not a regular file"));
+                }
+                if meta.len() > MAX_INSTANCE_FILE_BYTES {
+                    return Err(format!(
+                        "instance file '{path}' is {} bytes, exceeding the service bound of \
+                         {MAX_INSTANCE_FILE_BYTES}",
+                        meta.len()
+                    ));
+                }
+                let graph = graphs::io::read_graph(std::path::Path::new(path))
+                    .map_err(|e| format!("instance file '{path}': {e}"))?;
+                if graph.n() > MAX_INSTANCE_N {
+                    return Err(format!(
+                        "instance file '{path}' has {} vertices, exceeding the service bound \
+                         of {MAX_INSTANCE_N}",
+                        graph.n()
+                    ));
+                }
+                if graph.n() < 3 {
+                    return Err("instances need at least 3 vertices".into());
                 }
                 Ok(graph)
             }
@@ -341,6 +407,46 @@ mod tests {
         assert_eq!(g.n(), 3);
         assert_eq!(g.m(), 3);
         assert_eq!(g.total_weight(), 7);
+    }
+
+    #[test]
+    fn file_specs_parse_and_build_in_both_formats() {
+        let spec = InstanceSpec::parse("file:/data/big.graphb").unwrap();
+        assert_eq!(
+            spec,
+            InstanceSpec::File {
+                path: "/data/big.graphb".into()
+            }
+        );
+        assert_eq!(spec.canonical(), "file:/data/big.graphb");
+        // Paths containing ':' survive verbatim.
+        assert_eq!(
+            InstanceSpec::parse("file:C:/data/x.graph")
+                .unwrap()
+                .canonical(),
+            "file:C:/data/x.graph"
+        );
+        assert!(InstanceSpec::parse("file:").is_err());
+
+        let dir = std::env::temp_dir().join("kecss-server-instance-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let reference = build_family(Family::RingOfCliques, 20, 2, 1, 1).unwrap();
+        for name in ["inst.graph", "inst.graphb"] {
+            let path = dir.join(name);
+            graphs::io::write_graph(&path, &reference).unwrap();
+            let spec = InstanceSpec::parse(&format!("file:{}", path.display())).unwrap();
+            let built = spec.build(2, 7).unwrap();
+            assert_eq!(built, reference, "{name}");
+        }
+        // Missing files fail with a readable message, not a panic.
+        let missing = InstanceSpec::parse("file:/no/such/file.graph").unwrap();
+        let err = missing.build(2, 1).unwrap_err();
+        assert!(err.contains("/no/such/file.graph"), "{err}");
+        // Non-regular files (directories, devices) are refused before any
+        // read — the size bound cannot be trusted for them.
+        let dir_spec = InstanceSpec::parse(&format!("file:{}", dir.display())).unwrap();
+        let err = dir_spec.build(2, 1).unwrap_err();
+        assert!(err.contains("not a regular file"), "{err}");
     }
 
     #[test]

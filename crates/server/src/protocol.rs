@@ -8,12 +8,16 @@
 //! ```text
 //! SUBMIT <instance> <k> <algorithm> <enumerator> <seed>   -> OK <id> QUEUED | BUSY <depth> | ERR <msg>
 //! STATUS <id>                                             -> OK <id> <STATE> | ERR <msg>
-//! RESULT <id>    -> RESULT <id> <len>\n<payload> | WAIT <id> <STATE> | ERR <msg>
+//! RESULT <id>    -> RESULT <id> <len>\n<payload> | WAIT <id> <STATE> | GONE <id> | ERR <msg>
 //! CANCEL <id>                                             -> OK <id> CANCELLED | ERR <msg>
 //! SHUTDOWN                                                -> OK SHUTDOWN
 //! ```
 //!
 //! `<STATE>` is one of `QUEUED`, `RUNNING`, `DONE`, `FAILED`, `CANCELLED`.
+//! Result payloads are **fetched-once**: a successful `RESULT` evicts the
+//! payload from the job table (bounding a long-lived server's memory), and
+//! every later `RESULT` for that id answers `GONE <id>` while `STATUS` still
+//! reports `DONE`.
 
 use crate::instance::InstanceSpec;
 use crate::job::{Algorithm, JobSpec};

@@ -58,12 +58,18 @@ impl JobStatus {
 /// A job's terminal outcome, as fetched by `RESULT`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Outcome {
-    /// The result payload (shared, since several clients may fetch it).
+    /// The result payload (shared while it lives in the table; evicted by
+    /// [`Scheduler::take_result`] once fetched).
     Done(Arc<Vec<u8>>),
     /// The failure message.
     Failed(String),
     /// The job was cancelled before it ran.
     Cancelled,
+    /// The job completed, but its payload was already fetched and evicted
+    /// from the table ([`Scheduler::take_result`]); the server answers
+    /// `GONE`. Bounds a long-lived server's memory: results live in the
+    /// table only until their one fetch.
+    Gone,
 }
 
 /// One slot of the job table.
@@ -209,18 +215,40 @@ impl Scheduler {
         table.slots.get(&id).map(|slot| match slot {
             Slot::Queued(_) => JobStatus::Queued,
             Slot::Running => JobStatus::Running,
-            Slot::Finished(Outcome::Done(_)) => JobStatus::Done,
+            // An evicted payload is still a completed job.
+            Slot::Finished(Outcome::Done(_) | Outcome::Gone) => JobStatus::Done,
             Slot::Finished(Outcome::Failed(_)) => JobStatus::Failed,
             Slot::Finished(Outcome::Cancelled) => JobStatus::Cancelled,
         })
     }
 
     /// The job's terminal outcome, or `None` while it is still in flight (or
-    /// for an unknown id — disambiguate with [`Scheduler::status`]).
+    /// for an unknown id — disambiguate with [`Scheduler::status`]). Never
+    /// evicts; an already-evicted payload reads as [`Outcome::Gone`].
     pub fn outcome(&self, id: JobId) -> Option<Outcome> {
         let table = self.state.table.lock().expect("scheduler lock poisoned");
         match table.slots.get(&id) {
             Some(Slot::Finished(outcome)) => Some(outcome.clone()),
+            _ => None,
+        }
+    }
+
+    /// Fetched-once variant of [`Scheduler::outcome`]: returns the terminal
+    /// outcome and, when it is a payload, **drops it from the job table** —
+    /// the next call (and every later one) returns [`Outcome::Gone`]. This
+    /// is what the server's `RESULT` handler uses, so a long-lived server
+    /// retains each result only until its first fetch. `Failed` and
+    /// `Cancelled` outcomes are small and kept for repeat diagnosis.
+    pub fn take_result(&self, id: JobId) -> Option<Outcome> {
+        let mut table = self.state.table.lock().expect("scheduler lock poisoned");
+        match table.slots.get_mut(&id) {
+            Some(Slot::Finished(outcome)) => {
+                let fetched = match outcome {
+                    Outcome::Done(_) => std::mem::replace(outcome, Outcome::Gone),
+                    other => other.clone(),
+                };
+                Some(fetched)
+            }
             _ => None,
         }
     }
@@ -351,7 +379,9 @@ fn execute(state: &State, id: JobId) {
     match &outcome {
         Outcome::Done(_) => table.summary.completed += 1,
         Outcome::Failed(_) => table.summary.failed += 1,
-        Outcome::Cancelled => {}
+        // A job never *finishes* as Cancelled/Gone here: Cancelled is set by
+        // `cancel` while queued, Gone only by `take_result` after the fact.
+        Outcome::Cancelled | Outcome::Gone => {}
     }
     table.slots.insert(id, Slot::Finished(outcome));
     table.inflight -= 1;
@@ -450,6 +480,42 @@ mod tests {
         let summary = scheduler.shutdown();
         assert_eq!(summary.cancelled, 1);
         assert_eq!(summary.completed, 2);
+    }
+
+    #[test]
+    fn take_result_evicts_payloads_once_fetched() {
+        let scheduler = Scheduler::new(1, 4);
+        let id = scheduler
+            .submit_with(Box::new(|| Ok(b"big payload".to_vec())))
+            .unwrap();
+        scheduler.wait(id);
+        // Peeking never evicts.
+        assert!(matches!(scheduler.outcome(id), Some(Outcome::Done(_))));
+        // The first take returns the payload and drops it from the table.
+        match scheduler.take_result(id) {
+            Some(Outcome::Done(bytes)) => assert_eq!(bytes.as_slice(), b"big payload"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Every later fetch sees Gone; the job still reads as Done.
+        assert_eq!(scheduler.take_result(id), Some(Outcome::Gone));
+        assert_eq!(scheduler.outcome(id), Some(Outcome::Gone));
+        assert_eq!(scheduler.status(id), Some(JobStatus::Done));
+        // Failures are kept for repeat diagnosis.
+        let failed = scheduler
+            .submit_with(Box::new(|| Err("boom".into())))
+            .unwrap();
+        scheduler.wait(failed);
+        assert_eq!(
+            scheduler.take_result(failed),
+            Some(Outcome::Failed("boom".into()))
+        );
+        assert_eq!(
+            scheduler.take_result(failed),
+            Some(Outcome::Failed("boom".into()))
+        );
+        // In-flight and unknown ids read as None, as with `outcome`.
+        assert_eq!(scheduler.take_result(999), None);
+        scheduler.shutdown();
     }
 
     #[test]

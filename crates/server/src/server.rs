@@ -213,14 +213,17 @@ fn respond(request: Request, scheduler: &Scheduler, shutting_down: &AtomicBool) 
             Some(status) => format!("OK {id} {}\n", status.wire_name()).into_bytes(),
             None => format!("ERR unknown job {id}\n").into_bytes(),
         },
-        Request::Result(id) => match (scheduler.status(id), scheduler.outcome(id)) {
+        Request::Result(id) => match (scheduler.status(id), scheduler.take_result(id)) {
             (None, _) => format!("ERR unknown job {id}\n").into_bytes(),
             (Some(status), None) => format!("WAIT {id} {}\n", status.wire_name()).into_bytes(),
             (_, Some(Outcome::Done(payload))) => {
+                // Fetched-once: `take_result` dropped the payload from the
+                // table; a repeat RESULT for this id answers GONE.
                 let mut out = format!("RESULT {id} {}\n", payload.len()).into_bytes();
                 out.extend_from_slice(&payload);
                 out
             }
+            (_, Some(Outcome::Gone)) => format!("GONE {id}\n").into_bytes(),
             (_, Some(Outcome::Failed(message))) => {
                 format!("ERR job {id} failed: {message}\n").into_bytes()
             }

@@ -272,6 +272,108 @@ fn malformed_requests_get_err_replies_and_do_not_kill_the_connection() {
 }
 
 #[test]
+fn results_are_fetched_once_then_gone() {
+    let handle = spawn(1, 4);
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let id = submit_spec(&mut client, "SUBMIT ring:20 2 2ecss auto 7");
+    let payload = client.wait_result(id, POLL, DEADLINE).unwrap();
+    assert!(!payload.is_empty());
+    // The fetch evicted the payload: a repeat RESULT answers GONE, while
+    // STATUS still reports the job as DONE.
+    match client.request_line(&format!("RESULT {id}")).unwrap() {
+        Reply::Gone { id: gone_id } => assert_eq!(gone_id, id),
+        other => panic!("second RESULT must be GONE, got {other:?}"),
+    }
+    assert_eq!(client.status(id).unwrap(), "DONE");
+    // The typed helper surfaces GONE as a server error.
+    match client.result(id) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("GONE"), "{msg}"),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    client.shutdown().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.completed, 1);
+}
+
+#[test]
+fn file_instances_solve_over_the_wire_in_both_formats() {
+    let dir = std::env::temp_dir().join("kecss-service-file-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    // One instance, stored in both formats: the jobs must return payloads
+    // whose solution lines are identical (identical EdgeId assignment).
+    let graph = kecss_server::instance::build_family(
+        kecss_server::instance::Family::RingOfCliques,
+        24,
+        2,
+        9,
+        3,
+    )
+    .unwrap();
+    let text_path = dir.join("wire.graph");
+    let bin_path = dir.join("wire.graphb");
+    graphs::io::write_graph(&text_path, &graph).unwrap();
+    graphs::io::write_graph(&bin_path, &graph).unwrap();
+
+    let handle = spawn(2, 8);
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let fetch = |client: &mut Client, path: &std::path::Path| {
+        let id = submit_spec(
+            client,
+            &format!("SUBMIT file:{} 2 2ecss auto 5", path.display()),
+        );
+        client.wait_result(id, POLL, DEADLINE).unwrap()
+    };
+    let from_text = fetch(&mut client, &text_path);
+    let from_binary = fetch(&mut client, &bin_path);
+    // The payloads differ only in the echoed spec line (it names the path);
+    // everything else — stats, verdict, rounds, edges — is byte-identical.
+    let strip_spec = |bytes: &[u8]| -> Vec<String> {
+        String::from_utf8(bytes.to_vec())
+            .unwrap()
+            .lines()
+            .filter(|l| !l.starts_with("spec "))
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(strip_spec(&from_text), strip_spec(&from_binary));
+    let text = String::from_utf8(from_text).unwrap();
+    assert!(text.contains("verified k=2 yes"), "{text}");
+
+    // A missing file fails the job with a readable message.
+    let missing = submit_spec(
+        &mut client,
+        "SUBMIT file:/no/such/inst.graph 2 2ecss auto 1",
+    );
+    let deadline = std::time::Instant::now() + DEADLINE;
+    loop {
+        match client.result(missing) {
+            Ok(None) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "job {missing} never reached a terminal state"
+                );
+                std::thread::sleep(POLL);
+            }
+            Ok(Some(payload)) => panic!("job {missing} should fail, got {payload:?}"),
+            Err(ClientError::Server(msg)) => {
+                assert!(msg.contains("/no/such/inst.graph"), "{msg}");
+                break;
+            }
+            Err(other) => panic!("unexpected {other}"),
+        }
+    }
+
+    client.shutdown().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.completed, 2);
+    assert_eq!(summary.failed, 1);
+}
+
+#[test]
 fn shutdown_drains_accepted_jobs_and_refuses_new_ones() {
     let handle = spawn(2, 16);
     let addr = handle.addr().to_string();
