@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Out-of-core smoke test for CI: push a 5 x 10^6-edge KGB1 instance through
+# the streaming pipeline end to end — generate straight into .graphb, solve
+# --k 2 via the two-pass streaming ingest writing a KGS1 binary solution,
+# verify from the .solb — and hold the solver and verifier to a peak-RSS
+# budget of 3x the instance's in-memory CSR footprint (DESIGN.md §10's
+# out-of-core contract). Peak RSS comes from GNU time when available and a
+# /proc/<pid>/status VmHWM poll otherwise.
+set -euo pipefail
+
+KECSS="${KECSS:-target/release/kecss}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "${WORKDIR}"' EXIT
+
+N=2500000          # ring family: m = 2n = 5e6 edges
+M=5000000
+# CSR footprint for n=2.5e6, m=5e6 is ~300 MB (edges + adjacency + offsets);
+# the contract allows peak RSS < 3x that.
+BUDGET_KB=900000
+
+# measure_peak VAR cmd args... — runs cmd, puts its peak RSS (KiB) in VAR.
+measure_peak() {
+  local __var="$1"; shift
+  local peak=0
+  if [ -x /usr/bin/time ]; then
+    local tf="${WORKDIR}/time.out"
+    /usr/bin/time -v "$@" 2> "${tf}"
+    peak="$(awk '/Maximum resident set size/{print $NF}' "${tf}")"
+  else
+    "$@" &
+    local pid=$!
+    local cur
+    while kill -0 "${pid}" 2>/dev/null; do
+      cur="$(awk '/VmHWM/{print $2}' "/proc/${pid}/status" 2>/dev/null || echo 0)"
+      [ "${cur:-0}" -gt "${peak}" ] && peak="${cur}"
+      sleep 0.02
+    done
+    wait "${pid}"
+  fi
+  printf -v "${__var}" '%s' "${peak}"
+}
+
+echo "== generating a ${N}-vertex / ${M}-edge ring instance straight into .graphb"
+"${KECSS}" generate --family ring --n "${N}" --k 2 --seed 5 \
+  --output "${WORKDIR}/big.graphb"
+want=$((20 + 16 * M))
+got="$(stat -c %s "${WORKDIR}/big.graphb")"
+[ "${got}" -eq "${want}" ] \
+  || { echo "unexpected .graphb size: ${got} != ${want}"; exit 1; }
+
+echo "== stream-solving --k 2 into a KGS1 binary solution, peak-RSS budget ${BUDGET_KB} KiB"
+measure_peak solve_peak "${KECSS}" solve --input "${WORKDIR}/big.graphb" \
+  --algorithm thurimella --k 2 --output "${WORKDIR}/sol.solb"
+echo "solver peak RSS: ${solve_peak} KiB"
+[ "${solve_peak}" -gt 0 ] && [ "${solve_peak}" -le "${BUDGET_KB}" ] \
+  || { echo "solver peak RSS ${solve_peak} KiB busts the ${BUDGET_KB} KiB budget"; exit 1; }
+
+echo "== checking the solution really is KGS1 binary"
+[ "$(head -c 4 "${WORKDIR}/sol.solb")" = "KGS1" ] \
+  || { echo "sol.solb does not start with the KGS1 magic"; exit 1; }
+
+echo "== verifying from the .solb, same budget"
+measure_peak verify_peak "${KECSS}" verify --input "${WORKDIR}/big.graphb" \
+  --solution "${WORKDIR}/sol.solb" --k 2
+echo "verifier peak RSS: ${verify_peak} KiB"
+[ "${verify_peak}" -gt 0 ] && [ "${verify_peak}" -le "${BUDGET_KB}" ] \
+  || { echo "verifier peak RSS ${verify_peak} KiB busts the ${BUDGET_KB} KiB budget"; exit 1; }
+
+echo "== out-of-core smoke OK"

@@ -1,0 +1,176 @@
+//! E14 — the out-of-core pipeline: streaming `KGB1` ingest vs slurping the
+//! file into memory first, at 10⁶–10⁷ edges, with a peak-RSS axis
+//! (DESIGN.md §10, EXPERIMENTS.md E14).
+//!
+//! The table writes a synthetic `KGB1` instance of each size straight to
+//! disk (no `Graph` is ever materialized on the producer side), then ingests
+//! it two ways:
+//!
+//! * **stream** — `graphs::io::read_graph`, the two-pass
+//!   `Graph::from_edge_stream` builder reading the file twice through a
+//!   fixed 64 KiB chunk;
+//! * **slurp** — `std::fs::read` + `graphs::io::read_binary`, the in-memory
+//!   decoder, which must hold the file bytes *and* the finished graph at
+//!   once.
+//!
+//! Wall time is the median of three in-process runs; the memory columns
+//! come from one fresh *child process* per (size, mode) — re-executing this
+//! binary with `KECSS_E14_PROBE` set — because a long-lived bench process
+//! retains heap from earlier workloads and would understate every peak
+//! after the first ([`kecss_bench::rss::spawn_child_probe`]). Each row
+//! reports the child's peak resident set over the ingest (`VmHWM` delta),
+//! the live footprint of the finished graph, and peak/live — the acceptance
+//! bar for this PR is streaming peak < 3× the final CSR footprint.
+//! Criterion then times one representative of each mode at 10⁶ edges.
+
+use criterion::{black_box, criterion_group, Criterion};
+use kecss_bench::table::Table;
+use kecss_bench::{rss, workloads};
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// The env-var handshake for the child-process memory probe.
+const PROBE_VAR: &str = "KECSS_E14_PROBE";
+
+/// Vertices per edge count: average degree 10, so the CSR adjacency
+/// dominates the offsets array and the instance still looks graph-like.
+fn vertices_for(m: u64) -> usize {
+    (m / 5).max(16) as usize
+}
+
+/// Writes the synthetic fixture for `m` edges and returns its path.
+fn write_fixture(dir: &Path, m: u64) -> PathBuf {
+    let path = dir.join(format!("e14_{m}.graphb"));
+    let file = std::fs::File::create(&path).expect("create fixture");
+    let mut sink = BufWriter::with_capacity(1 << 20, file);
+    workloads::e14_write_synthetic_kgb1(&mut sink, vertices_for(m), m).expect("write fixture");
+    path
+}
+
+fn stream_ingest(path: &Path, m: u64) -> graphs::Graph {
+    let g = graphs::io::read_graph(path).expect("stream ingest");
+    assert_eq!(g.m(), m as usize);
+    g
+}
+
+fn slurp_ingest(path: &Path, m: u64) -> graphs::Graph {
+    let bytes = std::fs::read(path).expect("read fixture");
+    let g = graphs::io::read_binary(&bytes).expect("slurp ingest");
+    assert_eq!(g.m(), m as usize);
+    // Freeze the CSR so both modes deliver the same end state (the
+    // streamed graph arrives frozen by construction).
+    g.freeze();
+    g
+}
+
+/// Child side of the probe handshake: `spec` is `mode;m;path`.
+fn run_probe(spec: &str) {
+    let mut parts = spec.splitn(3, ';');
+    let mode = parts.next().expect("probe spec: mode");
+    let m: u64 = parts
+        .next()
+        .expect("probe spec: edge count")
+        .parse()
+        .expect("probe spec: numeric edge count");
+    let path = PathBuf::from(parts.next().expect("probe spec: path"));
+    match mode {
+        "stream" => rss::report_child_probe(|| stream_ingest(&path, m)),
+        "slurp" => rss::report_child_probe(|| slurp_ingest(&path, m)),
+        other => panic!("unknown probe mode '{other}'"),
+    }
+}
+
+/// Median wall time of three in-process runs (page cache warmed by the
+/// probe child having just read the same file).
+fn median_wall(ingest: impl Fn() -> graphs::Graph) -> Duration {
+    let mut walls: Vec<Duration> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(ingest());
+            start.elapsed()
+        })
+        .collect();
+    walls.sort_unstable();
+    walls[1]
+}
+
+fn print_ingest_table(dir: &Path) {
+    let mut table = Table::new([
+        "edges",
+        "mode",
+        "file MiB",
+        "wall ms",
+        "edges/s",
+        "peak MiB",
+        "live MiB",
+        "peak/live",
+    ]);
+    for m in [1_000_000u64, 10_000_000] {
+        let path = write_fixture(dir, m);
+        let file_mib =
+            std::fs::metadata(&path).expect("fixture exists").len() as f64 / (1 << 20) as f64;
+        for mode in ["stream", "slurp"] {
+            let probe =
+                rss::spawn_child_probe(PROBE_VAR, &format!("{mode};{m};{}", path.display()));
+            let wall = match mode {
+                "stream" => median_wall(|| stream_ingest(&path, m)),
+                _ => median_wall(|| slurp_ingest(&path, m)),
+            };
+            let (peak, live) = match probe {
+                Some((p, l)) => (Some(p), Some(l)),
+                None => (None, None),
+            };
+            let ratio = match (peak, live) {
+                (Some(p), Some(l)) if l > 0 => format!("{:.2}", p as f64 / l as f64),
+                _ => "-".into(),
+            };
+            table.push([
+                m.to_string(),
+                mode.into(),
+                format!("{file_mib:.1}"),
+                format!("{:.1}", wall.as_secs_f64() * 1e3),
+                format!("{:.2e}", m as f64 / wall.as_secs_f64()),
+                rss::format_kb(peak),
+                rss::format_kb(live),
+                ratio,
+            ]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+    table.print("E14: out-of-core KGB1 ingest, streaming two-pass build vs in-memory slurp");
+}
+
+fn bench(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("kecss-e14-bench");
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    print_ingest_table(&dir);
+
+    // Criterion representatives at 10⁶ edges.
+    let m = 1_000_000u64;
+    let path = write_fixture(&dir, m);
+    c.bench_function("e14/stream_ingest_binary_1e6_edges", |b| {
+        b.iter(|| stream_ingest(black_box(&path), m).m())
+    });
+    c.bench_function("e14/slurp_ingest_binary_1e6_edges", |b| {
+        b.iter(|| slurp_ingest(black_box(&path), m).m())
+    });
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+
+fn main() {
+    // Child-process memory probe: `cargo bench` re-executes this binary
+    // with the handshake var set; answer and exit without touching
+    // Criterion.
+    if let Ok(spec) = std::env::var(PROBE_VAR) {
+        run_probe(&spec);
+        return;
+    }
+    benches();
+}

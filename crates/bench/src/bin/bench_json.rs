@@ -2,10 +2,10 @@
 //!
 //! Runs a quick-mode subset of the experiment workloads (E10 parallel
 //! scaling's solver kernel, E11's general cut enumeration, E12's service
-//! throughput, E13's compact-core parse and removal kernels) and writes
-//! median nanoseconds per workload as JSON, so CI can upload a
-//! `BENCH_PR<N>.json` artifact and successive PRs accumulate a comparable
-//! perf trajectory.
+//! throughput, E13's compact-core parse and removal kernels, E14's
+//! out-of-core streaming ingest) and writes median nanoseconds per workload
+//! as JSON, so CI can upload a `BENCH_PR<N>.json` artifact and successive
+//! PRs accumulate a comparable perf trajectory.
 //!
 //! Usage: `kecss-bench-json [--out FILE] [--samples N]`
 //!
@@ -20,6 +20,11 @@
 //!   ]
 //! }
 //! ```
+//!
+//! E14's rows additionally carry a `"peak_rss_kb"` field — the `VmHWM`
+//! high-water delta over the ingest (the trajectory's memory axis) — on
+//! kernels exposing `/proc/self/status`; the field is simply absent
+//! elsewhere, so `kecss-bench-v1` consumers stay compatible.
 
 use kecss::cuts::{ContractEnumerator, CutEnumerator, EnumeratorPolicy};
 use kecss_runtime::Executor;
@@ -35,6 +40,9 @@ struct Measurement {
     name: &'static str,
     median_ns: u128,
     samples: usize,
+    /// Peak-RSS delta over the workload (E14 only; `None` where `/proc`
+    /// probing is unavailable or the axis is not meaningful).
+    peak_rss_kb: Option<u64>,
 }
 
 /// Times `routine` `samples` times and returns the median duration in ns.
@@ -66,6 +74,7 @@ fn e10_kecss_solve(samples: usize) -> Measurement {
             assert!(!sol.subgraph.is_empty());
         }),
         samples,
+        peak_rss_kb: None,
     }
 }
 
@@ -83,6 +92,7 @@ fn e11_contract_q5(samples: usize) -> Measurement {
             assert!(!cuts.is_empty());
         }),
         samples,
+        peak_rss_kb: None,
     }
 }
 
@@ -111,6 +121,7 @@ fn e12_submit_to_result(samples: usize) -> Measurement {
         name: "e12_service_throughput/submit_ring20_depth1",
         median_ns: median,
         samples,
+        peak_rss_kb: None,
     }
 }
 
@@ -135,6 +146,7 @@ fn e12_scheduler_overhead(samples: usize) -> Measurement {
         name: "e12_service_throughput/trivial_batch8_depth8",
         median_ns: median,
         samples,
+        peak_rss_kb: None,
     }
 }
 
@@ -156,6 +168,7 @@ fn e13_parse(samples: usize) -> (Measurement, Measurement) {
             assert_eq!(graphs::io::read_text(&text).unwrap().m(), g.m());
         }),
         samples,
+        peak_rss_kb: None,
     };
     let binary_m = Measurement {
         name: "e13_compact_core/parse_binary_60k_edges",
@@ -163,6 +176,7 @@ fn e13_parse(samples: usize) -> (Measurement, Measurement) {
             assert_eq!(graphs::io::read_binary(&binary).unwrap().m(), g.m());
         }),
         samples,
+        peak_rss_kb: None,
     };
     (text_m, binary_m)
 }
@@ -185,6 +199,94 @@ fn e13_removal_kernel(samples: usize) -> Measurement {
             assert_eq!(connected, probe.len(), "H is 4-edge-connected");
         }),
         samples,
+        peak_rss_kb: None,
+    }
+}
+
+/// The env-var handshake for E14's child-process memory probe.
+const E14_PROBE_VAR: &str = "KECSS_BENCH_JSON_E14_PROBE";
+
+/// E14's fixture size (10⁶ edges — the quick-mode point of the bench's
+/// 10⁶–10⁷ sweep) and ingest kernels, shared between the parent
+/// measurement and the probe child.
+const E14_EDGES: u64 = 1_000_000;
+
+fn e14_fixture_path() -> std::path::PathBuf {
+    std::env::temp_dir().join("kecss_bench_json_e14.graphb")
+}
+
+fn e14_stream_ingest(path: &std::path::Path) -> graphs::Graph {
+    let g = graphs::io::read_graph(path).expect("stream ingest");
+    assert_eq!(g.m(), E14_EDGES as usize);
+    g
+}
+
+fn e14_slurp_ingest(path: &std::path::Path) -> graphs::Graph {
+    let bytes = std::fs::read(path).expect("read fixture");
+    let g = graphs::io::read_binary(&bytes).expect("slurp ingest");
+    assert_eq!(g.m(), E14_EDGES as usize);
+    // Freeze the CSR so both modes deliver the same end state (the
+    // streamed graph arrives frozen by construction).
+    g.freeze();
+    g
+}
+
+/// E14's out-of-core ingest: stream a 10⁶-edge synthetic `KGB1` file through
+/// the two-pass builder vs slurping it into memory first. Wall time is the
+/// in-process median; the `peak_rss_kb` axis comes from one fresh child
+/// process per mode (re-executing this binary with [`E14_PROBE_VAR`] set),
+/// since a long-lived parent retains heap from earlier workloads and would
+/// understate the peak. Fixture shared with `benches/e14_out_of_core.rs`
+/// via [`kecss_bench::workloads::e14_write_synthetic_kgb1`].
+fn e14_out_of_core(samples: usize) -> (Measurement, Measurement) {
+    use std::io::Write;
+    let path = e14_fixture_path();
+    let file = std::fs::File::create(&path).expect("create e14 fixture");
+    let mut sink = std::io::BufWriter::with_capacity(1 << 20, file);
+    kecss_bench::workloads::e14_write_synthetic_kgb1(
+        &mut sink,
+        (E14_EDGES / 5) as usize,
+        E14_EDGES,
+    )
+    .expect("write e14 fixture");
+    sink.flush().expect("flush e14 fixture");
+
+    let measure = |name: &'static str,
+                   mode: &str,
+                   ingest: &dyn Fn(&std::path::Path) -> graphs::Graph|
+     -> Measurement {
+        let probe = kecss_bench::rss::spawn_child_probe(E14_PROBE_VAR, mode);
+        Measurement {
+            name,
+            median_ns: median_ns(samples, || {
+                assert_eq!(ingest(&path).m(), E14_EDGES as usize);
+            }),
+            samples,
+            peak_rss_kb: probe.map(|(peak, _live)| peak),
+        }
+    };
+    let stream = measure(
+        "e14_out_of_core/stream_ingest_binary_1e6_edges",
+        "stream",
+        &|p| e14_stream_ingest(p),
+    );
+    let slurp = measure(
+        "e14_out_of_core/slurp_ingest_binary_1e6_edges",
+        "slurp",
+        &|p| e14_slurp_ingest(p),
+    );
+    std::fs::remove_file(&path).ok();
+    (stream, slurp)
+}
+
+/// Child side of the E14 probe: ingest the fixture the parent just wrote
+/// and report the resident-set deltas.
+fn run_e14_probe(mode: &str) {
+    let path = e14_fixture_path();
+    match mode {
+        "stream" => kecss_bench::rss::report_child_probe(|| e14_stream_ingest(&path)),
+        "slurp" => kecss_bench::rss::report_child_probe(|| e14_slurp_ingest(&path)),
+        other => panic!("unknown probe mode '{other}'"),
     }
 }
 
@@ -192,11 +294,16 @@ fn render_json(measurements: &[Measurement]) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"kecss-bench-v1\",\n  \"workloads\": [\n");
     for (i, m) in measurements.iter().enumerate() {
+        let rss = match m.peak_rss_kb {
+            Some(kb) => format!(", \"peak_rss_kb\": {kb}"),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"median_ns\": {}, \"samples\": {} }}{}\n",
+            "    {{ \"name\": \"{}\", \"median_ns\": {}, \"samples\": {}{} }}{}\n",
             m.name,
             m.median_ns,
             m.samples,
+            rss,
             if i + 1 < measurements.len() { "," } else { "" }
         ));
     }
@@ -205,6 +312,11 @@ fn render_json(measurements: &[Measurement]) -> String {
 }
 
 fn main() {
+    // Child-process memory probe for E14: answer and exit.
+    if let Ok(mode) = std::env::var(E14_PROBE_VAR) {
+        run_e14_probe(&mode);
+        return;
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH.json".to_string();
     let mut samples = 7usize;
@@ -228,6 +340,7 @@ fn main() {
     }
 
     let (e13_text, e13_binary) = e13_parse(samples);
+    let (e14_stream, e14_slurp) = e14_out_of_core(samples);
     let measurements = [
         e10_kecss_solve(samples),
         e11_contract_q5(samples),
@@ -236,10 +349,16 @@ fn main() {
         e13_text,
         e13_binary,
         e13_removal_kernel(samples),
+        e14_stream,
+        e14_slurp,
     ];
     for m in &measurements {
+        let rss = match m.peak_rss_kb {
+            Some(kb) => format!("   peak {kb} KiB"),
+            None => String::new(),
+        };
         println!(
-            "{:<50} median {:>14} ns   ({} samples)",
+            "{:<50} median {:>14} ns   ({} samples){rss}",
             m.name, m.median_ns, m.samples
         );
     }

@@ -1,14 +1,15 @@
 //! Shared infrastructure for the benchmark harness.
 //!
 //! Every benchmark target under `benches/` corresponds to one experiment of
-//! EXPERIMENTS.md (E1–E13). The benches print the experiment's series/rows
+//! EXPERIMENTS.md (E1–E14). The benches print the experiment's series/rows
 //! (the "table the paper would have had") before handing a representative
 //! configuration to Criterion for wall-clock timing. This module provides the
-//! two things they share: instance families ([`workloads`]) and fixed-width
-//! table printing ([`table`]).
+//! things they share: instance families ([`workloads`]), fixed-width table
+//! printing ([`table`]) and the `/proc`-based peak-memory probe ([`rss`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod rss;
 pub mod table;
 pub mod workloads;

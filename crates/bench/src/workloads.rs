@@ -230,6 +230,49 @@ pub fn e13_kernel_instance() -> (Graph, EdgeSet) {
     (g, h)
 }
 
+/// E14's ingest fixture: streams a synthetic `KGB1` instance of `n` vertices
+/// and `m` edges straight to `sink` — header, then `m` fixed-stride records —
+/// without ever materializing a [`Graph`] or an edge list. This is what lets
+/// the out-of-core bench write 10⁷-edge files whose ingest peak-RSS can be
+/// attributed entirely to the *reader* under test.
+///
+/// Edge `i` connects `u = i mod n` to `v = (u + s) mod n` with stride
+/// `s = 1 + (i / n) mod (n - 1)`, so endpoints are always distinct and in
+/// range, and every decoded record is a pure function of its edge id (easy
+/// to spot-check after a streamed build).
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `n` exceeds the format's `u32` vertex-id range.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `sink`.
+pub fn e14_write_synthetic_kgb1<W: std::io::Write>(
+    sink: &mut W,
+    n: usize,
+    m: u64,
+) -> std::io::Result<()> {
+    assert!(n >= 3, "the synthetic family needs n >= 3");
+    assert!(u32::try_from(n).is_ok(), "KGB1 vertex ids are u32");
+    sink.write_all(&graphs::io::BINARY_MAGIC)?;
+    sink.write_all(&(n as u64).to_le_bytes())?;
+    sink.write_all(&m.to_le_bytes())?;
+    let n = n as u64;
+    let mut record = [0u8; 16];
+    for i in 0..m {
+        let u = i % n;
+        let stride = 1 + (i / n) % (n - 1);
+        let v = (u + stride) % n;
+        let weight = 1 + i % 97;
+        record[0..4].copy_from_slice(&(u as u32).to_le_bytes());
+        record[4..8].copy_from_slice(&(v as u32).to_le_bytes());
+        record[8..16].copy_from_slice(&weight.to_le_bytes());
+        sink.write_all(&record)?;
+    }
+    Ok(())
+}
+
 /// Deterministic per-experiment RNG.
 pub fn rng(seed: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(seed)
@@ -287,6 +330,23 @@ mod tests {
         assert!(connectivity::is_k_edge_connected(&g, 2));
         let cuts = kecss::cuts::cuts_of_size(&g, &g.full_edge_set(), 2).unwrap();
         assert_eq!(cuts.len(), (n / stride) * stride * (stride - 1) / 2);
+    }
+
+    #[test]
+    fn synthetic_kgb1_streams_a_decodable_instance() {
+        let mut bytes = Vec::new();
+        e14_write_synthetic_kgb1(&mut bytes, 16, 200).unwrap();
+        assert_eq!(bytes.len(), 20 + 200 * 16);
+        let g = graphs::io::read_binary(&bytes).unwrap();
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 200);
+        // Record i is a pure function of its edge id.
+        let id = 150usize;
+        let e = g.edge(graphs::EdgeId(id));
+        assert_eq!(e.u, id % 16);
+        assert_eq!(e.v, (e.u + 1 + (id / 16) % 15) % 16);
+        assert_eq!(e.weight, 1 + id as u64 % 97);
+        assert!(g.edges().all(|(_, e)| e.u != e.v));
     }
 
     #[test]

@@ -77,7 +77,8 @@ pub enum Command {
         /// Cut-enumeration strategy for the algorithms that enumerate cuts
         /// (`kecss`, `greedy`; the others ignore the flag).
         enumerator: EnumeratorPolicy,
-        /// Optional path to write the selected edge list to.
+        /// Optional path to write the solution to (`.solb` = `KGS1` binary,
+        /// anything else = text edge list).
         output: Option<String>,
     },
     /// Translate an instance file between the text and `KGB1` binary formats
@@ -113,7 +114,7 @@ pub enum Command {
     Verify {
         /// Path to the instance file.
         input: String,
-        /// Path to the solution (edge list) file.
+        /// Path to the solution file (text edge list, or `.solb` binary).
         solution: String,
         /// Connectivity to verify.
         k: usize,
@@ -250,7 +251,17 @@ vertex and edge counts, then one 16-byte 'u32 u, u32 v, u64 weight' record
 per edge — DESIGN.md §10). Both encode the edge list in the same order, so
 edge ids — and therefore solver outputs — are identical for both. `convert`
 translates between them; `sweep --input` and the service's 'file:<path>'
-instance spec accept either.
+instance spec accept either. All instance readers stream: files are ingested
+through a chunked cursor and the adjacency is built in two passes, so peak
+memory is the graph itself, never the file (out-of-core pipeline, DESIGN.md
+§10).
+
+Solution files mirror the split: plain text ('.edges': one 'u v weight' line
+per selected edge, matched back to the instance by endpoints) and the KGS1
+binary format ('.solb': the \"KGS1\" magic, a little-endian u64 count, then
+one little-endian u64 edge id per selected edge in increasing order — exact
+ids, 8 bytes per edge). `solve --output` writes and `verify --solution`
+reads either, picked by extension.
 ";
 
 fn flag_map<'a>(

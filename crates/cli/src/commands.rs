@@ -781,6 +781,50 @@ mod tests {
     }
 
     #[test]
+    fn solve_writes_and_verify_reads_binary_solutions() {
+        let instance = tmp("solb.graphb");
+        let sol_text = tmp("solb.edges");
+        let sol_bin = tmp("solb.solb");
+        run(Command::Generate {
+            family: Family::Random,
+            n: 26,
+            k: 2,
+            max_weight: 19,
+            seed: 13,
+            output: instance.clone(),
+        });
+        for output in [&sol_text, &sol_bin] {
+            run(Command::Solve {
+                input: instance.clone(),
+                algorithm: Algorithm::KEcss,
+                k: 2,
+                seed: 6,
+                threads: 1,
+                enumerator: EnumeratorPolicy::Auto,
+                output: Some(output.clone()),
+            });
+        }
+        // verify accepts both encodings of the same solution.
+        for solution in [&sol_text, &sol_bin] {
+            let text = run(Command::Verify {
+                input: instance.clone(),
+                solution: solution.clone(),
+                k: 2,
+            });
+            assert!(text.contains("VALID"), "{solution}: {text}");
+        }
+        // Both files decode to the same edge set, and the binary one is the
+        // canonical 12 + 8·len encoding.
+        let graph = graph_io::read_graph(Path::new(&instance)).unwrap();
+        let from_text = graph_io::read_solution(Path::new(&sol_text), &graph).unwrap();
+        let from_bin = graph_io::read_solution(Path::new(&sol_bin), &graph).unwrap();
+        assert_eq!(from_text, from_bin);
+        let bytes = std::fs::read(&sol_bin).unwrap();
+        assert_eq!(&bytes[0..4], b"KGS1");
+        assert_eq!(bytes.len(), 12 + 8 * from_bin.len());
+    }
+
+    #[test]
     fn sweep_accepts_an_instance_file_in_either_format() {
         let bin_path = tmp("sweep-input.graphb");
         run(Command::Generate {

@@ -7,17 +7,18 @@
 //!   data line is the vertex count, then `u v weight` lines) or `KGB1`
 //!   binary (`.graphb`, DESIGN.md §10). [`read_graph`] / [`write_graph`]
 //!   autodetect from the extension; `kecss convert` translates between them.
-//! * Solutions (`.edges`): one `u v weight` line per selected edge (weights
-//!   are informational; edges are matched to the instance by endpoints,
-//!   cheapest unused edge first).
+//! * Solutions: text (`.edges` — one `u v weight` line per selected edge,
+//!   weights informational, edges matched to the instance by endpoints,
+//!   cheapest unused first) or `KGS1` binary (`.solb` — exact edge ids,
+//!   DESIGN.md §10). [`read_solution`] / [`write_solution`] autodetect.
 //!
-//! All file writers stream through a [`std::io::BufWriter`] sink — a
-//! 10⁶-edge instance or solution is never built as one in-memory `String`.
+//! All file writers stream through a [`std::io::BufWriter`] sink and all
+//! file readers stream through the chunked cursors of [`graphs::stream`] —
+//! a 10⁷-edge instance or solution is never built as one in-memory buffer.
 
 use crate::CliError;
 use graphs::io::GraphIoError;
 use graphs::{EdgeSet, Graph};
-use std::io::{BufWriter, Write};
 use std::path::Path;
 
 impl From<GraphIoError> for CliError {
@@ -72,73 +73,37 @@ pub fn solution_to_text(graph: &Graph, edges: &EdgeSet) -> String {
     String::from_utf8(out).expect("the solution format is UTF-8")
 }
 
-/// Writes a solution edge list to a file through a buffered stream.
+/// Writes a solution to a file through a buffered stream, picking text or
+/// `KGS1` binary from the extension (`.solb` = binary).
 ///
 /// # Errors
 ///
 /// Propagates I/O errors.
 pub fn write_solution(path: &Path, graph: &Graph, edges: &EdgeSet) -> Result<(), CliError> {
-    let mut sink = BufWriter::new(std::fs::File::create(path)?);
-    graphs::io::write_solution_text(&mut sink, graph, edges)?;
-    sink.flush()?;
-    Ok(())
+    Ok(graphs::io::write_solution(path, graph, edges)?)
 }
 
-/// Parses a solution edge list back into an [`EdgeSet`] of `graph`.
+/// Parses a text solution edge list back into an [`EdgeSet`] of `graph`.
 ///
 /// Each `u v weight` line claims one edge between `u` and `v`; parallel edges
 /// are matched greedily (cheapest unused edge between the endpoints first).
 ///
 /// # Errors
 ///
-/// Returns [`CliError::Format`] if a line references an edge the instance does
-/// not have.
+/// Returns [`CliError::Format`] (carrying the 1-based line number) if a line
+/// references an edge the instance does not have.
 pub fn solution_from_text(graph: &Graph, text: &str) -> Result<EdgeSet, CliError> {
-    let mut set = graph.empty_edge_set();
-    for (idx, line) in text
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .enumerate()
-    {
-        let mut parts = line.split_whitespace();
-        let u: usize = parts
-            .next()
-            .and_then(|p| p.parse().ok())
-            .ok_or_else(|| CliError::Format(format!("solution line {idx}: malformed endpoint")))?;
-        let v: usize = parts
-            .next()
-            .and_then(|p| p.parse().ok())
-            .ok_or_else(|| CliError::Format(format!("solution line {idx}: malformed endpoint")))?;
-        if u >= graph.n() || v >= graph.n() {
-            return Err(CliError::Format(format!(
-                "solution line {idx}: endpoint out of range"
-            )));
-        }
-        let mut candidates: Vec<graphs::EdgeId> = graph
-            .neighbors(u)
-            .iter()
-            .filter(|(nbr, id)| *nbr == v && !set.contains(*id))
-            .map(|&(_, id)| id)
-            .collect();
-        candidates.sort_by_key(|&id| (graph.weight(id), id));
-        let Some(&id) = candidates.first() else {
-            return Err(CliError::Format(format!(
-                "solution line {idx}: the instance has no unused edge between {u} and {v}"
-            )));
-        };
-        set.insert(id);
-    }
-    Ok(set)
+    Ok(graphs::io::read_solution_text(text.as_bytes(), graph)?)
 }
 
-/// Reads a solution edge list from a file.
+/// Reads a solution from a file, picking the format from the extension,
+/// streaming either way.
 ///
 /// # Errors
 ///
 /// Propagates I/O and format errors.
 pub fn read_solution(path: &Path, graph: &Graph) -> Result<EdgeSet, CliError> {
-    solution_from_text(graph, &std::fs::read_to_string(path)?)
+    Ok(graphs::io::read_solution(path, graph)?)
 }
 
 #[cfg(test)]

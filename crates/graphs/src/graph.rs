@@ -196,6 +196,24 @@ impl Graph {
         }
     }
 
+    /// Assembles an already-frozen graph from externally built CSR arrays
+    /// (the two-pass streaming build in [`crate::stream`]). The caller
+    /// guarantees the arrays satisfy the [`Csr`] invariants — in particular
+    /// that `entries` is grouped by vertex with edge-id order within each
+    /// vertex, exactly what [`Csr::build`] would produce from `edges`.
+    pub(crate) fn from_csr_parts(
+        n: usize,
+        edges: Vec<Edge>,
+        offsets: Vec<usize>,
+        entries: Vec<(NodeId, EdgeId)>,
+    ) -> Graph {
+        debug_assert_eq!(offsets.len(), n + 1);
+        debug_assert_eq!(entries.len(), 2 * edges.len());
+        let csr = OnceLock::new();
+        let _ = csr.set(Csr { offsets, entries });
+        Graph { n, edges, csr }
+    }
+
     /// Creates a graph with `n` vertices from an iterator of `(u, v, weight)`
     /// triples.
     ///

@@ -16,12 +16,26 @@
 //!   fixed-stride, so reading is one bulk I/O pass with no parsing; DESIGN.md
 //!   §10 specifies the layout.
 //!
-//! All writers stream through an [`io::Write`] sink — a 10⁶-edge instance is
-//! never materialized as one in-memory `String`.
+//! Solutions (edge subsets of an instance) mirror the same split:
+//!
+//! * **Text** (`.edges`, and any other extension): one `u v weight` line per
+//!   selected edge; edges are matched back to the instance by endpoints,
+//!   cheapest unused edge first.
+//! * **Binary** (`.solb`): the `KGS1` magic, a little-endian `u64` count,
+//!   then one little-endian `u64` edge id per selected edge in strictly
+//!   increasing order — the canonical encoding, since [`EdgeSet::iter`]
+//!   yields increasing ids. Exact (ids, not endpoint matching) and eight
+//!   bytes per edge; DESIGN.md §10 specifies the layout.
+//!
+//! All writers stream through an [`io::Write`] sink and the path-level
+//! readers ([`read_graph`], [`read_solution`]) stream through the chunked
+//! cursors of [`crate::stream`] — a 10⁷-edge instance is never materialized
+//! as one in-memory buffer.
 
-use crate::graph::{EdgeSet, Graph};
+use crate::graph::{EdgeId, EdgeSet, Graph};
+use crate::stream::{BinaryCursor, RecordCursor, TextCursor};
 use std::fmt;
-use std::io::{self, BufWriter, Read, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 /// The `.graphb` magic: "KGB1" (Kecss Graph Binary, version 1).
@@ -32,6 +46,15 @@ pub const BINARY_EXTENSION: &str = "graphb";
 
 /// Size of one binary edge record: `u32 u, u32 v, u64 weight`.
 const RECORD_BYTES: usize = 16;
+
+/// The `.solb` magic: "KGS1" (Kecss Graph Solution, version 1).
+pub const SOLUTION_BINARY_MAGIC: [u8; 4] = *b"KGS1";
+
+/// The file extension that selects the binary solution format.
+pub const SOLUTION_BINARY_EXTENSION: &str = "solb";
+
+/// Size of one binary solution record: one `u64` edge id.
+const SOLUTION_RECORD_BYTES: usize = 8;
 
 /// Errors of the instance codecs.
 #[derive(Debug)]
@@ -79,6 +102,28 @@ impl GraphFormat {
     }
 }
 
+/// The two on-disk solution encodings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolutionFormat {
+    /// One `u v weight` line per selected edge (the seed format).
+    Text,
+    /// `KGS1` edge-id records (DESIGN.md §10).
+    Binary,
+}
+
+impl SolutionFormat {
+    /// Picks the format from a path's extension: `.solb` is binary,
+    /// everything else (including no extension) is text.
+    pub fn from_path(path: &Path) -> SolutionFormat {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some(ext) if ext.eq_ignore_ascii_case(SOLUTION_BINARY_EXTENSION) => {
+                SolutionFormat::Binary
+            }
+            _ => SolutionFormat::Text,
+        }
+    }
+}
+
 /// Streams a graph in the text format to `sink`.
 ///
 /// # Errors
@@ -96,38 +141,18 @@ pub fn write_text<W: Write>(sink: &mut W, graph: &Graph) -> io::Result<()> {
     Ok(())
 }
 
-/// Parses a graph from the text format.
+/// Parses a graph from the text format (in memory, via the legacy mutable
+/// builder — the streaming two-pass path is [`read_graph`]).
 ///
 /// # Errors
 ///
-/// Returns [`GraphIoError::Format`] on malformed content.
+/// Returns [`GraphIoError::Format`] on malformed content; errors carry the
+/// 1-based physical line number of the offending line.
 pub fn read_text(text: &str) -> Result<Graph, GraphIoError> {
-    let mut lines = text
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'));
-    let n: usize = lines
-        .next()
-        .ok_or_else(|| GraphIoError::Format("empty instance file".into()))?
-        .parse()
-        .map_err(|_| GraphIoError::Format("the first data line must be the vertex count".into()))?;
-    let mut graph = Graph::new(n);
-    for (idx, line) in lines.enumerate() {
-        let mut parts = line.split_whitespace();
-        let parse = |part: Option<&str>, what: &str| -> Result<u64, GraphIoError> {
-            part.ok_or_else(|| GraphIoError::Format(format!("edge line {idx}: missing {what}")))?
-                .parse()
-                .map_err(|_| GraphIoError::Format(format!("edge line {idx}: malformed {what}")))
-        };
-        let u = parse(parts.next(), "endpoint u")? as usize;
-        let v = parse(parts.next(), "endpoint v")? as usize;
-        let w = parse(parts.next(), "weight")?;
-        if u >= n || v >= n || u == v {
-            return Err(GraphIoError::Format(format!(
-                "edge line {idx}: invalid endpoints {u} {v}"
-            )));
-        }
-        graph.add_edge(u, v, w);
+    let mut cursor = TextCursor::new(text.as_bytes())?;
+    let mut graph = Graph::new(cursor.header().n);
+    while let Some(record) = cursor.next_record()? {
+        graph.add_edge(record.u, record.v, record.weight);
     }
     Ok(graph)
 }
@@ -239,18 +264,23 @@ pub fn write_graph(path: &Path, graph: &Graph) -> Result<(), GraphIoError> {
     Ok(())
 }
 
-/// Reads a graph from `path`, picking the format from the extension.
+/// Reads a graph from `path`, picking the format from the extension, by
+/// **streaming**: the file is read twice through a chunked cursor
+/// ([`Graph::from_edge_stream`]) and arrives frozen, with no full-file
+/// buffer and no intermediate edge list. The result — including `EdgeId`
+/// assignment and CSR entry order — is bit-identical to the in-memory
+/// readers ([`read_text`], [`read_binary`]).
 ///
 /// # Errors
 ///
 /// Propagates I/O and format errors.
 pub fn read_graph(path: &Path) -> Result<Graph, GraphIoError> {
     match GraphFormat::from_path(path) {
-        GraphFormat::Text => read_text(&std::fs::read_to_string(path)?),
+        GraphFormat::Text => {
+            Graph::from_edge_stream(|| TextCursor::new(std::fs::File::open(path)?))
+        }
         GraphFormat::Binary => {
-            let mut bytes = Vec::new();
-            std::fs::File::open(path)?.read_to_end(&mut bytes)?;
-            read_binary(&bytes)
+            Graph::from_edge_stream(|| BinaryCursor::new(std::fs::File::open(path)?))
         }
     }
 }
@@ -274,6 +304,177 @@ pub fn write_solution_text<W: Write>(
         writeln!(sink, "{} {} {}", e.u, e.v, e.weight)?;
     }
     Ok(())
+}
+
+/// Parses a text solution back into an [`EdgeSet`] of `graph`, streaming
+/// line by line.
+///
+/// Each `u v weight` line claims one edge between `u` and `v`; the weight is
+/// informational and ignored. Parallel edges are matched greedily — the
+/// cheapest unused edge between the endpoints first (ties by id) — so a
+/// canonical re-encoding of the parsed set reproduces the input's edge
+/// multiset.
+///
+/// # Errors
+///
+/// Returns [`GraphIoError::Format`] (with the 1-based physical line number)
+/// if a line is malformed or references an edge the instance does not have.
+pub fn read_solution_text<R: Read>(source: R, graph: &Graph) -> Result<EdgeSet, GraphIoError> {
+    let mut set = graph.empty_edge_set();
+    let mut reader = BufReader::new(source);
+    let mut line = String::new();
+    let mut line_no: u64 = 0;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(set);
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let mut endpoint = |what: &str| -> Result<usize, GraphIoError> {
+            parts.next().and_then(|p| p.parse().ok()).ok_or_else(|| {
+                GraphIoError::Format(format!("solution line {line_no}: malformed {what}"))
+            })
+        };
+        let u = endpoint("endpoint u")?;
+        let v = endpoint("endpoint v")?;
+        if u >= graph.n() || v >= graph.n() {
+            return Err(GraphIoError::Format(format!(
+                "solution line {line_no}: endpoint out of range"
+            )));
+        }
+        let mut candidates: Vec<EdgeId> = graph
+            .neighbors(u)
+            .iter()
+            .filter(|(nbr, id)| *nbr == v && !set.contains(*id))
+            .map(|&(_, id)| id)
+            .collect();
+        candidates.sort_by_key(|&id| (graph.weight(id), id));
+        let Some(&id) = candidates.first() else {
+            return Err(GraphIoError::Format(format!(
+                "solution line {line_no}: the instance has no unused edge between {u} and {v}"
+            )));
+        };
+        set.insert(id);
+    }
+}
+
+/// Streams a solution in the `KGS1` binary format to `sink`: magic, LE u64
+/// count, then one LE u64 edge id per selected edge in strictly increasing
+/// order ([`EdgeSet::iter`]'s order, which makes the encoding canonical).
+///
+/// # Errors
+///
+/// Propagates sink errors.
+pub fn write_solution_binary<W: Write>(sink: &mut W, edges: &EdgeSet) -> io::Result<()> {
+    sink.write_all(&SOLUTION_BINARY_MAGIC)?;
+    sink.write_all(&(edges.len() as u64).to_le_bytes())?;
+    for id in edges.iter() {
+        sink.write_all(&(id.index() as u64).to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Parses a solution from the `KGS1` binary format, streaming through a
+/// chunked reader — exact edge ids, no endpoint matching.
+///
+/// # Errors
+///
+/// Returns [`GraphIoError::Format`] on a bad magic, truncated or trailing
+/// content, ids at or beyond `graph.m()`, or ids out of strictly increasing
+/// order (which also catches duplicates).
+pub fn read_solution_binary<R: Read>(source: R, graph: &Graph) -> Result<EdgeSet, GraphIoError> {
+    let mut reader = BufReader::new(source);
+    let mut header = [0u8; 4 + 8];
+    reader.read_exact(&mut header).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            GraphIoError::Format("binary solution is shorter than the KGS1 header".into())
+        } else {
+            GraphIoError::Io(e)
+        }
+    })?;
+    if header[0..4] != SOLUTION_BINARY_MAGIC {
+        return Err(GraphIoError::Format(format!(
+            "bad magic {:02x?} (expected \"KGS1\"); is this a binary solution?",
+            &header[0..4]
+        )));
+    }
+    let count = u64::from_le_bytes(header[4..12].try_into().expect("8-byte slice"));
+    if count > graph.m() as u64 {
+        return Err(GraphIoError::Format(format!(
+            "binary solution declares {count} edges but the instance has only {}",
+            graph.m()
+        )));
+    }
+    let mut set = graph.empty_edge_set();
+    let mut record = [0u8; SOLUTION_RECORD_BYTES];
+    let mut previous: Option<u64> = None;
+    for idx in 0..count {
+        reader.read_exact(&mut record).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                GraphIoError::Format(format!(
+                    "binary solution declares {count} edges but its body ends after {idx}"
+                ))
+            } else {
+                GraphIoError::Io(e)
+            }
+        })?;
+        let id = u64::from_le_bytes(record);
+        if id >= graph.m() as u64 {
+            return Err(GraphIoError::Format(format!(
+                "solution record {idx}: edge id {id} out of range (m = {})",
+                graph.m()
+            )));
+        }
+        if previous.is_some_and(|p| p >= id) {
+            return Err(GraphIoError::Format(format!(
+                "solution record {idx}: edge id {id} is not strictly increasing"
+            )));
+        }
+        previous = Some(id);
+        set.insert(EdgeId(id as usize));
+    }
+    if reader.read(&mut [0u8; 1])? != 0 {
+        return Err(GraphIoError::Format(format!(
+            "binary solution carries trailing bytes after its {count} declared records"
+        )));
+    }
+    Ok(set)
+}
+
+/// Writes a solution to `path`, picking the format from the extension
+/// (`.solb` = `KGS1` binary, anything else = text), through a buffered
+/// stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_solution(path: &Path, graph: &Graph, edges: &EdgeSet) -> Result<(), GraphIoError> {
+    let mut sink = BufWriter::new(std::fs::File::create(path)?);
+    match SolutionFormat::from_path(path) {
+        SolutionFormat::Text => write_solution_text(&mut sink, graph, edges)?,
+        SolutionFormat::Binary => write_solution_binary(&mut sink, edges)?,
+    }
+    sink.flush()?;
+    Ok(())
+}
+
+/// Reads a solution from `path`, picking the format from the extension,
+/// streaming either way.
+///
+/// # Errors
+///
+/// Propagates I/O and format errors.
+pub fn read_solution(path: &Path, graph: &Graph) -> Result<EdgeSet, GraphIoError> {
+    let file = std::fs::File::open(path)?;
+    match SolutionFormat::from_path(path) {
+        SolutionFormat::Text => read_solution_text(file, graph),
+        SolutionFormat::Binary => read_solution_binary(file, graph),
+    }
 }
 
 #[cfg(test)]
@@ -421,5 +622,129 @@ mod tests {
         write_solution_text(&mut buf, &g, &set).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().filter(|l| !l.starts_with('#')).count(), g.m());
+    }
+
+    #[test]
+    fn text_errors_carry_one_based_line_numbers() {
+        // The vertex-count line is physical line 2 here.
+        let err = read_text("# header\nnope\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        // The bad edge line is physical line 4 (comment + count + edge).
+        let err = read_text("# header\n3\n0 1 1\n0 2\n").unwrap_err();
+        assert!(err.to_string().contains("line 4"), "{err}");
+    }
+
+    #[test]
+    fn solution_format_autodetection() {
+        assert_eq!(
+            SolutionFormat::from_path(Path::new("a/b/sol.edges")),
+            SolutionFormat::Text
+        );
+        assert_eq!(
+            SolutionFormat::from_path(Path::new("sol.solb")),
+            SolutionFormat::Binary
+        );
+        assert_eq!(
+            SolutionFormat::from_path(Path::new("sol.SOLB")),
+            SolutionFormat::Binary
+        );
+        assert_eq!(
+            SolutionFormat::from_path(Path::new("sol")),
+            SolutionFormat::Text
+        );
+    }
+
+    #[test]
+    fn binary_solution_round_trips() {
+        let g = sample(7);
+        let mut set = g.empty_edge_set();
+        for id in g.edge_ids().filter(|id| id.index() % 3 != 1) {
+            set.insert(id);
+        }
+        let mut buf = Vec::new();
+        write_solution_binary(&mut buf, &set).unwrap();
+        assert_eq!(&buf[0..4], b"KGS1");
+        assert_eq!(buf.len(), 12 + 8 * set.len());
+        let parsed = read_solution_binary(buf.as_slice(), &g).unwrap();
+        assert_eq!(parsed, set);
+    }
+
+    #[test]
+    fn malformed_binary_solutions_are_rejected() {
+        let g = sample(8);
+        let mut set = g.empty_edge_set();
+        set.insert(crate::EdgeId(0));
+        set.insert(crate::EdgeId(2));
+        let mut buf = Vec::new();
+        write_solution_binary(&mut buf, &set).unwrap();
+        // Short header.
+        assert!(read_solution_binary(&b"KGS1"[..], &g).is_err());
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(read_solution_binary(bad.as_slice(), &g).is_err());
+        // Truncated body.
+        assert!(read_solution_binary(&buf[..buf.len() - 1], &g).is_err());
+        // Trailing garbage.
+        let mut long = buf.clone();
+        long.push(0);
+        assert!(read_solution_binary(long.as_slice(), &g).is_err());
+        // Count beyond m.
+        let mut huge = buf.clone();
+        huge[4..12].copy_from_slice(&(g.m() as u64 + 1).to_le_bytes());
+        assert!(read_solution_binary(huge.as_slice(), &g).is_err());
+        // Id out of range.
+        let mut oob = buf.clone();
+        oob[20..28].copy_from_slice(&(g.m() as u64).to_le_bytes());
+        assert!(read_solution_binary(oob.as_slice(), &g).is_err());
+        // Duplicate / non-increasing ids.
+        let mut dup = buf.clone();
+        dup[20..28].copy_from_slice(&0u64.to_le_bytes());
+        assert!(read_solution_binary(dup.as_slice(), &g).is_err());
+    }
+
+    #[test]
+    fn solution_file_round_trip_in_both_formats() {
+        let dir = std::env::temp_dir().join("kecss-graphs-io-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = sample(9);
+        let mut set = g.empty_edge_set();
+        for id in g.edge_ids().filter(|id| id.index() % 2 == 0) {
+            set.insert(id);
+        }
+        for name in ["sol.edges", "sol.solb"] {
+            let path = dir.join(name);
+            write_solution(&path, &g, &set).unwrap();
+            assert_eq!(read_solution(&path, &g).unwrap(), set, "{name}");
+        }
+        // The binary encoding is the canonical one: re-writing the parsed
+        // set is byte-identical.
+        let path = dir.join("sol.solb");
+        let first = std::fs::read(&path).unwrap();
+        let parsed = read_solution(&path, &g).unwrap();
+        let mut second = Vec::new();
+        write_solution_binary(&mut second, &parsed).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn text_solutions_match_by_endpoints_with_line_numbers() {
+        let mut g = Graph::new(3);
+        let a = g.add_edge(0, 1, 5);
+        let b = g.add_edge(0, 1, 2);
+        let c = g.add_edge(1, 2, 3);
+        let mut set = g.empty_edge_set();
+        set.insert(a);
+        set.insert(b);
+        set.insert(c);
+        let mut buf = Vec::new();
+        write_solution_text(&mut buf, &g, &set).unwrap();
+        let parsed = read_solution_text(buf.as_slice(), &g).unwrap();
+        assert_eq!(parsed, set);
+        // The header comment is line 1, so the first bad data line is 2.
+        let err = read_solution_text(&b"# c\n0 2 1\n"[..], &g).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = read_solution_text(&b"0 x 1\n"[..], &g).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
     }
 }

@@ -15,8 +15,13 @@
 //!   queries and tree paths.
 //! * [`dsu`] — union–find.
 //! * [`bfs`] — breadth-first search, eccentricities and diameter.
-//! * [`io`] — instance files: the plain-text format, the `KGB1` binary
-//!   format (DESIGN.md §10) and extension-based autodetection.
+//! * [`io`] — instance and solution files: the plain-text formats, the
+//!   `KGB1` instance and `KGS1` solution binary formats (DESIGN.md §10) and
+//!   extension-based autodetection.
+//! * [`stream`] — out-of-core ingest: chunked record cursors over both
+//!   instance formats ([`stream::RecordCursor`]) and the two-pass streaming
+//!   CSR build ([`Graph::from_edge_stream`]), with [`stream::peek_header`]
+//!   for pre-ingest admission checks.
 //!
 //! # Example
 //!
@@ -48,6 +53,7 @@ pub mod graph;
 pub mod io;
 pub mod maxflow;
 pub mod mst;
+pub mod stream;
 pub mod tree;
 
 pub use graph::{Edge, EdgeId, EdgeSet, Graph, NodeId, Weight};

@@ -123,10 +123,11 @@ pub fn build_family(
 pub const MAX_INSTANCE_N: usize = 1 << 20;
 
 /// The largest instance file a `file:` spec may name, checked against the
-/// file's metadata *before* any byte is read (the readers slurp whole
-/// files). 256 MiB comfortably covers a [`MAX_INSTANCE_N`]-vertex instance
-/// in either format while bounding what one request can make the server
-/// allocate.
+/// file's metadata *before* any byte is read. The readers stream in bounded
+/// chunks, so this no longer bounds a transient buffer — it bounds the edge
+/// count (and hence the built graph) a single request can name, alongside
+/// the [`MAX_INSTANCE_N`] header check. 256 MiB comfortably covers a
+/// [`MAX_INSTANCE_N`]-vertex instance in either format.
 pub const MAX_INSTANCE_FILE_BYTES: u64 = 256 << 20;
 
 /// A parsed instance field of a `SUBMIT` request.
@@ -140,9 +141,10 @@ pub const MAX_INSTANCE_FILE_BYTES: u64 = 256 << 20;
 /// file:<path>                          e.g.  file:/data/big.graphb
 /// ```
 ///
-/// `n` is capped at [`MAX_INSTANCE_N`] in all forms (for `file:` the cap is
-/// enforced after loading). A `file:` path is read **on the server's
-/// filesystem** when the job runs, in either instance format —
+/// `n` is capped at [`MAX_INSTANCE_N`] in all forms; for `file:` the cap is
+/// enforced from the instance **header** ([`graphs::stream::peek_header`])
+/// before the body is ingested. A `file:` path is read **on the server's
+/// filesystem** when the job runs, in either instance format — streamed with
 /// extension-based autodetection via [`graphs::io::read_graph`] (`.graphb`
 /// = `KGB1` binary, anything else = text).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -305,7 +307,8 @@ impl InstanceSpec {
     ///
     /// Same conditions as [`build_family`] for family instances; inline
     /// instances only require 3 vertices; file instances propagate read and
-    /// format errors and enforce [`MAX_INSTANCE_N`] after loading.
+    /// format errors and enforce [`MAX_INSTANCE_N`] from the header before
+    /// the body is ingested.
     pub fn build(&self, k: usize, seed: u64) -> Result<Graph, String> {
         match self {
             InstanceSpec::Family {
@@ -324,12 +327,11 @@ impl InstanceSpec {
                 Ok(graph)
             }
             InstanceSpec::File { path } => {
-                // Size-bound the file BEFORE reading: `read_graph` slurps the
-                // whole file, and a `SUBMIT file:` line is attacker-adjacent
-                // input to a long-running process — without this check one
-                // request naming a huge file (or an unbounded special file
-                // like /dev/zero, which is also not a regular file) could
-                // OOM the server or wedge a pool worker.
+                // Size-bound the file BEFORE reading: a `SUBMIT file:` line
+                // is attacker-adjacent input to a long-running process —
+                // without this check one request naming a huge file (or an
+                // unbounded special file like /dev/zero, which is also not a
+                // regular file) could OOM the server or wedge a pool worker.
                 let meta =
                     std::fs::metadata(path).map_err(|e| format!("instance file '{path}': {e}"))?;
                 if !meta.is_file() {
@@ -342,18 +344,26 @@ impl InstanceSpec {
                         meta.len()
                     ));
                 }
-                let graph = graphs::io::read_graph(std::path::Path::new(path))
+                // Vertex-cap the instance from its header BEFORE the body is
+                // ingested: `peek_header` reads the KGB1 header / the text
+                // vertex-count line and nothing else, so an over-cap
+                // instance is rejected without the server ever allocating
+                // per-vertex or per-edge storage for it.
+                let std_path = std::path::Path::new(path);
+                let header = graphs::stream::peek_header(std_path)
                     .map_err(|e| format!("instance file '{path}': {e}"))?;
-                if graph.n() > MAX_INSTANCE_N {
+                if header.n > MAX_INSTANCE_N {
                     return Err(format!(
-                        "instance file '{path}' has {} vertices, exceeding the service bound \
-                         of {MAX_INSTANCE_N}",
-                        graph.n()
+                        "instance file '{path}' declares {} vertices, exceeding the service \
+                         bound of {MAX_INSTANCE_N}",
+                        header.n
                     ));
                 }
-                if graph.n() < 3 {
+                if header.n < 3 {
                     return Err("instances need at least 3 vertices".into());
                 }
+                let graph = graphs::io::read_graph(std_path)
+                    .map_err(|e| format!("instance file '{path}': {e}"))?;
                 Ok(graph)
             }
         }
@@ -447,6 +457,46 @@ mod tests {
         let dir_spec = InstanceSpec::parse(&format!("file:{}", dir.display())).unwrap();
         let err = dir_spec.build(2, 1).unwrap_err();
         assert!(err.contains("not a regular file"), "{err}");
+    }
+
+    #[test]
+    fn oversized_file_instances_are_rejected_from_the_header_alone() {
+        let dir = std::env::temp_dir().join("kecss-server-instance-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let over = (MAX_INSTANCE_N + 1) as u64;
+
+        // A KGB1 header declaring an over-cap n, followed by NO body at all:
+        // if the server read past the header the build would fail with a
+        // truncation error, so getting the "service bound" message proves
+        // the cap fired before any body ingest.
+        let bin = dir.join("over.graphb");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"KGB1");
+        bytes.extend_from_slice(&over.to_le_bytes());
+        bytes.extend_from_slice(&1000u64.to_le_bytes());
+        std::fs::write(&bin, &bytes).unwrap();
+        let spec = InstanceSpec::parse(&format!("file:{}", bin.display())).unwrap();
+        let err = spec.build(2, 1).unwrap_err();
+        assert!(err.contains("exceeding the service bound"), "{err}");
+
+        // Same for text: an over-cap vertex count followed by a line that
+        // would be a parse error if the body were read.
+        let text = dir.join("over.graph");
+        std::fs::write(&text, format!("{over}\nthis is not an edge\n")).unwrap();
+        let spec = InstanceSpec::parse(&format!("file:{}", text.display())).unwrap();
+        let err = spec.build(2, 1).unwrap_err();
+        assert!(err.contains("exceeding the service bound"), "{err}");
+
+        // Under-cap headers still reach the body (and its errors).
+        let torn = dir.join("torn.graphb");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"KGB1");
+        bytes.extend_from_slice(&8u64.to_le_bytes());
+        bytes.extend_from_slice(&4u64.to_le_bytes());
+        std::fs::write(&torn, &bytes).unwrap();
+        let spec = InstanceSpec::parse(&format!("file:{}", torn.display())).unwrap();
+        let err = spec.build(2, 1).unwrap_err();
+        assert!(err.contains("ends after"), "{err}");
     }
 
     #[test]
