@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Service smoke test for CI: start `kecss serve` in the background, drive two
 # jobs through `kecss submit` concurrently (a ring at k=2 and a hypercube at
-# k=6 with the auto enumerator), check both results verified, exercise
+# k=6 with the auto enumerator), check both results verified, scrape the
+# METRICS verb and check the counters are mutually consistent, exercise
 # SHUTDOWN, and fail if the server hangs or leaks. The caller wraps this
 # script in `timeout`; we still keep our own bounded waits so failures are
 # attributed, not just killed.
+#
+# This is the one place exact metric values are asserted: the server is a
+# fresh process serving exactly this script's requests, so the registry is
+# not shared with anything else (in-binary tests assert deltas instead).
 set -euo pipefail
 
 KECSS="${KECSS:-target/release/kecss}"
@@ -55,6 +60,43 @@ grep -q "verified k=2 yes" "${WORKDIR}/ring.out" \
 grep -q "verified k=6 yes" "${WORKDIR}/cube.out" \
   || { echo "cube result not verified:"; cat "${WORKDIR}/cube.out"; exit 1; }
 echo "== both results verified"
+
+echo "== scraping METRICS and checking counter consistency"
+"${KECSS}" submit --addr "${ADDR}" --metrics true >"${WORKDIR}/metrics.out" 2>&1 \
+  || { echo "metrics scrape failed:"; cat "${WORKDIR}/metrics.out"; exit 1; }
+
+# Reads one series value; the argument is the exact rendered series (name
+# plus sorted labels). Anchored so the '# TYPE name kind' line never matches.
+metric() {
+  local line
+  line="$(grep "^$1 " "${WORKDIR}/metrics.out" | head -n1 || true)"
+  if [[ -z "${line}" ]]; then echo 0; else echo "${line##* }"; fi
+}
+
+SUBMITTED="$(metric 'server_jobs_submitted_total')"
+COMPLETED="$(metric 'server_jobs_total{state="completed"}')"
+FAILED="$(metric 'server_jobs_total{state="failed"}')"
+CANCELLED="$(metric 'server_jobs_total{state="cancelled"}')"
+SUBMIT_REQS="$(metric 'server_requests_total{verb="SUBMIT"}')"
+METRICS_REQS="$(metric 'server_requests_total{verb="METRICS"}')"
+
+if [[ "${SUBMITTED}" -ne $((COMPLETED + FAILED + CANCELLED)) ]]; then
+  echo "inconsistent job counters: submitted=${SUBMITTED} != completed=${COMPLETED} + failed=${FAILED} + cancelled=${CANCELLED}"
+  cat "${WORKDIR}/metrics.out"; exit 1
+fi
+if [[ "${SUBMITTED}" -ne 2 || "${COMPLETED}" -ne 2 ]]; then
+  echo "expected exactly 2 submitted and completed jobs, got submitted=${SUBMITTED} completed=${COMPLETED}"
+  cat "${WORKDIR}/metrics.out"; exit 1
+fi
+if [[ "${SUBMIT_REQS}" -ne 2 ]]; then
+  echo "expected exactly 2 SUBMIT requests, got ${SUBMIT_REQS}"
+  cat "${WORKDIR}/metrics.out"; exit 1
+fi
+if [[ "${METRICS_REQS}" -lt 1 ]]; then
+  echo "the METRICS request did not count itself"
+  cat "${WORKDIR}/metrics.out"; exit 1
+fi
+echo "== metrics consistent: submitted=${SUBMITTED} = completed=${COMPLETED} + failed=${FAILED} + cancelled=${CANCELLED}; SUBMIT requests=${SUBMIT_REQS}"
 
 echo "== shutting the server down"
 "${KECSS}" submit --addr "${ADDR}" --shutdown true

@@ -3,9 +3,10 @@
 //! Runs a quick-mode subset of the experiment workloads (E10 parallel
 //! scaling's solver kernel, E11's general cut enumeration, E12's service
 //! throughput, E13's compact-core parse and removal kernels, E14's
-//! out-of-core streaming ingest) and writes median nanoseconds per workload
-//! as JSON, so CI can upload a `BENCH_PR<N>.json` artifact and successive
-//! PRs accumulate a comparable perf trajectory.
+//! out-of-core streaming ingest, E15's observability overhead) and writes
+//! median nanoseconds per workload as JSON, so CI can upload a
+//! `BENCH_PR<N>.json` artifact and successive PRs accumulate a comparable
+//! perf trajectory.
 //!
 //! Usage: `kecss-bench-json [--out FILE] [--samples N]`
 //!
@@ -203,6 +204,51 @@ fn e13_removal_kernel(samples: usize) -> Measurement {
     }
 }
 
+/// E15's observability overhead: the E12 submit→result path with metric
+/// recording enabled vs disabled at runtime (`kecss_obs::set_enabled`). The
+/// two rows bound the cost of the instrumentation on the hottest service
+/// path; the acceptance budget is a ≤2% median delta (EXPERIMENTS.md E15).
+fn e15_observability_overhead(samples: usize) -> (Measurement, Measurement) {
+    let run_mode = |name: &'static str, enabled: bool| -> Measurement {
+        let was = kecss_obs::set_enabled(enabled);
+        let scheduler = Scheduler::new(2, 1);
+        let spec = JobSpec {
+            instance: InstanceSpec::parse("ring:20").unwrap(),
+            k: 2,
+            algorithm: Algorithm::TwoEcss,
+            enumerator: EnumeratorPolicy::Auto,
+            seed: 1,
+        };
+        let median = median_ns(samples, || {
+            let id = scheduler
+                .submit(spec.clone())
+                .expect("depth-1 queue is free");
+            match scheduler.wait(id) {
+                Some(Outcome::Done(payload)) => assert!(!payload.is_empty()),
+                other => panic!("job {id} did not complete: {other:?}"),
+            }
+        });
+        scheduler.shutdown();
+        kecss_obs::set_enabled(was);
+        Measurement {
+            name,
+            median_ns: median,
+            samples,
+            peak_rss_kb: None,
+        }
+    };
+    (
+        run_mode(
+            "e15_observability_overhead/submit_ring20_depth1_instrumented",
+            true,
+        ),
+        run_mode(
+            "e15_observability_overhead/submit_ring20_depth1_noop",
+            false,
+        ),
+    )
+}
+
 /// The env-var handshake for E14's child-process memory probe.
 const E14_PROBE_VAR: &str = "KECSS_BENCH_JSON_E14_PROBE";
 
@@ -341,6 +387,7 @@ fn main() {
 
     let (e13_text, e13_binary) = e13_parse(samples);
     let (e14_stream, e14_slurp) = e14_out_of_core(samples);
+    let (e15_instrumented, e15_noop) = e15_observability_overhead(samples);
     let measurements = [
         e10_kecss_solve(samples),
         e11_contract_q5(samples),
@@ -351,6 +398,8 @@ fn main() {
         e13_removal_kernel(samples),
         e14_stream,
         e14_slurp,
+        e15_instrumented,
+        e15_noop,
     ];
     for m in &measurements {
         let rss = match m.peak_rss_kb {

@@ -80,6 +80,10 @@ pub enum Command {
         /// Optional path to write the solution to (`.solb` = `KGS1` binary,
         /// anything else = text edge list).
         output: Option<String>,
+        /// Optional path to stream the observability span tree to, as JSONL
+        /// (DESIGN.md §11). Purely out-of-band: the solution bytes are
+        /// identical with and without it.
+        trace: Option<String>,
     },
     /// Translate an instance file between the text and `KGB1` binary formats
     /// (the direction is inferred from the two extensions).
@@ -108,6 +112,9 @@ pub enum Command {
         threads: usize,
         /// Cut-enumeration strategy used by the solving algorithms.
         enumerator: EnumeratorPolicy,
+        /// Optional path to stream the observability span tree to, as JSONL
+        /// (DESIGN.md §11).
+        trace: Option<String>,
     },
     /// Verify that a solution file is a k-edge-connected spanning subgraph of
     /// an instance file.
@@ -127,6 +134,8 @@ pub enum Command {
         threads: usize,
         /// Maximum jobs in flight (queued + running) before `BUSY`.
         queue_depth: usize,
+        /// Maximum requests per connection (0 = unlimited).
+        max_requests_per_conn: usize,
     },
     /// Submit a job to a running service and (by default) wait for its
     /// verified result.
@@ -173,6 +182,8 @@ pub enum SubmitAction {
         /// Give up waiting after this many seconds.
         timeout_secs: u64,
     },
+    /// Fetch the server's metrics text exposition and print it.
+    Metrics,
     /// Ask the server to drain and exit.
     Shutdown,
 }
@@ -209,12 +220,13 @@ kecss — distributed approximation of minimum k-edge-connected spanning subgrap
 
 USAGE:
     kecss generate --family <random|ring|torus|harary|hypercube> --n <N> [--k <K>] [--max-weight <W>] [--seed <S>] --output <FILE>
-    kecss solve    --input <FILE> --algorithm <2ecss|kecss|3ecss|3ecss-weighted|greedy|thurimella|mst> [--k <K>] [--seed <S>] [--threads <T>] [--enumerator <E>] [--output <FILE>]
+    kecss solve    --input <FILE> --algorithm <2ecss|kecss|3ecss|3ecss-weighted|greedy|thurimella|mst> [--k <K>] [--seed <S>] [--threads <T>] [--enumerator <E>] [--output <FILE>] [--trace <FILE>]
     kecss verify   --input <FILE> --solution <FILE> --k <K>
     kecss convert  --input <FILE> --output <FILE>
-    kecss sweep    (--family <F> --n <N1,N2,...> | --input <FILE>) [--k <K>] [--max-weight <W>] [--algorithms <A1,A2,...>] [--seeds <S>] [--base-seed <B>] [--threads <T>] [--enumerator <E>]
-    kecss serve    [--addr <HOST:PORT>] [--threads <T>] [--queue-depth <Q>]
+    kecss sweep    (--family <F> --n <N1,N2,...> | --input <FILE>) [--k <K>] [--max-weight <W>] [--algorithms <A1,A2,...>] [--seeds <S>] [--base-seed <B>] [--threads <T>] [--enumerator <E>] [--trace <FILE>]
+    kecss serve    [--addr <HOST:PORT>] [--threads <T>] [--queue-depth <Q>] [--max-requests-per-conn <N>]
     kecss submit   --addr <HOST:PORT> --instance <SPEC> [--k <K>] [--algorithm <A>] [--enumerator <E>] [--seed <S>] [--timeout-secs <T>] [--no-wait true]
+    kecss submit   --addr <HOST:PORT> --metrics true
     kecss submit   --addr <HOST:PORT> --shutdown true
     kecss help
 
@@ -241,7 +253,15 @@ and streaming back byte-deterministic, exactly-verified result payloads.
 `submit` is the matching client: it submits one job spec — '<family>:<n>',
 '<family>:<n>:<max-weight>' or 'inline:<n>:<u>-<v>-<w>,...' — waits for the
 result (unless --no-wait true) and fails unless the server verified the
-solution. '--shutdown true' asks the server to drain and exit instead.
+solution. '--metrics true' prints the server's metrics registry as a text
+exposition (the METRICS verb, DESIGN.md §11); '--shutdown true' asks the
+server to drain and exit instead.
+
+`--trace FILE` (solve, sweep) streams the observability span tree — phase
+timings, enumeration events — to FILE as JSON Lines while the run proceeds.
+Tracing is strictly out-of-band: solutions and outputs are byte-identical
+with and without it (DESIGN.md §11). `serve --max-requests-per-conn N`
+bounds each connection to N requests (ERR, then close; 0 = unlimited).
 
 Instance files come in two formats, picked by extension everywhere a file is
 read or written: plain text (the first non-comment line is the number of
@@ -348,6 +368,7 @@ fn parse_solve(rest: &[&String]) -> Result<Command, CliError> {
             .transpose()?
             .unwrap_or_default(),
         output: map.get("output").map(|s| s.to_string()),
+        trace: map.get("trace").map(|s| s.to_string()),
     })
 }
 
@@ -438,6 +459,7 @@ fn parse_sweep(rest: &[&String]) -> Result<Command, CliError> {
             .map(|v| parse_enumerator(v))
             .transpose()?
             .unwrap_or_default(),
+        trace: map.get("trace").map(|s| s.to_string()),
     })
 }
 
@@ -476,6 +498,11 @@ fn parse_serve(rest: &[&String]) -> Result<Command, CliError> {
             .map(|v| parse_number("queue-depth", v))
             .transpose()?
             .unwrap_or(16),
+        max_requests_per_conn: map
+            .get("max-requests-per-conn")
+            .map(|v| parse_number("max-requests-per-conn", v))
+            .transpose()?
+            .unwrap_or(0),
     })
 }
 
@@ -486,6 +513,12 @@ fn parse_submit(rest: &[&String]) -> Result<Command, CliError> {
         return Ok(Command::Submit {
             addr,
             action: SubmitAction::Shutdown,
+        });
+    }
+    if parse_bool_flag(&map, "metrics")? {
+        return Ok(Command::Submit {
+            addr,
+            action: SubmitAction::Metrics,
         });
     }
     let instance = InstanceSpec::parse(required(&map, "instance")?).map_err(CliError::Usage)?;
@@ -679,6 +712,7 @@ mod tests {
                 base_seed: 7,
                 threads: 4,
                 enumerator: EnumeratorPolicy::Auto,
+                trace: None,
             }
         );
     }
@@ -875,6 +909,7 @@ mod tests {
                 addr: "127.0.0.1:7461".into(),
                 threads: 1,
                 queue_depth: 16,
+                max_requests_per_conn: 0,
             }
         );
         assert_eq!(
@@ -886,12 +921,15 @@ mod tests {
                 "4",
                 "--queue-depth",
                 "32",
+                "--max-requests-per-conn",
+                "100",
             ]))
             .unwrap(),
             Command::Serve {
                 addr: "127.0.0.1:0".into(),
                 threads: 4,
                 queue_depth: 32,
+                max_requests_per_conn: 100,
             }
         );
         assert!(parse(&argv(&["serve", "--threads", "x"])).is_err());

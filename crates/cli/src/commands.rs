@@ -55,7 +55,9 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             threads,
             enumerator,
             output,
+            trace,
         } => {
+            let _trace = TraceSink::install(trace.as_deref())?;
             let graph = graph_io::read_graph(Path::new(&input))?;
             let exec = Executor::from_threads(threads);
             let (edges, rounds, label) =
@@ -88,26 +90,32 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             base_seed,
             threads,
             enumerator,
-        } => run_sweep(
-            out,
-            &source,
-            k,
-            max_weight,
-            &algorithms,
-            seeds,
-            base_seed,
-            threads,
-            enumerator,
-        ),
+            trace,
+        } => {
+            let _trace = TraceSink::install(trace.as_deref())?;
+            run_sweep(
+                out,
+                &source,
+                k,
+                max_weight,
+                &algorithms,
+                seeds,
+                base_seed,
+                threads,
+                enumerator,
+            )
+        }
         Command::Serve {
             addr,
             threads,
             queue_depth,
+            max_requests_per_conn,
         } => {
             let server = Server::bind(&ServerConfig {
                 addr,
                 threads,
                 queue_depth,
+                max_requests_per_conn,
             })?;
             writeln!(
                 out,
@@ -147,9 +155,34 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
     }
 }
 
-/// Submits one job (or a shutdown request) to a running service and reports
-/// the outcome. A job submission fails the command unless the server returned
-/// a payload whose exact verification accepted the solution.
+/// RAII installer for `--trace FILE`: a buffered JSONL sink for the span
+/// stream, uninstalled (which flushes it) when the command finishes.
+struct TraceSink(bool);
+
+impl TraceSink {
+    fn install(path: Option<&str>) -> Result<TraceSink, CliError> {
+        match path {
+            None => Ok(TraceSink(false)),
+            Some(path) => {
+                let file = std::fs::File::create(path)?;
+                kecss_obs::install_trace_sink(Box::new(std::io::BufWriter::new(file)));
+                Ok(TraceSink(true))
+            }
+        }
+    }
+}
+
+impl Drop for TraceSink {
+    fn drop(&mut self) {
+        if self.0 {
+            kecss_obs::clear_trace_sink();
+        }
+    }
+}
+
+/// Submits one job (or a metrics/shutdown request) to a running service and
+/// reports the outcome. A job submission fails the command unless the server
+/// returned a payload whose exact verification accepted the solution.
 fn run_submit<W: Write>(out: &mut W, addr: &str, action: SubmitAction) -> Result<(), CliError> {
     let mut client = Client::connect(addr).map_err(|e| CliError::Service(e.to_string()))?;
     let service = |e: kecss_server::client::ClientError| CliError::Service(e.to_string());
@@ -157,6 +190,11 @@ fn run_submit<W: Write>(out: &mut W, addr: &str, action: SubmitAction) -> Result
         SubmitAction::Shutdown => {
             client.shutdown().map_err(service)?;
             writeln!(out, "server at {addr} acknowledged shutdown")?;
+            Ok(())
+        }
+        SubmitAction::Metrics => {
+            let text = client.metrics().map_err(service)?;
+            out.write_all(text.as_bytes())?;
             Ok(())
         }
         SubmitAction::Job {
@@ -464,6 +502,7 @@ mod tests {
             threads: 2,
             enumerator: EnumeratorPolicy::Auto,
             output: Some(solution.clone()),
+            trace: None,
         });
         assert!(text.contains("2-edge-connected ✓"));
         assert!(text.contains("rounds"));
@@ -496,6 +535,7 @@ mod tests {
             threads: 1,
             enumerator: EnumeratorPolicy::Auto,
             output: Some(solution.clone()),
+            trace: None,
         });
         let mut out = Vec::new();
         let err = execute(
@@ -537,6 +577,7 @@ mod tests {
                 threads: 1,
                 enumerator: EnumeratorPolicy::Auto,
                 output: None,
+                trace: None,
             });
             assert!(
                 text.contains("solution"),
@@ -568,6 +609,7 @@ mod tests {
             threads: 1,
             enumerator: EnumeratorPolicy::Auto,
             output: Some(solution.clone()),
+            trace: None,
         });
         assert!(text.contains("5-edge-connected ✓"), "{text}");
         let text = run(Command::Verify {
@@ -619,6 +661,7 @@ mod tests {
                 threads: 1,
                 enumerator,
                 output: None,
+                trace: None,
             });
             assert!(
                 text.contains("4-edge-connected ✓"),
@@ -646,6 +689,7 @@ mod tests {
                 threads: 1,
                 enumerator: EnumeratorPolicy::Exact,
                 output: None,
+                trace: None,
             },
             &mut out,
         );
@@ -669,6 +713,7 @@ mod tests {
             base_seed: 3,
             threads: 4,
             enumerator: EnumeratorPolicy::Auto,
+            trace: None,
         });
         // 2 algorithms x 2 sizes x 2 seeds = 8 cells, all valid.
         assert_eq!(text.matches(" yes ").count(), 8, "{text}");
@@ -704,6 +749,7 @@ mod tests {
             base_seed: 1,
             threads,
             enumerator: EnumeratorPolicy::Auto,
+            trace: None,
         };
         let sequential = strip_timings(&run(make(1)));
         for threads in [2, 8] {
@@ -770,6 +816,7 @@ mod tests {
                 threads: 1,
                 enumerator: EnumeratorPolicy::Auto,
                 output: Some(output.clone()),
+                trace: None,
             });
         }
         // Identical EdgeId assignment in both formats => identical solver
@@ -802,6 +849,7 @@ mod tests {
                 threads: 1,
                 enumerator: EnumeratorPolicy::Auto,
                 output: Some(output.clone()),
+                trace: None,
             });
         }
         // verify accepts both encodings of the same solution.
@@ -844,6 +892,7 @@ mod tests {
             base_seed: 1,
             threads: 2,
             enumerator: EnumeratorPolicy::Auto,
+            trace: None,
         });
         // 2 algorithms x 1 instance x 2 seeds = 4 cells, all valid.
         assert_eq!(text.matches(" yes ").count(), 4, "{text}");

@@ -226,53 +226,72 @@ pub fn augment_with_enumerator<R: Rng>(
 
     let mut attempt = 0u64;
     loop {
+        kecss_obs::counter("solver_augment_attempts_total").inc();
         // The cuts of size k-1 of H; with full knowledge of H every vertex
         // can enumerate them locally (local computation is free in CONGEST).
         // The candidate removal tests are independent per candidate, so they
         // run through the executor.
-        let family = if attempt == 0 {
-            CutFamily::enumerate_with_enumerator(graph, h, k - 1, enumerator, 0, exec)?
-        } else {
-            // Certification failed: re-enumerate with a fresh salt and keep
-            // only the cuts A does not already cover (their precomputed
-            // bipartitions carry over).
-            let mut fresh =
-                CutFamily::enumerate_with_enumerator(graph, h, k - 1, enumerator, attempt, exec)?;
-            let already_covered: Vec<bool> = (0..fresh.len())
-                .map(|c| {
-                    added.iter().any(|id| {
-                        let e = graph.edge(id);
-                        fresh.crossed_by(c, e.u, e.v)
+        let family = {
+            let _span = kecss_obs::span("enumerate");
+            if attempt == 0 {
+                CutFamily::enumerate_with_enumerator(graph, h, k - 1, enumerator, 0, exec)?
+            } else {
+                // Certification failed: re-enumerate with a fresh salt and keep
+                // only the cuts A does not already cover (their precomputed
+                // bipartitions carry over).
+                let mut fresh = CutFamily::enumerate_with_enumerator(
+                    graph,
+                    h,
+                    k - 1,
+                    enumerator,
+                    attempt,
+                    exec,
+                )?;
+                let already_covered: Vec<bool> = (0..fresh.len())
+                    .map(|c| {
+                        added.iter().any(|id| {
+                            let e = graph.edge(id);
+                            fresh.crossed_by(c, e.u, e.v)
+                        })
                     })
-                })
-                .collect();
-            fresh.retain(|c| !already_covered[c]);
-            fresh
+                    .collect();
+                fresh.retain(|c| !already_covered[c]);
+                fresh
+            }
         };
         cuts_covered += family.len();
 
-        cover_family(
-            graph,
-            h,
-            k,
-            &candidates_pool,
-            &family,
-            &mut added,
-            &mut schedule,
-            &mut iterations,
-            &mut ledger,
-            model,
-            rng,
-            exec,
-        )?;
+        {
+            let _span = kecss_obs::span("cover");
+            cover_family(
+                graph,
+                h,
+                k,
+                &candidates_pool,
+                &family,
+                &mut added,
+                &mut schedule,
+                &mut iterations,
+                &mut ledger,
+                model,
+                rng,
+                exec,
+            )?;
+        }
 
         // Exact post-certification: H ∪ A is k-edge-connected iff every
         // induced (k-1)-cut of H is covered, so a pass proves the (possibly
         // randomized) enumeration missed nothing that matters.
-        if connectivity::is_k_edge_connected_in(graph, &h.union(&added), k) {
+        let certified = {
+            let _span = kecss_obs::span("certify");
+            connectivity::is_k_edge_connected_in(graph, &h.union(&added), k)
+        };
+        if certified {
             break;
         }
         attempt += 1;
+        kecss_obs::counter("solver_augment_retries_total").inc();
+        kecss_obs::event("augment_retry", &[("attempt", &attempt.to_string())]);
         if attempt >= MAX_ENUMERATION_ATTEMPTS {
             return Err(Error::IncompleteEnumeration {
                 size: k - 1,

@@ -177,8 +177,13 @@ pub fn k_ecss_with_enumerator(
     enumerator: &dyn CutEnumerator,
 ) -> Result<BaselineSolution> {
     assert!(k >= 1, "k must be at least 1");
+    // Observational only (DESIGN.md §11) — never feeds back into the bytes.
+    let _solve_span = kecss_obs::span("solve");
     const MAX_ATTEMPTS: u64 = 8;
-    let mut h = graphs::mst::kruskal(graph);
+    let mut h = {
+        let _span = kecss_obs::span("mst");
+        graphs::mst::kruskal(graph)
+    };
     for level in 2..=k {
         let mut attempt = 0u64;
         loop {

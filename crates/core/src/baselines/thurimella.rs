@@ -55,10 +55,13 @@ pub fn sparse_certificate_with_model(
     k: usize,
     model: CostModel,
 ) -> ThurimellaSolution {
+    // Observational only (DESIGN.md §11) — never feeds back into the bytes.
+    let _solve_span = kecss_obs::span("solve");
     let mut ledger = RoundLedger::new(model);
     let mut remaining = graph.full_edge_set();
     let mut certificate = graph.empty_edge_set();
     for _ in 0..k {
+        let _span = kecss_obs::span("forest");
         let forest = mst::maximal_spanning_forest_in(graph, &remaining);
         ledger.charge("thurimella/forest", model.mst_kutten_peleg());
         certificate.union_with(&forest);

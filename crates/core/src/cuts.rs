@@ -179,19 +179,27 @@ fn check_request(graph: &Graph, h: &EdgeSet, size: usize) -> Result<()> {
 }
 
 /// Keeps the candidates whose removal disconnects `(V, h)`, running the
-/// (independent) removal tests through `exec` in batches.
+/// (independent) removal tests through `exec` in batches. Counts the batch
+/// in the per-strategy `solver_enum_*` metrics (observation only — the
+/// verdicts and their order are untouched).
 fn verify_candidates(
     graph: &Graph,
     h: &EdgeSet,
     candidates: Vec<Cut>,
     exec: &Executor,
+    strategy: &'static str,
 ) -> Vec<Cut> {
+    kecss_obs::counter_with("solver_enum_candidates_total", &[("strategy", strategy)])
+        .add(candidates.len() as u64);
     let verdicts = exec.map(&candidates, |cut| disconnects(graph, h, cut));
-    candidates
+    let out: Vec<Cut> = candidates
         .into_iter()
         .zip(verdicts)
         .filter_map(|(cut, is_cut)| is_cut.then_some(cut))
-        .collect()
+        .collect();
+    kecss_obs::counter_with("solver_enum_cuts_total", &[("strategy", strategy)])
+        .add(out.len() as u64);
+    out
 }
 
 /// The base seed of the enumeration labellings. With `salt = 0` the sampled
@@ -233,10 +241,17 @@ impl CutEnumerator for ExactEnumerator {
     ) -> Result<Vec<Cut>> {
         check_request(graph, h, size)?;
         match size {
-            1 => Ok(connectivity::bridges_in(graph, h)
-                .into_iter()
-                .map(|b| vec![b])
-                .collect()),
+            1 => {
+                let bridges: Vec<Cut> = connectivity::bridges_in(graph, h)
+                    .into_iter()
+                    .map(|b| vec![b])
+                    .collect();
+                let n = bridges.len() as u64;
+                kecss_obs::counter_with("solver_enum_candidates_total", &[("strategy", "exact")])
+                    .add(n);
+                kecss_obs::counter_with("solver_enum_cuts_total", &[("strategy", "exact")]).add(n);
+                Ok(bridges)
+            }
             2 => Ok(cut_pairs(graph, h, salt, exec)),
             3 => Ok(cut_triples(graph, h, salt, exec)),
             _ => Err(Error::InvalidCutRequest {
@@ -260,7 +275,7 @@ fn cut_pairs(graph: &Graph, h: &EdgeSet, salt: u64, exec: &Executor) -> Vec<Cut>
             }
         }
     }
-    let mut out = verify_candidates(graph, h, candidates, exec);
+    let mut out = verify_candidates(graph, h, candidates, exec, "exact");
     out.sort();
     out
 }
@@ -295,7 +310,7 @@ fn cut_triples(graph: &Graph, h: &EdgeSet, salt: u64, exec: &Executor) -> Vec<Cu
             }
         }
     }
-    let mut out = verify_candidates(graph, h, candidates, exec);
+    let mut out = verify_candidates(graph, h, candidates, exec, "exact");
     out.sort();
     out
 }
@@ -344,12 +359,13 @@ impl CutEnumerator for LabelEnumerator {
         check_request(graph, h, size)?;
         let circulation = labels_for(graph, h, salt);
         let Some(candidates) = circulation.xor_zero_subsets(h, size, self.budget) else {
+            kecss_obs::counter_with("solver_enum_overflow_total", &[("strategy", "label")]).inc();
             return Err(Error::CandidateOverflow {
                 size,
                 budget: self.budget,
             });
         };
-        let mut out = verify_candidates(graph, h, candidates, exec);
+        let mut out = verify_candidates(graph, h, candidates, exec, "label");
         out.sort();
         Ok(out)
     }
@@ -482,7 +498,7 @@ impl CutEnumerator for ContractEnumerator {
         }
 
         let candidates: Vec<Cut> = candidates.into_iter().collect();
-        let mut out = verify_candidates(graph, h, candidates, exec);
+        let mut out = verify_candidates(graph, h, candidates, exec, "contract");
         out.sort();
         Ok(out)
     }
@@ -525,10 +541,18 @@ impl CutEnumerator for AutoEnumerator {
             return ExactEnumerator.cuts(graph, h, size, salt, exec);
         }
         match LabelEnumerator::with_budget(self.label_budget).cuts(graph, h, size, salt, exec) {
-            Err(Error::CandidateOverflow { .. }) => ContractEnumerator {
-                trials: self.trials,
+            Err(Error::CandidateOverflow { .. }) => {
+                kecss_obs::counter_with(
+                    "solver_enum_fallback_total",
+                    &[("from", "label"), ("to", "contract")],
+                )
+                .inc();
+                kecss_obs::event("enum_fallback", &[("from", "label"), ("to", "contract")]);
+                ContractEnumerator {
+                    trials: self.trials,
+                }
+                .cuts(graph, h, size, salt, exec)
             }
-            .cuts(graph, h, size, salt, exec),
             other => other,
         }
     }

@@ -143,18 +143,27 @@ pub fn solve_with_enumerator<R: Rng>(
     if k == 0 {
         return Err(Error::ZeroK);
     }
-    if !connectivity::is_k_edge_connected(graph, k) {
-        return Err(Error::InsufficientConnectivity {
-            required: k,
-            actual: connectivity::edge_connectivity(graph),
-        });
+    // Phase spans are observational only (DESIGN.md §11): they time scopes
+    // and stream traces, but never feed back into the solution bytes.
+    let _solve_span = kecss_obs::span("solve");
+    {
+        let _span = kecss_obs::span("connectivity_check");
+        if !connectivity::is_k_edge_connected(graph, k) {
+            return Err(Error::InsufficientConnectivity {
+                required: k,
+                actual: connectivity::edge_connectivity(graph),
+            });
+        }
     }
 
     let mut ledger = RoundLedger::new(model);
     let mut levels = Vec::with_capacity(k);
 
     // Level 1: the MST is the optimal 1-augmentation of the empty subgraph.
-    let mut h = mst::kruskal(graph);
+    let mut h = {
+        let _span = kecss_obs::span("mst");
+        mst::kruskal(graph)
+    };
     ledger.charge("kecss/mst", model.mst_kutten_peleg());
     levels.push(LevelReport {
         level: 1,
@@ -165,6 +174,7 @@ pub fn solve_with_enumerator<R: Rng>(
 
     // Levels 2..=k: Aug_i.
     for level in 2..=k {
+        let _span = kecss_obs::span("augment");
         let aug = augk::augment_with_enumerator(graph, &h, level, model, rng, exec, enumerator)?;
         levels.push(LevelReport {
             level,

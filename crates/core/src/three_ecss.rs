@@ -77,16 +77,25 @@ pub fn solve_with_model<R: Rng>(
     model: CostModel,
     rng: &mut R,
 ) -> Result<ThreeEcssSolution> {
-    ensure_three_connected(graph)?;
+    // Phase spans are observational only (DESIGN.md §11).
+    let _solve_span = kecss_obs::span("solve");
+    {
+        let _span = kecss_obs::span("connectivity_check");
+        ensure_three_connected(graph)?;
+    }
     let mut ledger = RoundLedger::new(model);
 
     // Step 1: the O(D)-round 2-approximate unweighted 2-ECSS of [1]. Its BFS
     // tree also serves as the spanning tree for the circulation sampling.
-    let base = bfs_two_ecss::solve_with_model(graph, model);
+    let base = {
+        let _span = kecss_obs::span("base_2ecss");
+        bfs_two_ecss::solve_with_model(graph, model)
+    };
     ledger.absorb(&base.ledger);
     let h = base.edges.clone();
     let tree = RootedTree::new(graph, &base.tree, 0);
 
+    let _augment_span = kecss_obs::span("augment");
     let (added, iterations) = augment_to_three(
         graph,
         &h,
@@ -124,17 +133,29 @@ pub fn solve_weighted_with_model<R: Rng>(
     model: CostModel,
     rng: &mut R,
 ) -> Result<ThreeEcssSolution> {
-    ensure_three_connected(graph)?;
+    // Phase spans are observational only (DESIGN.md §11).
+    let _solve_span = kecss_obs::span("solve");
+    {
+        let _span = kecss_obs::span("connectivity_check");
+        ensure_three_connected(graph)?;
+    }
     let mut ledger = RoundLedger::new(model);
 
     // Step 1: weighted 2-ECSS = MST + weighted TAP (Theorem 1.1).
-    let mst_edges = graphs::mst::kruskal(graph);
+    let mst_edges = {
+        let _span = kecss_obs::span("mst");
+        graphs::mst::kruskal(graph)
+    };
     ledger.charge("3ecss/mst", model.mst_kutten_peleg());
-    let tap_solution = tap::solve_with_model(graph, &mst_edges, model, rng)?;
+    let tap_solution = {
+        let _span = kecss_obs::span("tap");
+        tap::solve_with_model(graph, &mst_edges, model, rng)?
+    };
     ledger.absorb(&tap_solution.ledger);
     let h = mst_edges.union(&tap_solution.augmentation);
     let tree = RootedTree::new(graph, &mst_edges, 0);
 
+    let _augment_span = kecss_obs::span("augment");
     let (added, iterations) = augment_to_three(
         graph,
         &h,

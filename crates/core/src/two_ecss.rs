@@ -50,22 +50,34 @@ pub fn solve_with_model<R: Rng>(
     model: CostModel,
     rng: &mut R,
 ) -> Result<TwoEcssSolution> {
-    if !connectivity::is_k_edge_connected(graph, 2) {
-        let actual = connectivity::edge_connectivity(graph);
-        return Err(Error::InsufficientConnectivity {
-            required: 2,
-            actual,
-        });
+    // Phase spans are observational only (DESIGN.md §11): they time scopes
+    // and stream traces, but never feed back into the solution bytes.
+    let _solve_span = kecss_obs::span("solve");
+    {
+        let _span = kecss_obs::span("connectivity_check");
+        if !connectivity::is_k_edge_connected(graph, 2) {
+            let actual = connectivity::edge_connectivity(graph);
+            return Err(Error::InsufficientConnectivity {
+                required: 2,
+                actual,
+            });
+        }
     }
 
     let mut ledger = RoundLedger::new(model);
     // Step 1: MST via Kutten–Peleg (round cost charged; the tree itself is the
     // unique MST under (weight, edge id) tie-breaking).
-    let tree = mst::kruskal(graph);
+    let tree = {
+        let _span = kecss_obs::span("mst");
+        mst::kruskal(graph)
+    };
     ledger.charge("2ecss/mst", model.mst_kutten_peleg());
 
     // Step 2: weighted TAP on the MST.
-    let tap_solution = tap::solve_with_model(graph, &tree, model, rng)?;
+    let tap_solution = {
+        let _span = kecss_obs::span("tap");
+        tap::solve_with_model(graph, &tree, model, rng)?
+    };
     ledger.absorb(&tap_solution.ledger);
 
     let subgraph = tree.union(&tap_solution.augmentation);

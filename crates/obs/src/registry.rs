@@ -1,0 +1,513 @@
+//! The metric registry: named counters, gauges and power-of-two histograms,
+//! plus the Prometheus-style text exposition behind the `METRICS` wire verb.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Number of histogram buckets: one per bit length (0..=64).
+///
+/// Bucket `0` holds the value `0`; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i - 1]` — i.e. values whose bit length is `i`.
+pub const BUCKETS: usize = 65;
+
+/// A monotonically increasing `u64` metric.
+#[derive(Debug, Default)]
+pub struct Counter {
+    cell: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `1`.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (a no-op while recording is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads the current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed metric (queue depths, in-flight totals).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    cell: AtomicI64,
+}
+
+impl Gauge {
+    /// Stores an absolute value (a no-op while recording is disabled).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds a signed delta (a no-op while recording is disabled).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if crate::enabled() {
+            self.cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts a signed delta (a no-op while recording is disabled).
+    #[inline]
+    pub fn sub(&self, delta: i64) {
+        self.add(-delta);
+    }
+
+    /// Reads the current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram with power-of-two buckets over `u64` observations.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A point-in-time copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`BUCKETS`] for the layout).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all observed values (wrapping on overflow).
+    pub sum: u64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Maps a value to its bucket: the value's bit length, so `0 -> 0`,
+    /// `1 -> 1`, `2..=3 -> 2`, ..., `u64::MAX -> 64`.
+    #[must_use]
+    pub fn bucket_index(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `i` admits (`u64::MAX` for the last bucket).
+    #[must_use]
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records one observation (a no-op while recording is disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::enabled() {
+            self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Copies the current state out.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A fully qualified metric identity: sanitized name + sorted label pairs.
+type Key = (String, Vec<(String, String)>);
+
+/// The metric table. Most code uses the process-global instance via
+/// [`Registry::global`] (or the crate-level shorthands); tests that need
+/// isolation can build their own with [`Registry::new`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<Key, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<Key, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<Key, Arc<Histogram>>>,
+}
+
+/// Rewrites `raw` into the exposition-format name charset
+/// (`[a-zA-Z0-9_:]`, not starting with a digit); invalid bytes become `_`.
+fn sanitize_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for (i, c) in raw.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value for the text exposition: `\` -> `\\`, `"` -> `\"`,
+/// newline -> `\n`.
+fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds the canonical key: sanitized name, labels sanitized/escaped and
+/// sorted by label name so label order at the call site never matters.
+fn make_key(name: &str, labels: &[(&str, &str)]) -> Key {
+    let mut owned: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (sanitize_name(k), escape_label_value(v)))
+        .collect();
+    owned.sort();
+    (sanitize_name(name), owned)
+}
+
+/// Formats the `{k="v",...}` suffix (empty string when there are no labels).
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn get_or_insert<T: Default>(
+    map: &RwLock<BTreeMap<Key, Arc<T>>>,
+    name: &str,
+    labels: &[(&str, &str)],
+) -> Arc<T> {
+    let key = make_key(name, labels);
+    if let Some(found) = map.read().expect("registry lock").get(&key) {
+        return Arc::clone(found);
+    }
+    Arc::clone(
+        map.write()
+            .expect("registry lock")
+            .entry(key)
+            .or_insert_with(|| Arc::new(T::default())),
+    )
+}
+
+impl Registry {
+    /// Builds an empty, private registry (tests; the shared one is
+    /// [`Registry::global`]).
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-global registry every instrumented crate records into.
+    #[must_use]
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::default)
+    }
+
+    /// Returns the counter `name` (no labels), registering it on first use.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Returns the counter `name{labels}`, registering it on first use.
+    /// Label order at the call site is irrelevant; values are escaped.
+    #[must_use]
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        get_or_insert(&self.counters, name, labels)
+    }
+
+    /// Returns the gauge `name` (no labels), registering it on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Returns the gauge `name{labels}`, registering it on first use.
+    #[must_use]
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name, labels)
+    }
+
+    /// Returns the histogram `name` (no labels), registering it on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// Returns the histogram `name{labels}`, registering it on first use.
+    #[must_use]
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name, labels)
+    }
+
+    /// Renders the whole registry as a Prometheus-style text exposition.
+    ///
+    /// The output is deterministic for identical state: metric families are
+    /// sorted by name, series within a family by label set, and one `# TYPE`
+    /// line precedes each family. Histograms render cumulative
+    /// `_bucket{le=...}` series (power-of-two upper bounds up to the highest
+    /// non-empty bucket, then `+Inf`) plus `_sum` and `_count`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        // (family name, kind rank) -> rendered series lines. The kind rank
+        // only breaks ties if one name was (incorrectly) used for two kinds.
+        let mut families: BTreeMap<(String, u8), Vec<String>> = BTreeMap::new();
+
+        for (key, c) in self.counters.read().expect("registry lock").iter() {
+            let line = format!("{}{} {}", key.0, render_labels(&key.1), c.get());
+            families.entry((key.0.clone(), 0)).or_default().push(line);
+        }
+        for (key, g) in self.gauges.read().expect("registry lock").iter() {
+            let line = format!("{}{} {}", key.0, render_labels(&key.1), g.get());
+            families.entry((key.0.clone(), 1)).or_default().push(line);
+        }
+        for (key, h) in self.histograms.read().expect("registry lock").iter() {
+            let snap = h.snapshot();
+            let lines = families.entry((key.0.clone(), 2)).or_default();
+            let highest = snap
+                .buckets
+                .iter()
+                .rposition(|&n| n != 0)
+                .map_or(0, |i| i.min(BUCKETS - 2));
+            let mut cumulative = 0u64;
+            for (i, &n) in snap.buckets.iter().enumerate().take(highest + 1) {
+                cumulative += n;
+                let mut with_le = key.1.clone();
+                with_le.push(("le".into(), Histogram::bucket_upper_bound(i).to_string()));
+                with_le.sort_by(|a, b| a.0.cmp(&b.0));
+                lines.push(format!(
+                    "{}_bucket{} {}",
+                    key.0,
+                    render_labels(&with_le),
+                    cumulative
+                ));
+            }
+            let mut with_inf = key.1.clone();
+            with_inf.push(("le".into(), "+Inf".into()));
+            with_inf.sort_by(|a, b| a.0.cmp(&b.0));
+            lines.push(format!(
+                "{}_bucket{} {}",
+                key.0,
+                render_labels(&with_inf),
+                snap.count
+            ));
+            lines.push(format!(
+                "{}_sum{} {}",
+                key.0,
+                render_labels(&key.1),
+                snap.sum
+            ));
+            lines.push(format!(
+                "{}_count{} {}",
+                key.0,
+                render_labels(&key.1),
+                snap.count
+            ));
+        }
+
+        let mut out = String::new();
+        for ((name, kind), lines) in &families {
+            let kind_word = ["counter", "gauge", "histogram"][*kind as usize];
+            let _ = writeln!(out, "# TYPE {name} {kind_word}");
+            for line in lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        // The satellite's required edge cases: 0, 1, 2^n - 1, 2^n, u64::MAX.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        for n in 1..=63u32 {
+            let pow = 1u64 << n;
+            assert_eq!(Histogram::bucket_index(pow - 1), n as usize);
+            assert_eq!(Histogram::bucket_index(pow), n as usize + 1);
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_index(u64::MAX - 1), 64);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_partition_the_domain() {
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(1), 1);
+        assert_eq!(Histogram::bucket_upper_bound(2), 3);
+        assert_eq!(Histogram::bucket_upper_bound(63), (1u64 << 63) - 1);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+        for i in 0..BUCKETS {
+            assert_eq!(Histogram::bucket_index(Histogram::bucket_upper_bound(i)), i);
+            if i > 0 {
+                let lower = Histogram::bucket_upper_bound(i - 1).wrapping_add(1);
+                assert_eq!(Histogram::bucket_index(lower), i);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_into_expected_buckets() {
+        let _serial = crate::test_guard();
+        let r = Registry::new();
+        let h = r.histogram("edges_ns");
+        for v in [0u64, 1, 3, 4, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(
+            snap.sum,
+            0u64.wrapping_add(1 + 3 + 4).wrapping_add(u64::MAX)
+        );
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[2], 1);
+        assert_eq!(snap.buckets[3], 1);
+        assert_eq!(snap.buckets[64], 1);
+    }
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let _serial = crate::test_guard();
+        let r = Registry::new();
+        let c = r.counter_with("reqs_total", &[("verb", "SUBMIT")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name+labels in any order resolves to the same cell.
+        let again = r.counter_with("reqs_total", &[("verb", "SUBMIT")]);
+        assert_eq!(again.get(), 5);
+
+        let g = r.gauge("depth");
+        g.set(7);
+        g.add(2);
+        g.sub(4);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let _serial = crate::test_guard();
+        let r = Registry::new();
+        r.counter_with("zz_total", &[("b", "2")]).inc();
+        r.counter_with("zz_total", &[("a", "1")]).inc();
+        r.counter("aa_total").add(3);
+        r.gauge("mm_depth").set(-2);
+        let first = r.render();
+        let second = r.render();
+        assert_eq!(first, second, "identical state must render identically");
+        let lines: Vec<&str> = first.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "# TYPE aa_total counter",
+                "aa_total 3",
+                "# TYPE mm_depth gauge",
+                "mm_depth -2",
+                "# TYPE zz_total counter",
+                "zz_total{a=\"1\"} 1",
+                "zz_total{b=\"2\"} 1",
+            ]
+        );
+    }
+
+    #[test]
+    fn render_escapes_label_values_and_sanitizes_names() {
+        let _serial = crate::test_guard();
+        let r = Registry::new();
+        r.counter_with("weird name-total", &[("path", "a\\b\"c\nd")])
+            .inc();
+        let text = r.render();
+        assert!(text.contains("# TYPE weird_name_total counter"));
+        assert!(
+            text.contains("weird_name_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            "escaped exposition line missing from:\n{text}"
+        );
+        // The escaped form stays one physical line.
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn render_histogram_exposition() {
+        let _serial = crate::test_guard();
+        let r = Registry::new();
+        let h = r.histogram_with("lat_ns", &[("op", "submit")]);
+        h.record(0);
+        h.record(2);
+        h.record(3);
+        h.record(9);
+        let text = r.render();
+        let expected = "\
+# TYPE lat_ns histogram
+lat_ns_bucket{le=\"0\",op=\"submit\"} 1
+lat_ns_bucket{le=\"1\",op=\"submit\"} 1
+lat_ns_bucket{le=\"3\",op=\"submit\"} 3
+lat_ns_bucket{le=\"7\",op=\"submit\"} 3
+lat_ns_bucket{le=\"15\",op=\"submit\"} 4
+lat_ns_bucket{le=\"+Inf\",op=\"submit\"} 4
+lat_ns_sum{op=\"submit\"} 14
+lat_ns_count{op=\"submit\"} 4
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        let _serial = crate::test_guard();
+        let r = Registry::new();
+        let c = r.counter("toggled_total");
+        let h = r.histogram("toggled_ns");
+        let was = crate::set_enabled(false);
+        c.inc();
+        h.record(10);
+        crate::set_enabled(was);
+        if was {
+            assert_eq!(c.get(), 0);
+            assert_eq!(h.snapshot().count, 0);
+            c.inc();
+            assert_eq!(c.get(), 1);
+        }
+    }
+}

@@ -161,7 +161,11 @@ impl JobPool {
             return false;
         }
         state.queue.push_back(job);
+        let depth = state.queue.len();
         drop(state);
+        // Observability only: the gauge mirrors the queue length (last
+        // writer wins under contention, which is fine for a depth gauge).
+        kecss_obs::gauge("runtime_pool_queue_depth").set(depth as i64);
         self.shared.available.notify_one();
         true
     }
@@ -210,6 +214,7 @@ fn worker_loop(shared: &PoolShared) {
             let mut state = shared.state.lock().expect("pool lock poisoned");
             loop {
                 if let Some(job) = state.queue.pop_front() {
+                    kecss_obs::gauge("runtime_pool_queue_depth").set(state.queue.len() as i64);
                     break job;
                 }
                 if state.shutting_down {

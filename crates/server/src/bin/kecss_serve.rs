@@ -32,11 +32,21 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--max-requests-per-conn" => {
+                config.max_requests_per_conn = need(value, "--max-requests-per-conn")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("error: --max-requests-per-conn expects a number");
+                        std::process::exit(2);
+                    })
+            }
             "--help" | "-h" => {
                 println!(
                     "kecss_serve — long-running k-ECSS solver service\n\n\
-                     USAGE: kecss_serve [--addr HOST:PORT] [--threads T] [--queue-depth Q]\n\n\
-                     Protocol: see DESIGN.md §9 (SUBMIT/STATUS/RESULT/CANCEL/SHUTDOWN)."
+                     USAGE: kecss_serve [--addr HOST:PORT] [--threads T] [--queue-depth Q]\n\
+                     \u{20}                  [--max-requests-per-conn N]\n\n\
+                     Protocol: see DESIGN.md §9 and §11 \
+                     (SUBMIT/STATUS/RESULT/CANCEL/METRICS/SHUTDOWN)."
                 );
                 return;
             }

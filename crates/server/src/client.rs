@@ -38,6 +38,11 @@ pub enum Reply {
         /// The job id.
         id: JobId,
     },
+    /// `METRICS <len>` + payload — the metrics text exposition.
+    Metrics {
+        /// The exposition text.
+        text: String,
+    },
     /// `ERR <message>`.
     Err(String),
 }
@@ -214,6 +219,19 @@ impl Client {
         }
     }
 
+    /// Fetches the server's metrics registry as a text exposition.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, protocol violations, and server-side `ERR` replies.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Reply::Metrics { text } => Ok(text),
+            Reply::Err(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
     /// Requests a server shutdown (drain + exit).
     ///
     /// # Errors
@@ -275,6 +293,17 @@ impl Client {
                 let mut payload = vec![0u8; len];
                 self.reader.read_exact(&mut payload)?;
                 Ok(Reply::Result { id, payload })
+            }
+            "METRICS" => {
+                let len: usize = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| ClientError::Protocol(format!("malformed METRICS '{line}'")))?;
+                let mut payload = vec![0u8; len];
+                self.reader.read_exact(&mut payload)?;
+                let text = String::from_utf8(payload)
+                    .map_err(|_| ClientError::Protocol("METRICS payload is not UTF-8".into()))?;
+                Ok(Reply::Metrics { text })
             }
             "ERR" => Ok(Reply::Err(rest.to_string())),
             _ => Err(ClientError::Protocol(format!("unknown reply '{line}'"))),

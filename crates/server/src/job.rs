@@ -198,7 +198,14 @@ pub fn dispatch(
                 "Thurimella sparse certificate [36]",
             )
         }
-        Algorithm::MstOnly => (mst::kruskal(graph), None, "minimum spanning tree"),
+        Algorithm::MstOnly => {
+            let _solve_span = kecss_obs::span("solve");
+            let tree = {
+                let _span = kecss_obs::span("mst");
+                mst::kruskal(graph)
+            };
+            (tree, None, "minimum spanning tree")
+        }
     })
 }
 
@@ -216,7 +223,11 @@ pub fn dispatch(
 /// Returns a human-readable message when the instance spec cannot be built or
 /// the solver rejects the instance.
 pub fn run(spec: &JobSpec, exec: &Executor) -> Result<Vec<u8>, String> {
-    let graph = spec.instance.build(spec.k, spec.seed)?;
+    let _job_span = kecss_obs::span("job");
+    let graph = {
+        let _span = kecss_obs::span("ingest");
+        spec.instance.build(spec.k, spec.seed)?
+    };
     let (edges, rounds, label) = dispatch(
         &graph,
         spec.algorithm,
@@ -228,7 +239,22 @@ pub fn run(spec: &JobSpec, exec: &Executor) -> Result<Vec<u8>, String> {
     .map_err(|e| e.to_string())?;
     let target = spec.algorithm.certified_k(spec.k).max(1);
     let mut verify_rng = ChaCha8Rng::seed_from_u64(spec.seed ^ VERIFY_SEED_SALT);
-    let verdict = verification::verify_exact(&graph, &edges, target, &mut verify_rng);
+    let verdict = {
+        let _span = kecss_obs::span("verify");
+        verification::verify_exact(&graph, &edges, target, &mut verify_rng)
+    };
+
+    // Export the per-job round accounting into the registry so the engine's
+    // rounds are visible outside result payloads (observability only; the
+    // payload text below is exactly what it was before instrumentation).
+    if kecss_obs::enabled() {
+        if let Some(solver_rounds) = rounds {
+            kecss_obs::counter_with("congest_rounds_total", &[("phase", "solver")])
+                .add(solver_rounds);
+        }
+        kecss_obs::counter_with("congest_rounds_total", &[("phase", "verify")])
+            .add(verdict.ledger.total());
+    }
 
     let mut out = String::new();
     out.push_str("# kecss job result v1\n");

@@ -5,7 +5,8 @@
 //! always-on request-serving layer (ROADMAP "Async / service front-end"):
 //!
 //! * [`protocol`] — the line-framed wire protocol (`SUBMIT`, `STATUS`,
-//!   `RESULT`, `CANCEL`, `SHUTDOWN`) with length-prefixed result payloads.
+//!   `RESULT`, `CANCEL`, `METRICS`, `SHUTDOWN`) with length-prefixed result
+//!   payloads.
 //! * [`instance`] — the `<family>:<n>` / `inline:` instance grammar and the
 //!   family-generation policy shared with the CLI.
 //! * [`job`] — job specs and the **pure job runner**: build instance → solve
@@ -30,6 +31,7 @@
 //!     addr: "127.0.0.1:0".into(),
 //!     threads: 2,
 //!     queue_depth: 8,
+//!     ..ServerConfig::default()
 //! })
 //! .unwrap();
 //! let handle = server.spawn();

@@ -10,6 +10,7 @@
 //! STATUS <id>                                             -> OK <id> <STATE> | ERR <msg>
 //! RESULT <id>    -> RESULT <id> <len>\n<payload> | WAIT <id> <STATE> | GONE <id> | ERR <msg>
 //! CANCEL <id>                                             -> OK <id> CANCELLED | ERR <msg>
+//! METRICS        -> METRICS <len>\n<text exposition>
 //! SHUTDOWN                                                -> OK SHUTDOWN
 //! ```
 //!
@@ -34,6 +35,8 @@ pub enum Request {
     Result(u64),
     /// Cancel a queued job (running jobs complete; done jobs are immutable).
     Cancel(u64),
+    /// Fetch the process-wide metrics registry as a text exposition.
+    Metrics,
     /// Drain the queue and stop the server.
     Shutdown,
 }
@@ -90,6 +93,13 @@ impl Request {
                     _ => Request::Cancel(id),
                 })
             }
+            "METRICS" => {
+                if rest.is_empty() {
+                    Ok(Request::Metrics)
+                } else {
+                    Err("METRICS takes no arguments".into())
+                }
+            }
             "SHUTDOWN" => {
                 if rest.is_empty() {
                     Ok(Request::Shutdown)
@@ -98,7 +108,8 @@ impl Request {
                 }
             }
             other => Err(format!(
-                "unknown request '{other}' (expected SUBMIT, STATUS, RESULT, CANCEL or SHUTDOWN)"
+                "unknown request '{other}' (expected SUBMIT, STATUS, RESULT, CANCEL, METRICS \
+                 or SHUTDOWN)"
             )),
         }
     }
@@ -110,6 +121,7 @@ impl Request {
             Request::Status(id) => format!("STATUS {id}"),
             Request::Result(id) => format!("RESULT {id}"),
             Request::Cancel(id) => format!("CANCEL {id}"),
+            Request::Metrics => "METRICS".into(),
             Request::Shutdown => "SHUTDOWN".into(),
         }
     }
@@ -145,7 +157,7 @@ mod tests {
 
     #[test]
     fn control_requests_round_trip() {
-        for line in ["STATUS 7", "RESULT 0", "CANCEL 12", "SHUTDOWN"] {
+        for line in ["STATUS 7", "RESULT 0", "CANCEL 12", "METRICS", "SHUTDOWN"] {
             let req = Request::parse(line).unwrap();
             assert_eq!(req.to_line(), line, "{line}");
         }
@@ -167,6 +179,7 @@ mod tests {
             ("STATUS", "one job id"),
             ("STATUS seven", "malformed job id"),
             ("RESULT 1 2", "one job id"),
+            ("METRICS all", "no arguments"),
             ("SHUTDOWN now", "no arguments"),
         ] {
             let err = Request::parse(line).unwrap_err();

@@ -12,9 +12,59 @@
 //! result payloads — only *when* they become available. See DESIGN.md §9.
 
 use crate::job::{self, JobSpec};
+use kecss_obs::{Counter, Gauge, Histogram};
 use kecss_runtime::{Executor, JobPool};
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Cached handles into the global registry, resolved once: the submit path
+/// is a hot path (~50 µs per job end to end), so per-call name lookups are
+/// not acceptable there.
+struct Metrics {
+    submitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    completed: Arc<Counter>,
+    failed: Arc<Counter>,
+    cancelled: Arc<Counter>,
+    inflight: Arc<Gauge>,
+    wait_ns: Arc<Histogram>,
+    run_ns: Arc<Histogram>,
+    submit_to_done_ns: Arc<Histogram>,
+}
+
+fn metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(|| Metrics {
+        submitted: kecss_obs::counter("server_jobs_submitted_total"),
+        rejected: kecss_obs::counter("server_jobs_rejected_total"),
+        completed: kecss_obs::counter_with("server_jobs_total", &[("state", "completed")]),
+        failed: kecss_obs::counter_with("server_jobs_total", &[("state", "failed")]),
+        cancelled: kecss_obs::counter_with("server_jobs_total", &[("state", "cancelled")]),
+        inflight: kecss_obs::gauge("server_inflight_jobs"),
+        wait_ns: kecss_obs::histogram("server_job_wait_ns"),
+        run_ns: kecss_obs::histogram("server_job_run_ns"),
+        submit_to_done_ns: kecss_obs::histogram("server_submit_to_done_ns"),
+    })
+}
+
+/// `Instant::now()` only when recording is on: keeps the disabled/no-op
+/// configuration free of clock reads on the job hot path.
+fn now_if_recording() -> Option<Instant> {
+    kecss_obs::enabled().then(Instant::now)
+}
+
+fn elapsed_ns(from: Option<Instant>, to: Option<Instant>) -> Option<u64> {
+    let (from, to) = (from?, to?);
+    u64::try_from(to.saturating_duration_since(from).as_nanos()).ok()
+}
+
+/// Submission and claim timestamps of an in-flight job (observability only —
+/// never read by the job itself, so payload bytes cannot depend on them).
+struct JobTimes {
+    submitted: Option<Instant>,
+    started: Option<Instant>,
+}
 
 /// A job's service-assigned identifier (dense, starting at 1).
 pub type JobId = u64;
@@ -101,6 +151,8 @@ pub struct ServeSummary {
 struct Table {
     next_id: JobId,
     slots: HashMap<JobId, Slot>,
+    /// Observability timestamps, removed when a job goes terminal.
+    times: HashMap<JobId, JobTimes>,
     /// Jobs queued or running; the quantity the depth bound applies to.
     inflight: usize,
     /// Set by [`Scheduler::close`]: no further submissions are admitted.
@@ -148,6 +200,7 @@ impl Scheduler {
                 table: Mutex::new(Table {
                     next_id: 1,
                     slots: HashMap::new(),
+                    times: HashMap::new(),
                     inflight: 0,
                     closed: false,
                     summary: ServeSummary::default(),
@@ -193,6 +246,7 @@ impl Scheduler {
             }
             if table.inflight >= self.state.queue_depth {
                 table.summary.rejected += 1;
+                metrics().rejected.inc();
                 return Err(kecss::Error::JobQueueFull {
                     depth: self.state.queue_depth,
                 });
@@ -202,6 +256,15 @@ impl Scheduler {
             table.inflight += 1;
             table.summary.submitted += 1;
             table.slots.insert(id, Slot::Queued(work));
+            table.times.insert(
+                id,
+                JobTimes {
+                    submitted: now_if_recording(),
+                    started: None,
+                },
+            );
+            metrics().submitted.inc();
+            metrics().inflight.set(table.inflight as i64);
             id
         };
         let state = Arc::clone(&self.state);
@@ -286,6 +349,9 @@ impl Scheduler {
                 *slot = Slot::Finished(Outcome::Cancelled);
                 table.inflight -= 1;
                 table.summary.cancelled += 1;
+                table.times.remove(&id);
+                metrics().cancelled.inc();
+                metrics().inflight.set(table.inflight as i64);
                 drop(table);
                 self.state.changed.notify_all();
                 Ok(())
@@ -350,6 +416,13 @@ fn execute(state: &State, id: JobId) {
                 let Slot::Queued(work) = std::mem::replace(slot, Slot::Running) else {
                     unreachable!("matched Slot::Queued above")
                 };
+                let started = now_if_recording();
+                if let Some(times) = table.times.get_mut(&id) {
+                    times.started = started;
+                    if let Some(wait) = elapsed_ns(times.submitted, started) {
+                        metrics().wait_ns.record(wait);
+                    }
+                }
                 work
             }
             _ => return,
@@ -375,16 +448,32 @@ fn execute(state: &State, id: JobId) {
             Outcome::Failed(format!("job panicked: {message}"))
         }
     };
+    let finished = now_if_recording();
     let mut table = state.table.lock().expect("scheduler lock poisoned");
     match &outcome {
-        Outcome::Done(_) => table.summary.completed += 1,
-        Outcome::Failed(_) => table.summary.failed += 1,
+        Outcome::Done(_) => {
+            table.summary.completed += 1;
+            metrics().completed.inc();
+        }
+        Outcome::Failed(_) => {
+            table.summary.failed += 1;
+            metrics().failed.inc();
+        }
         // A job never *finishes* as Cancelled/Gone here: Cancelled is set by
         // `cancel` while queued, Gone only by `take_result` after the fact.
         Outcome::Cancelled | Outcome::Gone => {}
     }
+    if let Some(times) = table.times.remove(&id) {
+        if let Some(run) = elapsed_ns(times.started, finished) {
+            metrics().run_ns.record(run);
+        }
+        if let Some(total) = elapsed_ns(times.submitted, finished) {
+            metrics().submit_to_done_ns.record(total);
+        }
+    }
     table.slots.insert(id, Slot::Finished(outcome));
     table.inflight -= 1;
+    metrics().inflight.set(table.inflight as i64);
     drop(table);
     state.changed.notify_all();
 }

@@ -24,6 +24,10 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Maximum jobs in flight (queued + running) before `BUSY`.
     pub queue_depth: usize,
+    /// Maximum requests a single connection may issue before the server
+    /// answers `ERR` and closes it (0 means unlimited). Bounds the damage a
+    /// stuck client loop can do to a shared server.
+    pub max_requests_per_conn: usize,
 }
 
 impl Default for ServerConfig {
@@ -32,6 +36,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7461".into(),
             threads: 1,
             queue_depth: 16,
+            max_requests_per_conn: 0,
         }
     }
 }
@@ -43,6 +48,7 @@ pub struct Server {
     listener: TcpListener,
     scheduler: Arc<Scheduler>,
     shutting_down: Arc<AtomicBool>,
+    max_requests_per_conn: usize,
 }
 
 impl Server {
@@ -68,6 +74,7 @@ impl Server {
             listener,
             scheduler: Arc::new(scheduler),
             shutting_down: Arc::new(AtomicBool::new(false)),
+            max_requests_per_conn: config.max_requests_per_conn,
         })
     }
 
@@ -91,12 +98,13 @@ impl Server {
             let Ok(stream) = stream else { continue };
             let scheduler = Arc::clone(&self.scheduler);
             let shutting_down = Arc::clone(&self.shutting_down);
+            let max_requests = self.max_requests_per_conn;
             // Connection threads are detached: they end when their client
             // disconnects, and they never outlive useful work (after the
             // drain below, every request they can still make is answered
             // from the immutable job table or refused).
             std::thread::spawn(move || {
-                handle_connection(stream, &scheduler, &shutting_down, addr);
+                handle_connection(stream, &scheduler, &shutting_down, addr, max_requests);
             });
         }
         self.scheduler.drain();
@@ -142,12 +150,14 @@ impl ServerHandle {
 const MAX_REQUEST_LINE: u64 = 1 << 20;
 
 /// Serves one connection: a loop of line-framed requests. Returns when the
-/// client disconnects or after acknowledging `SHUTDOWN`.
+/// client disconnects, after acknowledging `SHUTDOWN`, or when a
+/// per-connection limit is exceeded (`ERR`, then close).
 fn handle_connection(
     stream: TcpStream,
     scheduler: &Scheduler,
     shutting_down: &AtomicBool,
     server_addr: SocketAddr,
+    max_requests: usize,
 ) {
     let Ok(write_half) = stream.try_clone() else {
         return;
@@ -155,6 +165,7 @@ fn handle_connection(
     let mut reader = BufReader::new(stream);
     let mut writer = write_half;
     let mut line = String::new();
+    let mut served: usize = 0;
     loop {
         line.clear();
         match std::io::Read::take(&mut reader, MAX_REQUEST_LINE).read_line(&mut line) {
@@ -164,12 +175,21 @@ fn handle_connection(
         if !line.ends_with('\n') && line.len() as u64 >= MAX_REQUEST_LINE {
             // The limit cut the line short: refuse and drop the connection
             // (resynchronizing mid-line is not worth the ambiguity).
+            kecss_obs::counter_with("server_conn_limit_total", &[("kind", "line")]).inc();
             let _ = writer.write_all(b"ERR request line exceeds the size limit\n");
             return;
         }
+        if max_requests != 0 && served >= max_requests {
+            kecss_obs::counter_with("server_conn_limit_total", &[("kind", "requests")]).inc();
+            let _ = writer
+                .write_all(format!("ERR connection exceeded {max_requests} requests\n").as_bytes());
+            return;
+        }
+        served += 1;
         let request = match Request::parse(line.trim_end()) {
             Ok(request) => request,
             Err(message) => {
+                kecss_obs::counter_with("server_reply_err_total", &[("cause", "parse")]).inc();
                 if writer
                     .write_all(format!("ERR {message}\n").as_bytes())
                     .is_err()
@@ -193,8 +213,38 @@ fn handle_connection(
     }
 }
 
-/// Computes the full response bytes (header line, plus payload for RESULT).
+/// Computes the full response bytes (header line, plus payload for RESULT
+/// and METRICS). Metrics are recorded out-of-band only: the response bytes
+/// for every job-facing verb are exactly what they were before
+/// instrumentation (DESIGN.md §11).
 fn respond(request: Request, scheduler: &Scheduler, shutting_down: &AtomicBool) -> Vec<u8> {
+    let verb = match &request {
+        Request::Submit(_) => "SUBMIT",
+        Request::Status(_) => "STATUS",
+        Request::Result(_) => "RESULT",
+        Request::Cancel(_) => "CANCEL",
+        Request::Metrics => "METRICS",
+        Request::Shutdown => "SHUTDOWN",
+    };
+    kecss_obs::counter_with("server_requests_total", &[("verb", verb)]).inc();
+    let response = respond_inner(request, scheduler, shutting_down);
+    if kecss_obs::enabled() {
+        match response.first() {
+            Some(b'B') => kecss_obs::counter("server_reply_busy_total").inc(),
+            Some(b'G') => kecss_obs::counter("server_reply_gone_total").inc(),
+            Some(b'E') => {
+                kecss_obs::counter_with("server_reply_err_total", &[("cause", "request")]).inc();
+            }
+            _ => {}
+        }
+    }
+    response
+}
+
+/// The uninstrumented response computation (see [`respond`]). The first byte
+/// of each reply verb is distinct (`OK`/`WAIT`/`RESULT`/`METRICS` vs `BUSY`,
+/// `GONE`, `ERR`), which is what [`respond`] classifies on.
+fn respond_inner(request: Request, scheduler: &Scheduler, shutting_down: &AtomicBool) -> Vec<u8> {
     match request {
         Request::Submit(spec) => {
             // Admission control lives in the scheduler, under its table lock:
@@ -235,6 +285,15 @@ fn respond(request: Request, scheduler: &Scheduler, shutting_down: &AtomicBool) 
             Ok(()) => format!("OK {id} CANCELLED\n").into_bytes(),
             Err(message) => format!("ERR {message}\n").into_bytes(),
         },
+        Request::Metrics => {
+            // Framed like RESULT: a header with the byte length, then the
+            // text exposition verbatim (it is multi-line, so line framing
+            // alone cannot carry it).
+            let text = kecss_obs::Registry::global().render();
+            let mut out = format!("METRICS {}\n", text.len()).into_bytes();
+            out.extend_from_slice(text.as_bytes());
+            out
+        }
         Request::Shutdown => {
             // Close the scheduler first (authoritative, under the admission
             // lock), then flag the accept loop. Everything admitted up to the

@@ -13,6 +13,7 @@ fn submit_solve_fetch_shutdown() {
         addr: "127.0.0.1:0".into(),
         threads: 2,
         queue_depth: 4,
+        ..ServerConfig::default()
     })
     .expect("bind an ephemeral port");
     let handle = server.spawn();

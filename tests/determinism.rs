@@ -299,6 +299,100 @@ proptest! {
         scheduler.shutdown();
     }
 
+    /// Observability is strictly out-of-band (DESIGN.md §11): with metric
+    /// recording enabled AND a live JSONL trace sink installed, N concurrent
+    /// submissions through the scheduler produce result payloads
+    /// byte-identical to an uninstrumented (recording disabled) sequential
+    /// oracle. Counters, histograms and spans never reach the bytes.
+    #[test]
+    fn instrumented_concurrent_jobs_match_uninstrumented_sequential_oracle(
+        base_seed in 0u64..200,
+        jobs in 2usize..5,
+    ) {
+        use kecss::cuts::EnumeratorPolicy;
+        use kecss_server::instance::InstanceSpec;
+        use kecss_server::job::{self, Algorithm, JobSpec};
+        use kecss_server::scheduler::{Outcome, Scheduler};
+        use std::sync::{Arc, Mutex};
+
+        /// A `Write` handle onto a shared buffer (the sink is consumed by
+        /// `install_trace_sink`, so the test keeps the other `Arc`).
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let specs: Vec<JobSpec> = (0..jobs as u64)
+            .map(|i| JobSpec {
+                instance: InstanceSpec::parse(if i % 2 == 0 { "ring:20" } else { "harary:10:7" })
+                    .unwrap(),
+                k: 2,
+                algorithm: Algorithm::KEcss,
+                enumerator: EnumeratorPolicy::Auto,
+                seed: base_seed + i,
+            })
+            .collect();
+
+        // Uninstrumented oracle: recording off, no sink, sequential.
+        let was_enabled = kecss_obs::set_enabled(false);
+        let expected: Vec<Vec<u8>> = specs
+            .iter()
+            .map(|spec| job::run(spec, &Executor::Sequential).unwrap())
+            .collect();
+
+        // Instrumented run: recording on, trace sink live, 4 workers, all
+        // jobs in flight at once.
+        kecss_obs::set_enabled(true);
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        kecss_obs::install_trace_sink(Box::new(SharedBuf(Arc::clone(&buffer))));
+        let scheduler = Scheduler::new(4, specs.len());
+        let ids: Vec<u64> = specs
+            .iter()
+            .map(|spec| scheduler.submit(spec.clone()).unwrap())
+            .collect();
+        let mut failure = None;
+        for (spec, (id, want)) in specs.iter().zip(ids.iter().zip(&expected)) {
+            match scheduler.wait(*id) {
+                Some(Outcome::Done(got)) => {
+                    if got.as_slice() != want.as_slice() && failure.is_none() {
+                        failure = Some(format!(
+                            "spec '{}' diverged under instrumentation",
+                            spec.canonical()
+                        ));
+                    }
+                }
+                other => {
+                    if failure.is_none() {
+                        failure = Some(format!(
+                            "job {id} ({}) did not complete: {other:?}",
+                            spec.canonical()
+                        ));
+                    }
+                }
+            }
+        }
+        scheduler.shutdown();
+        kecss_obs::clear_trace_sink();
+        kecss_obs::set_enabled(was_enabled);
+        if let Some(message) = failure {
+            return Err(message);
+        }
+
+        // The instrumentation really was live: the sink streamed span lines.
+        let traced = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        prop_assert!(
+            traced.lines().any(|l| l.contains("\"type\":\"span\"")),
+            "no spans reached the trace sink:\n{}",
+            traced
+        );
+    }
+
     /// Parallel and sequential `Aug_k` agree end to end for a fixed seed:
     /// the executor only touches pure verification work, never the RNG.
     #[test]

@@ -21,6 +21,7 @@ fn spawn(threads: usize, queue_depth: usize) -> ServerHandle {
         addr: "127.0.0.1:0".into(),
         threads,
         queue_depth,
+        ..ServerConfig::default()
     })
     .expect("bind an ephemeral port")
     .spawn()
@@ -61,6 +62,7 @@ fn spawn_gated(queue_depth: usize, gate: &Arc<Gate>) -> ServerHandle {
         addr: "127.0.0.1:0".into(),
         threads: 1,
         queue_depth,
+        ..ServerConfig::default()
     };
     let hook_gate = Arc::clone(gate);
     let scheduler = Scheduler::with_start_hook(
@@ -371,6 +373,98 @@ fn file_instances_solve_over_the_wire_in_both_formats() {
     let summary = handle.join();
     assert_eq!(summary.completed, 2);
     assert_eq!(summary.failed, 1);
+}
+
+/// Extracts one series value from a metrics text exposition. `series` must
+/// include the label set exactly as rendered (sorted label keys), plus a
+/// trailing space, e.g. `server_requests_total{verb="SUBMIT"} `.
+fn metric_value(text: &str, series: &str) -> u64 {
+    text.lines()
+        .find_map(|l| {
+            l.strip_prefix(series)
+                .and_then(|rest| rest.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn metrics_verb_exposes_job_and_request_counters() {
+    let handle = spawn(1, 4);
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // The registry is process-global and the other tests in this binary run
+    // concurrently, so assert on deltas, never absolutes.
+    let before = client.metrics().unwrap();
+    let id = submit_spec(&mut client, "SUBMIT ring:20 2 2ecss auto 3");
+    let payload = client.wait_result(id, POLL, DEADLINE).unwrap();
+    assert!(!payload.is_empty());
+    let after = client.metrics().unwrap();
+
+    assert!(
+        after.contains("# TYPE server_jobs_submitted_total counter"),
+        "{after}"
+    );
+    for series in [
+        "server_jobs_submitted_total ",
+        "server_jobs_total{state=\"completed\"} ",
+        "server_requests_total{verb=\"SUBMIT\"} ",
+        "server_requests_total{verb=\"METRICS\"} ",
+    ] {
+        assert!(
+            metric_value(&after, series) > metric_value(&before, series),
+            "{series} did not advance\nbefore:\n{before}\nafter:\n{after}"
+        );
+    }
+    // A completed job went through the wait/run histograms.
+    assert!(
+        metric_value(&after, "server_job_run_ns_count ")
+            > metric_value(&before, "server_job_run_ns_count "),
+        "{after}"
+    );
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn per_connection_request_limit_answers_err_and_closes() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+        queue_depth: 4,
+        max_requests_per_conn: 3,
+    };
+    let handle = Server::bind(&config)
+        .expect("bind an ephemeral port")
+        .spawn();
+    let addr = handle.addr().to_string();
+
+    let mut limited = Client::connect(&addr).unwrap();
+    for _ in 0..3 {
+        // Any request counts, even ones answered with ERR.
+        match limited.request_line("STATUS 999999").unwrap() {
+            Reply::Err(msg) => assert!(msg.contains("unknown job"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    // The fourth request trips the limit: a clean ERR, then the connection
+    // is closed (the next request sees EOF or a reset).
+    match limited.request_line("STATUS 999999") {
+        Ok(Reply::Err(msg)) => assert!(msg.contains("exceeded 3 requests"), "{msg}"),
+        other => panic!("the limit must answer ERR, got {other:?}"),
+    }
+    assert!(limited.request_line("STATUS 999999").is_err());
+
+    // A fresh connection is unaffected, and the trip was counted.
+    let mut fresh = Client::connect(&addr).unwrap();
+    let text = fresh.metrics().unwrap();
+    assert!(
+        metric_value(&text, "server_conn_limit_total{kind=\"requests\"} ") >= 1,
+        "{text}"
+    );
+    fresh.shutdown().unwrap();
+    handle.join();
 }
 
 #[test]
