@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Karger-Stein smoke test for CI (ISSUE 8): the `ks` strategy must produce
+# byte-identical solutions to the strategies it replaces, end to end through
+# the CLI.
+#
+#  1. k = 4 on Q_4: solve with --strategy ks and --strategy exact (the
+#     deterministically-complete size-1..3 specializations drive every level
+#     below the last; the last level's size-3 cuts are still exact) and
+#     require the two solution files to be byte-identical.
+#  2. k = 8 on harary(8, 16): solve with --strategy ks and with the flat
+#     --strategy contract ablation baseline, same seed, and require
+#     byte-identical solutions (both are exactly verified, so agreement is
+#     the determinism contract, not luck).
+#
+# Every solution is independently re-verified with `kecss verify`.
+set -euo pipefail
+
+KECSS="${KECSS:-target/release/kecss}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "${WORKDIR}"' EXIT
+
+echo "== k = 4 on Q_4: ks vs exact, byte-for-byte"
+"${KECSS}" generate --family hypercube --n 16 --k 4 --output "${WORKDIR}/q4.graph"
+"${KECSS}" solve --input "${WORKDIR}/q4.graph" --algorithm kecss --k 4 \
+  --strategy ks --seed 3 --output "${WORKDIR}/q4-ks.edges"
+"${KECSS}" solve --input "${WORKDIR}/q4.graph" --algorithm kecss --k 4 \
+  --strategy exact --seed 3 --output "${WORKDIR}/q4-exact.edges"
+cmp "${WORKDIR}/q4-ks.edges" "${WORKDIR}/q4-exact.edges" \
+  || { echo "ks and exact solutions differ on Q_4"; exit 1; }
+"${KECSS}" verify --input "${WORKDIR}/q4.graph" --solution "${WORKDIR}/q4-ks.edges" --k 4
+
+echo "== k = 8 on harary(8, 16): ks vs the flat contract baseline, byte-for-byte"
+"${KECSS}" generate --family harary --n 16 --k 8 --output "${WORKDIR}/h8.graph"
+"${KECSS}" solve --input "${WORKDIR}/h8.graph" --algorithm kecss --k 8 \
+  --strategy ks --seed 3 --output "${WORKDIR}/h8-ks.edges"
+"${KECSS}" solve --input "${WORKDIR}/h8.graph" --algorithm kecss --k 8 \
+  --strategy contract --seed 3 --output "${WORKDIR}/h8-contract.edges"
+cmp "${WORKDIR}/h8-ks.edges" "${WORKDIR}/h8-contract.edges" \
+  || { echo "ks and contract solutions differ at k = 8"; exit 1; }
+"${KECSS}" verify --input "${WORKDIR}/h8.graph" --solution "${WORKDIR}/h8-ks.edges" --k 8
+
+echo "karger-stein smoke: OK"

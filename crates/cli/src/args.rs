@@ -31,13 +31,28 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, CliError> {
     })
 }
 
-/// Parses the `--enumerator` flag into a [`EnumeratorPolicy`].
+/// Parses the `--enumerator` / `--strategy` flag into a [`EnumeratorPolicy`].
 fn parse_enumerator(s: &str) -> Result<EnumeratorPolicy, CliError> {
     EnumeratorPolicy::parse(s).ok_or_else(|| {
         CliError::Usage(format!(
-            "unknown enumerator '{s}' (expected exact, label, contract or auto)"
+            "unknown enumerator '{s}' (expected exact, label, contract, ks or auto)"
         ))
     })
+}
+
+/// Reads the cut-enumeration strategy from the flag map. `--strategy` is an
+/// alias for `--enumerator`; passing both is rejected so a typo cannot
+/// silently half-apply.
+fn enumerator_flag(
+    map: &std::collections::HashMap<&str, &str>,
+) -> Result<EnumeratorPolicy, CliError> {
+    match (map.get("enumerator"), map.get("strategy")) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "--enumerator and --strategy are aliases; pass only one".into(),
+        )),
+        (Some(v), None) | (None, Some(v)) => parse_enumerator(v),
+        (None, None) => Ok(EnumeratorPolicy::default()),
+    }
 }
 
 /// A parsed command line.
@@ -236,12 +251,14 @@ flag. `sweep` runs every (n, algorithm, seed) cell of the grid concurrently
 over T worker threads and verifies each solution. Results are bit-identical
 for every thread count.
 
-`--enumerator <exact|label|contract|auto>` picks the cut-enumeration
-strategy for kecss and greedy (default auto). 'exact' is the specialized
-size-1..3 enumerator (so k <= 4); 'label' enumerates XOR-zero cycle-space
-subsets of any size; 'contract' is randomized Karger-style contraction;
-'auto' uses exact below size 4, then label, falling back to contract when
-the candidate pool explodes. Any k is supported with label/contract/auto.
+`--enumerator <exact|label|contract|ks|auto>` picks the cut-enumeration
+strategy for kecss and greedy (default auto); `--strategy` is an alias.
+'exact' is the specialized size-1..3 enumerator (so k <= 4); 'label'
+enumerates XOR-zero cycle-space subsets of any size; 'contract' is flat
+randomized Karger contraction (the ablation baseline); 'ks' is recursive
+Karger-Stein contraction (DESIGN.md #12, the fast path for large k); 'auto'
+uses exact below size 4, then label, falling back to ks when the candidate
+pool explodes. Any k is supported with label/contract/ks/auto.
 
 The 'hypercube' family rounds --n to the next power of two and has edge
 connectivity exactly log2 n, giving ground truth for high-k runs.
@@ -362,11 +379,7 @@ fn parse_solve(rest: &[&String]) -> Result<Command, CliError> {
             .map(|v| parse_number("threads", v))
             .transpose()?
             .unwrap_or(1),
-        enumerator: map
-            .get("enumerator")
-            .map(|v| parse_enumerator(v))
-            .transpose()?
-            .unwrap_or_default(),
+        enumerator: enumerator_flag(&map)?,
         output: map.get("output").map(|s| s.to_string()),
         trace: map.get("trace").map(|s| s.to_string()),
     })
@@ -454,11 +467,7 @@ fn parse_sweep(rest: &[&String]) -> Result<Command, CliError> {
             .map(|v| parse_number("threads", v))
             .transpose()?
             .unwrap_or(1),
-        enumerator: map
-            .get("enumerator")
-            .map(|v| parse_enumerator(v))
-            .transpose()?
-            .unwrap_or_default(),
+        enumerator: enumerator_flag(&map)?,
         trace: map.get("trace").map(|s| s.to_string()),
     })
 }
@@ -536,11 +545,7 @@ fn parse_submit(rest: &[&String]) -> Result<Command, CliError> {
                 .map(|v| parse_algorithm(v))
                 .transpose()?
                 .unwrap_or(Algorithm::KEcss),
-            enumerator: map
-                .get("enumerator")
-                .map(|v| parse_enumerator(v))
-                .transpose()?
-                .unwrap_or_default(),
+            enumerator: enumerator_flag(&map)?,
             seed: map
                 .get("seed")
                 .map(|v| parse_number("seed", v))
@@ -757,23 +762,42 @@ mod tests {
             ("exact", EnumeratorPolicy::Exact),
             ("label", EnumeratorPolicy::Label),
             ("contract", EnumeratorPolicy::Contract),
+            ("ks", EnumeratorPolicy::Ks),
             ("auto", EnumeratorPolicy::Auto),
         ] {
-            let cmd = parse(&argv(&[
-                "solve",
-                "--input",
-                "g.graph",
-                "--algorithm",
-                "kecss",
-                "--enumerator",
-                name,
-            ]))
-            .unwrap();
-            match cmd {
-                Command::Solve { enumerator, .. } => assert_eq!(enumerator, expected),
-                other => panic!("unexpected {other:?}"),
+            // --strategy is an exact alias of --enumerator.
+            for flag in ["--enumerator", "--strategy"] {
+                let cmd = parse(&argv(&[
+                    "solve",
+                    "--input",
+                    "g.graph",
+                    "--algorithm",
+                    "kecss",
+                    flag,
+                    name,
+                ]))
+                .unwrap();
+                match cmd {
+                    Command::Solve { enumerator, .. } => {
+                        assert_eq!(enumerator, expected, "{flag} {name}")
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
             }
         }
+        // Passing both spellings at once is rejected.
+        assert!(parse(&argv(&[
+            "solve",
+            "--input",
+            "g.graph",
+            "--algorithm",
+            "kecss",
+            "--enumerator",
+            "ks",
+            "--strategy",
+            "ks",
+        ]))
+        .is_err());
         // Default is auto.
         match parse(&argv(&["solve", "--input", "g", "--algorithm", "kecss"])).unwrap() {
             Command::Solve { enumerator, .. } => assert_eq!(enumerator, EnumeratorPolicy::Auto),

@@ -18,15 +18,23 @@
 //!   verification this enumerator is **deterministically complete** for the
 //!   induced cuts — its only failure mode is combinatorial cost, bounded by a
 //!   candidate budget.
-//! * [`ContractEnumerator`] — a randomized-contraction fallback
-//!   (Karger-style repeated contraction, plus deterministic vertex-star and
-//!   edge-pair seeds) for when the label-class candidate pool explodes.
-//!   Complete w.h.p.; `Aug_k` additionally certifies the augmented subgraph
-//!   exactly and re-enumerates with fresh randomness on a miss, so the
-//!   pipeline's *output* is always exact.
+//! * [`ContractEnumerator`] — flat Karger-style repeated contraction (plus
+//!   deterministic vertex-star and edge-pair seeds): `Θ(n² log n)`
+//!   independent trials, each contracting from the full graph. Kept as the
+//!   ablation baseline for the recursive variant below.
+//! * [`KargerSteinEnumerator`] — the recursive Karger–Stein variant
+//!   (DESIGN.md §12): contract to `⌈n/√2⌉ + 1` super-vertices, recurse twice
+//!   with seeds derived from the recursion *path*, enumerate bipartitions
+//!   exhaustively at the base. Sharing contraction prefixes cuts the total
+//!   work to `O(n² log² n)` per repetition round; the independent repetition
+//!   roots run on the [`Executor`] with results merged in path order, so
+//!   `Threaded(n)` stays bit-identical to `Sequential`. Complete w.h.p.;
+//!   `Aug_k` additionally certifies the augmented subgraph exactly and
+//!   re-enumerates with fresh randomness on a miss, so the pipeline's
+//!   *output* is always exact (the same contract the flat fallback had).
 //!
 //! [`AutoEnumerator`] picks per size: exact specializations for `1..=3`, the
-//! label enumerator above that, contraction when the label budget trips.
+//! label enumerator above that, Karger–Stein when the label budget trips.
 //! This lifts the former `k <= 4` cap of the whole k-ECSS pipeline: any `k`
 //! is now reachable (DESIGN.md §6).
 //!
@@ -35,6 +43,10 @@
 //! regime the driver uses it in (`size = λ(H)`); the verification step only
 //! runs on filtered candidates, so false positives cost little.
 
+mod karger_stein;
+
+pub use karger_stein::KargerSteinEnumerator;
+
 use crate::cycle_space::Circulation;
 use crate::error::{Error, Result};
 use graphs::{connectivity, dsu::DisjointSets, EdgeId, EdgeSet, Graph, NodeId, RootedTree};
@@ -42,6 +54,7 @@ use kecss_runtime::Executor;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
 
 /// The largest cut size the [`ExactEnumerator`] specializations handle.
 /// Larger sizes go through [`LabelEnumerator`] / [`ContractEnumerator`]
@@ -89,10 +102,13 @@ pub fn covers(graph: &Graph, h: &EdgeSet, cut: &[EdgeId], e: EdgeId) -> bool {
 ///   disconnect (e.g. a bridge plus an arbitrary edge) are *not* reported,
 ///   matching the pre-refactor behavior.
 /// * `salt` perturbs any internal randomness; implementations must be
-///   deterministic functions of `(graph, h, size, salt)` and must keep all
-///   RNG draws on the calling thread, so results are bit-identical for every
-///   `exec` (DESIGN.md §8). Retrying with a fresh `salt` re-rolls a
-///   randomized enumerator; deterministic enumerators may ignore it.
+///   deterministic functions of `(graph, h, size, salt)`, so results are
+///   bit-identical for every `exec` (DESIGN.md §8). Either keep all RNG
+///   draws on the calling thread, or — like [`KargerSteinEnumerator`] — give
+///   every parallel work item an RNG seeded purely from `(salt, item path)`
+///   and merge results in item order (DESIGN.md §12). Retrying with a fresh
+///   `salt` re-rolls a randomized enumerator (and escalates its effort);
+///   deterministic enumerators may ignore it.
 ///
 /// # Errors
 ///
@@ -123,9 +139,11 @@ pub enum EnumeratorPolicy {
     Exact,
     /// [`LabelEnumerator`]: any size, bounded by the candidate budget.
     Label,
-    /// [`ContractEnumerator`]: any size, randomized.
+    /// [`ContractEnumerator`]: any size, randomized flat contraction.
     Contract,
-    /// [`AutoEnumerator`]: exact below 4, label above, contraction fallback.
+    /// [`KargerSteinEnumerator`]: any size, recursive contraction.
+    Ks,
+    /// [`AutoEnumerator`]: exact below 4, label above, Karger–Stein fallback.
     #[default]
     Auto,
 }
@@ -137,6 +155,7 @@ impl EnumeratorPolicy {
             "exact" => Some(EnumeratorPolicy::Exact),
             "label" => Some(EnumeratorPolicy::Label),
             "contract" => Some(EnumeratorPolicy::Contract),
+            "ks" => Some(EnumeratorPolicy::Ks),
             "auto" => Some(EnumeratorPolicy::Auto),
             _ => None,
         }
@@ -148,6 +167,7 @@ impl EnumeratorPolicy {
             EnumeratorPolicy::Exact => "exact",
             EnumeratorPolicy::Label => "label",
             EnumeratorPolicy::Contract => "contract",
+            EnumeratorPolicy::Ks => "ks",
             EnumeratorPolicy::Auto => "auto",
         }
     }
@@ -158,6 +178,7 @@ impl EnumeratorPolicy {
             EnumeratorPolicy::Exact => Box::new(ExactEnumerator),
             EnumeratorPolicy::Label => Box::new(LabelEnumerator::default()),
             EnumeratorPolicy::Contract => Box::new(ContractEnumerator::default()),
+            EnumeratorPolicy::Ks => Box::new(KargerSteinEnumerator::default()),
             EnumeratorPolicy::Auto => Box::new(AutoEnumerator::default()),
         }
     }
@@ -374,19 +395,76 @@ impl CutEnumerator for LabelEnumerator {
 /// The base seed of the contraction trials (mixed with the salt).
 const CONTRACT_SEED: u64 = 0xc027_7ac7_10e5_eed5;
 
-/// Karger-style randomized contraction for arbitrary cut size: repeatedly
-/// contract uniformly random edges of `h` until two super-vertices remain;
-/// the crossing edges form an induced cut, kept when its size matches. Two
-/// deterministic candidate seeds — vertex stars `δ(v)` and adjacent-pair
-/// boundaries `δ({u, v})` of the right size — cover the common minimum cuts
-/// of near-regular graphs before any random trial runs. Every candidate is
-/// still verified by the exact removal test.
+/// `⌈log2 n⌉` (1 for `n <= 2`) — the integer log the contraction effort
+/// formulas are built from, keeping the hot path float-free and
+/// platform-independent.
+pub(crate) fn ceil_log2(n: usize) -> u64 {
+    u64::from(u64::BITS - (n.max(2) as u64 - 1).leading_zeros())
+}
+
+/// An integer upper bound on `⌈ln n⌉`: `⌈0.693 · ⌈log2 n⌉⌉`. Agrees with the
+/// float formula at every power of two (in particular the bench workloads'
+/// sizes) and is never smaller, so the w.h.p. trial-count argument carries
+/// over unchanged.
+pub(crate) fn ceil_ln(n: usize) -> u64 {
+    (ceil_log2(n) * 693).div_ceil(1000)
+}
+
+/// Inserts the deterministic candidate seeds shared by the contraction
+/// enumerators into `candidates`: vertex stars `δ(v)` and adjacent-pair
+/// boundaries `δ({u, v})` whose crossing size matches. These cover the
+/// common minimum cuts of near-regular graphs before any random trial runs.
+fn seed_candidates(graph: &Graph, h: &EdgeSet, size: usize, candidates: &mut BTreeSet<Cut>) {
+    let star = |v: NodeId| -> Vec<EdgeId> {
+        graph
+            .neighbors(v)
+            .iter()
+            .filter(|(_, id)| h.contains(*id))
+            .map(|&(_, id)| id)
+            .collect()
+    };
+    for v in 0..graph.n() {
+        let mut s = star(v);
+        if s.len() == size {
+            s.sort();
+            candidates.insert(s);
+        }
+    }
+    for id in h.iter() {
+        let e = graph.edge(id);
+        let mut boundary: Vec<EdgeId> = star(e.u)
+            .into_iter()
+            .chain(star(e.v))
+            .filter(|&b| {
+                let be = graph.edge(b);
+                !(be.has_endpoint(e.u) && be.has_endpoint(e.v))
+            })
+            .collect();
+        if boundary.len() == size {
+            boundary.sort();
+            candidates.insert(boundary);
+        }
+    }
+}
+
+/// Flat Karger-style randomized contraction for arbitrary cut size:
+/// repeatedly contract uniformly random edges of `h` until two
+/// super-vertices remain; the crossing edges form an induced cut, kept when
+/// its size matches. The deterministic candidate seeds of
+/// [`seed_candidates`] run first. Every candidate is still verified by the
+/// exact removal test.
 ///
 /// With `trials = Θ(n² log n)` every minimum cut is found w.h.p. (each
 /// survives one contraction with probability `≥ 2/(n(n-1))`); the default
 /// trial count uses that formula. The `salt` doubles the trial count on each
 /// certification retry (up to 32×) in addition to re-seeding the RNG, so the
 /// `Aug_k` retry loop escalates rather than replays.
+///
+/// This is the ablation baseline for [`KargerSteinEnumerator`], which shares
+/// contraction prefixes through recursion instead of restarting every trial
+/// from the full graph. The trial loop reuses one shuffle order, one
+/// [`DisjointSets`] forest and one cut buffer across all trials — no
+/// per-trial allocation.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ContractEnumerator {
     /// Number of contraction trials; `None` uses [`ContractEnumerator::default_trials`].
@@ -402,11 +480,11 @@ impl ContractEnumerator {
     }
 
     /// The default trial count for an `n`-vertex subgraph: `2 n² ⌈ln n⌉`,
-    /// at least 512.
+    /// at least 512, with the log computed by the integer bound [`ceil_ln`]
+    /// (no floats on the hot path).
     pub fn default_trials(n: usize) -> u64 {
         let n = n as u64;
-        let ln = (n.max(2) as f64).ln().ceil() as u64;
-        (2 * n * n * ln).max(512)
+        (2 * n * n * ceil_ln(n as usize)).max(512)
     }
 }
 
@@ -426,74 +504,54 @@ impl CutEnumerator for ContractEnumerator {
         check_request(graph, h, size)?;
         let n = graph.n();
         let ids: Vec<EdgeId> = h.iter().collect();
+        // The endpoints of every edge of h, hoisted out of the trial loop.
+        let ends: Vec<(NodeId, NodeId)> = ids
+            .iter()
+            .map(|&id| {
+                let e = graph.edge(id);
+                (e.u, e.v)
+            })
+            .collect();
         // BTreeSet: dedups across trials and yields candidates in sorted
         // (deterministic) order for the batch verification.
-        let mut candidates: std::collections::BTreeSet<Cut> = std::collections::BTreeSet::new();
-
-        // Deterministic seed 1: vertex stars δ(v) with |δ(v)| == size.
-        let star = |v: NodeId| -> Vec<EdgeId> {
-            graph
-                .neighbors(v)
-                .iter()
-                .filter(|(_, id)| h.contains(*id))
-                .map(|&(_, id)| id)
-                .collect()
-        };
-        for v in 0..n {
-            let mut s = star(v);
-            if s.len() == size {
-                s.sort();
-                candidates.insert(s);
-            }
-        }
-        // Deterministic seed 2: adjacent-pair boundaries δ({u, v}) for every
-        // edge {u, v} of h.
-        for &id in &ids {
-            let e = graph.edge(id);
-            let mut boundary: Vec<EdgeId> = star(e.u)
-                .into_iter()
-                .chain(star(e.v))
-                .filter(|&b| {
-                    let be = graph.edge(b);
-                    !(be.has_endpoint(e.u) && be.has_endpoint(e.v))
-                })
-                .collect();
-            if boundary.len() == size {
-                boundary.sort();
-                candidates.insert(boundary);
-            }
-        }
+        let mut candidates: BTreeSet<Cut> = BTreeSet::new();
+        seed_candidates(graph, h, size, &mut candidates);
 
         // Randomized contraction trials. All RNG draws stay on the calling
         // thread (DESIGN.md §8); only the removal verification parallelizes.
+        // The shuffle order, the union-find forest and the candidate buffer
+        // are allocated once and reset per trial.
         let base = self.trials.unwrap_or_else(|| Self::default_trials(n));
         let trials = base.saturating_mul(1u64 << salt.min(5));
         let mut rng =
             ChaCha8Rng::seed_from_u64(CONTRACT_SEED ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut order: Vec<usize> = (0..ids.len()).collect();
-        for _ in 0..trials {
+        let mut dsu = DisjointSets::new(n);
+        let mut cut_buf: Cut = Vec::with_capacity(size);
+        for trial in 0..trials {
             order.shuffle(&mut rng);
-            let mut dsu = DisjointSets::new(n);
+            if trial > 0 {
+                dsu.reset();
+            }
             for &i in &order {
                 if dsu.component_count() == 2 {
                     break;
                 }
-                let e = graph.edge(ids[i]);
-                dsu.union(e.u, e.v);
+                let (u, v) = ends[i];
+                dsu.union(u, v);
             }
             if dsu.component_count() != 2 {
                 continue;
             }
-            let cut: Cut = ids
-                .iter()
-                .copied()
-                .filter(|&id| {
-                    let e = graph.edge(id);
-                    dsu.find(e.u) != dsu.find(e.v)
-                })
-                .collect();
-            if cut.len() == size {
-                candidates.insert(cut);
+            cut_buf.clear();
+            cut_buf.extend(
+                ids.iter()
+                    .zip(&ends)
+                    .filter(|&(_, &(u, v))| dsu.find(u) != dsu.find(v))
+                    .map(|(&id, _)| id),
+            );
+            if cut_buf.len() == size && !candidates.contains(cut_buf.as_slice()) {
+                candidates.insert(cut_buf.clone());
             }
         }
 
@@ -505,21 +563,24 @@ impl CutEnumerator for ContractEnumerator {
 }
 
 /// The per-size policy: [`ExactEnumerator`] for sizes `1..=3`,
-/// [`LabelEnumerator`] above, and the [`ContractEnumerator`] fallback when
-/// the label-class candidate pool explodes. This is the default everywhere.
+/// [`LabelEnumerator`] above, and the [`KargerSteinEnumerator`] fallback
+/// when the label-class candidate pool explodes (the flat
+/// [`ContractEnumerator`] stays available as the `contract` ablation
+/// strategy). This is the default everywhere.
 #[derive(Clone, Copy, Debug)]
 pub struct AutoEnumerator {
     /// Budget for the label stage (see [`LabelEnumerator`]).
     pub label_budget: u64,
-    /// Trial override for the contraction fallback (see [`ContractEnumerator`]).
-    pub trials: Option<u64>,
+    /// Repetition override for the Karger–Stein fallback (see
+    /// [`KargerSteinEnumerator`]).
+    pub repetitions: Option<u64>,
 }
 
 impl Default for AutoEnumerator {
     fn default() -> Self {
         AutoEnumerator {
             label_budget: DEFAULT_LABEL_BUDGET,
-            trials: None,
+            repetitions: None,
         }
     }
 }
@@ -544,12 +605,12 @@ impl CutEnumerator for AutoEnumerator {
             Err(Error::CandidateOverflow { .. }) => {
                 kecss_obs::counter_with(
                     "solver_enum_fallback_total",
-                    &[("from", "label"), ("to", "contract")],
+                    &[("from", "label"), ("to", "ks")],
                 )
                 .inc();
-                kecss_obs::event("enum_fallback", &[("from", "label"), ("to", "contract")]);
-                ContractEnumerator {
-                    trials: self.trials,
+                kecss_obs::event("enum_fallback", &[("from", "label"), ("to", "ks")]);
+                KargerSteinEnumerator {
+                    repetitions: self.repetitions,
                 }
                 .cuts(graph, h, size, salt, exec)
             }
@@ -750,8 +811,9 @@ mod tests {
     use graphs::generators;
 
     /// Exhaustive ground truth: all `size`-subsets of `h` that disconnect
-    /// and are *induced* (split into exactly two components).
-    fn naive_induced_cuts(g: &Graph, h: &EdgeSet, size: usize) -> Vec<Cut> {
+    /// and are *induced* (split into exactly two components). Shared with
+    /// the `karger_stein` submodule's tests.
+    pub(crate) fn naive_induced_cuts(g: &Graph, h: &EdgeSet, size: usize) -> Vec<Cut> {
         let ids: Vec<EdgeId> = h.iter().collect();
         let mut out = Vec::new();
         fn rec(
@@ -962,7 +1024,7 @@ mod tests {
         assert!(matches!(err, Error::CandidateOverflow { size: 4, .. }));
         let auto = AutoEnumerator {
             label_budget: 8,
-            trials: None,
+            repetitions: None,
         };
         let via_fallback = auto.cuts(&g, &h, 4, 0, &exec).unwrap();
         assert_eq!(via_fallback, naive_induced_cuts(&g, &h, 4));
@@ -1018,6 +1080,7 @@ mod tests {
             ("exact", EnumeratorPolicy::Exact),
             ("label", EnumeratorPolicy::Label),
             ("contract", EnumeratorPolicy::Contract),
+            ("ks", EnumeratorPolicy::Ks),
             ("auto", EnumeratorPolicy::Auto),
         ] {
             assert_eq!(EnumeratorPolicy::parse(name), Some(policy));

@@ -17,7 +17,9 @@ use congest::programs::collective::{local_trees, PipelinedBroadcast, SumConverge
 use congest::programs::flood::FloodMinElection;
 use congest::{Network, NodeProgram};
 use graphs::{bfs, generators, mst, RootedTree};
-use kecss::cuts::{ContractEnumerator, CutEnumerator, ExactEnumerator, LabelEnumerator};
+use kecss::cuts::{
+    ContractEnumerator, CutEnumerator, ExactEnumerator, KargerSteinEnumerator, LabelEnumerator,
+};
 use kecss_runtime::{engine, Executor};
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -192,14 +194,64 @@ proptest! {
         let h = g.full_edge_set();
         let threaded = Executor::from_threads(4);
         for size in 1..=4usize {
-            let enumerators: [&dyn CutEnumerator; 2] =
-                [&LabelEnumerator::default(), &ContractEnumerator::default()];
+            let enumerators: [&dyn CutEnumerator; 3] = [
+                &LabelEnumerator::default(),
+                &ContractEnumerator::default(),
+                &KargerSteinEnumerator::default(),
+            ];
             for e in enumerators {
                 let sequential = e.cuts(&g, &h, size, 0, &Executor::Sequential).unwrap();
                 let parallel = e.cuts(&g, &h, size, 0, &threaded).unwrap();
                 prop_assert_eq!(
                     &parallel, &sequential,
                     "{} on {} size {}", e.name(), label, size
+                );
+            }
+        }
+    }
+
+    /// Karger–Stein agrees with the deterministically-complete label
+    /// enumerator — and hence with the induced-cut ground truth — for cut
+    /// sizes 4..=6 in the minimum-cut regime the `Aug_k` driver calls from
+    /// (`h` is `size`-edge-connected, so the size-`size` cuts are exactly
+    /// the minimum cuts the recursion targets).
+    #[test]
+    fn karger_stein_agrees_with_label_ground_truth(
+        seed in 0u64..500,
+        size in 4usize..=6,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Even n: the harary base of the generator needs it for odd size.
+        let n = 8 + 2 * (seed % 3) as usize;
+        let g = generators::random_k_edge_connected(n, size, 3, &mut rng);
+        let h = g.full_edge_set();
+        let exec = Executor::Sequential;
+        let by_label = LabelEnumerator::default().cuts(&g, &h, size, 0, &exec).unwrap();
+        let by_ks = KargerSteinEnumerator::default().cuts(&g, &h, size, 0, &exec).unwrap();
+        prop_assert_eq!(&by_ks, &by_label, "ks vs label, n {} size {}", n, size);
+    }
+
+    /// `Threaded(2|4|8)` Karger–Stein enumeration is bit-identical to
+    /// `Sequential` across salts: every repetition's RNG is seeded purely
+    /// from `(salt, repetition, recursion path)` and repetition results
+    /// merge in repetition order, so worker count never reaches the bytes.
+    #[test]
+    fn threaded_karger_stein_is_bit_identical_across_salts(
+        shape in 0u8..4,
+        seed in 0u64..500,
+        salt in 0u64..3,
+    ) {
+        let (label, g) = agreement_graph(shape, seed);
+        let h = g.full_edge_set();
+        let ks = KargerSteinEnumerator::default();
+        for size in 3..=4usize {
+            let sequential = ks.cuts(&g, &h, size, salt, &Executor::Sequential).unwrap();
+            for threads in THREAD_COUNTS {
+                let exec = Executor::from_threads(threads);
+                let parallel = ks.cuts(&g, &h, size, salt, &exec).unwrap();
+                prop_assert_eq!(
+                    &parallel, &sequential,
+                    "ks on {} size {} salt {} t {}", label, size, salt, threads
                 );
             }
         }
