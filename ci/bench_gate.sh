@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Bench regression gate for CI (ISSUE 9): compare a freshly measured
+# kecss-bench-json emission against the committed baseline and fail on a
+# median regression beyond the threshold on any carried workload.
+#
+#   usage: ci/bench_gate.sh NEW.json BASELINE.json [THRESHOLD_PCT]
+#
+# Carried workloads are the rows present in BOTH files whose name matches
+# ^e1[0-6]_ — the E10–E16 series the baseline already measures. New rows
+# (e.g. this PR's e17_fleet pair) are reported but not gated: they have no
+# baseline to regress against and become carried the next time the baseline
+# is re-pinned. The default threshold is 25% — deliberately loose, because
+# shared CI runners are noisy; the gate is for order-of-magnitude slips, not
+# percent-level tuning (EXPERIMENTS.md keeps the curated numbers).
+set -euo pipefail
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 NEW.json BASELINE.json [THRESHOLD_PCT]" >&2
+  exit 2
+fi
+NEW="$1"
+BASE="$2"
+THRESHOLD="${3:-25}"
+[[ -f "${NEW}" ]] || { echo "missing ${NEW}" >&2; exit 2; }
+[[ -f "${BASE}" ]] || { echo "missing ${BASE}" >&2; exit 2; }
+
+# kecss-bench-v1 keeps one workload per line, so a line-wise sed suffices —
+# no JSON tooling needed on the runner.
+extract() {
+  sed -n 's/.*"name": "\([^"]*\)", "median_ns": \([0-9][0-9]*\).*/\1 \2/p' "$1"
+}
+extract "${BASE}" >"${TMPDIR:-/tmp}/bench_gate_base.$$"
+extract "${NEW}" >"${TMPDIR:-/tmp}/bench_gate_new.$$"
+trap 'rm -f "${TMPDIR:-/tmp}/bench_gate_base.$$" "${TMPDIR:-/tmp}/bench_gate_new.$$"' EXIT
+
+awk -v threshold="${THRESHOLD}" '
+  NR == FNR { base[$1] = $2; next }
+  {
+    fresh[$1] = $2
+    if (!($1 in base)) { uncarried[$1] = $2; next }
+    if ($1 !~ /^e1[0-6]_/) { uncarried[$1] = $2; next }
+    carried++
+    delta = ($2 - base[$1]) * 100.0 / base[$1]
+    flag = ""
+    if (delta > threshold) { flag = "  REGRESSION"; bad++ }
+    rows = rows sprintf("%-55s %14.0f %14.0f %+9.1f%%%s\n", $1, base[$1], $2, delta, flag)
+  }
+  END {
+    printf "bench gate: %d carried workloads, threshold +%s%% on the median\n\n", carried, threshold
+    printf "%-55s %14s %14s %10s\n", "workload", "baseline ns", "fresh ns", "delta"
+    printf "%s", rows
+    for (name in uncarried)
+      printf "%-55s %14s %14.0f %10s\n", name, "(new)", uncarried[name], "-"
+    for (name in base)
+      if (!(name in fresh))
+        printf "%-55s %14.0f %14s %10s  DROPPED\n", name, base[name], "(gone)", "-"
+    if (carried == 0) { print "\nbench gate: no carried workloads matched — wrong files?"; exit 2 }
+    if (bad > 0) { printf "\nbench gate: FAIL — %d workload(s) regressed beyond +%s%%\n", bad, threshold; exit 1 }
+    printf "\nbench gate: OK — no carried workload regressed beyond +%s%%\n", threshold
+  }
+' "${TMPDIR:-/tmp}/bench_gate_base.$$" "${TMPDIR:-/tmp}/bench_gate_new.$$"

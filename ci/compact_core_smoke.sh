@@ -7,9 +7,9 @@
 # be byte-identical — the bit-determinism contract of DESIGN.md §10.
 set -euo pipefail
 
-KECSS="${KECSS:-target/release/kecss}"
-WORKDIR="$(mktemp -d)"
-trap 'rm -rf "${WORKDIR}"' EXIT
+# shellcheck source=ci/lib.sh
+source "$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)/lib.sh"
+smoke_init
 
 N=100000
 

@@ -15,9 +15,9 @@
 # Every solution is independently re-verified with `kecss verify`.
 set -euo pipefail
 
-KECSS="${KECSS:-target/release/kecss}"
-WORKDIR="$(mktemp -d)"
-trap 'rm -rf "${WORKDIR}"' EXIT
+# shellcheck source=ci/lib.sh
+source "$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)/lib.sh"
+smoke_init
 
 echo "== k = 4 on Q_4: ks vs exact, byte-for-byte"
 "${KECSS}" generate --family hypercube --n 16 --k 4 --output "${WORKDIR}/q4.graph"

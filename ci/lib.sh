@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Shared helpers for the ci/*.sh smoke scripts. Source this, then call
+# smoke_init once; everything else is opt-in:
+#
+#   KECSS                 — the CLI binary (default target/release/kecss)
+#   smoke_init            — make ${WORKDIR}, install the EXIT cleanup trap
+#   smoke_track PID       — kill PID (if still alive) during cleanup
+#   poll_until DESC N CMD — run CMD every 0.1 s up to N times, fail with DESC
+#   wait_listen_addr VAR LOG PID — extract "listening on H:P" from a server
+#                           log, failing fast if the server process died
+#   port_accepting H:P    — one TCP connect probe (bash /dev/tcp)
+#   wait_port_accepting H:P — poll_until the port accepts connections
+#   wait_pid_exit PID N   — bounded wait for a clean process exit
+#
+# Every wait is bounded so a hung server fails the script with an attributed
+# message instead of relying on the caller's `timeout` to kill it.
+# shellcheck shell=bash
+
+KECSS="${KECSS:-target/release/kecss}"
+
+WORKDIR=""
+SMOKE_PIDS=()
+
+smoke_cleanup() {
+  local pid
+  for pid in ${SMOKE_PIDS[@]+"${SMOKE_PIDS[@]}"}; do
+    if [[ -n "${pid}" ]] && kill -0 "${pid}" 2>/dev/null; then
+      kill "${pid}" 2>/dev/null || true
+    fi
+  done
+  if [[ -n "${WORKDIR}" ]]; then
+    rm -rf "${WORKDIR}"
+  fi
+}
+
+smoke_init() {
+  WORKDIR="$(mktemp -d)"
+  trap 'smoke_cleanup' EXIT
+}
+
+smoke_track() {
+  SMOKE_PIDS+=("$1")
+}
+
+poll_until() {
+  local desc="$1" tries="$2" i
+  shift 2
+  for ((i = 0; i < tries; i++)); do
+    if "$@"; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "timed out waiting for ${desc}" >&2
+  return 1
+}
+
+wait_listen_addr() {
+  local __var="$1" log="$2" pid="$3" addr=""
+  for _ in $(seq 1 100); do
+    if ! kill -0 "${pid}" 2>/dev/null; then
+      echo "server (pid ${pid}) exited before reporting its address:" >&2
+      cat "${log}" >&2
+      return 1
+    fi
+    addr="$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "${log}" | head -n1)"
+    if [[ -n "${addr}" ]]; then
+      printf -v "${__var}" '%s' "${addr}"
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "server (pid ${pid}) never reported its address:" >&2
+  cat "${log}" >&2
+  return 1
+}
+
+port_accepting() {
+  local host="${1%:*}" port="${1##*:}"
+  (exec 3<>"/dev/tcp/${host}/${port}") 2>/dev/null
+}
+
+wait_port_accepting() {
+  poll_until "$1 to accept connections" 100 port_accepting "$1"
+}
+
+pid_gone() {
+  ! kill -0 "$1" 2>/dev/null
+}
+
+wait_pid_exit() {
+  poll_until "pid $1 to exit" "${2:-100}" pid_gone "$1"
+}

@@ -8,9 +8,9 @@
 # /proc/<pid>/status VmHWM poll otherwise.
 set -euo pipefail
 
-KECSS="${KECSS:-target/release/kecss}"
-WORKDIR="$(mktemp -d)"
-trap 'rm -rf "${WORKDIR}"' EXIT
+# shellcheck source=ci/lib.sh
+source "$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)/lib.sh"
+smoke_init
 
 N=2500000          # ring family: m = 2n = 5e6 edges
 M=5000000

@@ -12,36 +12,20 @@
 # not shared with anything else (in-binary tests assert deltas instead).
 set -euo pipefail
 
-KECSS="${KECSS:-target/release/kecss}"
-WORKDIR="$(mktemp -d)"
-trap 'cleanup' EXIT
-
-SERVER_PID=""
-cleanup() {
-  if [[ -n "${SERVER_PID}" ]] && kill -0 "${SERVER_PID}" 2>/dev/null; then
-    kill "${SERVER_PID}" 2>/dev/null || true
-  fi
-  rm -rf "${WORKDIR}"
-}
+# shellcheck source=ci/lib.sh
+source "$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)/lib.sh"
+smoke_init
 
 echo "== starting kecss serve on an ephemeral port"
 "${KECSS}" serve --addr 127.0.0.1:0 --threads 2 --queue-depth 8 \
   >"${WORKDIR}/serve.log" 2>&1 &
 SERVER_PID=$!
+smoke_track "${SERVER_PID}"
 
-# Wait for the listening line and extract the bound address.
-ADDR=""
-for _ in $(seq 1 100); do
-  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
-    echo "server exited prematurely:"; cat "${WORKDIR}/serve.log"; exit 1
-  fi
-  ADDR="$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "${WORKDIR}/serve.log" | head -n1)"
-  [[ -n "${ADDR}" ]] && break
-  sleep 0.1
-done
-if [[ -z "${ADDR}" ]]; then
-  echo "server never reported its address:"; cat "${WORKDIR}/serve.log"; exit 1
-fi
+# Wait for the listening line, then poll until the port actually accepts
+# connections — no fixed sleeps anywhere.
+wait_listen_addr ADDR "${WORKDIR}/serve.log" "${SERVER_PID}"
+wait_port_accepting "${ADDR}"
 echo "== server is listening on ${ADDR}"
 
 echo "== submitting ring (k=2) and hypercube (k=6, auto enumerator) concurrently"
@@ -102,15 +86,11 @@ echo "== shutting the server down"
 "${KECSS}" submit --addr "${ADDR}" --shutdown true
 
 # The server must exit on its own (drain + return), within a bounded wait.
-for _ in $(seq 1 100); do
-  kill -0 "${SERVER_PID}" 2>/dev/null || break
-  sleep 0.1
-done
-if kill -0 "${SERVER_PID}" 2>/dev/null; then
-  echo "server is still running after SHUTDOWN (hang/leak):"; cat "${WORKDIR}/serve.log"
+wait_pid_exit "${SERVER_PID}" 100 || {
+  echo "server is still running after SHUTDOWN (hang/leak):"
+  cat "${WORKDIR}/serve.log"
   exit 1
-fi
-SERVER_PID=""
+}
 
 grep -q "served 2 jobs: 2 completed, 0 failed" "${WORKDIR}/serve.log" \
   || { echo "unexpected serve summary:"; cat "${WORKDIR}/serve.log"; exit 1; }

@@ -382,6 +382,44 @@ fn e16_ks_q8(samples: usize) -> Measurement {
     }
 }
 
+/// E17's fleet throughput pair: a 16-job `ring:20 2ecss` batch through an
+/// in-process coordinator fleet at 1 worker vs 2 workers (jobs/s is
+/// `16 / median`; the worker-count scaling table is in the `e17_fleet` bench
+/// and EXPERIMENTS.md E17). The fixture is built once per worker count so
+/// the measured routine is submit→drain, not registration.
+fn e17_fleet(samples: usize) -> (Measurement, Measurement, Measurement) {
+    let measure = |name: &'static str, workers: usize, spec: &str| -> Measurement {
+        let mut fixture = kecss_bench::workloads::FleetFixture::new(workers, 32);
+        Measurement {
+            name,
+            median_ns: median_ns(samples, || fixture.batch(16, spec)),
+            samples,
+            peak_rss_kb: None,
+        }
+    };
+    (
+        // Dispatch overhead: the solve is ~1 ms, so this row is the fleet
+        // plumbing itself (assignment, worker round trip, result write-back).
+        measure(
+            "e17_fleet/batch16_ring20_1worker",
+            1,
+            "ring:20 2 2ecss auto",
+        ),
+        // Compute-bound scaling pair: ~65 ms of solver work per job, so the
+        // 2-worker median should approach half the 1-worker one.
+        measure(
+            "e17_fleet/batch16_q7k5_1worker",
+            1,
+            "hypercube:128 5 kecss auto",
+        ),
+        measure(
+            "e17_fleet/batch16_q7k5_2workers",
+            2,
+            "hypercube:128 5 kecss auto",
+        ),
+    )
+}
+
 fn run_e14_probe(mode: &str) {
     let path = e14_fixture_path();
     match mode {
@@ -444,6 +482,7 @@ fn main() {
     let (e14_stream, e14_slurp) = e14_out_of_core(samples);
     let (e15_instrumented, e15_noop) = e15_observability_overhead(samples);
     let (e16_flat, e16_ks) = e16_karger_stein(samples);
+    let (e17_ring, e17_solo, e17_duo) = e17_fleet(samples);
     let measurements = [
         e10_kecss_solve(samples),
         e11_contract_q5(samples),
@@ -459,6 +498,9 @@ fn main() {
         e16_flat,
         e16_ks,
         e16_ks_q8(samples),
+        e17_ring,
+        e17_solo,
+        e17_duo,
     ];
     for m in &measurements {
         let rss = match m.peak_rss_kb {

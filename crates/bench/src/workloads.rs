@@ -284,6 +284,113 @@ pub fn subseed<R: Rng>(rng: &mut R) -> u64 {
     rng.gen()
 }
 
+/// E17's fixture: a live in-process fleet — one coordinator plus `workers`
+/// registered workers on ephemeral ports — that [`FleetFixture::batch`] pumps
+/// job batches through. Built once per configuration so the measured routine
+/// is the submit→drain path, not fleet setup (registration needs a heartbeat
+/// round trip, which would dwarf small batches).
+pub struct FleetFixture {
+    coordinator: Option<kecss_server::CoordinatorHandle>,
+    workers: Vec<kecss_server::WorkerHandle>,
+    client: kecss_server::client::Client,
+}
+
+impl FleetFixture {
+    /// Spawns the fleet and blocks until every worker has registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if binding, registration, or the control connection fails.
+    pub fn new(workers: usize, queue_depth: usize) -> FleetFixture {
+        use std::time::Duration;
+        let coordinator = kecss_server::Coordinator::bind(&kecss_server::CoordinatorConfig {
+            addr: "127.0.0.1:0".into(),
+            queue_depth,
+            ..kecss_server::CoordinatorConfig::default()
+        })
+        .expect("bind coordinator")
+        .spawn();
+        let addr = coordinator.addr().to_string();
+        let handles: Vec<_> = (0..workers.max(1))
+            .map(|i| {
+                kecss_server::Worker::bind(&kecss_server::WorkerConfig {
+                    addr: "127.0.0.1:0".into(),
+                    coordinator: addr.clone(),
+                    worker_id: format!("bench-{i}"),
+                    threads: 1,
+                    queue_depth,
+                    heartbeat_interval: Duration::from_millis(50),
+                    ..kecss_server::WorkerConfig::default()
+                })
+                .expect("bind worker")
+                .spawn()
+            })
+            .collect();
+        kecss_server::client::wait_for_live_workers(
+            &addr,
+            handles.len(),
+            Duration::from_millis(10),
+            Duration::from_secs(30),
+        )
+        .expect("workers register");
+        let client = kecss_server::client::Client::connect(&addr).expect("connect control client");
+        FleetFixture {
+            coordinator: Some(coordinator),
+            workers: handles,
+            client,
+        }
+    }
+
+    /// Submits `jobs` copies of `spec` (a SUBMIT body without the seed,
+    /// e.g. `ring:20 2 2ecss auto`; seeds run `0..jobs`) and waits for
+    /// every payload. The batch must fit the coordinator's queue depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any protocol error or a missing/failed result.
+    pub fn batch(&mut self, jobs: usize, spec: &str) {
+        use kecss_server::protocol::Request;
+        let ids: Vec<u64> = (0..jobs)
+            .map(|seed| {
+                let line = format!("SUBMIT {spec} {seed}");
+                let Request::Submit(spec) = Request::parse(&line).expect("well-formed line") else {
+                    unreachable!()
+                };
+                self.client
+                    .submit(&spec)
+                    .expect("submit succeeds")
+                    .expect("batch fits the queue depth")
+            })
+            .collect();
+        for id in ids {
+            let payload = self
+                .client
+                .wait_result(
+                    id,
+                    std::time::Duration::from_millis(2),
+                    std::time::Duration::from_secs(300),
+                )
+                .expect("job completes");
+            assert!(!payload.is_empty());
+        }
+    }
+}
+
+impl Drop for FleetFixture {
+    fn drop(&mut self) {
+        let _ = self.client.shutdown();
+        if let Some(coordinator) = self.coordinator.take() {
+            coordinator.join();
+        }
+        for worker in self.workers.drain(..) {
+            if let Ok(mut c) = kecss_server::client::Client::connect(&worker.addr().to_string()) {
+                let _ = c.shutdown();
+            }
+            worker.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

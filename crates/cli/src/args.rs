@@ -151,6 +151,8 @@ pub enum Command {
         queue_depth: usize,
         /// Maximum requests per connection (0 = unlimited).
         max_requests_per_conn: usize,
+        /// Which fleet role this process plays (DESIGN.md §13).
+        role: ServeRole,
     },
     /// Submit a job to a running service and (by default) wait for its
     /// verified result.
@@ -159,6 +161,41 @@ pub enum Command {
         addr: String,
         /// What to submit: a job, or a shutdown request.
         action: SubmitAction,
+    },
+    /// Print a coordinator's fleet status text (`FLEET` verb).
+    FleetStatus {
+        /// The coordinator address (`host:port`).
+        addr: String,
+    },
+}
+
+/// The fleet role of `kecss serve` (DESIGN.md §13).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeRole {
+    /// One process that accepts clients and solves locally (the default;
+    /// the pre-fleet behaviour, unchanged).
+    Standalone,
+    /// The fleet control plane: accept clients, dispatch to registered
+    /// workers over the same wire protocol.
+    Coordinator {
+        /// Deregister a worker whose last heartbeat is older than this (ms).
+        heartbeat_timeout_ms: u64,
+        /// Worker-loss re-queues a job tolerates before failing.
+        max_retries: u32,
+    },
+    /// A fleet worker: an ordinary server that also registers with (and
+    /// heartbeats to) a coordinator.
+    Worker {
+        /// The coordinator address to register with.
+        coordinator: String,
+        /// Stable worker id (`None` derives `worker-<port>`).
+        worker_id: Option<String>,
+        /// Heartbeat period (ms).
+        heartbeat_ms: u64,
+        /// The address heartbeats advertise for dispatch (`None` advertises
+        /// the bound address; set it when the bind address is not dialable
+        /// from the coordinator, e.g. `0.0.0.0` binds behind NAT/containers).
+        advertise: Option<String>,
     },
 }
 
@@ -196,6 +233,10 @@ pub enum SubmitAction {
         no_wait: bool,
         /// Give up waiting after this many seconds.
         timeout_secs: u64,
+        /// Write exactly the result payload bytes to stdout — no job-id
+        /// header, no verification trailer. This is what lets CI `cmp` a
+        /// fleet result against a standalone result byte for byte.
+        payload_only: bool,
     },
     /// Fetch the server's metrics text exposition and print it.
     Metrics,
@@ -223,6 +264,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "sweep" => parse_sweep(&rest),
         "serve" => parse_serve(&rest),
         "submit" => parse_submit(&rest),
+        "fleet-status" => parse_fleet_status(&rest),
         other => Err(CliError::Usage(format!(
             "unknown command '{other}'; try 'kecss help'"
         ))),
@@ -240,9 +282,12 @@ USAGE:
     kecss convert  --input <FILE> --output <FILE>
     kecss sweep    (--family <F> --n <N1,N2,...> | --input <FILE>) [--k <K>] [--max-weight <W>] [--algorithms <A1,A2,...>] [--seeds <S>] [--base-seed <B>] [--threads <T>] [--enumerator <E>] [--trace <FILE>]
     kecss serve    [--addr <HOST:PORT>] [--threads <T>] [--queue-depth <Q>] [--max-requests-per-conn <N>]
-    kecss submit   --addr <HOST:PORT> --instance <SPEC> [--k <K>] [--algorithm <A>] [--enumerator <E>] [--seed <S>] [--timeout-secs <T>] [--no-wait true]
+    kecss serve    --role coordinator [--addr <HOST:PORT>] [--queue-depth <Q>] [--heartbeat-timeout-ms <MS>] [--max-retries <R>]
+    kecss serve    --role worker --coordinator <HOST:PORT> [--addr <HOST:PORT>] [--advertise <HOST:PORT>] [--worker-id <ID>] [--heartbeat-ms <MS>] [--threads <T>] [--queue-depth <Q>]
+    kecss submit   --addr <HOST:PORT> --instance <SPEC> [--k <K>] [--algorithm <A>] [--enumerator <E>] [--seed <S>] [--timeout-secs <T>] [--no-wait true] [--payload-only true]
     kecss submit   --addr <HOST:PORT> --metrics true
     kecss submit   --addr <HOST:PORT> --shutdown true
+    kecss fleet-status --addr <HOST:PORT>
     kecss help
 
 `solve --threads T` parallelizes the cut-verification phase of the
@@ -273,6 +318,24 @@ result (unless --no-wait true) and fails unless the server verified the
 solution. '--metrics true' prints the server's metrics registry as a text
 exposition (the METRICS verb, DESIGN.md §11); '--shutdown true' asks the
 server to drain and exit instead.
+
+`serve --role coordinator|worker|standalone` picks the fleet role (DESIGN.md
+§13; default standalone, the single-process service). A coordinator accepts
+the same client protocol and dispatches every job to a registered worker over
+that same wire format, with an explicit QUEUED -> ASSIGNED -> RUNNING ->
+DONE/FAILED lifecycle, heartbeat-timeout worker-loss detection
+(--heartbeat-timeout-ms) and up to --max-retries re-queues per job on worker
+loss. A worker is an ordinary server that additionally registers with
+--coordinator by heartbeating every --heartbeat-ms; --advertise overrides the
+address those heartbeats carry when the bound address is not dialable from
+the coordinator (e.g. a 0.0.0.0 bind in a container). Job-to-worker assignment
+is a deterministic hash of the job id over the sorted live-worker set, and
+payloads are byte-identical at any fleet size (purity of the job runner).
+`fleet-status` prints the coordinator's machine-parseable fleet text (FLEET
+verb): workers with liveness/inflight counts, aggregate job counters, and one
+line per non-terminal job. `submit --payload-only true` writes exactly the
+result payload bytes to stdout (no header/trailer lines), for byte-for-byte
+comparison of fleet vs standalone answers.
 
 `--trace FILE` (solve, sweep) streams the observability span tree — phase
 timings, enumeration events — to FILE as JSON Lines while the run proceeds.
@@ -493,10 +556,83 @@ fn parse_bool_flag(
 
 fn parse_serve(rest: &[&String]) -> Result<Command, CliError> {
     let map = flag_map(rest)?;
+    let role_name = map.get("role").copied().unwrap_or("standalone");
+    // Role-specific flags on the wrong role are almost certainly a mistake
+    // (a worker flag silently ignored by a coordinator would strand the
+    // worker); refuse them instead of guessing.
+    let reject = |flags: &[&str], role: &str| -> Result<(), CliError> {
+        for flag in flags {
+            if map.contains_key(flag) {
+                return Err(CliError::Usage(format!(
+                    "flag --{flag} does not apply to --role {role}"
+                )));
+            }
+        }
+        Ok(())
+    };
+    let role = match role_name {
+        "standalone" => {
+            reject(
+                &[
+                    "coordinator",
+                    "worker-id",
+                    "heartbeat-ms",
+                    "advertise",
+                    "heartbeat-timeout-ms",
+                    "max-retries",
+                ],
+                "standalone",
+            )?;
+            ServeRole::Standalone
+        }
+        "coordinator" => {
+            reject(
+                &["coordinator", "worker-id", "heartbeat-ms", "advertise"],
+                "coordinator",
+            )?;
+            ServeRole::Coordinator {
+                heartbeat_timeout_ms: map
+                    .get("heartbeat-timeout-ms")
+                    .map(|v| parse_number("heartbeat-timeout-ms", v))
+                    .transpose()?
+                    .unwrap_or(3000),
+                max_retries: map
+                    .get("max-retries")
+                    .map(|v| parse_number("max-retries", v))
+                    .transpose()?
+                    .unwrap_or(5),
+            }
+        }
+        "worker" => {
+            reject(&["heartbeat-timeout-ms", "max-retries"], "worker")?;
+            ServeRole::Worker {
+                coordinator: required(&map, "coordinator")?.to_string(),
+                worker_id: map.get("worker-id").map(|s| s.to_string()),
+                heartbeat_ms: map
+                    .get("heartbeat-ms")
+                    .map(|v| parse_number("heartbeat-ms", v))
+                    .transpose()?
+                    .unwrap_or(500),
+                advertise: map.get("advertise").map(|s| s.to_string()),
+            }
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "flag --role expects 'standalone', 'coordinator' or 'worker', got '{other}'"
+            )))
+        }
+    };
+    // A worker defaults to an ephemeral port (many per host); the other
+    // roles keep the established default service port.
+    let default_addr = if matches!(role, ServeRole::Worker { .. }) {
+        "127.0.0.1:0"
+    } else {
+        "127.0.0.1:7461"
+    };
     Ok(Command::Serve {
         addr: map
             .get("addr")
-            .map_or_else(|| "127.0.0.1:7461".to_string(), |s| s.to_string()),
+            .map_or_else(|| default_addr.to_string(), |s| s.to_string()),
         threads: map
             .get("threads")
             .map(|v| parse_number("threads", v))
@@ -512,6 +648,14 @@ fn parse_serve(rest: &[&String]) -> Result<Command, CliError> {
             .map(|v| parse_number("max-requests-per-conn", v))
             .transpose()?
             .unwrap_or(0),
+        role,
+    })
+}
+
+fn parse_fleet_status(rest: &[&String]) -> Result<Command, CliError> {
+    let map = flag_map(rest)?;
+    Ok(Command::FleetStatus {
+        addr: required(&map, "addr")?.to_string(),
     })
 }
 
@@ -557,6 +701,7 @@ fn parse_submit(rest: &[&String]) -> Result<Command, CliError> {
                 .map(|v| parse_number("timeout-secs", v))
                 .transpose()?
                 .unwrap_or(600),
+            payload_only: parse_bool_flag(&map, "payload-only")?,
         },
     })
 }
@@ -934,6 +1079,7 @@ mod tests {
                 threads: 1,
                 queue_depth: 16,
                 max_requests_per_conn: 0,
+                role: ServeRole::Standalone,
             }
         );
         assert_eq!(
@@ -954,9 +1100,94 @@ mod tests {
                 threads: 4,
                 queue_depth: 32,
                 max_requests_per_conn: 100,
+                role: ServeRole::Standalone,
             }
         );
         assert!(parse(&argv(&["serve", "--threads", "x"])).is_err());
+    }
+
+    #[test]
+    fn serve_roles_parse_with_their_flags() {
+        assert_eq!(
+            parse(&argv(&[
+                "serve",
+                "--role",
+                "coordinator",
+                "--heartbeat-timeout-ms",
+                "1500",
+                "--max-retries",
+                "2",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7461".into(),
+                threads: 1,
+                queue_depth: 16,
+                max_requests_per_conn: 0,
+                role: ServeRole::Coordinator {
+                    heartbeat_timeout_ms: 1500,
+                    max_retries: 2,
+                },
+            }
+        );
+        // A worker defaults to an ephemeral port and requires --coordinator.
+        assert_eq!(
+            parse(&argv(&[
+                "serve",
+                "--role",
+                "worker",
+                "--coordinator",
+                "127.0.0.1:7460",
+                "--worker-id",
+                "w1",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                threads: 1,
+                queue_depth: 16,
+                max_requests_per_conn: 0,
+                role: ServeRole::Worker {
+                    coordinator: "127.0.0.1:7460".into(),
+                    worker_id: Some("w1".into()),
+                    heartbeat_ms: 500,
+                    advertise: None,
+                },
+            }
+        );
+        assert!(parse(&argv(&["serve", "--role", "worker"])).is_err());
+        assert!(parse(&argv(&["serve", "--role", "manager"])).is_err());
+        // Role-specific flags on the wrong role are refused, not ignored.
+        assert!(parse(&argv(&["serve", "--heartbeat-ms", "100"])).is_err());
+        assert!(parse(&argv(&[
+            "serve",
+            "--role",
+            "coordinator",
+            "--coordinator",
+            "127.0.0.1:7460"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&[
+            "serve",
+            "--role",
+            "worker",
+            "--coordinator",
+            "x:1",
+            "--max-retries",
+            "3"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn fleet_status_requires_an_addr() {
+        assert_eq!(
+            parse(&argv(&["fleet-status", "--addr", "127.0.0.1:7460"])).unwrap(),
+            Command::FleetStatus {
+                addr: "127.0.0.1:7460".into(),
+            }
+        );
+        assert!(parse(&argv(&["fleet-status"])).is_err());
     }
 
     #[test]
@@ -987,6 +1218,7 @@ mod tests {
                         seed,
                         no_wait,
                         timeout_secs,
+                        payload_only,
                     },
             } => {
                 assert_eq!(addr, "127.0.0.1:7461");
@@ -996,6 +1228,7 @@ mod tests {
                 assert_eq!(enumerator, EnumeratorPolicy::Auto);
                 assert!(!no_wait);
                 assert_eq!(timeout_secs, 600);
+                assert!(!payload_only);
             }
             other => panic!("unexpected {other:?}"),
         }

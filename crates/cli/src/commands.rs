@@ -1,6 +1,6 @@
 //! Execution of the parsed CLI commands.
 
-use crate::args::{Algorithm, Command, Family, SubmitAction, SweepSource};
+use crate::args::{Algorithm, Command, Family, ServeRole, SubmitAction, SweepSource};
 use crate::graph_io;
 use crate::CliError;
 use graphs::{connectivity, EdgeSet, Graph};
@@ -8,9 +8,11 @@ use kecss::cuts::EnumeratorPolicy;
 use kecss::lower_bounds;
 use kecss_runtime::{sweep, Executor};
 use kecss_server::client::Client;
+use kecss_server::coordinator::{fleet_summary_line, Coordinator, CoordinatorConfig};
 use kecss_server::instance;
 use kecss_server::job::{self, JobSpec};
 use kecss_server::server::{summary_line, Server, ServerConfig};
+use kecss_server::worker::{Worker, WorkerConfig};
 use std::io::Write;
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -110,25 +112,92 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             threads,
             queue_depth,
             max_requests_per_conn,
-        } => {
-            let server = Server::bind(&ServerConfig {
-                addr,
-                threads,
-                queue_depth,
-                max_requests_per_conn,
-            })?;
-            writeln!(
-                out,
-                "kecss serve listening on {} (threads={}, queue-depth={})",
-                server.local_addr(),
-                threads.max(1),
-                queue_depth.max(1)
-            )?;
-            let summary = server.run();
-            writeln!(out, "{}", summary_line(&summary))?;
+            role,
+        } => match role {
+            ServeRole::Standalone => {
+                let server = Server::bind(&ServerConfig {
+                    addr,
+                    threads,
+                    queue_depth,
+                    max_requests_per_conn,
+                })?;
+                writeln!(
+                    out,
+                    "kecss serve listening on {} (threads={}, queue-depth={})",
+                    server.local_addr(),
+                    threads.max(1),
+                    queue_depth.max(1)
+                )?;
+                let summary = server.run();
+                writeln!(out, "{}", summary_line(&summary))?;
+                Ok(())
+            }
+            ServeRole::Coordinator {
+                heartbeat_timeout_ms,
+                max_retries,
+            } => {
+                let coordinator = Coordinator::bind(&CoordinatorConfig {
+                    addr,
+                    queue_depth,
+                    heartbeat_timeout: Duration::from_millis(heartbeat_timeout_ms.max(1)),
+                    max_retries,
+                    max_requests_per_conn,
+                })?;
+                writeln!(
+                    out,
+                    "kecss coordinator listening on {} (queue-depth={}, \
+                     heartbeat-timeout={heartbeat_timeout_ms}ms, max-retries={max_retries})",
+                    coordinator.local_addr(),
+                    queue_depth.max(1),
+                )?;
+                // The banner must be visible before the blocking run: the
+                // smoke harness polls it for the bound address.
+                out.flush()?;
+                let summary = coordinator.run();
+                writeln!(out, "{}", fleet_summary_line(&summary))?;
+                Ok(())
+            }
+            ServeRole::Worker {
+                coordinator,
+                worker_id,
+                heartbeat_ms,
+                advertise,
+            } => {
+                let worker = Worker::bind(&WorkerConfig {
+                    addr,
+                    coordinator: coordinator.clone(),
+                    worker_id: worker_id.unwrap_or_default(),
+                    threads,
+                    queue_depth,
+                    heartbeat_interval: Duration::from_millis(heartbeat_ms.max(1)),
+                    advertise: advertise.unwrap_or_default(),
+                    max_requests_per_conn,
+                })?;
+                writeln!(
+                    out,
+                    "kecss worker {} listening on {} (coordinator={coordinator}, \
+                     heartbeat={heartbeat_ms}ms, threads={}, queue-depth={})",
+                    worker.worker_id(),
+                    worker.local_addr(),
+                    threads.max(1),
+                    queue_depth.max(1)
+                )?;
+                out.flush()?;
+                let summary = worker.run();
+                writeln!(out, "{}", summary_line(&summary))?;
+                Ok(())
+            }
+        },
+        Command::Submit { addr, action } => run_submit(out, &addr, action),
+        Command::FleetStatus { addr } => {
+            let mut client =
+                Client::connect(&addr).map_err(|e| CliError::Service(e.to_string()))?;
+            let text = client
+                .fleet_status()
+                .map_err(|e| CliError::Service(e.to_string()))?;
+            out.write_all(text.as_bytes())?;
             Ok(())
         }
-        Command::Submit { addr, action } => run_submit(out, &addr, action),
         Command::Verify { input, solution, k } => {
             let graph = graph_io::read_graph(Path::new(&input))?;
             let edges = graph_io::read_solution(Path::new(&solution), &graph)?;
@@ -205,6 +274,7 @@ fn run_submit<W: Write>(out: &mut W, addr: &str, action: SubmitAction) -> Result
             seed,
             no_wait,
             timeout_secs,
+            payload_only,
         } => {
             let spec = JobSpec {
                 instance,
@@ -219,7 +289,9 @@ fn run_submit<W: Write>(out: &mut W, addr: &str, action: SubmitAction) -> Result
                     return Err(CliError::Solver(kecss::Error::JobQueueFull { depth }));
                 }
             };
-            writeln!(out, "job {id} queued at {addr}: {}", spec.canonical())?;
+            if !payload_only {
+                writeln!(out, "job {id} queued at {addr}: {}", spec.canonical())?;
+            }
             if no_wait {
                 return Ok(());
             }
@@ -235,7 +307,12 @@ fn run_submit<W: Write>(out: &mut W, addr: &str, action: SubmitAction) -> Result
             out.write_all(text.as_bytes())?;
             let target = algorithm.certified_k(k).max(1);
             if text.contains(&format!("verified k={target} yes")) {
-                writeln!(out, "job {id}: verified {target}-edge-connected ✓")?;
+                // --payload-only keeps stdout exactly the payload bytes (for
+                // byte-for-byte fleet-vs-standalone comparison); verification
+                // still gates the exit status either way.
+                if !payload_only {
+                    writeln!(out, "job {id}: verified {target}-edge-connected ✓")?;
+                }
                 Ok(())
             } else {
                 Err(CliError::Service(format!(

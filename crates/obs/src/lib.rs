@@ -102,6 +102,12 @@ pub fn gauge(name: &str) -> std::sync::Arc<Gauge> {
     Registry::global().gauge(name)
 }
 
+/// Shorthand for [`Registry::global`]`.gauge_with(name, labels)`.
+#[must_use]
+pub fn gauge_with(name: &str, labels: &[(&str, &str)]) -> std::sync::Arc<Gauge> {
+    Registry::global().gauge_with(name, labels)
+}
+
 /// Shorthand for [`Registry::global`]`.histogram(name)`.
 #[must_use]
 pub fn histogram(name: &str) -> std::sync::Arc<Histogram> {

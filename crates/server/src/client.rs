@@ -43,6 +43,11 @@ pub enum Reply {
         /// The exposition text.
         text: String,
     },
+    /// `FLEET <len>` + payload — the coordinator's fleet status text.
+    Fleet {
+        /// The fleet status text (`# kecss fleet status v1`, DESIGN.md §13).
+        text: String,
+    },
     /// `ERR <message>`.
     Err(String),
 }
@@ -96,11 +101,28 @@ impl Client {
     /// Propagates the connection failure.
     pub fn connect(addr: &str) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
+        // Request/reply with small frames: Nagle + delayed ACK costs ~40 ms
+        // per round trip whenever a frame spans two writes.
+        stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
         })
+    }
+
+    /// Bounds every read on this connection: a reply (or payload byte) that
+    /// takes longer than `timeout` to arrive fails with an I/O error instead
+    /// of blocking forever. The coordinator sets this on its worker-facing
+    /// connections so a hung worker reads as a worker loss, not a wedged
+    /// dispatch thread. `None` restores unbounded blocking reads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option failure.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
     }
 
     /// Sends one raw request line and parses the reply (the seam the
@@ -232,6 +254,43 @@ impl Client {
         }
     }
 
+    /// Sends one registration/liveness heartbeat for `worker` (serving at
+    /// `addr`) and returns the coordinator's acknowledgement word
+    /// (`REGISTERED` for a new or re-registered worker, `ALIVE` otherwise).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, protocol violations, and server-side `ERR` replies
+    /// (e.g. the peer is not a coordinator).
+    pub fn heartbeat(&mut self, worker: &str, addr: &str) -> Result<String, ClientError> {
+        let request = Request::Heartbeat {
+            worker: worker.to_string(),
+            addr: addr.to_string(),
+        };
+        match self.request(&request)? {
+            Reply::Ok(words) => words
+                .get(1)
+                .cloned()
+                .ok_or_else(|| ClientError::Protocol("OK heartbeat without a word".into())),
+            Reply::Err(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Fetches the coordinator's fleet status text (`FLEET`).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, protocol violations, and server-side `ERR` replies
+    /// (e.g. the peer is not a coordinator).
+    pub fn fleet_status(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Fleet)? {
+            Reply::Fleet { text } => Ok(text),
+            Reply::Err(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
     /// Requests a server shutdown (drain + exit).
     ///
     /// # Errors
@@ -294,19 +353,67 @@ impl Client {
                 self.reader.read_exact(&mut payload)?;
                 Ok(Reply::Result { id, payload })
             }
-            "METRICS" => {
+            "METRICS" | "FLEET" => {
                 let len: usize = rest
                     .trim()
                     .parse()
-                    .map_err(|_| ClientError::Protocol(format!("malformed METRICS '{line}'")))?;
+                    .map_err(|_| ClientError::Protocol(format!("malformed {verb} '{line}'")))?;
                 let mut payload = vec![0u8; len];
                 self.reader.read_exact(&mut payload)?;
                 let text = String::from_utf8(payload)
-                    .map_err(|_| ClientError::Protocol("METRICS payload is not UTF-8".into()))?;
-                Ok(Reply::Metrics { text })
+                    .map_err(|_| ClientError::Protocol(format!("{verb} payload is not UTF-8")))?;
+                Ok(if verb == "METRICS" {
+                    Reply::Metrics { text }
+                } else {
+                    Reply::Fleet { text }
+                })
             }
             "ERR" => Ok(Reply::Err(rest.to_string())),
             _ => Err(ClientError::Protocol(format!("unknown reply '{line}'"))),
         }
+    }
+}
+
+/// Polls the coordinator's `FLEET` status until at least `workers` workers
+/// are live (the handshake the tests, benches and smoke harness use before
+/// submitting: heartbeats are periodic, so a freshly spawned worker is not
+/// registered instantaneously).
+///
+/// # Errors
+///
+/// I/O failures, protocol violations, and [`ClientError::Timeout`] (reported
+/// with job id 0 — there is no job yet) when the fleet does not reach the
+/// requested size in time.
+pub fn wait_for_live_workers(
+    addr: &str,
+    workers: usize,
+    poll: Duration,
+    timeout: Duration,
+) -> Result<(), ClientError> {
+    let deadline = Instant::now() + timeout;
+    let mut client = Client::connect(addr)?;
+    loop {
+        let text = client.fleet_status()?;
+        let live = text
+            .lines()
+            .find_map(|line| {
+                let mut words = line.split_whitespace();
+                (words.next() == Some("workers"))
+                    .then(|| {
+                        words
+                            .skip_while(|w| *w != "live")
+                            .nth(1)
+                            .and_then(|w| w.parse::<usize>().ok())
+                    })
+                    .flatten()
+            })
+            .ok_or_else(|| ClientError::Protocol("fleet status without a workers line".into()))?;
+        if live >= workers {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err(ClientError::Timeout { id: 0 });
+        }
+        std::thread::sleep(poll);
     }
 }

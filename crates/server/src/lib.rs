@@ -18,6 +18,13 @@
 //! * [`server`] — the TCP accept loop (`kecss serve` / the `kecss_serve`
 //!   binary).
 //! * [`client`] — a blocking client (`kecss submit`, tests, CI smoke).
+//! * [`coordinator`] / [`worker`] — the fleet control plane (DESIGN.md §13):
+//!   a coordinator keeps this same client-facing protocol and dispatches
+//!   jobs to registered workers over the same wire format, with an explicit
+//!   job lifecycle ([`scheduler::FleetState`]), heartbeat-based failure
+//!   detection, and retry-on-worker-loss — payloads stay byte-identical
+//!   regardless of fleet size or worker death because [`job::run`] is pure
+//!   in the spec.
 //!
 //! # Example (in-process, ephemeral port)
 //!
@@ -52,11 +59,15 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod coordinator;
 pub mod instance;
 pub mod job;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
+pub mod worker;
 
-pub use scheduler::{JobId, JobStatus, Outcome, Scheduler, ServeSummary};
+pub use coordinator::{Coordinator, CoordinatorConfig, CoordinatorHandle, FleetSummary};
+pub use scheduler::{FleetState, JobId, JobStatus, Outcome, Scheduler, ServeSummary};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use worker::{Worker, WorkerConfig, WorkerHandle};

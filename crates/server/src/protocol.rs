@@ -37,6 +37,19 @@ pub enum Request {
     Cancel(u64),
     /// Fetch the process-wide metrics registry as a text exposition.
     Metrics,
+    /// A worker's combined registration + liveness beat (coordinator only;
+    /// a standalone or worker server answers `ERR`). The first beat from an
+    /// unknown (or previously lost) worker id registers it.
+    Heartbeat {
+        /// The worker's stable identifier (one whitespace-free token).
+        worker: String,
+        /// The address the worker serves jobs on, where the coordinator
+        /// dispatches.
+        addr: String,
+    },
+    /// Fetch the coordinator's fleet status text (framed like `METRICS`;
+    /// coordinator only).
+    Fleet,
     /// Drain the queue and stop the server.
     Shutdown,
 }
@@ -100,6 +113,22 @@ impl Request {
                     Err("METRICS takes no arguments".into())
                 }
             }
+            "HEARTBEAT" => {
+                let [worker, addr] = rest.as_slice() else {
+                    return Err("HEARTBEAT expects 2 fields '<worker-id> <addr>'".into());
+                };
+                Ok(Request::Heartbeat {
+                    worker: (*worker).to_string(),
+                    addr: (*addr).to_string(),
+                })
+            }
+            "FLEET" => {
+                if rest.is_empty() {
+                    Ok(Request::Fleet)
+                } else {
+                    Err("FLEET takes no arguments".into())
+                }
+            }
             "SHUTDOWN" => {
                 if rest.is_empty() {
                     Ok(Request::Shutdown)
@@ -108,8 +137,8 @@ impl Request {
                 }
             }
             other => Err(format!(
-                "unknown request '{other}' (expected SUBMIT, STATUS, RESULT, CANCEL, METRICS \
-                 or SHUTDOWN)"
+                "unknown request '{other}' (expected SUBMIT, STATUS, RESULT, CANCEL, METRICS, \
+                 HEARTBEAT, FLEET or SHUTDOWN)"
             )),
         }
     }
@@ -122,6 +151,8 @@ impl Request {
             Request::Result(id) => format!("RESULT {id}"),
             Request::Cancel(id) => format!("CANCEL {id}"),
             Request::Metrics => "METRICS".into(),
+            Request::Heartbeat { worker, addr } => format!("HEARTBEAT {worker} {addr}"),
+            Request::Fleet => "FLEET".into(),
             Request::Shutdown => "SHUTDOWN".into(),
         }
     }
@@ -157,11 +188,26 @@ mod tests {
 
     #[test]
     fn control_requests_round_trip() {
-        for line in ["STATUS 7", "RESULT 0", "CANCEL 12", "METRICS", "SHUTDOWN"] {
+        for line in [
+            "STATUS 7",
+            "RESULT 0",
+            "CANCEL 12",
+            "METRICS",
+            "FLEET",
+            "HEARTBEAT w1 127.0.0.1:7461",
+            "SHUTDOWN",
+        ] {
             let req = Request::parse(line).unwrap();
             assert_eq!(req.to_line(), line, "{line}");
         }
         assert_eq!(Request::parse("STATUS 7").unwrap(), Request::Status(7));
+        assert_eq!(
+            Request::parse("HEARTBEAT w1 127.0.0.1:7461").unwrap(),
+            Request::Heartbeat {
+                worker: "w1".into(),
+                addr: "127.0.0.1:7461".into()
+            }
+        );
     }
 
     #[test]
@@ -180,6 +226,9 @@ mod tests {
             ("STATUS seven", "malformed job id"),
             ("RESULT 1 2", "one job id"),
             ("METRICS all", "no arguments"),
+            ("HEARTBEAT w1", "2 fields"),
+            ("HEARTBEAT w1 addr extra", "2 fields"),
+            ("FLEET all", "no arguments"),
             ("SHUTDOWN now", "no arguments"),
         ] {
             let err = Request::parse(line).unwrap_err();

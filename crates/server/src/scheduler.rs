@@ -105,6 +105,95 @@ impl JobStatus {
     }
 }
 
+/// The coordinator-side lifecycle of a fleet job (DESIGN.md §13).
+///
+/// This extends [`JobStatus`] with `Assigned` — the window between the
+/// coordinator picking a worker and that worker acknowledging the dispatch —
+/// because the fleet has a failure mode the standalone scheduler does not:
+/// the chosen worker can die before (or while) running the job. The two
+/// "loss" transitions back to `Queued` are what retry-on-worker-loss uses;
+/// they are legal **only** from the non-terminal assigned/running states, so
+/// a delivered result can never be un-delivered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FleetState {
+    /// Accepted by the coordinator, not yet assigned to a worker.
+    Queued,
+    /// A live worker was chosen; the dispatch is in flight.
+    Assigned,
+    /// The worker acknowledged the job and is solving it.
+    Running,
+    /// A result payload arrived from a worker.
+    Done,
+    /// The job failed (solver error, or the retry budget was exhausted).
+    Failed,
+    /// Cancelled while still queued.
+    Cancelled,
+}
+
+impl FleetState {
+    /// Every state, for exhaustive transition-table tests.
+    pub const ALL: [FleetState; 6] = [
+        FleetState::Queued,
+        FleetState::Assigned,
+        FleetState::Running,
+        FleetState::Done,
+        FleetState::Failed,
+        FleetState::Cancelled,
+    ];
+
+    /// The protocol's upper-case state word (`STATUS`/`WAIT` replies and the
+    /// `FLEET` status text).
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            FleetState::Queued => "QUEUED",
+            FleetState::Assigned => "ASSIGNED",
+            FleetState::Running => "RUNNING",
+            FleetState::Done => "DONE",
+            FleetState::Failed => "FAILED",
+            FleetState::Cancelled => "CANCELLED",
+        }
+    }
+
+    /// Whether the job can no longer change state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            FleetState::Done | FleetState::Failed | FleetState::Cancelled
+        )
+    }
+
+    /// The transition table. Exactly these moves are legal:
+    ///
+    /// ```text
+    /// Queued   -> Assigned          (dispatcher picked a live worker)
+    /// Queued   -> Cancelled         (client CANCEL while queued)
+    /// Assigned -> Running           (worker acknowledged the dispatch)
+    /// Assigned -> Queued            (worker lost or BUSY before it started)
+    /// Assigned -> Failed            (worker rejected the spec, or retries spent)
+    /// Running  -> Done              (payload delivered)
+    /// Running  -> Failed            (solver error, or retries spent)
+    /// Running  -> Queued            (worker lost mid-run; re-dispatch)
+    /// ```
+    ///
+    /// Everything else — including self-loops and any move out of a terminal
+    /// state — is illegal; the coordinator panics rather than corrupt the
+    /// table.
+    pub fn can_transition(self, to: FleetState) -> bool {
+        use FleetState::*;
+        matches!(
+            (self, to),
+            (Queued, Assigned)
+                | (Queued, Cancelled)
+                | (Assigned, Running)
+                | (Assigned, Queued)
+                | (Assigned, Failed)
+                | (Running, Done)
+                | (Running, Failed)
+                | (Running, Queued)
+        )
+    }
+}
+
 /// A job's terminal outcome, as fetched by `RESULT`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Outcome {
@@ -506,6 +595,81 @@ mod tests {
             );
             std::thread::yield_now();
         }
+    }
+
+    /// The fleet lifecycle's full transition table, checked pair by pair:
+    /// exactly the eight documented moves are legal, everything else —
+    /// self-loops, skips like Queued→Running or Queued→Done, and any move
+    /// out of a terminal state — is rejected.
+    #[test]
+    fn fleet_state_transition_table_is_exactly_the_documented_one() {
+        use FleetState::*;
+        let legal = [
+            (Queued, Assigned),
+            (Queued, Cancelled),
+            (Assigned, Running),
+            (Assigned, Queued),
+            (Assigned, Failed),
+            (Running, Done),
+            (Running, Failed),
+            (Running, Queued),
+        ];
+        for from in FleetState::ALL {
+            for to in FleetState::ALL {
+                let expected = legal.contains(&(from, to));
+                assert_eq!(
+                    from.can_transition(to),
+                    expected,
+                    "{from:?} -> {to:?} should be {}",
+                    if expected { "legal" } else { "illegal" }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_terminal_states_admit_no_transitions() {
+        for from in FleetState::ALL.into_iter().filter(FleetState::is_terminal) {
+            for to in FleetState::ALL {
+                assert!(
+                    !from.can_transition(to),
+                    "terminal {from:?} must not move to {to:?}"
+                );
+            }
+        }
+        // And the terminal set is exactly {Done, Failed, Cancelled}.
+        let terminal: Vec<_> = FleetState::ALL
+            .into_iter()
+            .filter(FleetState::is_terminal)
+            .collect();
+        assert_eq!(
+            terminal,
+            [FleetState::Done, FleetState::Failed, FleetState::Cancelled]
+        );
+    }
+
+    #[test]
+    fn fleet_state_wire_names_extend_job_status_wire_names() {
+        // Every standalone state keeps its wire word in the fleet; ASSIGNED
+        // is the single fleet-only addition clients may newly observe.
+        assert_eq!(
+            FleetState::Queued.wire_name(),
+            JobStatus::Queued.wire_name()
+        );
+        assert_eq!(
+            FleetState::Running.wire_name(),
+            JobStatus::Running.wire_name()
+        );
+        assert_eq!(FleetState::Done.wire_name(), JobStatus::Done.wire_name());
+        assert_eq!(
+            FleetState::Failed.wire_name(),
+            JobStatus::Failed.wire_name()
+        );
+        assert_eq!(
+            FleetState::Cancelled.wire_name(),
+            JobStatus::Cancelled.wire_name()
+        );
+        assert_eq!(FleetState::Assigned.wire_name(), "ASSIGNED");
     }
 
     #[test]

@@ -96,6 +96,7 @@ impl Server {
                 break;
             }
             let Ok(stream) = stream else { continue };
+            let _ = stream.set_nodelay(true);
             let scheduler = Arc::clone(&self.scheduler);
             let shutting_down = Arc::clone(&self.shutting_down);
             let max_requests = self.max_requests_per_conn;
@@ -104,7 +105,9 @@ impl Server {
             // drain below, every request they can still make is answered
             // from the immutable job table or refused).
             std::thread::spawn(move || {
-                handle_connection(stream, &scheduler, &shutting_down, addr, max_requests);
+                serve_line_connection(stream, addr, max_requests, |request| {
+                    respond(request, &scheduler, &shutting_down)
+                });
             });
         }
         self.scheduler.drain();
@@ -149,16 +152,21 @@ impl ServerHandle {
 /// growing the line buffer without ever sending a newline.
 const MAX_REQUEST_LINE: u64 = 1 << 20;
 
-/// Serves one connection: a loop of line-framed requests. Returns when the
-/// client disconnects, after acknowledging `SHUTDOWN`, or when a
-/// per-connection limit is exceeded (`ERR`, then close).
-fn handle_connection(
+/// Serves one connection: a loop of line-framed requests, answered by the
+/// given responder. Returns when the client disconnects, after acknowledging
+/// `SHUTDOWN`, or when a per-connection limit is exceeded (`ERR`, then
+/// close). This loop is the single implementation of the wire framing,
+/// shared by the standalone [`Server`] and the fleet
+/// [`crate::coordinator::Coordinator`] — both roles speak byte-identical
+/// framing by construction.
+pub(crate) fn serve_line_connection<F>(
     stream: TcpStream,
-    scheduler: &Scheduler,
-    shutting_down: &AtomicBool,
     server_addr: SocketAddr,
     max_requests: usize,
-) {
+    respond: F,
+) where
+    F: Fn(Request) -> Vec<u8>,
+{
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -200,7 +208,7 @@ fn handle_connection(
             }
         };
         let is_shutdown = request == Request::Shutdown;
-        let response = respond(request, scheduler, shutting_down);
+        let response = respond(request);
         if writer.write_all(&response).is_err() {
             return;
         }
@@ -224,6 +232,8 @@ fn respond(request: Request, scheduler: &Scheduler, shutting_down: &AtomicBool) 
         Request::Result(_) => "RESULT",
         Request::Cancel(_) => "CANCEL",
         Request::Metrics => "METRICS",
+        Request::Heartbeat { .. } => "HEARTBEAT",
+        Request::Fleet => "FLEET",
         Request::Shutdown => "SHUTDOWN",
     };
     kecss_obs::counter_with("server_requests_total", &[("verb", verb)]).inc();
@@ -293,6 +303,13 @@ fn respond_inner(request: Request, scheduler: &Scheduler, shutting_down: &Atomic
             let mut out = format!("METRICS {}\n", text.len()).into_bytes();
             out.extend_from_slice(text.as_bytes());
             out
+        }
+        // Fleet verbs are the coordinator's alone: a standalone server (and
+        // a worker, which serves this same respond path) refuses them, so a
+        // client pointed at the wrong role finds out immediately.
+        Request::Heartbeat { .. } | Request::Fleet => {
+            b"ERR not a fleet coordinator (HEARTBEAT/FLEET need `kecss serve --role coordinator`)\n"
+                .to_vec()
         }
         Request::Shutdown => {
             // Close the scheduler first (authoritative, under the admission
