@@ -6,8 +6,8 @@
 #   usage: ci/bench_gate.sh NEW.json BASELINE.json [THRESHOLD_PCT]
 #
 # Carried workloads are the rows present in BOTH files whose name matches
-# ^e1[0-6]_ — the E10–E16 series the baseline already measures. New rows
-# (e.g. this PR's e17_fleet pair) are reported but not gated: they have no
+# ^e1[0-7]_ — the E10–E17 series the baseline already measures. New rows
+# (e.g. this PR's e18_front_end set) are reported but not gated: they have no
 # baseline to regress against and become carried the next time the baseline
 # is re-pinned. The default threshold is 25% — deliberately loose, because
 # shared CI runners are noisy; the gate is for order-of-magnitude slips, not
@@ -38,7 +38,7 @@ awk -v threshold="${THRESHOLD}" '
   {
     fresh[$1] = $2
     if (!($1 in base)) { uncarried[$1] = $2; next }
-    if ($1 !~ /^e1[0-6]_/) { uncarried[$1] = $2; next }
+    if ($1 !~ /^e1[0-7]_/) { uncarried[$1] = $2; next }
     carried++
     delta = ($2 - base[$1]) * 100.0 / base[$1]
     flag = ""

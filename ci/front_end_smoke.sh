@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Front-end smoke test for CI (ISSUE 10): one `kecss serve` process on the
+# readiness loop, driven over BOTH wire modes at once while hundreds of idle
+# connections sit on the same loop.
+#
+#   1. holds IDLE_COUNT open-but-silent TCP connections against the server;
+#   2. submits the same job over the text protocol and over `KGW1` binary
+#      frames (`kecss submit --binary true --payload-only true`, which rides
+#      the wait-flagged SUBMIT — submit + pushed result in one request) and
+#      requires the two payloads to be byte-identical (`cmp`);
+#   3. checks an idle connection still answers after the crowd and the
+#      submissions (no starvation, no accept-queue wedge);
+#   4. scrapes METRICS and asserts the per-verb counters saw exactly the two
+#      submits — the wait-flagged binary submit must count as a plain SUBMIT;
+#   5. confirms via /proc/<pid>/fd that the server really held the idle
+#      crowd, then shuts down and checks the drain summary.
+#
+# The in-process test suite (tests/front_end.rs) holds 5000 connections; a
+# smoke script's bash-held fd crowd is kept smaller so the script stays well
+# inside the runner's default `ulimit -n` (the measured ceiling is documented
+# in EXPERIMENTS.md E18). The caller wraps this script in `timeout`; every
+# wait here is still bounded so failures are attributed.
+set -euo pipefail
+
+# shellcheck source=ci/lib.sh
+source "$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)/lib.sh"
+smoke_init
+
+IDLE_COUNT="${IDLE_COUNT:-256}"
+
+echo "== starting kecss serve on an ephemeral port"
+"${KECSS}" serve --addr 127.0.0.1:0 --threads 2 --queue-depth 8 \
+  >"${WORKDIR}/serve.log" 2>&1 &
+SERVER_PID=$!
+smoke_track "${SERVER_PID}"
+
+wait_listen_addr ADDR "${WORKDIR}/serve.log" "${SERVER_PID}"
+wait_port_accepting "${ADDR}"
+echo "== server is listening on ${ADDR}"
+
+HOST="${ADDR%:*}"
+PORT="${ADDR##*:}"
+
+echo "== holding ${IDLE_COUNT} idle connections open"
+IDLE_FDS=()
+for ((i = 0; i < IDLE_COUNT; i++)); do
+  if ! exec {idle_fd}<>"/dev/tcp/${HOST}/${PORT}"; then
+    echo "idle connection ${i} failed to open" >&2
+    exit 1
+  fi
+  IDLE_FDS+=("${idle_fd}")
+done
+
+# The server's fd table must actually hold the crowd (listener + pipes +
+# idle conns); a loop that accepted-and-dropped would pass a pure submit
+# test but fail this count.
+SERVER_FDS="$(find "/proc/${SERVER_PID}/fd" -mindepth 1 2>/dev/null | wc -l)"
+if [[ "${SERVER_FDS}" -lt "${IDLE_COUNT}" ]]; then
+  echo "server holds only ${SERVER_FDS} fds with ${IDLE_COUNT} idle connections up" >&2
+  exit 1
+fi
+echo "== server fd table holds ${SERVER_FDS} fds"
+
+echo "== submitting the same job over text and binary framing"
+SUBMIT_ARGS=(--instance hypercube:64 --k 4 --algorithm kecss --enumerator auto
+  --seed 9 --payload-only true)
+"${KECSS}" submit --addr "${ADDR}" "${SUBMIT_ARGS[@]}" \
+  >"${WORKDIR}/text.payload" 2>"${WORKDIR}/text.err" \
+  || { echo "text submit failed:"; cat "${WORKDIR}/text.err"; exit 1; }
+"${KECSS}" submit --addr "${ADDR}" "${SUBMIT_ARGS[@]}" --binary true \
+  >"${WORKDIR}/binary.payload" 2>"${WORKDIR}/binary.err" \
+  || { echo "binary submit failed:"; cat "${WORKDIR}/binary.err"; exit 1; }
+
+cmp "${WORKDIR}/text.payload" "${WORKDIR}/binary.payload" \
+  || { echo "text and binary payloads differ"; exit 1; }
+grep -q "verified k=4 yes" "${WORKDIR}/text.payload" \
+  || { echo "payload not verified:"; cat "${WORKDIR}/text.payload"; exit 1; }
+echo "== payloads byte-identical across wire modes ($(wc -c <"${WORKDIR}/text.payload") bytes)"
+
+echo "== an idle connection from before the crowd still answers"
+FIRST_FD="${IDLE_FDS[0]}"
+printf 'STATUS 999999\n' >&"${FIRST_FD}"
+IFS= read -r -t 30 -u "${FIRST_FD}" IDLE_REPLY \
+  || { echo "idle connection read timed out"; exit 1; }
+case "${IDLE_REPLY}" in
+  "ERR unknown job"*) echo "== idle connection answered: ${IDLE_REPLY}" ;;
+  *) echo "unexpected idle-connection reply: ${IDLE_REPLY}"; exit 1 ;;
+esac
+
+echo "== scraping METRICS: the wait-flagged binary submit counts as SUBMIT"
+"${KECSS}" submit --addr "${ADDR}" --metrics true >"${WORKDIR}/metrics.out" 2>&1 \
+  || { echo "metrics scrape failed:"; cat "${WORKDIR}/metrics.out"; exit 1; }
+metric() {
+  local line
+  line="$(grep "^$1 " "${WORKDIR}/metrics.out" | head -n1 || true)"
+  if [[ -z "${line}" ]]; then echo 0; else echo "${line##* }"; fi
+}
+SUBMIT_REQS="$(metric 'server_requests_total{verb="SUBMIT"}')"
+if [[ "${SUBMIT_REQS}" -ne 2 ]]; then
+  echo "expected exactly 2 SUBMIT requests (one per wire mode), got ${SUBMIT_REQS}"
+  cat "${WORKDIR}/metrics.out"; exit 1
+fi
+
+echo "== closing the idle crowd and shutting down"
+for fd in "${IDLE_FDS[@]}"; do
+  exec {fd}>&- || true
+done
+"${KECSS}" submit --addr "${ADDR}" --shutdown true
+
+wait_pid_exit "${SERVER_PID}" 100 || {
+  echo "server is still running after SHUTDOWN (hang/leak):"
+  cat "${WORKDIR}/serve.log"
+  exit 1
+}
+grep -q "served 2 jobs: 2 completed, 0 failed" "${WORKDIR}/serve.log" \
+  || { echo "unexpected serve summary:"; cat "${WORKDIR}/serve.log"; exit 1; }
+echo "== front-end smoke OK: $(grep 'served' "${WORKDIR}/serve.log")"

@@ -1,0 +1,69 @@
+//! E18 — the event-driven front-end: submit→result latency through a real
+//! socket (framing, the readiness loop, push-on-complete delivery) in both
+//! wire modes, at pipeline depths 1, 64 and 1024.
+//!
+//! Depth 1 is the pure round trip: in binary mode it is **one** wait-flagged
+//! `SUBMIT` frame per job (ack + pushed `RESULT` on the same connection), so
+//! the row reads as solve time plus whatever the front-end still costs —
+//! on a single-core host the `ring:20 2ecss` solve alone is the floor, and
+//! the front-end's share is the difference against E12's in-process
+//! scheduler row. Depths 64 and 1024 overlap framing with solver work: the
+//! per-job figure there is the pipelined cost, and the gap between depth 64
+//! and depth 1024 bounds how much the windowed drain still serializes. The
+//! text row at depth 1 is the same traffic over the line protocol — its gap
+//! against binary depth 1 is the zero-parse dividend plus the saved second
+//! request. The measured table goes to EXPERIMENTS.md (E18).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kecss_bench::workloads::FrontEndFixture;
+use std::time::{Duration, Instant};
+
+const SPEC: &str = "ring:20 2 2ecss auto";
+
+fn print_series() {
+    let mut table =
+        kecss_bench::table::Table::new(["mode", "depth", "jobs", "wall ms", "per-job µs"]);
+    for (mode, binary) in [("binary", true), ("text", false)] {
+        for depth in [1usize, 64, 1024] {
+            let jobs = depth.max(64);
+            let mut fixture = FrontEndFixture::new(binary, depth.max(4));
+            fixture.pump(jobs.min(64), depth, SPEC); // warm-up
+            let started = Instant::now();
+            fixture.pump(jobs, depth, SPEC);
+            let wall = started.elapsed();
+            table.push([
+                mode.to_string(),
+                depth.to_string(),
+                jobs.to_string(),
+                format!("{}", wall.as_millis()),
+                format!("{:.1}", wall.as_secs_f64() * 1e6 / jobs as f64),
+            ]);
+        }
+    }
+    table.print("E18: socket front-end per-job cost, ring:20 2ecss, by wire mode and depth");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut depth1 = FrontEndFixture::new(true, 4);
+    c.bench_function("e18/submit_ring20_binary_depth1", |b| {
+        b.iter(|| depth1.pump(1, 1, SPEC))
+    });
+    drop(depth1);
+    let mut depth64 = FrontEndFixture::new(true, 64);
+    c.bench_function("e18/submit_ring20_binary_depth64", |b| {
+        b.iter(|| depth64.pump(64, 64, SPEC))
+    });
+    drop(depth64);
+    let mut text1 = FrontEndFixture::new(false, 4);
+    c.bench_function("e18/submit_ring20_text_depth1", |b| {
+        b.iter(|| text1.pump(1, 1, SPEC))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -420,6 +420,32 @@ fn e17_fleet(samples: usize) -> (Measurement, Measurement, Measurement) {
     )
 }
 
+/// E18's front-end rows: submit→result through the readiness-loop socket
+/// front-end at queue depths {1, 64, 1024}, binary frame mode, plus the
+/// text-mode depth-1 twin for the wire-format comparison. Depth 1 is the
+/// bare round trip (`median_ns` is one job); the deeper rows pipeline a
+/// whole window and report per-job cost (`median_ns` = batch median /
+/// batch size), so every row is comparable to E12's per-job latencies.
+fn e18_front_end(samples: usize) -> (Measurement, Measurement, Measurement, Measurement) {
+    const SPEC: &str = "ring:20 2 2ecss auto";
+    let depth_row = |name: &'static str, binary: bool, depth: usize| -> Measurement {
+        let mut fixture = kecss_bench::workloads::FrontEndFixture::new(binary, depth);
+        let jobs = depth; // one full window per timed iteration
+        Measurement {
+            name,
+            median_ns: median_ns(samples, || fixture.pump(jobs, depth, SPEC)) / jobs as u128,
+            samples,
+            peak_rss_kb: None,
+        }
+    };
+    (
+        depth_row("e18_front_end/submit_ring20_binary_depth1", true, 1),
+        depth_row("e18_front_end/submit_ring20_binary_depth64", true, 64),
+        depth_row("e18_front_end/submit_ring20_binary_depth1024", true, 1024),
+        depth_row("e18_front_end/submit_ring20_text_depth1", false, 1),
+    )
+}
+
 fn run_e14_probe(mode: &str) {
     let path = e14_fixture_path();
     match mode {
@@ -483,6 +509,7 @@ fn main() {
     let (e15_instrumented, e15_noop) = e15_observability_overhead(samples);
     let (e16_flat, e16_ks) = e16_karger_stein(samples);
     let (e17_ring, e17_solo, e17_duo) = e17_fleet(samples);
+    let (e18_b1, e18_b64, e18_b1024, e18_t1) = e18_front_end(samples);
     let measurements = [
         e10_kecss_solve(samples),
         e11_contract_q5(samples),
@@ -501,6 +528,10 @@ fn main() {
         e17_ring,
         e17_solo,
         e17_duo,
+        e18_b1,
+        e18_b64,
+        e18_b1024,
+        e18_t1,
     ];
     for m in &measurements {
         let rss = match m.peak_rss_kb {

@@ -376,6 +376,112 @@ impl FleetFixture {
     }
 }
 
+/// E18's fixture: one standalone server on the readiness loop plus a single
+/// persistent client connection in either wire mode. [`FrontEndFixture::pump`]
+/// drives submit→result traffic through the real socket front-end (framing,
+/// the event loop, push-on-complete delivery), which is exactly the slice of
+/// the stack E12's in-process scheduler rows leave out.
+pub struct FrontEndFixture {
+    server: Option<kecss_server::ServerHandle>,
+    client: kecss_server::client::Client,
+}
+
+impl FrontEndFixture {
+    /// Spawns the server (ephemeral port, one scheduler worker) and connects
+    /// one client in the requested wire mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if binding or connecting fails.
+    pub fn new(binary: bool, queue_depth: usize) -> FrontEndFixture {
+        let server = kecss_server::Server::bind(&kecss_server::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            queue_depth,
+            ..kecss_server::ServerConfig::default()
+        })
+        .expect("bind server")
+        .spawn();
+        let addr = server.addr().to_string();
+        let client = if binary {
+            kecss_server::client::Client::connect_binary(&addr).expect("connect binary client")
+        } else {
+            kecss_server::client::Client::connect(&addr).expect("connect text client")
+        };
+        FrontEndFixture {
+            server: Some(server),
+            client,
+        }
+    }
+
+    /// Pumps `jobs` copies of `spec` (a SUBMIT body without the seed; seeds
+    /// run `0..jobs`) keeping at most `depth` in flight: submit a window,
+    /// drain it via blocking `RESULT WAIT`, repeat. At depth 1 this is the
+    /// pure submit→result round trip — one wait-flagged request per job in
+    /// binary mode ([`kecss_server::client::Client::submit_wait`]); larger
+    /// depths overlap solver work with framing and measure pipelined per-job
+    /// cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any protocol error or a missing/failed result.
+    pub fn pump(&mut self, jobs: usize, depth: usize, spec: &str) {
+        use kecss_server::protocol::Request;
+        let depth = depth.max(1);
+        let parse = |seed: usize| {
+            let line = format!("SUBMIT {spec} {seed}");
+            let Request::Submit(spec) = Request::parse(&line).expect("well-formed line") else {
+                unreachable!()
+            };
+            spec
+        };
+        if depth == 1 {
+            for seed in 0..jobs {
+                let (_, payload) = self
+                    .client
+                    .submit_wait(&parse(seed), std::time::Duration::from_secs(300))
+                    .expect("submit-and-wait succeeds")
+                    .expect("a lone job fits the queue depth");
+                assert!(!payload.is_empty());
+            }
+            return;
+        }
+        let mut submitted = 0usize;
+        while submitted < jobs {
+            let window = depth.min(jobs - submitted);
+            let ids: Vec<u64> = (0..window)
+                .map(|offset| {
+                    self.client
+                        .submit(&parse(submitted + offset))
+                        .expect("submit succeeds")
+                        .expect("window fits the queue depth")
+                })
+                .collect();
+            submitted += window;
+            for id in ids {
+                let payload = self
+                    .client
+                    .wait_result(
+                        id,
+                        std::time::Duration::from_millis(1),
+                        std::time::Duration::from_secs(300),
+                    )
+                    .expect("job completes");
+                assert!(!payload.is_empty());
+            }
+        }
+    }
+}
+
+impl Drop for FrontEndFixture {
+    fn drop(&mut self) {
+        let _ = self.client.shutdown();
+        if let Some(server) = self.server.take() {
+            server.join();
+        }
+    }
+}
+
 impl Drop for FleetFixture {
     fn drop(&mut self) {
         let _ = self.client.shutdown();

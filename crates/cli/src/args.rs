@@ -151,6 +151,9 @@ pub enum Command {
         queue_depth: usize,
         /// Maximum requests per connection (0 = unlimited).
         max_requests_per_conn: usize,
+        /// Per-connection write-queue cap in bytes before a slow client is
+        /// disconnected with `ERR` (DESIGN.md §14).
+        write_queue_limit: usize,
         /// Which fleet role this process plays (DESIGN.md §13).
         role: ServeRole,
     },
@@ -237,6 +240,9 @@ pub enum SubmitAction {
         /// header, no verification trailer. This is what lets CI `cmp` a
         /// fleet result against a standalone result byte for byte.
         payload_only: bool,
+        /// Speak the KGW1 binary frame protocol instead of the text protocol
+        /// (same requests, same payload bytes; DESIGN.md §14).
+        binary: bool,
     },
     /// Fetch the server's metrics text exposition and print it.
     Metrics,
@@ -281,10 +287,10 @@ USAGE:
     kecss verify   --input <FILE> --solution <FILE> --k <K>
     kecss convert  --input <FILE> --output <FILE>
     kecss sweep    (--family <F> --n <N1,N2,...> | --input <FILE>) [--k <K>] [--max-weight <W>] [--algorithms <A1,A2,...>] [--seeds <S>] [--base-seed <B>] [--threads <T>] [--enumerator <E>] [--trace <FILE>]
-    kecss serve    [--addr <HOST:PORT>] [--threads <T>] [--queue-depth <Q>] [--max-requests-per-conn <N>]
+    kecss serve    [--addr <HOST:PORT>] [--threads <T>] [--queue-depth <Q>] [--max-requests-per-conn <N>] [--write-queue-limit <BYTES>]
     kecss serve    --role coordinator [--addr <HOST:PORT>] [--queue-depth <Q>] [--heartbeat-timeout-ms <MS>] [--max-retries <R>]
     kecss serve    --role worker --coordinator <HOST:PORT> [--addr <HOST:PORT>] [--advertise <HOST:PORT>] [--worker-id <ID>] [--heartbeat-ms <MS>] [--threads <T>] [--queue-depth <Q>]
-    kecss submit   --addr <HOST:PORT> --instance <SPEC> [--k <K>] [--algorithm <A>] [--enumerator <E>] [--seed <S>] [--timeout-secs <T>] [--no-wait true] [--payload-only true]
+    kecss submit   --addr <HOST:PORT> --instance <SPEC> [--k <K>] [--algorithm <A>] [--enumerator <E>] [--seed <S>] [--timeout-secs <T>] [--no-wait true] [--payload-only true] [--binary true]
     kecss submit   --addr <HOST:PORT> --metrics true
     kecss submit   --addr <HOST:PORT> --shutdown true
     kecss fleet-status --addr <HOST:PORT>
@@ -341,7 +347,12 @@ comparison of fleet vs standalone answers.
 timings, enumeration events — to FILE as JSON Lines while the run proceeds.
 Tracing is strictly out-of-band: solutions and outputs are byte-identical
 with and without it (DESIGN.md §11). `serve --max-requests-per-conn N`
-bounds each connection to N requests (ERR, then close; 0 = unlimited).
+bounds each connection to N requests (ERR, then close; 0 = unlimited), and
+`serve --write-queue-limit BYTES` caps each connection's pending-write queue —
+a reader stalled past it gets ERR and is disconnected so slow clients cannot
+pin server memory (DESIGN.md §14). `submit --binary true` speaks the KGW1
+binary frame protocol (length-prefixed frames, zero-parse inline instances)
+instead of the text protocol; payloads are byte-identical in both modes.
 
 Instance files come in two formats, picked by extension everywhere a file is
 read or written: plain text (the first non-comment line is the number of
@@ -648,6 +659,11 @@ fn parse_serve(rest: &[&String]) -> Result<Command, CliError> {
             .map(|v| parse_number("max-requests-per-conn", v))
             .transpose()?
             .unwrap_or(0),
+        write_queue_limit: map
+            .get("write-queue-limit")
+            .map(|v| parse_number("write-queue-limit", v))
+            .transpose()?
+            .unwrap_or(16 << 20),
         role,
     })
 }
@@ -702,6 +718,7 @@ fn parse_submit(rest: &[&String]) -> Result<Command, CliError> {
                 .transpose()?
                 .unwrap_or(600),
             payload_only: parse_bool_flag(&map, "payload-only")?,
+            binary: parse_bool_flag(&map, "binary")?,
         },
     })
 }
@@ -1079,6 +1096,7 @@ mod tests {
                 threads: 1,
                 queue_depth: 16,
                 max_requests_per_conn: 0,
+                write_queue_limit: 16 << 20,
                 role: ServeRole::Standalone,
             }
         );
@@ -1093,6 +1111,8 @@ mod tests {
                 "32",
                 "--max-requests-per-conn",
                 "100",
+                "--write-queue-limit",
+                "104857600",
             ]))
             .unwrap(),
             Command::Serve {
@@ -1100,6 +1120,7 @@ mod tests {
                 threads: 4,
                 queue_depth: 32,
                 max_requests_per_conn: 100,
+                write_queue_limit: 100 << 20,
                 role: ServeRole::Standalone,
             }
         );
@@ -1124,6 +1145,7 @@ mod tests {
                 threads: 1,
                 queue_depth: 16,
                 max_requests_per_conn: 0,
+                write_queue_limit: 16 << 20,
                 role: ServeRole::Coordinator {
                     heartbeat_timeout_ms: 1500,
                     max_retries: 2,
@@ -1147,6 +1169,7 @@ mod tests {
                 threads: 1,
                 queue_depth: 16,
                 max_requests_per_conn: 0,
+                write_queue_limit: 16 << 20,
                 role: ServeRole::Worker {
                     coordinator: "127.0.0.1:7460".into(),
                     worker_id: Some("w1".into()),
@@ -1219,6 +1242,7 @@ mod tests {
                         no_wait,
                         timeout_secs,
                         payload_only,
+                        binary,
                     },
             } => {
                 assert_eq!(addr, "127.0.0.1:7461");
@@ -1229,6 +1253,7 @@ mod tests {
                 assert!(!no_wait);
                 assert_eq!(timeout_secs, 600);
                 assert!(!payload_only);
+                assert!(!binary);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -112,6 +112,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
             threads,
             queue_depth,
             max_requests_per_conn,
+            write_queue_limit,
             role,
         } => match role {
             ServeRole::Standalone => {
@@ -120,6 +121,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
                     threads,
                     queue_depth,
                     max_requests_per_conn,
+                    write_queue_limit,
                 })?;
                 writeln!(
                     out,
@@ -142,6 +144,7 @@ pub fn execute<W: Write>(command: Command, out: &mut W) -> Result<(), CliError> 
                     heartbeat_timeout: Duration::from_millis(heartbeat_timeout_ms.max(1)),
                     max_retries,
                     max_requests_per_conn,
+                    write_queue_limit,
                 })?;
                 writeln!(
                     out,
@@ -253,7 +256,16 @@ impl Drop for TraceSink {
 /// reports the outcome. A job submission fails the command unless the server
 /// returned a payload whose exact verification accepted the solution.
 fn run_submit<W: Write>(out: &mut W, addr: &str, action: SubmitAction) -> Result<(), CliError> {
-    let mut client = Client::connect(addr).map_err(|e| CliError::Service(e.to_string()))?;
+    // `--binary true` speaks KGW1 frames; replies carry the same payload
+    // bytes, so everything downstream (verification, --payload-only) is
+    // mode-agnostic.
+    let binary = matches!(action, SubmitAction::Job { binary: true, .. });
+    let mut client = if binary {
+        Client::connect_binary(addr)
+    } else {
+        Client::connect(addr)
+    }
+    .map_err(|e| CliError::Service(e.to_string()))?;
     let service = |e: kecss_server::client::ClientError| CliError::Service(e.to_string());
     match action {
         SubmitAction::Shutdown => {
@@ -275,6 +287,7 @@ fn run_submit<W: Write>(out: &mut W, addr: &str, action: SubmitAction) -> Result
             no_wait,
             timeout_secs,
             payload_only,
+            binary: _,
         } => {
             let spec = JobSpec {
                 instance,
@@ -283,25 +296,44 @@ fn run_submit<W: Write>(out: &mut W, addr: &str, action: SubmitAction) -> Result
                 enumerator,
                 seed,
             };
-            let id = match client.submit(&spec).map_err(service)? {
-                Ok(id) => id,
-                Err(depth) => {
-                    return Err(CliError::Solver(kecss::Error::JobQueueFull { depth }));
+            // With --no-wait (or for the queued-id message) the submit must
+            // be a separate request; otherwise binary mode rides the
+            // wait-flagged SUBMIT so the whole round is one request.
+            let (id, waited) = if no_wait || !payload_only {
+                let id = match client.submit(&spec).map_err(service)? {
+                    Ok(id) => id,
+                    Err(depth) => {
+                        return Err(CliError::Solver(kecss::Error::JobQueueFull { depth }));
+                    }
+                };
+                if !payload_only {
+                    writeln!(out, "job {id} queued at {addr}: {}", spec.canonical())?;
+                }
+                if no_wait {
+                    return Ok(());
+                }
+                (id, None)
+            } else {
+                match client
+                    .submit_wait(&spec, Duration::from_secs(timeout_secs))
+                    .map_err(service)?
+                {
+                    Ok((id, payload)) => (id, Some(payload)),
+                    Err(depth) => {
+                        return Err(CliError::Solver(kecss::Error::JobQueueFull { depth }));
+                    }
                 }
             };
-            if !payload_only {
-                writeln!(out, "job {id} queued at {addr}: {}", spec.canonical())?;
-            }
-            if no_wait {
-                return Ok(());
-            }
-            let payload = client
-                .wait_result(
-                    id,
-                    Duration::from_millis(50),
-                    Duration::from_secs(timeout_secs),
-                )
-                .map_err(service)?;
+            let payload = match waited {
+                Some(payload) => payload,
+                None => client
+                    .wait_result(
+                        id,
+                        Duration::from_millis(50),
+                        Duration::from_secs(timeout_secs),
+                    )
+                    .map_err(service)?,
+            };
             let text = String::from_utf8(payload)
                 .map_err(|_| CliError::Service("result payload is not UTF-8".into()))?;
             out.write_all(text.as_bytes())?;

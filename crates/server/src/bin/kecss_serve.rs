@@ -27,6 +27,7 @@ fn main() {
     let mut threads: usize = 1;
     let mut queue_depth: usize = 16;
     let mut max_requests_per_conn: usize = 0;
+    let mut write_queue_limit: usize = 16 << 20;
     let mut coordinator_addr = "127.0.0.1:7460".to_string();
     let mut worker_id = String::new();
     let mut advertise = String::new();
@@ -54,6 +55,10 @@ fn main() {
                     &need(value, "--max-requests-per-conn"),
                 );
             }
+            "--write-queue-limit" => {
+                write_queue_limit =
+                    parse_num("--write-queue-limit", &need(value, "--write-queue-limit"));
+            }
             "--coordinator" => coordinator_addr = need(value, "--coordinator"),
             "--worker-id" => worker_id = need(value, "--worker-id"),
             "--advertise" => advertise = need(value, "--advertise"),
@@ -74,7 +79,7 @@ fn main() {
                     "kecss_serve — long-running k-ECSS solver service\n\n\
                      USAGE: kecss_serve [--role standalone|coordinator|worker]\n\
                      \u{20}                  [--addr HOST:PORT] [--threads T] [--queue-depth Q]\n\
-                     \u{20}                  [--max-requests-per-conn N]\n\
+                     \u{20}                  [--max-requests-per-conn N] [--write-queue-limit BYTES]\n\
                      \u{20}                  [--coordinator HOST:PORT] [--worker-id ID] [--advertise HOST:PORT]\n\
                      \u{20}                  [--heartbeat-ms MS]\n\
                      \u{20}                  [--heartbeat-timeout-ms MS] [--max-retries R]\n\n\
@@ -94,6 +99,7 @@ fn main() {
                 threads,
                 queue_depth,
                 max_requests_per_conn,
+                write_queue_limit,
             };
             let server = match Server::bind(&config) {
                 Ok(server) => server,
@@ -116,6 +122,7 @@ fn main() {
                 heartbeat_timeout: Duration::from_millis(heartbeat_timeout_ms.max(1)),
                 max_retries,
                 max_requests_per_conn,
+                write_queue_limit,
             };
             let coordinator = match Coordinator::bind(&config) {
                 Ok(coordinator) => coordinator,

@@ -1,11 +1,20 @@
 //! A blocking client for the service protocol (used by `kecss submit`, the
 //! integration tests and the CI smoke script).
+//!
+//! Speaks both wire modes over the same helpers: [`Client::connect`] uses the
+//! text line protocol; [`Client::connect_binary`] negotiates `KGW1` binary
+//! frames with the 4-byte preamble and then encodes/decodes every request
+//! through [`crate::wire`]. Waiting for a result is push-based in both modes:
+//! [`Client::wait_result`] sends one `RESULT WAIT` and blocks until the
+//! server pushes the terminal reply — no client code path polls.
 
 use crate::job::JobSpec;
-use crate::protocol::Request;
+use crate::protocol::{Request, Response};
 use crate::scheduler::JobId;
+use crate::wire;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A parsed server response.
@@ -52,10 +61,17 @@ pub enum Reply {
     Err(String),
 }
 
+/// The wire mode this client negotiated at connect time.
+enum WireMode {
+    Text,
+    Binary,
+}
+
 /// A connected protocol client.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    mode: WireMode,
 }
 
 /// Errors surfaced by the client helpers.
@@ -108,7 +124,24 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            mode: WireMode::Text,
         })
+    }
+
+    /// Connects in `KGW1` binary frame mode: sends the 4-byte preamble, after
+    /// which every request goes out as a binary frame (inline instances as
+    /// zero-parse `KGB1` edge records) and every reply comes back as one.
+    /// The replies decode to the same [`Reply`] values as text mode, so all
+    /// helpers work identically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection failure.
+    pub fn connect_binary(addr: &str) -> Result<Client, ClientError> {
+        let mut client = Client::connect(addr)?;
+        client.writer.write_all(&wire::PREAMBLE)?;
+        client.mode = WireMode::Binary;
+        Ok(client)
     }
 
     /// Bounds every read on this connection: a reply (or payload byte) that
@@ -126,7 +159,7 @@ impl Client {
     }
 
     /// Sends one raw request line and parses the reply (the seam the
-    /// malformed-request tests use).
+    /// malformed-request tests use; text mode only).
     ///
     /// # Errors
     ///
@@ -137,13 +170,19 @@ impl Client {
         self.read_reply()
     }
 
-    /// Sends a typed request.
+    /// Sends a typed request in the connection's wire mode.
     ///
     /// # Errors
     ///
     /// I/O failures and protocol violations.
     pub fn request(&mut self, request: &Request) -> Result<Reply, ClientError> {
-        self.request_line(&request.to_line())
+        match self.mode {
+            WireMode::Text => self.request_line(&request.to_line()),
+            WireMode::Binary => {
+                self.writer.write_all(&wire::encode_request(request))?;
+                self.read_frame_reply()
+            }
+        }
     }
 
     /// Submits a job spec: `Ok(Ok(id))` when queued, `Ok(Err(depth))` when
@@ -203,27 +242,116 @@ impl Client {
         }
     }
 
-    /// Polls `RESULT` until the payload is available.
+    /// Waits for the payload with one blocking `RESULT WAIT`: the server
+    /// pushes the terminal reply when the job completes, so nothing polls.
+    /// `_poll` is kept for signature compatibility with the old polling
+    /// implementation and is unused. On [`ClientError::Timeout`] the
+    /// connection should be discarded — the server may still push the reply
+    /// later, and a timed-out read can tear a partially received frame.
     ///
     /// # Errors
     ///
     /// Everything [`Client::result`] can return, plus
-    /// [`ClientError::Timeout`].
+    /// [`ClientError::Timeout`] after `timeout`.
     pub fn wait_result(
         &mut self,
         id: JobId,
-        poll: Duration,
+        _poll: Duration,
         timeout: Duration,
     ) -> Result<Vec<u8>, ClientError> {
-        let deadline = Instant::now() + timeout;
-        loop {
-            if let Some(payload) = self.result(id)? {
-                return Ok(payload);
+        self.set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        let outcome = self.request(&Request::ResultWait(id));
+        // Restore unbounded reads so later requests on this client are not
+        // silently bounded by a stale wait deadline.
+        self.set_read_timeout(None)?;
+        match outcome {
+            Ok(Reply::Result { payload, .. }) => Ok(payload),
+            Ok(Reply::Gone { id }) => Err(ClientError::Server(format!(
+                "job {id}: the result was already fetched and evicted (GONE)"
+            ))),
+            Ok(Reply::Err(msg)) => Err(ClientError::Server(msg)),
+            Ok(other) => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+            Err(ClientError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(ClientError::Timeout { id })
             }
-            if Instant::now() >= deadline {
-                return Err(ClientError::Timeout { id });
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Submits and waits for the payload in as few requests as the wire
+    /// mode allows: `Ok(Ok((id, payload)))` when the job completed,
+    /// `Ok(Err(depth))` when the server answered `BUSY`.
+    ///
+    /// In binary mode this is **one write** — the `SUBMIT` frame carries the
+    /// [`wire::FLAG_SUBMIT_WAIT`] bit, the server acks `OK <id> QUEUED` and
+    /// pushes the terminal reply on the same connection, so a full
+    /// submit-to-result round costs a single request instead of two. Text
+    /// mode has no spelling for the flag and falls back to `SUBMIT` +
+    /// `RESULT WAIT` (still push-based, one extra round trip).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Client::submit`] and [`Client::wait_result`] can return.
+    /// On [`ClientError::Timeout`] the connection should be discarded, as
+    /// with [`Client::wait_result`].
+    pub fn submit_wait(
+        &mut self,
+        spec: &JobSpec,
+        timeout: Duration,
+    ) -> Result<Result<(JobId, Vec<u8>), usize>, ClientError> {
+        if matches!(self.mode, WireMode::Text) {
+            return match self.submit(spec)? {
+                Ok(id) => self
+                    .wait_result(id, Duration::from_millis(1), timeout)
+                    .map(|payload| Ok((id, payload))),
+                Err(depth) => Ok(Err(depth)),
+            };
+        }
+        self.set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        let outcome = self.submit_wait_binary(spec);
+        self.set_read_timeout(None)?;
+        match outcome {
+            Err(ClientError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(ClientError::Timeout { id: 0 })
             }
-            std::thread::sleep(poll);
+            other => other,
+        }
+    }
+
+    /// The binary-mode body of [`Client::submit_wait`]: one wait-flagged
+    /// `SUBMIT` frame, then the `OK` ack and the pushed terminal reply.
+    fn submit_wait_binary(
+        &mut self,
+        spec: &JobSpec,
+    ) -> Result<Result<(JobId, Vec<u8>), usize>, ClientError> {
+        let id = match self.request(&Request::SubmitWait(spec.clone()))? {
+            Reply::Ok(words) => words
+                .first()
+                .and_then(|w| w.parse::<JobId>().ok())
+                .ok_or_else(|| ClientError::Protocol("OK reply without a job id".into()))?,
+            Reply::Busy { depth } => return Ok(Err(depth)),
+            Reply::Err(msg) => return Err(ClientError::Server(msg)),
+            other => {
+                return Err(ClientError::Protocol(format!("unexpected reply {other:?}")));
+            }
+        };
+        match self.read_frame_reply()? {
+            Reply::Result { payload, .. } => Ok(Ok((id, payload))),
+            Reply::Gone { id } => Err(ClientError::Server(format!(
+                "job {id}: the result was already fetched and evicted (GONE)"
+            ))),
+            Reply::Err(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
         }
     }
 
@@ -372,6 +500,53 @@ impl Client {
             _ => Err(ClientError::Protocol(format!("unknown reply '{line}'"))),
         }
     }
+
+    /// Reads one binary reply frame and decodes it (binary mode).
+    fn read_frame_reply(&mut self) -> Result<Reply, ClientError> {
+        let mut header = [0u8; wire::FRAME_HEADER_BYTES];
+        self.reader.read_exact(&mut header)?;
+        let (opcode, _flags, body_len) =
+            wire::parse_frame_header(&header).map_err(ClientError::Protocol)?;
+        let mut body = vec![0u8; body_len];
+        self.reader.read_exact(&mut body)?;
+        let response = wire::decode_response(opcode, &body).map_err(ClientError::Protocol)?;
+        reply_from_response(response)
+    }
+}
+
+/// Maps a decoded binary [`Response`] onto the same [`Reply`] values the text
+/// parser produces, so the helper methods are wire-mode agnostic.
+fn reply_from_response(response: Response) -> Result<Reply, ClientError> {
+    let unwrap_bytes = |bytes: Arc<Vec<u8>>| -> Vec<u8> {
+        Arc::try_unwrap(bytes).unwrap_or_else(|shared| (*shared).clone())
+    };
+    let text_of = |bytes: Arc<Vec<u8>>, what: &str| -> Result<String, ClientError> {
+        String::from_utf8(unwrap_bytes(bytes))
+            .map_err(|_| ClientError::Protocol(format!("{what} payload is not UTF-8")))
+    };
+    Ok(match response {
+        Response::Ok(words) => Reply::Ok(words.split_whitespace().map(String::from).collect()),
+        Response::Busy(depth) => Reply::Busy {
+            depth: usize::try_from(depth)
+                .map_err(|_| ClientError::Protocol("BUSY depth overflows usize".into()))?,
+        },
+        Response::Wait { id, state } => Reply::Wait {
+            id,
+            state: state.to_string(),
+        },
+        Response::Result { id, payload } => Reply::Result {
+            id,
+            payload: unwrap_bytes(payload),
+        },
+        Response::Gone(id) => Reply::Gone { id },
+        Response::Err(message) => Reply::Err(message),
+        Response::Metrics(bytes) => Reply::Metrics {
+            text: text_of(bytes, "METRICS")?,
+        },
+        Response::Fleet(bytes) => Reply::Fleet {
+            text: text_of(bytes, "FLEET")?,
+        },
+    })
 }
 
 /// Polls the coordinator's `FLEET` status until at least `workers` workers

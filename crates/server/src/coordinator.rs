@@ -10,9 +10,11 @@
 //!   the coordinator-only `FLEET` status verb.
 //! * **Workers are plain servers.** The coordinator is a protocol *client*
 //!   of each worker: a dispatch is a `SUBMIT` to the chosen worker followed
-//!   by `RESULT` polling. Workers register by sending `HEARTBEAT <id>
-//!   <addr>` periodically; a worker whose beats stop for longer than the
-//!   configured timeout is deregistered and its in-flight jobs re-queued.
+//!   by one blocking `RESULT WAIT` — the worker pushes the payload when the
+//!   job completes, so no coordinator code path polls. Workers register by
+//!   sending `HEARTBEAT <id> <addr>` periodically; a worker whose beats stop
+//!   for longer than the configured timeout is deregistered and its
+//!   in-flight jobs re-queued.
 //! * **Lifecycle.** Every job walks the [`FleetState`] machine
 //!   (`QUEUED → ASSIGNED → RUNNING → DONE/FAILED`, with the two loss
 //!   transitions back to `QUEUED`); illegal transitions panic rather than
@@ -36,10 +38,11 @@
 //! stale dispatcher racing a re-queue can never clobber the table.
 
 use crate::client::{Client, ClientError, Reply};
+use crate::event_loop::{run_event_loop, EventLoopConfig, Service, ServiceReply};
 use crate::job::JobSpec;
-use crate::protocol::Request;
-use crate::scheduler::{FleetState, JobId, Outcome};
-use crate::server::serve_line_connection;
+use crate::protocol::{Request, Response};
+use crate::scheduler::{CompletionHook, FleetState, JobId, Outcome};
+use crate::server::classify_response;
 use kecss_obs::{Counter, Gauge, Histogram};
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener};
@@ -88,6 +91,9 @@ pub struct CoordinatorConfig {
     pub max_retries: u32,
     /// Per-connection request limit (0 = unlimited), as on the server.
     pub max_requests_per_conn: usize,
+    /// Per-connection unsent-reply bound (the slow-client policy), as on the
+    /// server.
+    pub write_queue_limit: usize,
 }
 
 impl Default for CoordinatorConfig {
@@ -98,6 +104,7 @@ impl Default for CoordinatorConfig {
             heartbeat_timeout: Duration::from_secs(3),
             max_retries: 5,
             max_requests_per_conn: 0,
+            write_queue_limit: 16 << 20,
         }
     }
 }
@@ -178,6 +185,11 @@ struct FleetTable {
     /// fired between the dispatcher's scan and its wait is otherwise lost,
     /// and the job would sit queued until the next sweep tick.
     kicked: bool,
+    /// Job ids that reached a terminal state since the last flush. Every
+    /// code path that drops the table lock after a terminal transition takes
+    /// this buffer and fires [`Shared::notify_terminals`] with it, which
+    /// wakes the readiness loop for push delivery and the shutdown drain.
+    pending_terminal: Vec<JobId>,
     summary: FleetSummary,
 }
 
@@ -208,6 +220,7 @@ impl FleetTable {
         job.transition(to);
         job.outcome = Some(outcome);
         self.inflight -= 1;
+        self.pending_terminal.push(id);
         match to {
             FleetState::Done => {
                 self.summary.completed += 1;
@@ -255,6 +268,7 @@ impl FleetTable {
                     "worker lost {retries} times (last: {cause}); retry budget {max_retries} spent"
                 )));
                 self.inflight -= 1;
+                self.pending_terminal.push(id);
                 self.summary.failed += 1;
                 metrics().failed.inc();
             } else {
@@ -282,7 +296,32 @@ struct Shared {
     dispatch: Condvar,
     /// Stops the dispatcher thread (set after the shutdown drain).
     stop: AtomicBool,
+    /// The readiness loop's completion hook (push delivery + drain wakeups),
+    /// installed once before the loop starts serving.
+    completion_hook: Mutex<Option<CompletionHook>>,
     config: CoordinatorConfig,
+}
+
+impl Shared {
+    /// Fires the loop's completion hook for every buffered terminal id.
+    /// Callers take [`FleetTable::pending_terminal`] while still holding the
+    /// table lock and call this after dropping it, so the hook (which takes
+    /// its own locks) never nests inside the table lock.
+    fn notify_terminals(&self, ids: Vec<JobId>) {
+        if ids.is_empty() {
+            return;
+        }
+        let hook = self
+            .completion_hook
+            .lock()
+            .expect("completion hook lock poisoned")
+            .clone();
+        if let Some(hook) = hook {
+            for id in ids {
+                hook(id);
+            }
+        }
+    }
 }
 
 /// The deterministic assignment hash: splitmix64, the same finalizer the
@@ -300,7 +339,7 @@ fn splitmix64(mut x: u64) -> u64 {
 pub struct Coordinator {
     listener: TcpListener,
     shared: Arc<Shared>,
-    shutting_down: Arc<AtomicBool>,
+    loop_config: EventLoopConfig,
 }
 
 impl Coordinator {
@@ -321,17 +360,23 @@ impl Coordinator {
                     inflight: 0,
                     closed: false,
                     kicked: false,
+                    pending_terminal: Vec::new(),
                     summary: FleetSummary::default(),
                 }),
                 changed: Condvar::new(),
                 dispatch: Condvar::new(),
                 stop: AtomicBool::new(false),
+                completion_hook: Mutex::new(None),
                 config: CoordinatorConfig {
                     queue_depth: config.queue_depth.max(1),
                     ..config.clone()
                 },
             }),
-            shutting_down: Arc::new(AtomicBool::new(false)),
+            loop_config: EventLoopConfig {
+                max_requests_per_conn: config.max_requests_per_conn,
+                write_queue_limit: config.write_queue_limit.max(1),
+                backend: None,
+            },
         })
     }
 
@@ -344,44 +389,35 @@ impl Coordinator {
         self.listener.local_addr().expect("listener has an address")
     }
 
-    /// Runs the accept loop and the dispatcher until a `SHUTDOWN` request
+    /// Runs the readiness loop and the dispatcher until a `SHUTDOWN` request
     /// arrives, then drains the in-flight jobs and returns the final
     /// counters. The drain needs live workers to make progress; a fleet shut
-    /// down with queued jobs and no workers waits until a worker registers.
+    /// down with queued jobs and no workers waits until a worker registers
+    /// (heartbeats on already-open connections are still served during the
+    /// drain; only *new* connects are refused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the readiness poller cannot be constructed (fd exhaustion).
     pub fn run(self) -> FleetSummary {
-        let addr = self.local_addr();
         let dispatcher = {
             let shared = Arc::clone(&self.shared);
             std::thread::spawn(move || dispatcher_loop(&shared))
         };
-        for stream in self.listener.incoming() {
-            if self.shutting_down.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = stream else { continue };
-            let _ = stream.set_nodelay(true);
-            let shared = Arc::clone(&self.shared);
-            let shutting_down = Arc::clone(&self.shutting_down);
-            let max_requests = self.shared.config.max_requests_per_conn;
-            std::thread::spawn(move || {
-                serve_line_connection(stream, addr, max_requests, |request| {
-                    respond(request, &shared, &shutting_down)
-                });
-            });
-        }
-        // Drain: every admitted job must reach a terminal state (dispatch
-        // and retries keep running meanwhile).
-        let summary = {
-            let mut table = self.shared.table.lock().expect("coordinator lock poisoned");
-            while table.inflight > 0 {
-                table = self
-                    .shared
-                    .changed
-                    .wait(table)
-                    .expect("coordinator lock poisoned");
-            }
-            table.summary
-        };
+        let service: Arc<dyn Service> = Arc::new(CoordinatorService {
+            shared: Arc::clone(&self.shared),
+        });
+        // The loop returns only once every admitted job is terminal (its
+        // drain condition asks `CoordinatorService::idle`); dispatch and
+        // retries keep running on the threads behind it meanwhile.
+        run_event_loop(self.listener, &service, &self.loop_config)
+            .expect("readiness loop failed to start");
+        let summary = self
+            .shared
+            .table
+            .lock()
+            .expect("coordinator lock poisoned")
+            .summary;
         self.shared.stop.store(true, Ordering::SeqCst);
         {
             let mut table = self.shared.table.lock().expect("coordinator lock poisoned");
@@ -434,6 +470,7 @@ fn dispatcher_loop(shared: &Arc<Shared>) {
         .clamp(Duration::from_millis(5), Duration::from_millis(250));
     loop {
         let mut dispatched: Vec<(JobId, u64, String, String, JobSpec)> = Vec::new();
+        let terminal_ids;
         {
             let mut table = shared.table.lock().expect("coordinator lock poisoned");
             if shared.stop.load(Ordering::SeqCst) {
@@ -494,7 +531,11 @@ fn dispatcher_loop(shared: &Arc<Shared>) {
                     dispatched.push((id, epoch, worker.clone(), worker_addr.clone(), spec));
                 }
             }
+            // A sweep may have failed jobs past their retry budget: wake any
+            // parked `RESULT WAIT` subscribers (and the drain) for them.
+            terminal_ids = std::mem::take(&mut table.pending_terminal);
         }
+        shared.notify_terminals(terminal_ids);
         for (id, epoch, worker, worker_addr, spec) in dispatched {
             let shared = Arc::clone(shared);
             std::thread::spawn(move || {
@@ -535,7 +576,8 @@ fn dispatcher_loop(shared: &Arc<Shared>) {
 }
 
 /// One dispatch: act as a protocol client of the chosen worker — `SUBMIT`,
-/// then poll `RESULT` until terminal. All table write-backs are epoch-guarded.
+/// then one blocking `RESULT WAIT` (the worker pushes on completion). All
+/// table write-backs are epoch-guarded.
 fn dispatch_job(
     shared: &Arc<Shared>,
     id: JobId,
@@ -558,9 +600,11 @@ fn dispatch_job(
                 table.requeue_worker_jobs(worker, shared.config.max_retries, &cause);
                 table.update_live_gauge();
                 table.kicked = true;
+                let terminal_ids = std::mem::take(&mut table.pending_terminal);
                 drop(table);
                 shared.changed.notify_all();
                 shared.dispatch.notify_all();
+                shared.notify_terminals(terminal_ids);
             }
         }
         Err(DispatchEnd::Busy) => {
@@ -599,9 +643,9 @@ fn try_dispatch(
 ) -> Result<(), DispatchEnd> {
     let lost = |e: ClientError| DispatchEnd::WorkerLost(e.to_string());
     let mut client = Client::connect(worker_addr).map_err(lost)?;
-    // A healthy worker answers every request immediately (solving happens on
-    // its pool, `RESULT` polls return `WAIT`): a read that blocks past the
-    // heartbeat timeout means the worker is gone, not slow.
+    // A healthy worker answers `SUBMIT` immediately (solving happens on its
+    // pool): a read that blocks past the heartbeat timeout here means the
+    // worker is gone, not slow.
     client
         .set_read_timeout(Some(shared.config.heartbeat_timeout))
         .map_err(lost)?;
@@ -614,238 +658,310 @@ fn try_dispatch(
             let mut table = shared.table.lock().expect("coordinator lock poisoned");
             if table.jobs.get(&id).is_some_and(|j| j.epoch == epoch) {
                 table.finish(id, FleetState::Failed, Outcome::Failed(message));
+                let terminal_ids = std::mem::take(&mut table.pending_terminal);
                 drop(table);
                 shared.changed.notify_all();
+                shared.notify_terminals(terminal_ids);
             }
             return Ok(());
         }
         Err(e) => return Err(lost(e)),
     };
-    loop {
-        match client.request(&Request::Result(worker_job)) {
-            Ok(Reply::Wait { state, .. }) => {
-                if state == "RUNNING" {
-                    let mut table = shared.table.lock().expect("coordinator lock poisoned");
-                    if let Some(job) = table.jobs.get_mut(&id) {
-                        if job.epoch == epoch && job.state == FleetState::Assigned {
-                            job.transition(FleetState::Running);
-                        }
-                    }
-                }
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Ok(Reply::Result { payload, .. }) => {
-                let mut table = shared.table.lock().expect("coordinator lock poisoned");
-                if table.jobs.get(&id).is_some_and(|j| j.epoch == epoch) {
-                    // The machine records the (possibly unobserved) RUNNING
-                    // hop: a worker can finish between two polls.
-                    let job = table.jobs.get_mut(&id).expect("epoch-checked job exists");
-                    if job.state == FleetState::Assigned {
-                        job.transition(FleetState::Running);
-                    }
-                    table.finish(id, FleetState::Done, Outcome::Done(Arc::new(payload)));
-                    drop(table);
-                    shared.changed.notify_all();
-                }
-                return Ok(());
-            }
-            Ok(Reply::Err(message)) => {
-                // The worker executed the job and it failed (solver error or
-                // worker-side cancellation): terminal, not a loss.
-                let failure = message
-                    .strip_prefix(&format!("job {worker_job} failed: "))
-                    .unwrap_or(&message)
-                    .to_string();
-                let mut table = shared.table.lock().expect("coordinator lock poisoned");
-                if table.jobs.get(&id).is_some_and(|j| j.epoch == epoch) {
-                    let job = table.jobs.get_mut(&id).expect("epoch-checked job exists");
-                    if job.state == FleetState::Assigned {
-                        job.transition(FleetState::Running);
-                    }
-                    table.finish(id, FleetState::Failed, Outcome::Failed(failure));
-                    drop(table);
-                    shared.changed.notify_all();
-                }
-                return Ok(());
-            }
-            Ok(other) => {
-                return Err(DispatchEnd::WorkerLost(format!(
-                    "worker answered outside the protocol: {other:?}"
-                )))
-            }
-            Err(e) => return Err(lost(e)),
+    // The worker accepted the job onto its pool: that ack is the fleet's
+    // RUNNING hop. The push model has no later intermediate report to learn
+    // it from — the next thing this connection hears is the terminal result.
+    {
+        let mut table = shared.table.lock().expect("coordinator lock poisoned");
+        let started = table
+            .jobs
+            .get_mut(&id)
+            .filter(|j| j.epoch == epoch && j.state == FleetState::Assigned)
+            .map(|job| job.transition(FleetState::Running))
+            .is_some();
+        drop(table);
+        if started {
+            shared.changed.notify_all();
         }
-        // A sweep (or competing loss) may have re-queued the job while this
-        // thread was polling: stop polling a dispatch the table disowned.
-        let table = shared.table.lock().expect("coordinator lock poisoned");
-        if table.jobs.get(&id).is_none_or(|j| j.epoch != epoch) {
-            return Ok(());
+    }
+    // `RESULT WAIT` answers exactly once, when the job is terminal: the read
+    // must be unbounded (solve time is the job's, not the protocol's). A
+    // worker that *dies* surfaces as EOF/reset here and is handled as a
+    // loss; a worker silently black-holed by the network (no FIN, no RST) is
+    // detected by the heartbeat sweep instead, which re-queues the job under
+    // a new epoch — this thread's eventual write-back is then discarded by
+    // the epoch guard.
+    client.set_read_timeout(None).map_err(lost)?;
+    match client.request(&Request::ResultWait(worker_job)) {
+        Ok(Reply::Result { payload, .. }) => {
+            let mut table = shared.table.lock().expect("coordinator lock poisoned");
+            if table.jobs.get(&id).is_some_and(|j| j.epoch == epoch) {
+                // The machine records the RUNNING hop the push model no
+                // longer observes directly.
+                let job = table.jobs.get_mut(&id).expect("epoch-checked job exists");
+                if job.state == FleetState::Assigned {
+                    job.transition(FleetState::Running);
+                }
+                table.finish(id, FleetState::Done, Outcome::Done(Arc::new(payload)));
+                let terminal_ids = std::mem::take(&mut table.pending_terminal);
+                drop(table);
+                shared.changed.notify_all();
+                shared.notify_terminals(terminal_ids);
+            }
+            Ok(())
+        }
+        Ok(Reply::Err(message)) => {
+            // The worker executed the job and it failed (solver error or
+            // worker-side cancellation): terminal, not a loss.
+            let failure = message
+                .strip_prefix(&format!("job {worker_job} failed: "))
+                .unwrap_or(&message)
+                .to_string();
+            let mut table = shared.table.lock().expect("coordinator lock poisoned");
+            if table.jobs.get(&id).is_some_and(|j| j.epoch == epoch) {
+                let job = table.jobs.get_mut(&id).expect("epoch-checked job exists");
+                if job.state == FleetState::Assigned {
+                    job.transition(FleetState::Running);
+                }
+                table.finish(id, FleetState::Failed, Outcome::Failed(failure));
+                let terminal_ids = std::mem::take(&mut table.pending_terminal);
+                drop(table);
+                shared.changed.notify_all();
+                shared.notify_terminals(terminal_ids);
+            }
+            Ok(())
+        }
+        Ok(other) => Err(DispatchEnd::WorkerLost(format!(
+            "worker answered outside the protocol: {other:?}"
+        ))),
+        Err(e) => Err(lost(e)),
+    }
+}
+
+/// The fetched-once terminal reply for a fleet job, or `None` while it is in
+/// flight: `Done` is consumed into `Gone` on first fetch; `Failed` and
+/// `Cancelled` are repeatable diagnoses (unchanged since DESIGN.md §13).
+fn fleet_outcome_response(id: JobId, job: &mut FleetJob) -> Option<Response> {
+    let outcome = job.outcome.as_mut()?;
+    Some(match outcome {
+        Outcome::Done(_) => {
+            let Outcome::Done(payload) = std::mem::replace(outcome, Outcome::Gone) else {
+                unreachable!("matched Outcome::Done above")
+            };
+            Response::Result { id, payload }
+        }
+        Outcome::Gone => Response::Gone(id),
+        Outcome::Failed(message) => Response::Err(format!("job {id} failed: {message}")),
+        Outcome::Cancelled => Response::Err(kecss::Error::JobCancelled { job: id }.to_string()),
+    })
+}
+
+/// The coordinator role behind the readiness loop: the coordinator-side
+/// analogue of the server's responder — same verbs, same reply bytes, same
+/// fetched-once `RESULT` semantics, with the fleet table instead of the
+/// scheduler behind it.
+struct CoordinatorService {
+    shared: Arc<Shared>,
+}
+
+impl CoordinatorService {
+    /// Admits one submission into the fleet table (or refuses it). With
+    /// `wait` the admitted reply also parks the connection for the terminal
+    /// push — refusals never subscribe.
+    fn admit(&self, spec: JobSpec, wait: bool) -> ServiceReply {
+        let shared = &self.shared;
+        let mut table = shared.table.lock().expect("coordinator lock poisoned");
+        if table.closed {
+            return ServiceReply::Line(Response::Err(
+                kecss::Error::ServiceShuttingDown.to_string(),
+            ));
+        }
+        if table.inflight >= shared.config.queue_depth {
+            table.summary.rejected += 1;
+            return ServiceReply::Line(Response::Busy(shared.config.queue_depth as u64));
+        }
+        let id = table.next_id;
+        table.next_id += 1;
+        table.inflight += 1;
+        table.summary.submitted += 1;
+        let now = Instant::now();
+        table.jobs.insert(
+            id,
+            FleetJob {
+                spec,
+                state: FleetState::Queued,
+                worker: None,
+                epoch: 0,
+                retries: 0,
+                not_before: now,
+                submitted_at: now,
+                outcome: None,
+            },
+        );
+        table.kicked = true;
+        drop(table);
+        shared.dispatch.notify_all();
+        let ack = Response::Ok(format!("{id} QUEUED"));
+        if wait {
+            ServiceReply::LineAndSubscribe(ack, id)
+        } else {
+            ServiceReply::Line(ack)
         }
     }
 }
 
-/// Computes the full response bytes for one client request (the
-/// coordinator-side analogue of the server's responder; same framing, same
-/// fetched-once `RESULT` semantics).
-fn respond(request: Request, shared: &Arc<Shared>, shutting_down: &AtomicBool) -> Vec<u8> {
-    let verb = match &request {
-        Request::Submit(_) => "SUBMIT",
-        Request::Status(_) => "STATUS",
-        Request::Result(_) => "RESULT",
-        Request::Cancel(_) => "CANCEL",
-        Request::Metrics => "METRICS",
-        Request::Heartbeat { .. } => "HEARTBEAT",
-        Request::Fleet => "FLEET",
-        Request::Shutdown => "SHUTDOWN",
-    };
-    kecss_obs::counter_with("fleet_requests_total", &[("verb", verb)]).inc();
-    match request {
-        Request::Submit(spec) => {
-            let mut table = shared.table.lock().expect("coordinator lock poisoned");
-            if table.closed {
-                return format!("ERR {}\n", kecss::Error::ServiceShuttingDown).into_bytes();
-            }
-            if table.inflight >= shared.config.queue_depth {
-                table.summary.rejected += 1;
-                return format!("BUSY {}\n", shared.config.queue_depth).into_bytes();
-            }
-            let id = table.next_id;
-            table.next_id += 1;
-            table.inflight += 1;
-            table.summary.submitted += 1;
-            let now = Instant::now();
-            table.jobs.insert(
-                id,
-                FleetJob {
-                    spec,
-                    state: FleetState::Queued,
-                    worker: None,
-                    epoch: 0,
-                    retries: 0,
-                    not_before: now,
-                    submitted_at: now,
-                    outcome: None,
-                },
-            );
-            table.kicked = true;
-            drop(table);
-            shared.dispatch.notify_all();
-            format!("OK {id} QUEUED\n").into_bytes()
-        }
-        Request::Status(id) => {
-            let table = shared.table.lock().expect("coordinator lock poisoned");
-            match table.jobs.get(&id) {
-                Some(job) => format!("OK {id} {}\n", job.state.wire_name()).into_bytes(),
-                None => format!("ERR unknown job {id}\n").into_bytes(),
-            }
-        }
-        Request::Result(id) => {
-            let mut table = shared.table.lock().expect("coordinator lock poisoned");
-            let Some(job) = table.jobs.get_mut(&id) else {
-                return format!("ERR unknown job {id}\n").into_bytes();
-            };
-            match &mut job.outcome {
-                None => format!("WAIT {id} {}\n", job.state.wire_name()).into_bytes(),
-                Some(outcome @ Outcome::Done(_)) => {
-                    let Outcome::Done(payload) = std::mem::replace(outcome, Outcome::Gone) else {
-                        unreachable!("matched Outcome::Done above")
-                    };
-                    let mut out = format!("RESULT {id} {}\n", payload.len()).into_bytes();
-                    out.extend_from_slice(&payload);
-                    out
-                }
-                Some(Outcome::Gone) => format!("GONE {id}\n").into_bytes(),
-                Some(Outcome::Failed(message)) => {
-                    format!("ERR job {id} failed: {message}\n").into_bytes()
-                }
-                Some(Outcome::Cancelled) => {
-                    format!("ERR {}\n", kecss::Error::JobCancelled { job: id }).into_bytes()
-                }
-            }
-        }
-        Request::Cancel(id) => {
-            let mut table = shared.table.lock().expect("coordinator lock poisoned");
-            let response = match table.jobs.get(&id).map(|job| job.state) {
-                None => format!("ERR unknown job {id}\n"),
-                Some(FleetState::Queued) => {
-                    table.finish(id, FleetState::Cancelled, Outcome::Cancelled);
-                    drop(table);
-                    shared.changed.notify_all();
-                    return format!("OK {id} CANCELLED\n").into_bytes();
-                }
-                Some(state) if state.is_terminal() => format!("ERR job {id} already finished\n"),
-                Some(state) => format!(
-                    "ERR job {id} is already {}\n",
-                    state.wire_name().to_lowercase()
-                ),
-            };
-            response.into_bytes()
-        }
-        Request::Metrics => {
-            let text = kecss_obs::Registry::global().render();
-            let mut out = format!("METRICS {}\n", text.len()).into_bytes();
-            out.extend_from_slice(text.as_bytes());
-            out
-        }
-        Request::Heartbeat { worker, addr } => {
-            let mut table = shared.table.lock().expect("coordinator lock poisoned");
-            let now = Instant::now();
-            let registered = match table.workers.get_mut(&worker) {
-                Some(entry) => {
-                    let was_dead = !entry.live;
-                    if kecss_obs::enabled() && !was_dead {
-                        if let Ok(ns) =
-                            u64::try_from(now.duration_since(entry.last_beat).as_nanos())
-                        {
-                            metrics().heartbeat_gap_ns.record(ns);
-                        }
+impl Service for CoordinatorService {
+    fn respond(&self, request: Request) -> ServiceReply {
+        kecss_obs::counter_with("fleet_requests_total", &[("verb", request.verb())]).inc();
+        let shared = &self.shared;
+        let reply = match request {
+            Request::Submit(spec) => self.admit(spec, false),
+            Request::SubmitWait(spec) => self.admit(spec, true),
+            Request::Status(id) => {
+                let table = shared.table.lock().expect("coordinator lock poisoned");
+                match table.jobs.get(&id) {
+                    Some(job) => {
+                        ServiceReply::Line(Response::Ok(format!("{id} {}", job.state.wire_name())))
                     }
-                    entry.addr = addr;
-                    entry.last_beat = now;
-                    entry.live = true;
-                    was_dead
+                    None => ServiceReply::Line(Response::Err(format!("unknown job {id}"))),
                 }
-                None => {
-                    table.workers.insert(
-                        worker.clone(),
-                        WorkerEntry {
-                            addr,
-                            last_beat: now,
-                            live: true,
-                            dispatched: 0,
-                            inflight: 0,
-                        },
-                    );
-                    true
+            }
+            Request::Result(id) => {
+                let mut table = shared.table.lock().expect("coordinator lock poisoned");
+                match table.jobs.get_mut(&id) {
+                    None => ServiceReply::Line(Response::Err(format!("unknown job {id}"))),
+                    Some(job) => match fleet_outcome_response(id, job) {
+                        Some(response) => ServiceReply::Line(response),
+                        None => ServiceReply::Line(Response::Wait {
+                            id,
+                            state: job.state.wire_name(),
+                        }),
+                    },
                 }
-            };
-            if registered {
-                table.kicked = true;
             }
-            table.update_live_gauge();
-            drop(table);
-            if registered {
-                shared.dispatch.notify_all();
+            Request::ResultWait(id) => {
+                let table = shared.table.lock().expect("coordinator lock poisoned");
+                match table.jobs.get(&id) {
+                    None => ServiceReply::Line(Response::Err(format!("unknown job {id}"))),
+                    // Known job: park the connection. Already-terminal jobs
+                    // are answered by the subscribe-time re-check in the
+                    // loop.
+                    Some(_) => ServiceReply::Subscribe(id),
+                }
             }
-            let word = if registered { "REGISTERED" } else { "ALIVE" };
-            format!("OK {worker} {word}\n").into_bytes()
+            Request::Cancel(id) => {
+                let mut table = shared.table.lock().expect("coordinator lock poisoned");
+                match table.jobs.get(&id).map(|job| job.state) {
+                    None => ServiceReply::Line(Response::Err(format!("unknown job {id}"))),
+                    Some(FleetState::Queued) => {
+                        table.finish(id, FleetState::Cancelled, Outcome::Cancelled);
+                        let terminal_ids = std::mem::take(&mut table.pending_terminal);
+                        drop(table);
+                        shared.changed.notify_all();
+                        shared.notify_terminals(terminal_ids);
+                        ServiceReply::Line(Response::Ok(format!("{id} CANCELLED")))
+                    }
+                    Some(state) if state.is_terminal() => {
+                        ServiceReply::Line(Response::Err(format!("job {id} already finished")))
+                    }
+                    Some(state) => ServiceReply::Line(Response::Err(format!(
+                        "job {id} is already {}",
+                        state.wire_name().to_lowercase()
+                    ))),
+                }
+            }
+            Request::Metrics => {
+                let text = kecss_obs::Registry::global().render();
+                ServiceReply::Line(Response::Metrics(Arc::new(text.into_bytes())))
+            }
+            Request::Heartbeat { worker, addr } => {
+                let mut table = shared.table.lock().expect("coordinator lock poisoned");
+                let now = Instant::now();
+                let registered = match table.workers.get_mut(&worker) {
+                    Some(entry) => {
+                        let was_dead = !entry.live;
+                        if kecss_obs::enabled() && !was_dead {
+                            if let Ok(ns) =
+                                u64::try_from(now.duration_since(entry.last_beat).as_nanos())
+                            {
+                                metrics().heartbeat_gap_ns.record(ns);
+                            }
+                        }
+                        entry.addr = addr;
+                        entry.last_beat = now;
+                        entry.live = true;
+                        was_dead
+                    }
+                    None => {
+                        table.workers.insert(
+                            worker.clone(),
+                            WorkerEntry {
+                                addr,
+                                last_beat: now,
+                                live: true,
+                                dispatched: 0,
+                                inflight: 0,
+                            },
+                        );
+                        true
+                    }
+                };
+                if registered {
+                    table.kicked = true;
+                }
+                table.update_live_gauge();
+                drop(table);
+                if registered {
+                    shared.dispatch.notify_all();
+                }
+                let word = if registered { "REGISTERED" } else { "ALIVE" };
+                ServiceReply::Line(Response::Ok(format!("{worker} {word}")))
+            }
+            Request::Fleet => {
+                let table = shared.table.lock().expect("coordinator lock poisoned");
+                let text = render_fleet(&table);
+                ServiceReply::Line(Response::Fleet(Arc::new(text.into_bytes())))
+            }
+            Request::Shutdown => {
+                shared
+                    .table
+                    .lock()
+                    .expect("coordinator lock poisoned")
+                    .closed = true;
+                ServiceReply::Shutdown(Response::Ok("SHUTDOWN".into()))
+            }
+        };
+        if let ServiceReply::Line(response)
+        | ServiceReply::Shutdown(response)
+        | ServiceReply::LineAndSubscribe(response, _) = &reply
+        {
+            classify_response(response);
         }
-        Request::Fleet => {
-            let table = shared.table.lock().expect("coordinator lock poisoned");
-            let text = render_fleet(&table);
-            let mut out = format!("FLEET {}\n", text.len()).into_bytes();
-            out.extend_from_slice(text.as_bytes());
-            out
-        }
-        Request::Shutdown => {
-            shared
-                .table
-                .lock()
-                .expect("coordinator lock poisoned")
-                .closed = true;
-            shutting_down.store(true, Ordering::SeqCst);
-            b"OK SHUTDOWN\n".to_vec()
-        }
+        reply
+    }
+
+    fn result_reply(&self, id: JobId) -> Option<Response> {
+        let mut table = self.shared.table.lock().expect("coordinator lock poisoned");
+        let job = table.jobs.get_mut(&id)?;
+        let response = fleet_outcome_response(id, job)?;
+        classify_response(&response);
+        Some(response)
+    }
+
+    fn idle(&self) -> bool {
+        self.shared
+            .table
+            .lock()
+            .expect("coordinator lock poisoned")
+            .inflight
+            == 0
+    }
+
+    fn install_completion_hook(&self, hook: CompletionHook) {
+        *self
+            .shared
+            .completion_hook
+            .lock()
+            .expect("completion hook lock poisoned") = Some(hook);
     }
 }
 
@@ -926,6 +1042,7 @@ mod tests {
             inflight: 1,
             closed: false,
             kicked: false,
+            pending_terminal: Vec::new(),
             summary: FleetSummary {
                 submitted: 2,
                 completed: 1,
@@ -1009,6 +1126,7 @@ mod tests {
             inflight: 1,
             closed: false,
             kicked: false,
+            pending_terminal: Vec::new(),
             summary: FleetSummary::default(),
         };
         table.workers.insert(

@@ -68,6 +68,33 @@ impl Algorithm {
         }
     }
 
+    /// The algorithm's `KGW1` binary wire code (see [`crate::wire`]).
+    pub fn wire_code(&self) -> u8 {
+        match self {
+            Algorithm::TwoEcss => 0,
+            Algorithm::KEcss => 1,
+            Algorithm::ThreeEcss => 2,
+            Algorithm::ThreeEcssWeighted => 3,
+            Algorithm::Greedy => 4,
+            Algorithm::Thurimella => 5,
+            Algorithm::MstOnly => 6,
+        }
+    }
+
+    /// Decodes a `KGW1` wire code (inverse of [`Algorithm::wire_code`]).
+    pub fn from_wire_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => Algorithm::TwoEcss,
+            1 => Algorithm::KEcss,
+            2 => Algorithm::ThreeEcss,
+            3 => Algorithm::ThreeEcssWeighted,
+            4 => Algorithm::Greedy,
+            5 => Algorithm::Thurimella,
+            6 => Algorithm::MstOnly,
+            _ => return None,
+        })
+    }
+
     /// The connectivity this algorithm actually certifies for a requested
     /// target `k` (the fixed-k algorithms ignore the request).
     pub fn certified_k(&self, k: usize) -> usize {
@@ -321,8 +348,13 @@ mod tests {
             Algorithm::MstOnly,
         ] {
             assert_eq!(Algorithm::parse(algorithm.name()), Some(algorithm));
+            assert_eq!(
+                Algorithm::from_wire_code(algorithm.wire_code()),
+                Some(algorithm)
+            );
         }
         assert_eq!(Algorithm::parse("magic"), None);
+        assert_eq!(Algorithm::from_wire_code(7), None);
     }
 
     #[test]

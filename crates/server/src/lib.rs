@@ -5,8 +5,14 @@
 //! always-on request-serving layer (ROADMAP "Async / service front-end"):
 //!
 //! * [`protocol`] — the line-framed wire protocol (`SUBMIT`, `STATUS`,
-//!   `RESULT`, `CANCEL`, `METRICS`, `SHUTDOWN`) with length-prefixed result
-//!   payloads.
+//!   `RESULT`, `RESULT WAIT`, `CANCEL`, `METRICS`, `SHUTDOWN`) with
+//!   length-prefixed result payloads and the typed [`protocol::Response`].
+//! * [`wire`] — the `KGW1` binary frame mode: same requests and responses as
+//!   length-prefixed frames, instances shipped as zero-parse `KGB1` edge
+//!   records, negotiated per connection by a 4-byte preamble.
+//! * [`event_loop`] — the single-threaded readiness loop (DESIGN.md §14)
+//!   every role serves on: nonblocking sockets, per-connection state
+//!   machines, bounded write queues, push-on-complete `RESULT WAIT`.
 //! * [`instance`] — the `<family>:<n>` / `inline:` instance grammar and the
 //!   family-generation policy shared with the CLI.
 //! * [`job`] — job specs and the **pure job runner**: build instance → solve
@@ -60,11 +66,13 @@
 
 pub mod client;
 pub mod coordinator;
+pub mod event_loop;
 pub mod instance;
 pub mod job;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
+pub mod wire;
 pub mod worker;
 
 pub use coordinator::{Coordinator, CoordinatorConfig, CoordinatorHandle, FleetSummary};

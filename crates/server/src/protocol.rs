@@ -9,6 +9,7 @@
 //! SUBMIT <instance> <k> <algorithm> <enumerator> <seed>   -> OK <id> QUEUED | BUSY <depth> | ERR <msg>
 //! STATUS <id>                                             -> OK <id> <STATE> | ERR <msg>
 //! RESULT <id>    -> RESULT <id> <len>\n<payload> | WAIT <id> <STATE> | GONE <id> | ERR <msg>
+//! RESULT WAIT <id>  -> RESULT <id> <len>\n<payload> | GONE <id> | ERR <msg>   (pushed on completion)
 //! CANCEL <id>                                             -> OK <id> CANCELLED | ERR <msg>
 //! METRICS        -> METRICS <len>\n<text exposition>
 //! SHUTDOWN                                                -> OK SHUTDOWN
@@ -19,20 +20,40 @@
 //! payload from the job table (bounding a long-lived server's memory), and
 //! every later `RESULT` for that id answers `GONE <id>` while `STATUS` still
 //! reports `DONE`.
+//!
+//! `RESULT WAIT <id>` is the push variant: instead of answering `WAIT` for an
+//! unfinished job, the server parks the connection's request and pushes the
+//! `RESULT`/`GONE`/`ERR` reply the moment the job reaches a terminal state —
+//! no client polls anywhere in the system. The same requests and responses
+//! also travel as `KGW1` binary frames (see [`crate::wire`]); this module's
+//! [`Response`] enum is the single source of truth for both renderings.
 
 use crate::instance::InstanceSpec;
 use crate::job::{Algorithm, JobSpec};
 use kecss::cuts::EnumeratorPolicy;
+use std::sync::Arc;
 
 /// A parsed request line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
     /// Submit a job for scheduling.
     Submit(JobSpec),
+    /// Submit a job **and** subscribe to its terminal reply in one request:
+    /// the server acks `OK <id> QUEUED` and then pushes the
+    /// `RESULT`/`GONE`/`ERR` the moment the job finishes. Only the `KGW1`
+    /// binary framing can spell this (the [`crate::wire::FLAG_SUBMIT_WAIT`]
+    /// header bit); the text grammar never parses to it, and
+    /// [`Request::to_line`] renders the plain `SUBMIT` (a text client gets
+    /// the same effect from `SUBMIT` + `RESULT WAIT`).
+    SubmitWait(JobSpec),
     /// Query a job's lifecycle state.
     Status(u64),
     /// Fetch a finished job's result payload.
     Result(u64),
+    /// Fetch a job's result payload, blocking until the job finishes: the
+    /// reply is pushed to the connection when the job reaches a terminal
+    /// state instead of answering `WAIT` immediately.
+    ResultWait(u64),
     /// Cancel a queued job (running jobs complete; done jobs are immutable).
     Cancel(u64),
     /// Fetch the process-wide metrics registry as a text exposition.
@@ -94,6 +115,14 @@ impl Request {
                 }))
             }
             "STATUS" | "RESULT" | "CANCEL" => {
+                if verb == "RESULT" {
+                    if let ["WAIT", id] = rest.as_slice() {
+                        let id: u64 = id
+                            .parse()
+                            .map_err(|_| format!("RESULT WAIT: malformed job id '{id}'"))?;
+                        return Ok(Request::ResultWait(id));
+                    }
+                }
                 let [id] = rest.as_slice() else {
                     return Err(format!("{verb} expects exactly one job id"));
                 };
@@ -143,18 +172,112 @@ impl Request {
         }
     }
 
+    /// The verb label used by the per-verb request counters
+    /// (`server_requests_total{verb=...}` / `fleet_requests_total{verb=...}`).
+    /// `RESULT WAIT` counts under `RESULT` and the wait-flagged binary
+    /// submit under `SUBMIT`: they are the same fetch/submit, so smoke tests
+    /// asserting exact per-verb counts hold whichever variant (and whichever
+    /// framing, text or binary) a client uses.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Submit(_) | Request::SubmitWait(_) => "SUBMIT",
+            Request::Status(_) => "STATUS",
+            Request::Result(_) | Request::ResultWait(_) => "RESULT",
+            Request::Cancel(_) => "CANCEL",
+            Request::Metrics => "METRICS",
+            Request::Heartbeat { .. } => "HEARTBEAT",
+            Request::Fleet => "FLEET",
+            Request::Shutdown => "SHUTDOWN",
+        }
+    }
+
     /// The canonical request line (inverse of [`Request::parse`]).
     pub fn to_line(&self) -> String {
         match self {
-            Request::Submit(spec) => format!("SUBMIT {}", spec.canonical()),
+            Request::Submit(spec) | Request::SubmitWait(spec) => {
+                format!("SUBMIT {}", spec.canonical())
+            }
             Request::Status(id) => format!("STATUS {id}"),
             Request::Result(id) => format!("RESULT {id}"),
+            Request::ResultWait(id) => format!("RESULT WAIT {id}"),
             Request::Cancel(id) => format!("CANCEL {id}"),
             Request::Metrics => "METRICS".into(),
             Request::Heartbeat { worker, addr } => format!("HEARTBEAT {worker} {addr}"),
             Request::Fleet => "FLEET".into(),
             Request::Shutdown => "SHUTDOWN".into(),
         }
+    }
+}
+
+/// A typed server reply: the single source of truth both renderings share.
+///
+/// [`Response::render_text`] produces the exact byte strings of the line
+/// protocol (unchanged since DESIGN.md §9); [`crate::wire::encode_response`]
+/// produces the equivalent `KGW1` frame. Result and METRICS/FLEET payloads
+/// are carried as shared `Arc`s so a pushed result is never copied per
+/// subscriber.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// `OK <words>` — acknowledgement; `words` is everything after `OK `.
+    Ok(String),
+    /// `BUSY <depth>` — the admission queue is full.
+    Busy(u64),
+    /// `WAIT <id> <STATE>` — the job exists but has not finished.
+    Wait {
+        /// The job id.
+        id: u64,
+        /// The lifecycle state's wire name.
+        state: &'static str,
+    },
+    /// `RESULT <id> <len>` + payload bytes.
+    Result {
+        /// The job id.
+        id: u64,
+        /// The result payload.
+        payload: Arc<Vec<u8>>,
+    },
+    /// `GONE <id>` — the payload was already fetched (fetched-once).
+    Gone(u64),
+    /// `ERR <msg>`.
+    Err(String),
+    /// `METRICS <len>` + text exposition.
+    Metrics(Arc<Vec<u8>>),
+    /// `FLEET <len>` + fleet status text.
+    Fleet(Arc<Vec<u8>>),
+}
+
+impl Response {
+    /// Renders the response in the text line protocol, byte-exact with the
+    /// pre-readiness-loop server.
+    pub fn render_text(&self) -> Vec<u8> {
+        match self {
+            Response::Ok(words) => format!("OK {words}\n").into_bytes(),
+            Response::Busy(depth) => format!("BUSY {depth}\n").into_bytes(),
+            Response::Wait { id, state } => format!("WAIT {id} {state}\n").into_bytes(),
+            Response::Result { id, payload } => {
+                let mut out = format!("RESULT {id} {}\n", payload.len()).into_bytes();
+                out.extend_from_slice(payload);
+                out
+            }
+            Response::Gone(id) => format!("GONE {id}\n").into_bytes(),
+            Response::Err(msg) => format!("ERR {msg}\n").into_bytes(),
+            Response::Metrics(text) => {
+                let mut out = format!("METRICS {}\n", text.len()).into_bytes();
+                out.extend_from_slice(text);
+                out
+            }
+            Response::Fleet(text) => {
+                let mut out = format!("FLEET {}\n", text.len()).into_bytes();
+                out.extend_from_slice(text);
+                out
+            }
+        }
+    }
+
+    /// True for `ERR` responses (the reply-classification counters key on
+    /// this).
+    pub fn is_err(&self) -> bool {
+        matches!(self, Response::Err(_))
     }
 }
 
@@ -208,6 +331,57 @@ mod tests {
                 addr: "127.0.0.1:7461".into()
             }
         );
+    }
+
+    #[test]
+    fn result_wait_round_trips_and_shares_the_result_verb() {
+        let req = Request::parse("RESULT WAIT 9").unwrap();
+        assert_eq!(req, Request::ResultWait(9));
+        assert_eq!(req.to_line(), "RESULT WAIT 9");
+        assert_eq!(req.verb(), "RESULT");
+        assert_eq!(Request::Result(9).verb(), "RESULT");
+        let err = Request::parse("RESULT WAIT nine").unwrap_err();
+        assert!(err.contains("malformed job id"), "{err}");
+        // Two non-WAIT arguments still read as the arity error.
+        let err = Request::parse("RESULT 1 2").unwrap_err();
+        assert!(err.contains("one job id"), "{err}");
+    }
+
+    #[test]
+    fn responses_render_the_exact_line_protocol_bytes() {
+        let payload = Arc::new(b"# kecss job result v1\n".to_vec());
+        for (response, expect) in [
+            (Response::Ok("3 QUEUED".into()), b"OK 3 QUEUED\n".to_vec()),
+            (Response::Busy(16), b"BUSY 16\n".to_vec()),
+            (
+                Response::Wait {
+                    id: 4,
+                    state: "RUNNING",
+                },
+                b"WAIT 4 RUNNING\n".to_vec(),
+            ),
+            (
+                Response::Result {
+                    id: 7,
+                    payload: Arc::clone(&payload),
+                },
+                [b"RESULT 7 22\n".to_vec(), payload.as_ref().clone()].concat(),
+            ),
+            (Response::Gone(7), b"GONE 7\n".to_vec()),
+            (Response::Err("nope".into()), b"ERR nope\n".to_vec()),
+            (
+                Response::Metrics(Arc::new(b"# TYPE x counter\n".to_vec())),
+                b"METRICS 17\n# TYPE x counter\n".to_vec(),
+            ),
+            (
+                Response::Fleet(Arc::new(b"workers 0 live 0\n".to_vec())),
+                b"FLEET 17\nworkers 0 live 0\n".to_vec(),
+            ),
+        ] {
+            assert_eq!(response.render_text(), expect, "{response:?}");
+        }
+        assert!(Response::Err("x".into()).is_err());
+        assert!(!Response::Gone(1).is_err());
     }
 
     #[test]

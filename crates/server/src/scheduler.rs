@@ -257,12 +257,37 @@ struct Table {
 /// backpressure and cancellation can be exercised without timing races.
 pub type StartHook = Arc<dyn Fn(JobId) + Send + Sync>;
 
+/// Callback invoked (outside every scheduler lock) each time a job reaches a
+/// terminal state. The readiness loop installs one to get push-on-complete
+/// `RESULT WAIT` delivery: the hook enqueues the id and wakes the poller, so
+/// no thread ever polls the job table.
+pub type CompletionHook = Arc<dyn Fn(JobId) + Send + Sync>;
+
 struct State {
     table: Mutex<Table>,
     /// Signalled whenever a job reaches a terminal state.
     changed: Condvar,
     queue_depth: usize,
     start_hook: Option<StartHook>,
+    /// See [`CompletionHook`]. Behind its own lock (not the table lock): the
+    /// hook is installed once at serve start and read on each completion.
+    completion_hook: Mutex<Option<CompletionHook>>,
+}
+
+impl State {
+    /// Fires the completion hook for `id`. Call with **no** scheduler lock
+    /// held: the hook wakes the event loop, which may immediately call back
+    /// into the table.
+    fn notify_terminal(&self, id: JobId) {
+        let hook = self
+            .completion_hook
+            .lock()
+            .expect("completion hook lock poisoned")
+            .clone();
+        if let Some(hook) = hook {
+            hook(id);
+        }
+    }
 }
 
 /// The scheduler: job table + worker pool. Cheap to share via `Arc`.
@@ -297,6 +322,7 @@ impl Scheduler {
                 changed: Condvar::new(),
                 queue_depth: queue_depth.max(1),
                 start_hook,
+                completion_hook: Mutex::new(None),
             }),
             pool: JobPool::new(threads),
         }
@@ -305,6 +331,26 @@ impl Scheduler {
     /// The in-flight bound.
     pub fn queue_depth(&self) -> usize {
         self.state.queue_depth
+    }
+
+    /// Jobs currently queued or running (the quantity the depth bound
+    /// applies to). The readiness loop's shutdown drain spins on this
+    /// reaching zero — woken by the completion hook, not by polling.
+    pub fn inflight(&self) -> usize {
+        self.state
+            .table
+            .lock()
+            .expect("scheduler lock poisoned")
+            .inflight
+    }
+
+    /// Installs the [`CompletionHook`], replacing any previous one.
+    pub fn set_completion_hook(&self, hook: CompletionHook) {
+        *self
+            .state
+            .completion_hook
+            .lock()
+            .expect("completion hook lock poisoned") = Some(hook);
     }
 
     /// Submits a solver job. Every job runs [`job::run`] with a sequential
@@ -443,6 +489,7 @@ impl Scheduler {
                 metrics().inflight.set(table.inflight as i64);
                 drop(table);
                 self.state.changed.notify_all();
+                self.state.notify_terminal(id);
                 Ok(())
             }
             Some(Slot::Running) => Err(format!("job {id} is already running")),
@@ -565,6 +612,7 @@ fn execute(state: &State, id: JobId) {
     metrics().inflight.set(table.inflight as i64);
     drop(table);
     state.changed.notify_all();
+    state.notify_terminal(id);
 }
 
 #[cfg(test)]
@@ -840,6 +888,33 @@ mod tests {
         // After a drain, the full depth is available again.
         assert!(scheduler.submit_with(Box::new(|| Ok(Vec::new()))).is_ok());
         scheduler.shutdown();
+    }
+
+    #[test]
+    fn completion_hook_fires_on_every_terminal_transition() {
+        let scheduler = Scheduler::new(1, 4);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        scheduler.set_completion_hook(Arc::new(move |id| {
+            sink.lock().unwrap().push(id);
+        }));
+        let done = scheduler.submit_with(Box::new(|| Ok(Vec::new()))).unwrap();
+        scheduler.wait(done);
+        let failed = scheduler.submit_with(Box::new(|| Err("x".into()))).unwrap();
+        scheduler.wait(failed);
+        // Cancellation is a terminal transition too: hold the single worker
+        // so a second job stays queued and cancellable.
+        let (running, tx) = blocking_job(&scheduler);
+        wait_until_running(&scheduler, running);
+        let (queued, _tx_queued) = blocking_job(&scheduler);
+        scheduler.cancel(queued).unwrap();
+        drop(tx);
+        scheduler.wait(running);
+        scheduler.shutdown();
+        let seen = seen.lock().unwrap().clone();
+        for id in [done, failed, queued, running] {
+            assert!(seen.contains(&id), "hook missed job {id}: {seen:?}");
+        }
     }
 
     #[test]

@@ -1,19 +1,21 @@
-//! The TCP front-end: accept loop, per-connection request handling, and the
-//! shutdown/drain lifecycle.
+//! The TCP front-end: the standalone server role on the readiness loop.
 //!
-//! One OS thread per connection keeps the implementation std-only and the
-//! request path trivially ordered: a connection's requests are answered in
-//! submission order, while the actual solving happens on the scheduler's
-//! worker pool. `SHUTDOWN` stops the accept loop and refuses further
-//! submissions, then [`Server::run`] drains the in-flight jobs before
-//! returning — nothing that was accepted is ever dropped.
+//! Accepting, framing and reply delivery all happen on the single
+//! [`crate::event_loop`] thread (DESIGN.md §14); the actual solving happens
+//! on the scheduler's worker pool, so the event thread never blocks. Both
+//! wire modes — the text line protocol and `KGW1` binary frames — are served
+//! on the same port, sniffed from the first bytes of each connection.
+//! `SHUTDOWN` stops accepting and refuses further submissions, then
+//! [`Server::run`] drains the in-flight jobs before returning — nothing that
+//! was accepted is ever dropped.
 
-use crate::protocol::Request;
-use crate::scheduler::{Outcome, Scheduler, ServeSummary};
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::event_loop::{run_event_loop, EventLoopConfig, Service, ServiceReply};
+use crate::protocol::{Request, Response};
+use crate::scheduler::{CompletionHook, JobId, Outcome, Scheduler, ServeSummary};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
+
+pub use polling::Backend;
 
 /// Server configuration (the CLI's `kecss serve` flags).
 #[derive(Clone, Debug)]
@@ -28,6 +30,10 @@ pub struct ServerConfig {
     /// answers `ERR` and closes it (0 means unlimited). Bounds the damage a
     /// stuck client loop can do to a shared server.
     pub max_requests_per_conn: usize,
+    /// Maximum unsent reply bytes buffered for one connection before the
+    /// slow-client policy answers `ERR` and closes it. Bounds the memory a
+    /// stalled reader can pin.
+    pub write_queue_limit: usize,
 }
 
 impl Default for ServerConfig {
@@ -37,18 +43,18 @@ impl Default for ServerConfig {
             threads: 1,
             queue_depth: 16,
             max_requests_per_conn: 0,
+            write_queue_limit: 16 << 20,
         }
     }
 }
 
 /// A bound, not-yet-running server. Splitting bind from run lets callers
-/// learn the ephemeral port (`--addr 127.0.0.1:0`) before the blocking accept
+/// learn the ephemeral port (`--addr 127.0.0.1:0`) before the blocking event
 /// loop starts.
 pub struct Server {
     listener: TcpListener,
     scheduler: Arc<Scheduler>,
-    shutting_down: Arc<AtomicBool>,
-    max_requests_per_conn: usize,
+    loop_config: EventLoopConfig,
 }
 
 impl Server {
@@ -73,9 +79,18 @@ impl Server {
         Ok(Server {
             listener,
             scheduler: Arc::new(scheduler),
-            shutting_down: Arc::new(AtomicBool::new(false)),
-            max_requests_per_conn: config.max_requests_per_conn,
+            loop_config: EventLoopConfig {
+                max_requests_per_conn: config.max_requests_per_conn,
+                write_queue_limit: config.write_queue_limit.max(1),
+                backend: None,
+            },
         })
+    }
+
+    /// Overrides the readiness backend (tests drive the portable `poll(2)`
+    /// fallback through this; production uses the platform default).
+    pub fn set_backend(&mut self, backend: polling::Backend) {
+        self.loop_config.backend = Some(backend);
     }
 
     /// The actually-bound address (resolves port 0).
@@ -87,29 +102,20 @@ impl Server {
         self.listener.local_addr().expect("listener has an address")
     }
 
-    /// Runs the accept loop until a `SHUTDOWN` request arrives, then drains
-    /// the in-flight jobs and returns the final counters.
+    /// Runs the readiness loop until a `SHUTDOWN` request arrives, then
+    /// drains the in-flight jobs and returns the final counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the readiness poller cannot be constructed (fd exhaustion).
     pub fn run(self) -> ServeSummary {
-        let addr = self.local_addr();
-        for stream in self.listener.incoming() {
-            if self.shutting_down.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = stream else { continue };
-            let _ = stream.set_nodelay(true);
-            let scheduler = Arc::clone(&self.scheduler);
-            let shutting_down = Arc::clone(&self.shutting_down);
-            let max_requests = self.max_requests_per_conn;
-            // Connection threads are detached: they end when their client
-            // disconnects, and they never outlive useful work (after the
-            // drain below, every request they can still make is answered
-            // from the immutable job table or refused).
-            std::thread::spawn(move || {
-                serve_line_connection(stream, addr, max_requests, |request| {
-                    respond(request, &scheduler, &shutting_down)
-                });
-            });
-        }
+        let service: Arc<dyn Service> = Arc::new(ServerService {
+            scheduler: Arc::clone(&self.scheduler),
+        });
+        run_event_loop(self.listener, &service, &self.loop_config)
+            .expect("readiness loop failed to start");
+        // The loop exits only once the service is idle; the drain is a
+        // belt-and-braces barrier before reading the final counters.
         self.scheduler.drain();
         self.scheduler.summary()
     }
@@ -146,179 +152,145 @@ impl ServerHandle {
     }
 }
 
-/// The longest request line the server will buffer (inline instances are the
-/// only long requests; at [`crate::instance::MAX_INSTANCE_N`] edges-per-line
-/// granularity this is generous). Bounding it keeps a malicious client from
-/// growing the line buffer without ever sending a newline.
-const MAX_REQUEST_LINE: u64 = 1 << 20;
+/// The standalone role behind the readiness loop: scheduler-backed request
+/// handling. Metrics are recorded out-of-band only: the response bytes for
+/// every job-facing verb are exactly what they were before instrumentation
+/// (DESIGN.md §11), and per-verb counters fire identically for text and
+/// binary connections.
+struct ServerService {
+    scheduler: Arc<Scheduler>,
+}
 
-/// Serves one connection: a loop of line-framed requests, answered by the
-/// given responder. Returns when the client disconnects, after acknowledging
-/// `SHUTDOWN`, or when a per-connection limit is exceeded (`ERR`, then
-/// close). This loop is the single implementation of the wire framing,
-/// shared by the standalone [`Server`] and the fleet
-/// [`crate::coordinator::Coordinator`] — both roles speak byte-identical
-/// framing by construction.
-pub(crate) fn serve_line_connection<F>(
-    stream: TcpStream,
-    server_addr: SocketAddr,
-    max_requests: usize,
-    respond: F,
-) where
-    F: Fn(Request) -> Vec<u8>,
-{
-    let Ok(write_half) = stream.try_clone() else {
+impl ServerService {
+    /// Maps a fetched terminal outcome to its reply.
+    fn outcome_response(id: JobId, outcome: Outcome) -> Response {
+        match outcome {
+            Outcome::Done(payload) => Response::Result { id, payload },
+            Outcome::Gone => Response::Gone(id),
+            Outcome::Failed(message) => Response::Err(format!("job {id} failed: {message}")),
+            Outcome::Cancelled => Response::Err(kecss::Error::JobCancelled { job: id }.to_string()),
+        }
+    }
+}
+
+/// Counts the reply-classification metrics (`BUSY`/`GONE`/request-`ERR`),
+/// shared by immediate and pushed replies of both roles.
+pub(crate) fn classify_response(response: &Response) {
+    if !kecss_obs::enabled() {
         return;
-    };
-    let mut reader = BufReader::new(stream);
-    let mut writer = write_half;
-    let mut line = String::new();
-    let mut served: usize = 0;
-    loop {
-        line.clear();
-        match std::io::Read::take(&mut reader, MAX_REQUEST_LINE).read_line(&mut line) {
-            Ok(0) | Err(_) => return, // disconnected
-            Ok(_) => {}
+    }
+    match response {
+        Response::Busy(_) => kecss_obs::counter("server_reply_busy_total").inc(),
+        Response::Gone(_) => kecss_obs::counter("server_reply_gone_total").inc(),
+        Response::Err(_) => {
+            kecss_obs::counter_with("server_reply_err_total", &[("cause", "request")]).inc();
         }
-        if !line.ends_with('\n') && line.len() as u64 >= MAX_REQUEST_LINE {
-            // The limit cut the line short: refuse and drop the connection
-            // (resynchronizing mid-line is not worth the ambiguity).
-            kecss_obs::counter_with("server_conn_limit_total", &[("kind", "line")]).inc();
-            let _ = writer.write_all(b"ERR request line exceeds the size limit\n");
-            return;
-        }
-        if max_requests != 0 && served >= max_requests {
-            kecss_obs::counter_with("server_conn_limit_total", &[("kind", "requests")]).inc();
-            let _ = writer
-                .write_all(format!("ERR connection exceeded {max_requests} requests\n").as_bytes());
-            return;
-        }
-        served += 1;
-        let request = match Request::parse(line.trim_end()) {
-            Ok(request) => request,
-            Err(message) => {
-                kecss_obs::counter_with("server_reply_err_total", &[("cause", "parse")]).inc();
-                if writer
-                    .write_all(format!("ERR {message}\n").as_bytes())
-                    .is_err()
-                {
-                    return;
+        _ => {}
+    }
+}
+
+impl Service for ServerService {
+    fn respond(&self, request: Request) -> ServiceReply {
+        kecss_obs::counter_with("server_requests_total", &[("verb", request.verb())]).inc();
+        let reply = match request {
+            // Admission control lives in the scheduler, under its table
+            // lock: after a SHUTDOWN closes the scheduler, this returns
+            // `ServiceShuttingDown`, and any submission admitted before the
+            // close is visible to the shutdown drain. The wait-flagged
+            // variant additionally parks the connection for the terminal
+            // push — but only when the job was actually admitted.
+            Request::Submit(spec) => match self.scheduler.submit(spec) {
+                Ok(id) => ServiceReply::Line(Response::Ok(format!("{id} QUEUED"))),
+                Err(kecss::Error::JobQueueFull { depth }) => {
+                    ServiceReply::Line(Response::Busy(depth as u64))
                 }
-                continue;
+                Err(other) => ServiceReply::Line(Response::Err(other.to_string())),
+            },
+            Request::SubmitWait(spec) => match self.scheduler.submit(spec) {
+                Ok(id) => ServiceReply::LineAndSubscribe(Response::Ok(format!("{id} QUEUED")), id),
+                Err(kecss::Error::JobQueueFull { depth }) => {
+                    ServiceReply::Line(Response::Busy(depth as u64))
+                }
+                Err(other) => ServiceReply::Line(Response::Err(other.to_string())),
+            },
+            Request::Status(id) => match self.scheduler.status(id) {
+                Some(status) => {
+                    ServiceReply::Line(Response::Ok(format!("{id} {}", status.wire_name())))
+                }
+                None => ServiceReply::Line(Response::Err(format!("unknown job {id}"))),
+            },
+            Request::Result(id) => {
+                match (self.scheduler.status(id), self.scheduler.take_result(id)) {
+                    (None, _) => ServiceReply::Line(Response::Err(format!("unknown job {id}"))),
+                    (Some(status), None) => ServiceReply::Line(Response::Wait {
+                        id,
+                        state: status.wire_name(),
+                    }),
+                    // Fetched-once: `take_result` dropped the payload from
+                    // the table; a repeat RESULT for this id answers GONE.
+                    (_, Some(outcome)) => {
+                        ServiceReply::Line(ServerService::outcome_response(id, outcome))
+                    }
+                }
+            }
+            Request::ResultWait(id) => match self.scheduler.status(id) {
+                None => ServiceReply::Line(Response::Err(format!("unknown job {id}"))),
+                // Known job: park the connection. Already-terminal jobs are
+                // answered by the subscribe-time re-check in the loop.
+                Some(_) => ServiceReply::Subscribe(id),
+            },
+            Request::Cancel(id) => match self.scheduler.cancel(id) {
+                Ok(()) => ServiceReply::Line(Response::Ok(format!("{id} CANCELLED"))),
+                Err(message) => ServiceReply::Line(Response::Err(message)),
+            },
+            Request::Metrics => {
+                // Framed with the byte length, then the text exposition
+                // verbatim (it is multi-line, so line framing alone cannot
+                // carry it).
+                let text = kecss_obs::Registry::global().render();
+                ServiceReply::Line(Response::Metrics(Arc::new(text.into_bytes())))
+            }
+            // Fleet verbs are the coordinator's alone: a standalone server
+            // (and a worker, which serves this same path) refuses them, so a
+            // client pointed at the wrong role finds out immediately.
+            Request::Heartbeat { .. } | Request::Fleet => ServiceReply::Line(Response::Err(
+                "not a fleet coordinator (HEARTBEAT/FLEET need `kecss serve --role coordinator`)"
+                    .into(),
+            )),
+            Request::Shutdown => {
+                // Close the scheduler first (authoritative, under the
+                // admission lock); the loop stops accepting and drains.
+                // Everything admitted up to the close is served; everything
+                // after is refused.
+                self.scheduler.close();
+                ServiceReply::Shutdown(Response::Ok("SHUTDOWN".into()))
             }
         };
-        let is_shutdown = request == Request::Shutdown;
-        let response = respond(request);
-        if writer.write_all(&response).is_err() {
-            return;
+        if let ServiceReply::Line(response)
+        | ServiceReply::Shutdown(response)
+        | ServiceReply::LineAndSubscribe(response, _) = &reply
+        {
+            classify_response(response);
         }
-        if is_shutdown {
-            // Wake the accept loop so it observes the flag. The dummy
-            // connection is accepted, sees the flag, and is dropped.
-            let _ = TcpStream::connect(server_addr);
-            return;
-        }
+        reply
     }
-}
 
-/// Computes the full response bytes (header line, plus payload for RESULT
-/// and METRICS). Metrics are recorded out-of-band only: the response bytes
-/// for every job-facing verb are exactly what they were before
-/// instrumentation (DESIGN.md §11).
-fn respond(request: Request, scheduler: &Scheduler, shutting_down: &AtomicBool) -> Vec<u8> {
-    let verb = match &request {
-        Request::Submit(_) => "SUBMIT",
-        Request::Status(_) => "STATUS",
-        Request::Result(_) => "RESULT",
-        Request::Cancel(_) => "CANCEL",
-        Request::Metrics => "METRICS",
-        Request::Heartbeat { .. } => "HEARTBEAT",
-        Request::Fleet => "FLEET",
-        Request::Shutdown => "SHUTDOWN",
-    };
-    kecss_obs::counter_with("server_requests_total", &[("verb", verb)]).inc();
-    let response = respond_inner(request, scheduler, shutting_down);
-    if kecss_obs::enabled() {
-        match response.first() {
-            Some(b'B') => kecss_obs::counter("server_reply_busy_total").inc(),
-            Some(b'G') => kecss_obs::counter("server_reply_gone_total").inc(),
-            Some(b'E') => {
-                kecss_obs::counter_with("server_reply_err_total", &[("cause", "request")]).inc();
-            }
-            _ => {}
+    fn result_reply(&self, id: JobId) -> Option<Response> {
+        if !self.scheduler.status(id)?.is_terminal() {
+            return None;
         }
+        let outcome = self.scheduler.take_result(id)?;
+        let response = ServerService::outcome_response(id, outcome);
+        classify_response(&response);
+        Some(response)
     }
-    response
-}
 
-/// The uninstrumented response computation (see [`respond`]). The first byte
-/// of each reply verb is distinct (`OK`/`WAIT`/`RESULT`/`METRICS` vs `BUSY`,
-/// `GONE`, `ERR`), which is what [`respond`] classifies on.
-fn respond_inner(request: Request, scheduler: &Scheduler, shutting_down: &AtomicBool) -> Vec<u8> {
-    match request {
-        Request::Submit(spec) => {
-            // Admission control lives in the scheduler, under its table lock:
-            // after a SHUTDOWN closes the scheduler, this returns
-            // `ServiceShuttingDown`, and any submission admitted before the
-            // close is visible to the shutdown drain. No check against the
-            // (advisory, accept-loop-only) atomic flag here — that would race
-            // with the drain.
-            match scheduler.submit(spec) {
-                Ok(id) => format!("OK {id} QUEUED\n").into_bytes(),
-                Err(kecss::Error::JobQueueFull { depth }) => format!("BUSY {depth}\n").into_bytes(),
-                Err(other) => format!("ERR {other}\n").into_bytes(),
-            }
-        }
-        Request::Status(id) => match scheduler.status(id) {
-            Some(status) => format!("OK {id} {}\n", status.wire_name()).into_bytes(),
-            None => format!("ERR unknown job {id}\n").into_bytes(),
-        },
-        Request::Result(id) => match (scheduler.status(id), scheduler.take_result(id)) {
-            (None, _) => format!("ERR unknown job {id}\n").into_bytes(),
-            (Some(status), None) => format!("WAIT {id} {}\n", status.wire_name()).into_bytes(),
-            (_, Some(Outcome::Done(payload))) => {
-                // Fetched-once: `take_result` dropped the payload from the
-                // table; a repeat RESULT for this id answers GONE.
-                let mut out = format!("RESULT {id} {}\n", payload.len()).into_bytes();
-                out.extend_from_slice(&payload);
-                out
-            }
-            (_, Some(Outcome::Gone)) => format!("GONE {id}\n").into_bytes(),
-            (_, Some(Outcome::Failed(message))) => {
-                format!("ERR job {id} failed: {message}\n").into_bytes()
-            }
-            (_, Some(Outcome::Cancelled)) => {
-                format!("ERR {}\n", kecss::Error::JobCancelled { job: id }).into_bytes()
-            }
-        },
-        Request::Cancel(id) => match scheduler.cancel(id) {
-            Ok(()) => format!("OK {id} CANCELLED\n").into_bytes(),
-            Err(message) => format!("ERR {message}\n").into_bytes(),
-        },
-        Request::Metrics => {
-            // Framed like RESULT: a header with the byte length, then the
-            // text exposition verbatim (it is multi-line, so line framing
-            // alone cannot carry it).
-            let text = kecss_obs::Registry::global().render();
-            let mut out = format!("METRICS {}\n", text.len()).into_bytes();
-            out.extend_from_slice(text.as_bytes());
-            out
-        }
-        // Fleet verbs are the coordinator's alone: a standalone server (and
-        // a worker, which serves this same respond path) refuses them, so a
-        // client pointed at the wrong role finds out immediately.
-        Request::Heartbeat { .. } | Request::Fleet => {
-            b"ERR not a fleet coordinator (HEARTBEAT/FLEET need `kecss serve --role coordinator`)\n"
-                .to_vec()
-        }
-        Request::Shutdown => {
-            // Close the scheduler first (authoritative, under the admission
-            // lock), then flag the accept loop. Everything admitted up to the
-            // close is drained by `Server::run`; everything after is refused.
-            scheduler.close();
-            shutting_down.store(true, Ordering::SeqCst);
-            b"OK SHUTDOWN\n".to_vec()
-        }
+    fn idle(&self) -> bool {
+        self.scheduler.inflight() == 0
+    }
+
+    fn install_completion_hook(&self, hook: CompletionHook) {
+        self.scheduler.set_completion_hook(hook);
     }
 }
 

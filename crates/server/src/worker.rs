@@ -2,7 +2,8 @@
 //! registers with (and stays registered at) a coordinator.
 //!
 //! A worker *is* a server — the coordinator dispatches jobs to it with the
-//! ordinary client protocol (`SUBMIT`, then `RESULT` polling), so everything
+//! ordinary client protocol (`SUBMIT`, then one blocking `RESULT WAIT`), so
+//! everything
 //! the standalone server guarantees (bounded queue, `BUSY` backpressure,
 //! byte-deterministic payloads, drain-on-shutdown) holds per worker with no
 //! new code. The only addition is liveness: `HEARTBEAT <id> <addr>` every
@@ -84,6 +85,7 @@ impl Worker {
             threads: config.threads,
             queue_depth: config.queue_depth,
             max_requests_per_conn: config.max_requests_per_conn,
+            ..ServerConfig::default()
         })?;
         let worker_id = if config.worker_id.is_empty() {
             format!("worker-{}", server.local_addr().port())

@@ -1,0 +1,294 @@
+//! The event-driven front-end suite (DESIGN.md §14): both wire modes on one
+//! port, at connection counts and client pathologies the readiness loop
+//! exists for.
+//!
+//! Covered here: property-tested byte-identity of text-protocol and `KGW1`
+//! binary-frame payloads over the full spec space; thousands of idle
+//! connections held open while submissions keep flowing (and the idle
+//! connections still answer afterwards); a stalled reader tripping the
+//! bounded write queue without wedging anyone else; and the portable
+//! `poll(2)` backend serving both modes identically to the platform default.
+
+use kecss_server::client::Client;
+use kecss_server::protocol::Request;
+use kecss_server::server::{Backend, Server, ServerConfig, ServerHandle};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+const POLL: Duration = Duration::from_millis(20);
+const DEADLINE: Duration = Duration::from_secs(300);
+
+fn spawn(threads: usize, queue_depth: usize) -> ServerHandle {
+    Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads,
+        queue_depth,
+        ..ServerConfig::default()
+    })
+    .expect("bind an ephemeral port")
+    .spawn()
+}
+
+fn submit_line(client: &mut Client, line: &str) -> u64 {
+    let Request::Submit(spec) = Request::parse(line).unwrap() else {
+        panic!("not a SUBMIT line: {line}")
+    };
+    client
+        .submit(&spec)
+        .unwrap()
+        .unwrap_or_else(|depth| panic!("unexpected BUSY (depth {depth}) for {line}"))
+}
+
+/// Submits `line` and fetches the payload over an already-connected client.
+fn solve_over(client: &mut Client, line: &str) -> Vec<u8> {
+    let id = submit_line(client, line);
+    client.wait_result(id, POLL, DEADLINE).unwrap()
+}
+
+/// One shared server for the property test: proptest runs many cases, and a
+/// server per case would dominate the runtime. The handle is leaked — the
+/// server lives (idle) until the test process exits.
+fn shared_server_addr() -> &'static str {
+    static ADDR: OnceLock<String> = OnceLock::new();
+    ADDR.get_or_init(|| {
+        let handle = spawn(2, 64);
+        let addr = handle.addr().to_string();
+        std::mem::forget(handle);
+        addr
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The tentpole identity: for any (instance, k, algorithm, enumerator,
+    /// seed), the payload fetched over a `KGW1` binary connection — whose
+    /// SUBMIT carried the instance as zero-parse 16-byte edge records — is
+    /// byte-identical to the payload the text protocol returns for the same
+    /// spec.
+    #[test]
+    fn binary_and_text_payloads_are_byte_identical(
+        n in 5usize..12,
+        weights in proptest::collection::vec(1u64..100, 12..13),
+        chord_w in 1u64..100,
+        algorithm_pick in 0usize..2,
+        enumerator_pick in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let algorithm = ["2ecss", "kecss"][algorithm_pick];
+        let enumerator = ["auto", "label", "exact"][enumerator_pick];
+        // A weighted ring plus one chord: 2-edge-connected by construction,
+        // with enough weight variety to vary the solutions across cases.
+        let mut edges: Vec<String> = (0..n)
+            .map(|i| format!("{i}-{}-{}", (i + 1) % n, weights[i]))
+            .collect();
+        edges.push(format!("0-{}-{chord_w}", n / 2));
+        let line = format!(
+            "SUBMIT inline:{n}:{} 2 {algorithm} {enumerator} {seed}",
+            edges.join(",")
+        );
+
+        let addr = shared_server_addr();
+        let mut text = Client::connect(addr).unwrap();
+        let mut binary = Client::connect_binary(addr).unwrap();
+        let from_text = solve_over(&mut text, &line);
+        let from_binary = solve_over(&mut binary, &line);
+        prop_assert_eq!(&from_text, &from_binary, "wire modes disagree for '{}'", line);
+        let rendered = String::from_utf8(from_text).unwrap();
+        prop_assert!(rendered.contains("verified k=2 yes"), "{}: {}", line, rendered);
+    }
+}
+
+#[test]
+fn wait_flagged_submit_matches_the_two_request_flow() {
+    // The binary round-trip saver: one SUBMIT frame with the wait flag set
+    // gets the ack and the pushed result — no second request. The text
+    // client has no spelling for the flag and falls back to SUBMIT +
+    // RESULT WAIT inside the same helper; both produce the identical
+    // payload for the same spec.
+    let handle = spawn(1, 4);
+    let addr = handle.addr().to_string();
+    let line = "SUBMIT ring:20 2 2ecss auto 5";
+    let Request::Submit(spec) = Request::parse(line).unwrap() else {
+        panic!("not a SUBMIT line")
+    };
+
+    let mut binary = Client::connect_binary(&addr).unwrap();
+    let (first_id, flagged) = binary.submit_wait(&spec, DEADLINE).unwrap().unwrap();
+    let mut text = Client::connect(&addr).unwrap();
+    let (second_id, fallback) = text.submit_wait(&spec, DEADLINE).unwrap().unwrap();
+    assert_ne!(first_id, second_id, "two distinct jobs");
+    assert_eq!(flagged, fallback, "wire modes disagree for '{line}'");
+    assert!(String::from_utf8(fallback)
+        .unwrap()
+        .contains("verified k=2 yes"));
+
+    binary.shutdown().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.submitted, 2);
+    assert_eq!(summary.completed, 2);
+}
+
+#[test]
+fn thousands_of_idle_connections_do_not_starve_submissions() {
+    // 5000 held-open connections (the CI fd budget's in-process ceiling; the
+    // out-of-process probe in ci/front_end_smoke.sh goes further) with
+    // submissions interleaved between every batch of 1000. The submissions
+    // must keep completing, and connections idle since the very first batch
+    // must still be served afterwards.
+    const BATCHES: usize = 5;
+    const PER_BATCH: usize = 1000;
+    let handle = spawn(2, 16);
+    let addr = handle.addr().to_string();
+
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(BATCHES * PER_BATCH);
+    let mut payloads = Vec::new();
+    for batch in 0..BATCHES {
+        for _ in 0..PER_BATCH {
+            idle.push(TcpStream::connect(&addr).expect("connect an idle connection"));
+        }
+        // Alternate wire modes so both share the loop with the idle crowd.
+        let mut client = if batch % 2 == 0 {
+            Client::connect(&addr).unwrap()
+        } else {
+            Client::connect_binary(&addr).unwrap()
+        };
+        payloads.push(solve_over(
+            &mut client,
+            &format!("SUBMIT ring:20 2 2ecss auto {batch}"),
+        ));
+    }
+    assert_eq!(idle.len(), BATCHES * PER_BATCH);
+    // Same spec modulo seed: all verified, first and last batch agree on
+    // everything but the echoed seed.
+    for payload in &payloads {
+        let text = String::from_utf8(payload.clone()).unwrap();
+        assert!(text.contains("verified k=2 yes"), "{text}");
+    }
+
+    // Connections that sat idle through everything still answer: first-in,
+    // middle, and last-in each serve a request after the 5k crowd is up.
+    for pick in [0, idle.len() / 2, idle.len() - 1] {
+        let conn = &mut idle[pick];
+        conn.write_all(b"STATUS 999999\n").unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(
+            reply.starts_with("ERR unknown job"),
+            "idle connection {pick} got '{reply}'"
+        );
+    }
+
+    drop(idle);
+    let mut control = Client::connect(&addr).unwrap();
+    control.shutdown().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.submitted, BATCHES as u64);
+    assert_eq!(summary.completed, BATCHES as u64);
+}
+
+/// Extracts one series value from a metrics text exposition (label set must
+/// match the rendered form exactly, plus a trailing space).
+fn metric_value(text: &str, series: &str) -> u64 {
+    text.lines()
+        .find_map(|l| {
+            l.strip_prefix(series)
+                .and_then(|rest| rest.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn stalled_reader_is_disconnected_without_wedging_the_loop() {
+    // A small write-queue cap (any single well-formed reply fits, the flood
+    // below does not), and a client that requests METRICS thousands of times
+    // without ever reading a byte. Once the kernel buffers fill, the
+    // server's queue for that connection blows past the cap: the policy
+    // replaces it with one ERR and closes. Everyone else keeps being served.
+    const CAP: usize = 256 << 10;
+    let handle = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+        queue_depth: 8,
+        write_queue_limit: CAP,
+        ..ServerConfig::default()
+    })
+    .expect("bind an ephemeral port")
+    .spawn();
+    let addr = handle.addr().to_string();
+
+    let mut stalled = TcpStream::connect(&addr).unwrap();
+    // ~20k METRICS replies is far beyond any loopback kernel buffering, so
+    // the overflow deterministically trips. The server keeps draining our
+    // request bytes even after it decides to close (level-triggered input is
+    // discarded, not left to spin), so these writes cannot block.
+    let flood: Vec<u8> = b"METRICS\n".repeat(20_000);
+    stalled.write_all(&flood).unwrap();
+
+    // A healthy connection submits and completes while the stalled one is
+    // being evicted — the regression this test pins is the loop wedging here.
+    let mut healthy = Client::connect(&addr).unwrap();
+    let payload = solve_over(&mut healthy, "SUBMIT ring:20 2 2ecss auto 11");
+    let text = String::from_utf8(payload).unwrap();
+    assert!(text.contains("verified k=2 yes"), "{text}");
+
+    // The stalled connection was closed on the server's terms: draining it
+    // ends in EOF (or a reset once the server dropped it), never a hang.
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut sink = [0u8; 64 << 10];
+    loop {
+        match stalled.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+
+    // And the eviction was counted.
+    let metrics = healthy.metrics().unwrap();
+    assert!(
+        metric_value(&metrics, "server_conn_limit_total{kind=\"write\"} ") >= 1,
+        "{metrics}"
+    );
+    healthy.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn poll_backend_serves_both_wire_modes_identically() {
+    // The portable poll(2) fallback must be behaviourally identical to the
+    // platform default: same payloads over both wire modes, same shutdown
+    // drain.
+    let mut server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+        queue_depth: 8,
+        ..ServerConfig::default()
+    })
+    .expect("bind an ephemeral port");
+    server.set_backend(Backend::Poll);
+    let handle = server.spawn();
+    let addr = handle.addr().to_string();
+
+    let line = "SUBMIT harary:12:9 3 kecss auto 4";
+    let mut text = Client::connect(&addr).unwrap();
+    let mut binary = Client::connect_binary(&addr).unwrap();
+    let from_text = solve_over(&mut text, line);
+    let from_binary = solve_over(&mut binary, line);
+    assert_eq!(from_text, from_binary);
+    assert!(String::from_utf8(from_text)
+        .unwrap()
+        .contains("verified k=3 yes"));
+
+    // Control verbs work over binary frames on this backend too.
+    assert!(binary.metrics().unwrap().contains("server_requests_total"));
+    binary.shutdown().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.submitted, 2);
+    assert_eq!(summary.completed, 2);
+}

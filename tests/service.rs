@@ -434,6 +434,7 @@ fn per_connection_request_limit_answers_err_and_closes() {
         threads: 1,
         queue_depth: 4,
         max_requests_per_conn: 3,
+        ..ServerConfig::default()
     };
     let handle = Server::bind(&config)
         .expect("bind an ephemeral port")

@@ -1,0 +1,629 @@
+//! Offline stand-in for the `polling` crate: a minimal, level-triggered
+//! readiness binding over `epoll(7)` (Linux) with a portable `poll(2)`
+//! fallback for other unixes.
+//!
+//! This is the one place in the workspace that needs `unsafe` (the raw
+//! syscall bindings); everything above it — the server's readiness loop —
+//! stays `#![forbid(unsafe_code)]`. The API is the subset the workspace
+//! uses, shaped like the real `polling` crate:
+//!
+//! * [`Poller::add`] / [`Poller::modify`] / [`Poller::delete`] register a
+//!   file descriptor with a `usize` key and an [`Interest`] (readable,
+//!   writable, or both). Registration is **level-triggered** on both
+//!   backends: a ready fd is reported on every [`Poller::wait`] until the
+//!   condition clears, so a consumer that leaves bytes unread is re-notified
+//!   rather than silently stalled.
+//! * [`Poller::wait`] blocks until at least one registered fd is ready, the
+//!   timeout lapses, or another thread calls [`Poller::notify`].
+//! * [`Poller::notify`] wakes a concurrent `wait` from any thread (an
+//!   `eventfd` on the epoll backend, a self-pipe on the poll backend). The
+//!   wakeup itself is consumed internally and never surfaces as an event.
+//!
+//! One thread calls `wait` (the event loop); `add`/`modify`/`delete`/`notify`
+//! may be called from any thread. Backend selection is automatic
+//! ([`Poller::new`] picks epoll on Linux) but can be forced with
+//! [`Poller::with_backend`] — the test suites run both backends on Linux so
+//! the portable fallback stays honest.
+
+#![warn(missing_docs)]
+
+#[cfg(not(unix))]
+compile_error!("the vendored `polling` stand-in supports unix targets only");
+
+use std::collections::HashMap;
+use std::ffi::{c_int, c_short, c_uint, c_ulong, c_void};
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::Mutex;
+use std::time::Duration;
+
+// Raw syscall bindings. std already links libc on every unix target, so
+// these resolve without adding a dependency.
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+const O_CLOEXEC: c_int = 0o2000000;
+const O_NONBLOCK: c_int = 0o4000;
+const POLLIN: c_short = 0x001;
+const POLLOUT: c_short = 0x004;
+const POLLERR: c_short = 0x008;
+const POLLHUP: c_short = 0x010;
+const POLLNVAL: c_short = 0x020;
+
+/// `struct epoll_event`; packed on x86-64 (the kernel ABI quirk), naturally
+/// aligned everywhere else.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: c_int,
+    events: c_short,
+    revents: c_short,
+}
+
+/// The readiness a registration asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when the fd is readable (or closed/errored).
+    pub readable: bool,
+    /// Report when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Readable and writable.
+    pub const READABLE_WRITABLE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One ready fd, reported by [`Poller::wait`] under the key it was
+/// registered with. Errors and hangups are folded into `readable` (a read
+/// will then observe the EOF/error), matching level-triggered epoll
+/// conventions.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The registration key.
+    pub key: usize,
+    /// The fd is readable, closed, or errored.
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+}
+
+/// Which syscall family a [`Poller`] drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Linux `epoll(7)`: O(ready) wakeups, the 10⁵-connection path.
+    Epoll,
+    /// POSIX `poll(2)`: O(registered) per wait, the portable fallback.
+    Poll,
+}
+
+/// The reserved internal key carrying the [`Poller::notify`] wakeup; never
+/// reported to callers, and rejected by [`Poller::add`].
+const NOTIFY_KEY: u64 = u64::MAX;
+
+enum Inner {
+    Epoll {
+        epfd: c_int,
+        wake: c_int,
+    },
+    Poll {
+        /// fd -> (key, interest); rebuilt into a `pollfd` array per wait.
+        registry: Mutex<HashMap<RawFd, (usize, Interest)>>,
+        /// Self-pipe: `[read end, write end]`, both nonblocking.
+        pipe: [c_int; 2],
+    },
+}
+
+/// A level-triggered readiness poller. See the crate docs.
+pub struct Poller {
+    inner: Inner,
+}
+
+// The fds are plain integers; every operation on them is thread-safe at the
+// kernel level, and the poll registry is behind a Mutex.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+fn check(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+fn timeout_ms(timeout: Option<Duration>) -> c_int {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            // Round up so a nonzero timeout never busy-spins as zero.
+            let ms = d.as_millis().max(u128::from(!d.is_zero()));
+            c_int::try_from(ms).unwrap_or(c_int::MAX)
+        }
+    }
+}
+
+impl Poller {
+    /// Creates a poller on the platform's best backend (epoll on Linux).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the syscall failure (fd exhaustion, mostly).
+    pub fn new() -> io::Result<Poller> {
+        if cfg!(target_os = "linux") {
+            Poller::with_backend(Backend::Epoll)
+        } else {
+            Poller::with_backend(Backend::Poll)
+        }
+    }
+
+    /// Creates a poller on an explicit backend (the seam the tests use to
+    /// exercise the portable fallback on Linux).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the syscall failure; `Backend::Epoll` off Linux fails with
+    /// `Unsupported`.
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        match backend {
+            Backend::Epoll => {
+                if !cfg!(target_os = "linux") {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        "epoll is Linux-only; use Backend::Poll",
+                    ));
+                }
+                let epfd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+                let wake = match check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+                    Ok(fd) => fd,
+                    Err(e) => {
+                        unsafe { close(epfd) };
+                        return Err(e);
+                    }
+                };
+                let mut ev = EpollEvent {
+                    events: EPOLLIN,
+                    data: NOTIFY_KEY,
+                };
+                if let Err(e) = check(unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, wake, &mut ev) }) {
+                    unsafe {
+                        close(wake);
+                        close(epfd);
+                    }
+                    return Err(e);
+                }
+                Ok(Poller {
+                    inner: Inner::Epoll { epfd, wake },
+                })
+            }
+            Backend::Poll => {
+                let mut fds = [-1 as c_int; 2];
+                check(unsafe { pipe2(fds.as_mut_ptr(), O_CLOEXEC | O_NONBLOCK) })?;
+                Ok(Poller {
+                    inner: Inner::Poll {
+                        registry: Mutex::new(HashMap::new()),
+                        pipe: fds,
+                    },
+                })
+            }
+        }
+    }
+
+    /// The backend this poller runs on.
+    pub fn backend(&self) -> Backend {
+        match &self.inner {
+            Inner::Epoll { .. } => Backend::Epoll,
+            Inner::Poll { .. } => Backend::Poll,
+        }
+    }
+
+    /// Registers `fd` under `key` with the given interest (level-triggered).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the syscall failure (e.g. the fd is already registered),
+    /// and rejects the reserved key `usize::MAX`.
+    pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        if key as u64 == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key usize::MAX is reserved for notify",
+            ));
+        }
+        match &self.inner {
+            Inner::Epoll { epfd, .. } => {
+                let mut ev = EpollEvent {
+                    events: epoll_mask(interest),
+                    data: key as u64,
+                };
+                check(unsafe { epoll_ctl(*epfd, EPOLL_CTL_ADD, fd, &mut ev) })?;
+                Ok(())
+            }
+            Inner::Poll { registry, .. } => {
+                let mut registry = registry.lock().expect("poll registry poisoned");
+                if registry.insert(fd, (key, interest)).is_some() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "fd already registered",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Changes the key/interest of a registered fd.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the syscall failure (e.g. the fd is not registered).
+    pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        match &self.inner {
+            Inner::Epoll { epfd, .. } => {
+                let mut ev = EpollEvent {
+                    events: epoll_mask(interest),
+                    data: key as u64,
+                };
+                check(unsafe { epoll_ctl(*epfd, EPOLL_CTL_MOD, fd, &mut ev) })?;
+                Ok(())
+            }
+            Inner::Poll { registry, .. } => {
+                let mut registry = registry.lock().expect("poll registry poisoned");
+                match registry.get_mut(&fd) {
+                    Some(entry) => {
+                        *entry = (key, interest);
+                        Ok(())
+                    }
+                    None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+                }
+            }
+        }
+    }
+
+    /// Deregisters an fd. Call before closing it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the syscall failure (e.g. the fd was never registered).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        match &self.inner {
+            Inner::Epoll { epfd, .. } => {
+                check(unsafe { epoll_ctl(*epfd, EPOLL_CTL_DEL, fd, std::ptr::null_mut()) })?;
+                Ok(())
+            }
+            Inner::Poll { registry, .. } => {
+                let mut registry = registry.lock().expect("poll registry poisoned");
+                match registry.remove(&fd) {
+                    Some(_) => Ok(()),
+                    None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+                }
+            }
+        }
+    }
+
+    /// Blocks until readiness, a [`Poller::notify`], or the timeout; appends
+    /// the ready events and returns how many were appended (0 on timeout or
+    /// a bare notify). `events` is cleared first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the syscall failure. `EINTR` is retried internally.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        match &self.inner {
+            Inner::Epoll { epfd, wake } => {
+                let mut buf = vec![EpollEvent { events: 0, data: 0 }; 1024];
+                let n = loop {
+                    let ret = unsafe {
+                        epoll_wait(
+                            *epfd,
+                            buf.as_mut_ptr(),
+                            buf.len() as c_int,
+                            timeout_ms(timeout),
+                        )
+                    };
+                    if ret >= 0 {
+                        break ret as usize;
+                    }
+                    let err = io::Error::last_os_error();
+                    if err.kind() != io::ErrorKind::Interrupted {
+                        return Err(err);
+                    }
+                };
+                for ev in &buf[..n] {
+                    let (mask, data) = (ev.events, ev.data);
+                    if data == NOTIFY_KEY {
+                        drain_fd(*wake);
+                        continue;
+                    }
+                    events.push(Event {
+                        key: data as usize,
+                        readable: mask & (EPOLLIN | EPOLLHUP | EPOLLERR) != 0,
+                        writable: mask & (EPOLLOUT | EPOLLERR) != 0,
+                    });
+                }
+                Ok(events.len())
+            }
+            Inner::Poll { registry, pipe } => {
+                // Snapshot the registry so concurrent add/delete cannot
+                // deadlock against a blocked wait; changes land next wait.
+                let mut fds: Vec<PollFd> = vec![PollFd {
+                    fd: pipe[0],
+                    events: POLLIN,
+                    revents: 0,
+                }];
+                let mut keys: Vec<(usize, Interest)> = vec![(usize::MAX, Interest::READABLE)];
+                {
+                    let registry = registry.lock().expect("poll registry poisoned");
+                    for (fd, (key, interest)) in registry.iter() {
+                        let mut mask: c_short = 0;
+                        if interest.readable {
+                            mask |= POLLIN;
+                        }
+                        if interest.writable {
+                            mask |= POLLOUT;
+                        }
+                        fds.push(PollFd {
+                            fd: *fd,
+                            events: mask,
+                            revents: 0,
+                        });
+                        keys.push((*key, *interest));
+                    }
+                }
+                loop {
+                    let ret = unsafe {
+                        poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms(timeout))
+                    };
+                    if ret >= 0 {
+                        break;
+                    }
+                    let err = io::Error::last_os_error();
+                    if err.kind() != io::ErrorKind::Interrupted {
+                        return Err(err);
+                    }
+                }
+                for (i, pfd) in fds.iter().enumerate() {
+                    if pfd.revents == 0 {
+                        continue;
+                    }
+                    if i == 0 {
+                        drain_fd(pipe[0]);
+                        continue;
+                    }
+                    let ready_err = pfd.revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+                    events.push(Event {
+                        key: keys[i].0,
+                        readable: pfd.revents & POLLIN != 0 || ready_err,
+                        writable: pfd.revents & POLLOUT != 0 || ready_err,
+                    });
+                }
+                Ok(events.len())
+            }
+        }
+    }
+
+    /// Wakes a concurrent [`Poller::wait`] from any thread. Coalesces: many
+    /// notifies may produce one wakeup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the syscall failure (a saturated wake counter is treated
+    /// as success — the wakeup is already pending).
+    pub fn notify(&self) -> io::Result<()> {
+        let (fd, buf): (c_int, [u8; 8]) = match &self.inner {
+            Inner::Epoll { wake, .. } => (*wake, 1u64.to_ne_bytes()),
+            Inner::Poll { pipe, .. } => (pipe[1], [1u8; 8]),
+        };
+        let len = if matches!(self.inner, Inner::Epoll { .. }) {
+            8
+        } else {
+            1
+        };
+        let ret = unsafe { write(fd, buf.as_ptr().cast::<c_void>(), len) };
+        if ret < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::WouldBlock {
+                return Ok(()); // counter/pipe full: a wakeup is already pending
+            }
+            return Err(err);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        match &self.inner {
+            Inner::Epoll { epfd, wake } => unsafe {
+                close(*wake);
+                close(*epfd);
+            },
+            Inner::Poll { pipe, .. } => unsafe {
+                close(pipe[0]);
+                close(pipe[1]);
+            },
+        }
+    }
+}
+
+fn epoll_mask(interest: Interest) -> u32 {
+    let mut mask = 0;
+    if interest.readable {
+        mask |= EPOLLIN;
+    }
+    if interest.writable {
+        mask |= EPOLLOUT;
+    }
+    mask
+}
+
+/// Empties a nonblocking wake fd (eventfd counter or pipe bytes).
+fn drain_fd(fd: c_int) {
+    let mut buf = [0u8; 64];
+    loop {
+        let ret = unsafe { read(fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) };
+        if ret <= 0 {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    fn backends() -> Vec<Backend> {
+        if cfg!(target_os = "linux") {
+            vec![Backend::Epoll, Backend::Poll]
+        } else {
+            vec![Backend::Poll]
+        }
+    }
+
+    #[test]
+    fn readable_sockets_are_reported_under_their_key() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (server, _) = listener.accept().unwrap();
+            server.set_nonblocking(true).unwrap();
+            poller
+                .add(server.as_raw_fd(), 7, Interest::READABLE)
+                .unwrap();
+
+            let mut events = Vec::new();
+            // Nothing to read yet: a short wait times out empty.
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert_eq!(n, 0, "{backend:?}");
+
+            client.write_all(b"ping").unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert!(n >= 1, "{backend:?}");
+            assert!(
+                events.iter().any(|e| e.key == 7 && e.readable),
+                "{backend:?}: {events:?}"
+            );
+
+            // Level-triggered: unread bytes re-report on the next wait.
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert!(n >= 1, "{backend:?} must stay level-triggered");
+
+            let mut buf = [0u8; 16];
+            let read = (&server).read(&mut buf).unwrap();
+            assert_eq!(&buf[..read], b"ping");
+            poller.delete(server.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        for backend in backends() {
+            let poller = std::sync::Arc::new(Poller::with_backend(backend).unwrap());
+            let waker = std::sync::Arc::clone(&poller);
+            let waker_thread = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                waker.notify().unwrap();
+            });
+            let mut events = Vec::new();
+            let started = std::time::Instant::now();
+            // Wait far longer than the notify delay: only the notify can
+            // end this early.
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(30)))
+                .unwrap();
+            assert_eq!(n, 0, "{backend:?}: notify must not surface an event");
+            assert!(
+                started.elapsed() < Duration::from_secs(10),
+                "{backend:?}: wait did not wake on notify"
+            );
+            waker_thread.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn writable_interest_and_modify_round_trip() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (server, _) = listener.accept().unwrap();
+            drop(client);
+            poller
+                .add(server.as_raw_fd(), 3, Interest::READABLE)
+                .unwrap();
+            poller
+                .modify(server.as_raw_fd(), 4, Interest::READABLE_WRITABLE)
+                .unwrap();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            // An idle connected socket is writable; the peer hangup also
+            // reads as readable (EOF).
+            assert!(
+                events.iter().any(|e| e.key == 4 && e.writable),
+                "{backend:?}: {events:?}"
+            );
+            poller.delete(server.as_raw_fd()).unwrap();
+            assert!(poller.delete(server.as_raw_fd()).is_err());
+        }
+    }
+
+    #[test]
+    fn reserved_key_is_rejected() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            assert!(poller
+                .add(listener.as_raw_fd(), usize::MAX, Interest::READABLE)
+                .is_err());
+        }
+    }
+}
